@@ -1,0 +1,54 @@
+// Ablation C -- sensitivity to the SD-hit ratio P (the paper evaluates only
+// P = 0.9/0.7/0.5; this sweeps 0.05..0.95) plus the crossover against a
+// conventional fixed-delay design clocked at CC = LD.
+#include <iomanip>
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "sim/stats.hpp"
+#include "tau/clocking.hpp"
+
+int main() {
+  using namespace tauhls;
+  bench::banner("Ablation C -- P sweep and the telescopic-vs-conventional "
+                "crossover");
+
+  const std::vector<double> ps = {0.95, 0.9, 0.8, 0.7, 0.6,
+                                  0.5,  0.4, 0.3, 0.2, 0.1, 0.05};
+  auto fmt = [](double v) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << v;
+    return os.str();
+  };
+
+  for (const dfg::NamedBenchmark& b : dfg::paperTable2Suite()) {
+    core::FlowConfig cfg;
+    cfg.allocation = b.allocation;
+    cfg.ps = ps;
+    cfg.synthesizeArea = false;
+    const core::FlowResult r = core::runFlow(b.graph, cfg);
+
+    // Conventional design: 1 cycle/op at CC = 20 ns.
+    const double ccNs = tau::conventionalClockNs(cfg.library);
+    const double conv =
+        sim::bestCaseCycles(r.scheduled, sim::ControlStyle::Distributed) * ccNs;
+
+    std::cout << "--- " << b.name << " (conventional @ CC=" << ccNs
+              << "ns: " << fmt(conv) << " ns) ---\n";
+    core::TextTable t({"P", "LT_TAU", "LT_DIST", "enh", "vs conventional"});
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      const double tau = r.latency.tau.averageNs[i];
+      const double dist = r.latency.dist.averageNs[i];
+      t.addRow({fmt(ps[i]), fmt(tau), fmt(dist),
+                fmt(r.latency.enhancementPercent[i]) + "%",
+                fmt((conv - dist) / conv * 100.0) + "%"});
+    }
+    std::cout << t.toString() << "\n";
+  }
+  std::cout << "Shape: the distributed win over sync-TAUBM peaks at "
+               "mid-range P (at P=1 and in the all-LD limit both converge); "
+               "the telescopic design beats the conventional clock whenever "
+               "the average column stays below it -- the crossover P falls "
+               "as designs get deeper.\n";
+  return 0;
+}

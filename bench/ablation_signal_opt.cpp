@@ -1,0 +1,38 @@
+// Ablation B -- communication-signal optimization (paper Fig. 7 note).
+// For every Table 2 benchmark: completion outputs before/after pruning,
+// completion latches, and the combinational-area delta of the distributed
+// control unit.
+#include "bench_util.hpp"
+#include "fsm/distributed.hpp"
+#include "fsm/signal_opt.hpp"
+#include "synth/area.hpp"
+
+int main() {
+  using namespace tauhls;
+  bench::banner("Ablation B -- communication-signal optimization on/off");
+
+  core::TextTable t({"DFG", "CCO outputs (raw)", "removed", "kept",
+                     "latches", "Com. area raw", "Com. area opt", "saving"});
+  for (const dfg::NamedBenchmark& b : dfg::paperTable2Suite()) {
+    auto s = sched::scheduleAndBind(b.graph, b.allocation, tau::paperLibrary());
+    fsm::DistributedControlUnit raw = fsm::buildDistributed(s);
+    fsm::SignalOptStats stats;
+    fsm::DistributedControlUnit opt = fsm::optimizeSignals(raw, &stats);
+    const synth::DistributedAreaReport rawArea = synth::distributedArea(raw);
+    const synth::DistributedAreaReport optArea = synth::distributedArea(opt);
+    const int saving = rawArea.total.combArea - optArea.total.combArea;
+    t.addRow({b.name, std::to_string(stats.removedOutputs + stats.keptOutputs),
+              std::to_string(stats.removedOutputs),
+              std::to_string(stats.keptOutputs),
+              std::to_string(opt.completionLatchCount()),
+              std::to_string(rawArea.total.combArea),
+              std::to_string(optArea.total.combArea),
+              std::to_string(saving)});
+  }
+  std::cout << t.toString();
+  std::cout << "\nShape: every benchmark sheds unconsumed completion outputs "
+               "(output sinks and same-unit chains never export CCO); the "
+               "consumed subset and all latches are untouched, so behaviour "
+               "is identical (tested by SignalOpt.ProductUnaffected...).\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// google-benchmark micro suite: hot paths of the tool itself (makespan
+// evaluation, exact latency statistics, controller generation, product
+// construction, logic minimization), so tool performance regressions are
+// visible alongside the paper-table benches.
+#include <benchmark/benchmark.h>
+
+#include "dfg/benchmarks.hpp"
+#include "fsm/cent_sync.hpp"
+#include "fsm/distributed.hpp"
+#include "fsm/product.hpp"
+#include "logic/minimize.hpp"
+#include "sim/interp.hpp"
+#include "sim/stats.hpp"
+#include "synth/extract.hpp"
+
+namespace {
+
+using namespace tauhls;
+
+sched::ScheduledDfg diffeqScheduled() {
+  return sched::scheduleAndBind(dfg::diffeq(),
+                                {{dfg::ResourceClass::Multiplier, 2},
+                                 {dfg::ResourceClass::Adder, 1},
+                                 {dfg::ResourceClass::Subtractor, 1}},
+                                tau::paperLibrary());
+}
+
+void BM_DistributedMakespan(benchmark::State& state) {
+  const auto s = diffeqScheduled();
+  const sim::MakespanEngine engine(s);
+  const auto classes = sim::randomClasses(s, 0.5, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.distributedCycles(classes));
+  }
+}
+BENCHMARK(BM_DistributedMakespan);
+
+void BM_ExactAverageDiffeq(benchmark::State& state) {
+  const auto s = diffeqScheduled();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::averageCyclesExact(s, sim::ControlStyle::Distributed, 0.5));
+  }
+}
+BENCHMARK(BM_ExactAverageDiffeq);
+
+void BM_ExactAverageArLattice(benchmark::State& state) {
+  const auto s = sched::scheduleAndBind(dfg::arLattice(),
+                                        {{dfg::ResourceClass::Multiplier, 4},
+                                         {dfg::ResourceClass::Adder, 2}},
+                                        tau::paperLibrary());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::averageCyclesExact(s, sim::ControlStyle::Distributed, 0.5));
+  }
+}
+BENCHMARK(BM_ExactAverageArLattice)->Unit(benchmark::kMillisecond);
+
+void BM_BuildDistributed(benchmark::State& state) {
+  const auto s = diffeqScheduled();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsm::buildDistributed(s));
+  }
+}
+BENCHMARK(BM_BuildDistributed);
+
+void BM_BuildProduct(benchmark::State& state) {
+  const auto s = diffeqScheduled();
+  const auto dcu = fsm::buildDistributed(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsm::buildProduct(dcu));
+  }
+}
+BENCHMARK(BM_BuildProduct)->Unit(benchmark::kMillisecond);
+
+void BM_FsmInterpreter(benchmark::State& state) {
+  const auto s = diffeqScheduled();
+  const auto dcu = fsm::buildDistributed(s);
+  const auto classes = sim::randomClasses(s, 0.5, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::runDistributed(dcu, s, classes));
+  }
+}
+BENCHMARK(BM_FsmInterpreter);
+
+void BM_SynthesizeCentSync(benchmark::State& state) {
+  const auto s = diffeqScheduled();
+  const auto sync = fsm::buildCentSync(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::synthesize(sync));
+  }
+}
+BENCHMARK(BM_SynthesizeCentSync);
+
+void BM_QmMinimize10Var(benchmark::State& state) {
+  logic::TruthTable tt(10);
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (std::uint64_t r = 0; r < tt.numRows(); ++r) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    tt.set(r, (x & 3) == 0   ? logic::Ternary::One
+              : (x & 3) == 1 ? logic::Ternary::DontCare
+                             : logic::Ternary::Zero);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logic::minimizeExact(tt));
+  }
+  state.SetLabel("random 10-var, 1/4 onset, 1/4 dc");
+}
+BENCHMARK(BM_QmMinimize10Var)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

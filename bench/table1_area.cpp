@@ -1,0 +1,55 @@
+// Regenerates the paper's Table 1: area analysis of CENT-FSM (the explicit
+// concurrency-preserving product), CENT-SYNC-FSM (synchronized TAUBM
+// expansion) and DIST-FSM (the proposed distributed control unit, per unit
+// controller) for the Diff. DFG under {x:2 TAU, +:1, -:1}.
+//
+// The paper's unit-area constants are recovered where derivable (22 area
+// units per flip-flop); combinational area is the minimized two-level
+// literal count x 2.  Absolute numbers therefore differ from the paper's
+// unnamed commercial synthesis, but the claims under test are relative:
+//   (1) DIST-FSM is a small constant factor above CENT-SYNC-FSM, dominated
+//       by sequential redundancy and communication;
+//   (2) CENT-FSM explodes in states and combinational area.
+#include "bench_util.hpp"
+#include "fsm/minimize.hpp"
+
+int main() {
+  using namespace tauhls;
+  bench::banner("Table 1 -- area analysis for the Diff. DFG, {*:2, +:1, -:1}");
+
+  core::FlowConfig cfg;
+  cfg.allocation = {{dfg::ResourceClass::Multiplier, 2},
+                    {dfg::ResourceClass::Adder, 1},
+                    {dfg::ResourceClass::Subtractor, 1}};
+  cfg.buildCentFsm = true;
+  const core::FlowResult r = core::runFlow(dfg::diffeq(), cfg);
+
+  std::cout << core::formatTable1(r) << "\n";
+
+  const auto& dist = r.distArea->total;
+  const auto& sync = *r.centSyncArea;
+  const auto& cent = *r.centFsmArea;
+  std::cout << "Paper reference (different area units, same comparison):\n"
+            << "  CENT-SYNC-FSM: 4 states, 3 FFs, Seq 66\n"
+            << "  DIST-FSM:      16 states, 10 FFs, Seq 220 (~3x CENT-SYNC total)\n"
+            << "  CENT-FSM:      5 FFs, Seq 110, Com ~1.6x DIST\n\n";
+  std::cout << "Measured ratios:\n"
+            << "  DIST total / CENT-SYNC total = "
+            << static_cast<double>(dist.totalArea()) / sync.totalArea() << "\n"
+            << "  CENT-FSM states / CENT-SYNC states = "
+            << static_cast<double>(cent.states) / sync.states << "\n"
+            << "  CENT-FSM comb / DIST comb = "
+            << static_cast<double>(cent.combArea) / dist.combArea << "\n";
+  fsm::Fsm minimized = fsm::minimizeStates(*r.centFsm);
+  std::cout << "  CENT-FSM after exact Mealy state minimization: "
+            << minimized.numStates() << " states (of " << cent.states
+            << ") -- the blow-up is intrinsic, not an artifact: because the "
+               "controllers loop, every concurrency distinction is "
+               "eventually observable.\n";
+  std::cout << "\nNote: our CENT-FSM is the exact reachable product including "
+               "completion-latch state; it overstates the paper's "
+               "hand-derived CENT-FSM, strengthening the same conclusion "
+               "(centralized concurrency-preserving control does not "
+               "scale).\n";
+  return 0;
+}

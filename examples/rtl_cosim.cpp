@@ -1,0 +1,81 @@
+// RTL co-simulation demo: generate the distributed control unit for the
+// Diff. benchmark, emit its Verilog package, parse that Verilog back with
+// the built-in vsim simulator, and run it cycle by cycle against the FSM
+// interpreter's golden trace -- the full generate -> print -> parse ->
+// simulate -> compare loop, with no external EDA tools.
+//
+//   $ ./rtl_cosim
+#include <algorithm>
+#include <iostream>
+
+#include "core/flow.hpp"
+#include "dfg/benchmarks.hpp"
+#include "rtl/verilog.hpp"
+#include "sim/interp.hpp"
+#include "vsim/simulate.hpp"
+
+int main() {
+  using namespace tauhls;
+
+  core::FlowConfig cfg;
+  cfg.allocation = {{dfg::ResourceClass::Multiplier, 2},
+                    {dfg::ResourceClass::Adder, 1},
+                    {dfg::ResourceClass::Subtractor, 1}};
+  cfg.synthesizeArea = false;
+  const core::FlowResult r = core::runFlow(dfg::diffeq(), cfg);
+
+  // Golden trace from the FSM interpreter, all-SD operands.
+  const sim::SimTrace trace =
+      sim::runDistributed(r.distributed, r.scheduled, sim::allShort(r.scheduled));
+
+  // Emit, re-parse, elaborate, reset.
+  const std::string pkg = rtl::emitPackage(r.distributed, "dcu_diffeq");
+  std::cout << "emitted " << pkg.size() << " bytes of Verilog, "
+            << r.distributed.controllers.size() << " controllers\n";
+  vsim::Simulator sim(pkg, "dcu_diffeq");
+  std::cout << "elaborated " << sim.elaboration().instances.size()
+            << " instances, " << sim.elaboration().signalNames.size()
+            << " signals\n\n";
+
+  sim.setInput("rst", 1);
+  sim.setInput("restart", 0);
+  for (const std::string& in : r.distributed.externalInputs) sim.setInput(in, 0);
+  sim.clockEdge();
+  sim.setInput("rst", 0);
+
+  std::vector<std::string> reSignals;
+  for (const fsm::UnitController& c : r.distributed.controllers) {
+    for (const std::string& o : c.fsm.outputs()) {
+      if (o.starts_with("RE_")) reSignals.push_back(o);
+    }
+  }
+  std::sort(reSignals.begin(), reSignals.end());
+
+  int mismatches = 0;
+  for (std::size_t cyc = 0; cyc < trace.outputsPerCycle.size(); ++cyc) {
+    for (const std::string& in : r.distributed.externalInputs) {
+      const auto& ext = trace.externalsPerCycle[cyc];
+      sim.setInput(in, std::find(ext.begin(), ext.end(), in) != ext.end());
+    }
+    sim.settle();
+    std::cout << "cycle " << cyc << ": RTL asserts ";
+    for (const std::string& re : reSignals) {
+      const bool rtl = sim.top(re) != 0;
+      const bool golden = trace.asserted(static_cast<int>(cyc), re);
+      if (rtl) std::cout << re << " ";
+      if (rtl != golden) {
+        ++mismatches;
+        std::cout << "[MISMATCH vs golden] ";
+      }
+    }
+    std::cout << "\n";
+    sim.clockEdge();
+  }
+  std::cout << "\n"
+            << (mismatches == 0
+                    ? "PASS: emitted RTL matches the FSM interpreter on every "
+                      "cycle"
+                    : "FAIL: " + std::to_string(mismatches) + " mismatches")
+            << "\n";
+  return mismatches == 0 ? 0 : 1;
+}

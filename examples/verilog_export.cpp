@@ -1,0 +1,74 @@
+// Export the distributed control unit of any built-in benchmark as
+// synthesizable Verilog.
+//
+//   $ ./verilog_export diffeq out.v
+//   $ ./verilog_export ar_lattice        # to stdout
+//   benchmarks: fir3 fir5 iir2 iir3 diffeq ar_lattice ewf fig2 fig3
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/flow.hpp"
+#include "dfg/benchmarks.hpp"
+
+namespace {
+
+using tauhls::dfg::Allocation;
+using tauhls::dfg::Dfg;
+using RC = tauhls::dfg::ResourceClass;
+
+bool pick(const std::string& name, Dfg& g, Allocation& alloc) {
+  using namespace tauhls::dfg;
+  if (name == "fir3") { g = fir(3); alloc = {{RC::Multiplier, 2}, {RC::Adder, 1}}; }
+  else if (name == "fir5") { g = fir(5); alloc = {{RC::Multiplier, 2}, {RC::Adder, 1}}; }
+  else if (name == "iir2") { g = iir(2); alloc = {{RC::Multiplier, 2}, {RC::Adder, 1}}; }
+  else if (name == "iir3") { g = iir(3); alloc = {{RC::Multiplier, 3}, {RC::Adder, 2}}; }
+  else if (name == "diffeq") {
+    g = diffeq();
+    alloc = {{RC::Multiplier, 2}, {RC::Adder, 1}, {RC::Subtractor, 1}};
+  } else if (name == "ar_lattice") {
+    g = arLattice();
+    alloc = {{RC::Multiplier, 4}, {RC::Adder, 2}};
+  } else if (name == "ewf") { g = ewf(); alloc = {{RC::Multiplier, 2}, {RC::Adder, 2}}; }
+  else if (name == "fig2") { g = paperFig2(); alloc = {{RC::Multiplier, 2}, {RC::Adder, 1}}; }
+  else if (name == "fig3") { g = paperFig3(); alloc = {{RC::Multiplier, 2}, {RC::Adder, 2}}; }
+  else { return false; }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tauhls;
+  if (argc < 2) {
+    std::cerr << "usage: verilog_export <benchmark> [output.v]\n";
+    return 2;
+  }
+  Dfg g;
+  Allocation alloc;
+  if (!pick(argv[1], g, alloc)) {
+    std::cerr << "unknown benchmark '" << argv[1] << "'\n";
+    return 2;
+  }
+
+  core::FlowConfig cfg;
+  cfg.allocation = alloc;
+  cfg.synthesizeArea = false;
+  const core::FlowResult r = core::runFlow(g, cfg);
+  const std::string verilog = core::emitVerilog(r);
+
+  if (argc >= 3) {
+    std::ofstream out(argv[2]);
+    if (!out) {
+      std::cerr << "cannot open " << argv[2] << "\n";
+      return 1;
+    }
+    out << verilog;
+    std::cout << "wrote " << verilog.size() << " bytes of Verilog ("
+              << r.distributed.controllers.size() << " controllers) to "
+              << argv[2] << "\n";
+  } else {
+    std::cout << verilog;
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "bitlevel/adder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tauhls::bitlevel {
+
+namespace {
+void checkOperands(std::uint64_t a, std::uint64_t b, int width) {
+  TAUHLS_CHECK(width >= 1 && width <= 64, "adder width must be 1..64");
+  if (width < 64) {
+    const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+    TAUHLS_CHECK((a & ~mask) == 0 && (b & ~mask) == 0,
+                 "operands exceed the adder width");
+  }
+}
+}  // namespace
+
+int longestPropagateRun(std::uint64_t a, std::uint64_t b, int width) {
+  checkOperands(a, b, width);
+  const std::uint64_t p = a ^ b;
+  int best = 0;
+  int run = 0;
+  for (int i = 0; i < width; ++i) {
+    if ((p >> i) & 1) {
+      ++run;
+      best = std::max(best, run);
+    } else {
+      run = 0;
+    }
+  }
+  return best;
+}
+
+AdderResult rippleAdd(std::uint64_t a, std::uint64_t b, int width) {
+  checkOperands(a, b, width);
+  AdderResult r;
+  r.sum = width == 64 ? a + b : (a + b) & ((std::uint64_t{1} << width) - 1);
+  r.settlingDelay = longestPropagateRun(a, b, width) + 1;
+  return r;
+}
+
+}  // namespace tauhls::bitlevel

@@ -1,0 +1,25 @@
+// Bit-level ripple-carry adder with exact data-dependent delay.
+//
+// The stabilization time of carry bit j is 1 when position j kills or
+// generates, and time(carry_{j-1}) + 1 when it propagates (p_j = a_j ^ b_j).
+// The adder's settling delay is therefore (longest run of consecutive
+// propagate positions) + 1, measured in per-bit carry delays -- the quantity
+// a telescopic adder's completion generator classifies (paper §2.1, ref [1]).
+#pragma once
+
+#include <cstdint>
+
+namespace tauhls::bitlevel {
+
+struct AdderResult {
+  std::uint64_t sum = 0;      ///< (a + b) mod 2^width
+  int settlingDelay = 0;      ///< longest propagate run + 1, in bit delays
+};
+
+/// Add two `width`-bit operands (1..64); operands must fit in `width` bits.
+AdderResult rippleAdd(std::uint64_t a, std::uint64_t b, int width);
+
+/// Longest run of consecutive propagate positions (a_i ^ b_i == 1).
+int longestPropagateRun(std::uint64_t a, std::uint64_t b, int width);
+
+}  // namespace tauhls::bitlevel

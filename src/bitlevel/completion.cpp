@@ -1,0 +1,33 @@
+#include "bitlevel/completion.hpp"
+
+#include "common/error.hpp"
+
+namespace tauhls::bitlevel {
+
+AdderCompletionGenerator::AdderCompletionGenerator(int width, int maxRun)
+    : width_(width), maxRun_(maxRun) {
+  TAUHLS_CHECK(width >= 1 && width <= 64, "adder width must be 1..64");
+  TAUHLS_CHECK(maxRun >= 1 && maxRun <= width,
+               "maxRun must lie in [1, width]");
+}
+
+bool AdderCompletionGenerator::predictShort(std::uint64_t a,
+                                            std::uint64_t b) const {
+  return longestPropagateRun(a, b, width_) < maxRun_;
+}
+
+MultiplierCompletionGenerator::MultiplierCompletionGenerator(int width,
+                                                             int magnitudeBudget)
+    : width_(width), magnitudeBudget_(magnitudeBudget) {
+  TAUHLS_CHECK(width >= 1 && width <= 32, "multiplier width must be 1..32");
+  TAUHLS_CHECK(magnitudeBudget >= 0 && magnitudeBudget <= 2 * (width - 1),
+               "magnitude budget out of range");
+}
+
+bool MultiplierCompletionGenerator::predictShort(std::uint64_t a,
+                                                 std::uint64_t b) const {
+  if (a == 0 || b == 0) return true;
+  return msbIndex(a) + msbIndex(b) <= magnitudeBudget_;
+}
+
+}  // namespace tauhls::bitlevel

@@ -1,0 +1,52 @@
+// Conservative completion-signal generators (the distinctive part of a TAU,
+// paper Fig. 1).  A generator raises C = 1 only for operand pairs guaranteed
+// to settle within the short delay SD; it may pessimistically answer 0 for
+// some fast operands (that only lowers P), but must never answer 1 for a
+// slow pair -- the conservativeness contract the controllers rely on, and
+// the property tests enforce.
+#pragma once
+
+#include <cstdint>
+
+#include "bitlevel/adder.hpp"
+#include "bitlevel/multiplier.hpp"
+
+namespace tauhls::bitlevel {
+
+/// Adder generator: C = 1 iff no run of `maxRun` consecutive propagate
+/// positions exists, guaranteeing settlingDelay <= maxRun.  In hardware this
+/// is a window AND-OR over the propagate vector -- a few gate levels.
+class AdderCompletionGenerator {
+ public:
+  AdderCompletionGenerator(int width, int maxRun);
+
+  int width() const { return width_; }
+  /// The SD bound (in bit delays) this generator certifies.
+  int shortDelayBound() const { return maxRun_; }
+
+  bool predictShort(std::uint64_t a, std::uint64_t b) const;
+
+ private:
+  int width_;
+  int maxRun_;
+};
+
+/// Multiplier generator: C = 1 iff msb(a) + msb(b) <= magnitudeBudget
+/// (leading-zero detection on both operands), guaranteeing
+/// settlingDelay <= magnitudeBudget + 2.
+class MultiplierCompletionGenerator {
+ public:
+  MultiplierCompletionGenerator(int width, int magnitudeBudget);
+
+  int width() const { return width_; }
+  /// The SD bound (in cell delays) this generator certifies.
+  int shortDelayBound() const { return magnitudeBudget_ + 2; }
+
+  bool predictShort(std::uint64_t a, std::uint64_t b) const;
+
+ private:
+  int width_;
+  int magnitudeBudget_;
+};
+
+}  // namespace tauhls::bitlevel

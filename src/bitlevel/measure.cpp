@@ -1,0 +1,104 @@
+#include "bitlevel/measure.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "common/error.hpp"
+
+namespace tauhls::bitlevel {
+
+namespace {
+
+std::uint64_t mask(int width) {
+  return width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+/// Draw one operand pair from the distribution.
+std::pair<std::uint64_t, std::uint64_t> drawPair(OperandDistribution dist,
+                                                 int width,
+                                                 std::mt19937_64& rng) {
+  const std::uint64_t m = mask(width);
+  auto uniform = [&] { return rng() & m; };
+  switch (dist) {
+    case OperandDistribution::Uniform:
+      return {uniform(), uniform()};
+    case OperandDistribution::LowMagnitude: {
+      // Log-uniform magnitude: bit-length uniform over [1, width], then
+      // uniform within it -- every decade equally likely, so small values
+      // are far more common than under Uniform (DSP-like data).
+      auto lowMag = [&] {
+        const int len =
+            std::uniform_int_distribution<int>(1, width)(rng);
+        return rng() & mask(len);
+      };
+      return {lowMag(), lowMag()};
+    }
+    case OperandDistribution::SmallDelta: {
+      const std::uint64_t a = uniform();
+      std::geometric_distribution<int> g(0.3);
+      const std::uint64_t delta = rng() & mask(std::min(width, 1 + g(rng)));
+      return {a, (a + delta) & m};
+    }
+  }
+  TAUHLS_FAIL("unknown operand distribution");
+}
+
+template <typename GenT, typename EvalT>
+PMeasurement measure(const GenT& gen, OperandDistribution dist, long trials,
+                     std::uint64_t seed, int width, EvalT evalDelay) {
+  TAUHLS_CHECK(trials > 0, "need at least one trial");
+  std::mt19937_64 rng(seed);
+  PMeasurement m;
+  m.trials = trials;
+  long hits = 0;
+  double delaySum = 0.0;
+  for (long t = 0; t < trials; ++t) {
+    const auto [a, b] = drawPair(dist, width, rng);
+    const int delay = evalDelay(a, b);
+    const bool predicted = gen.predictShort(a, b);
+    delaySum += delay;
+    m.worstDelay = std::max(m.worstDelay, delay);
+    if (predicted) {
+      ++hits;
+      if (delay > gen.shortDelayBound()) ++m.falseCompletions;
+    }
+  }
+  m.p = static_cast<double>(hits) / static_cast<double>(trials);
+  m.meanDelay = delaySum / static_cast<double>(trials);
+  return m;
+}
+
+}  // namespace
+
+PMeasurement measureAdderP(const AdderCompletionGenerator& gen,
+                           OperandDistribution dist, long trials,
+                           std::uint64_t seed) {
+  return measure(gen, dist, trials, seed, gen.width(),
+                 [&gen](std::uint64_t a, std::uint64_t b) {
+                   return rippleAdd(a, b, gen.width()).settlingDelay;
+                 });
+}
+
+PMeasurement measureMultiplierP(const MultiplierCompletionGenerator& gen,
+                                OperandDistribution dist, long trials,
+                                std::uint64_t seed) {
+  return measure(gen, dist, trials, seed, gen.width(),
+                 [&gen](std::uint64_t a, std::uint64_t b) {
+                   return arrayMultiply(a, b, gen.width()).settlingDelay;
+                 });
+}
+
+tau::UnitType telescopicMultiplierFromMeasurement(
+    int width, const MultiplierCompletionGenerator& gen,
+    const PMeasurement& measurement, double nsPerCellDelay) {
+  TAUHLS_CHECK(measurement.falseCompletions == 0,
+               "completion generator violated conservativeness");
+  const double sdNs = gen.shortDelayBound() * nsPerCellDelay;
+  // Worst case of an n x n array multiplier: both MSBs at width-1.
+  const double ldNs = (2 * (width - 1) + 2) * nsPerCellDelay;
+  return tau::telescopicUnit("tau_mult" + std::to_string(width) + "b",
+                             dfg::ResourceClass::Multiplier, sdNs,
+                             std::max(ldNs, sdNs), measurement.p);
+}
+
+}  // namespace tauhls::bitlevel

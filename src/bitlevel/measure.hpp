@@ -1,0 +1,43 @@
+// Empirical measurement of the SD-hit ratio P (paper §5 treats P as a
+// workload parameter; here it becomes a measured quantity of a concrete
+// completion generator under a concrete operand distribution), plus the
+// bridge from a measured unit to the tau::UnitType the scheduler consumes.
+#pragma once
+
+#include <cstdint>
+
+#include "bitlevel/completion.hpp"
+#include "tau/unit.hpp"
+
+namespace tauhls::bitlevel {
+
+enum class OperandDistribution {
+  Uniform,       ///< i.i.d. uniform over the full width
+  LowMagnitude,  ///< geometric magnitudes (audio/DSP-like small values)
+  SmallDelta,    ///< b close to a (accumulator/filter-state updates)
+};
+
+struct PMeasurement {
+  double p = 0.0;            ///< fraction of operand pairs with C = 1
+  long trials = 0;
+  long falseCompletions = 0;  ///< C = 1 but delay > SD bound; MUST be 0
+  double meanDelay = 0.0;     ///< average settling delay (unit cell delays)
+  int worstDelay = 0;         ///< max settling delay seen
+};
+
+PMeasurement measureAdderP(const AdderCompletionGenerator& gen,
+                           OperandDistribution dist, long trials,
+                           std::uint64_t seed = 1);
+
+PMeasurement measureMultiplierP(const MultiplierCompletionGenerator& gen,
+                                OperandDistribution dist, long trials,
+                                std::uint64_t seed = 1);
+
+/// Build a telescopic tau::UnitType whose SD/LD delays come from the
+/// generator's certified bound and the unit's worst-case delay, scaled by
+/// `nsPerCellDelay`, and whose P is the measured hit ratio.
+tau::UnitType telescopicMultiplierFromMeasurement(
+    int width, const MultiplierCompletionGenerator& gen,
+    const PMeasurement& measurement, double nsPerCellDelay);
+
+}  // namespace tauhls::bitlevel

@@ -1,0 +1,29 @@
+#include "bitlevel/multiplier.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace tauhls::bitlevel {
+
+int msbIndex(std::uint64_t v) {
+  return v == 0 ? -1 : 63 - std::countl_zero(v);
+}
+
+MultiplierResult arrayMultiply(std::uint64_t a, std::uint64_t b, int width) {
+  TAUHLS_CHECK(width >= 1 && width <= 32, "multiplier width must be 1..32");
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  TAUHLS_CHECK((a & ~mask) == 0 && (b & ~mask) == 0,
+               "operands exceed the multiplier width");
+  MultiplierResult r;
+  r.product = a * b;
+  // Zero operands settle immediately through the kill path: one cell delay.
+  if (a == 0 || b == 0) {
+    r.settlingDelay = 1;
+  } else {
+    r.settlingDelay = msbIndex(a) + msbIndex(b) + 2;
+  }
+  return r;
+}
+
+}  // namespace tauhls::bitlevel

@@ -1,0 +1,26 @@
+// Array-multiplier delay model.
+//
+// In a carry-save array multiplier the critical path grows with the number of
+// significant partial-product rows and the final carry ripple, i.e. with the
+// operand magnitudes: delay ~ msb(a) + msb(b) + 2 cell delays.  Telescopic
+// multipliers classify operands by magnitude (leading-zero detection), which
+// is exactly the conservative completion generator implemented in
+// completion.hpp (paper §2.1, ref [1]).
+#pragma once
+
+#include <cstdint>
+
+namespace tauhls::bitlevel {
+
+struct MultiplierResult {
+  std::uint64_t product = 0;  ///< (a * b) mod 2^(2*width), width <= 32
+  int settlingDelay = 0;      ///< msb(a) + msb(b) + 2, in cell delays
+};
+
+/// Position of the most significant set bit (0-based); -1 for zero.
+int msbIndex(std::uint64_t v);
+
+/// Multiply two `width`-bit operands (1..32).
+MultiplierResult arrayMultiply(std::uint64_t a, std::uint64_t b, int width);
+
+}  // namespace tauhls::bitlevel

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace tauhls::detail {
+
+void raiseError(const char* kind, const char* cond, const char* file, int line,
+                const std::string& message) {
+  std::ostringstream os;
+  os << "tauhls " << kind << " failed: " << message << " [" << cond << " at "
+     << file << ":" << line << "]";
+  throw Error(os.str());
+}
+
+}  // namespace tauhls::detail

@@ -1,0 +1,46 @@
+// Error handling helpers shared by every tauhls module.
+//
+// The library reports contract violations and malformed inputs by throwing
+// tauhls::Error (a std::runtime_error).  TAUHLS_CHECK is used for user-input
+// validation (always on); TAUHLS_ASSERT guards internal invariants and is also
+// always on -- this is a synthesis tool, not an inner-loop kernel, so the cost
+// of checking is negligible next to the cost of a silent wrong netlist.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tauhls {
+
+/// Exception type thrown on any contract or input violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raiseError(const char* kind, const char* cond, const char* file,
+                             int line, const std::string& message);
+}  // namespace detail
+
+/// Validate a condition on user-supplied data; throws tauhls::Error on failure.
+#define TAUHLS_CHECK(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::tauhls::detail::raiseError("check", #cond, __FILE__, __LINE__, msg); \
+    }                                                                        \
+  } while (0)
+
+/// Internal invariant; failure indicates a bug in tauhls itself.
+#define TAUHLS_ASSERT(cond, msg)                                              \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::tauhls::detail::raiseError("assert", #cond, __FILE__, __LINE__, msg); \
+    }                                                                         \
+  } while (0)
+
+/// Unconditional failure with message.
+#define TAUHLS_FAIL(msg) \
+  ::tauhls::detail::raiseError("fail", "unreachable", __FILE__, __LINE__, msg)
+
+}  // namespace tauhls

@@ -1,0 +1,57 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace tauhls {
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& s, char sep, bool keepEmpty) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      if (keepEmpty || !cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (keepEmpty || !cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool isIdentifier(const std::string& s) {
+  if (s.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_')) return false;
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) return false;
+  }
+  return true;
+}
+
+std::string zeroPad(unsigned value, int width) {
+  std::ostringstream os;
+  std::string digits = std::to_string(value);
+  for (int i = static_cast<int>(digits.size()); i < width; ++i) os << '0';
+  os << digits;
+  return os.str();
+}
+
+}  // namespace tauhls

@@ -1,0 +1,24 @@
+// Small string utilities used across modules (no dependency beyond <string>).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tauhls {
+
+/// Join the elements of `parts` with `sep` ("a", "b" -> "a,b").
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Split on a single character, dropping empty fragments when `keepEmpty` is false.
+std::vector<std::string> split(const std::string& s, char sep, bool keepEmpty = false);
+
+/// True when `s` is a valid C-style identifier (letter/underscore start).
+bool isIdentifier(const std::string& s);
+
+/// printf-style "%d"-free integer-to-string with fixed-width zero padding.
+std::string zeroPad(unsigned value, int width);
+
+}  // namespace tauhls

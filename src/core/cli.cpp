@@ -1,0 +1,247 @@
+#include "core/cli.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "dfg/dot.hpp"
+#include "dfg/textio.hpp"
+#include "core/json.hpp"
+#include "fsm/kiss.hpp"
+#include "rtl/testbench.hpp"
+#include "sim/interp.hpp"
+
+namespace tauhls::core {
+
+std::string cliHelp() {
+  return
+      "usage: tauhlsc <design.dfg> [options]\n"
+      "\n"
+      "Builds a distributed synchronous control unit (DATE'03 Algorithm 1)\n"
+      "for the dataflow graph in <design.dfg> (see dfg/textio.hpp grammar).\n"
+      "\n"
+      "options:\n"
+      "  --alloc SPEC      units per class, e.g. mult=2,add=1,sub=1\n"
+      "                    (classes: mult add sub div logic; omitted classes\n"
+      "                    get full concurrency)\n"
+      "  --p LIST          SD-ratio sweep, e.g. 0.9,0.7,0.5\n"
+      "  --strategy S      leftedge (default) | clique\n"
+      "  --no-signal-opt   keep unconsumed completion outputs\n"
+      "  --cent-fsm        also build the explicit CENT-FSM product\n"
+      "  --table1          print the area report\n"
+      "  --no-table2       skip the latency report\n"
+      "  --verilog FILE    write the RTL package\n"
+      "  --testbench FILE  write a self-checking testbench (all-SD trace)\n"
+      "  --json FILE       write the full report as JSON\n"
+      "  --kiss PREFIX     write PREFIX_<controller>.kiss2 per controller\n"
+      "  --dot FILE        write the scheduled DFG in Graphviz DOT\n"
+      "  --help            this text\n";
+}
+
+sched::Allocation parseAllocationSpec(const std::string& spec) {
+  sched::Allocation alloc;
+  for (const std::string& part : split(spec, ',')) {
+    const std::vector<std::string> kv = split(part, '=');
+    TAUHLS_CHECK(kv.size() == 2, "malformed allocation entry '" + part + "'");
+    dfg::ResourceClass cls;
+    const std::string key = trim(kv[0]);
+    if (key == "mult") cls = dfg::ResourceClass::Multiplier;
+    else if (key == "add") cls = dfg::ResourceClass::Adder;
+    else if (key == "sub") cls = dfg::ResourceClass::Subtractor;
+    else if (key == "div") cls = dfg::ResourceClass::Divider;
+    else if (key == "logic") cls = dfg::ResourceClass::Logic;
+    else TAUHLS_FAIL("unknown resource class '" + key + "'");
+    int count = 0;
+    try {
+      count = std::stoi(trim(kv[1]));
+    } catch (const std::exception&) {
+      TAUHLS_FAIL("invalid unit count in '" + part + "'");
+    }
+    TAUHLS_CHECK(count >= 1, "unit count must be >= 1 in '" + part + "'");
+    alloc[cls] = count;
+  }
+  return alloc;
+}
+
+std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
+                                   std::string& error) {
+  CliOptions o;
+  auto needValue = [&](std::size_t& i) -> std::optional<std::string> {
+    if (i + 1 >= args.size()) {
+      error = "missing value after " + args[i];
+      return std::nullopt;
+    }
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      o.showHelp = true;
+      return o;
+    } else if (a == "--alloc") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      try {
+        o.allocation = parseAllocationSpec(*v);
+      } catch (const Error& e) {
+        error = e.what();
+        return std::nullopt;
+      }
+    } else if (a == "--p") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      o.ps.clear();
+      for (const std::string& p : split(*v, ',')) {
+        try {
+          o.ps.push_back(std::stod(p));
+        } catch (const std::exception&) {
+          error = "invalid P value '" + p + "'";
+          return std::nullopt;
+        }
+      }
+      if (o.ps.empty()) {
+        error = "empty P list";
+        return std::nullopt;
+      }
+    } else if (a == "--strategy") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      if (*v == "leftedge") o.strategy = sched::BindingStrategy::LeftEdge;
+      else if (*v == "clique") o.strategy = sched::BindingStrategy::CliqueCover;
+      else {
+        error = "unknown strategy '" + *v + "'";
+        return std::nullopt;
+      }
+    } else if (a == "--no-signal-opt") {
+      o.signalOpt = false;
+    } else if (a == "--cent-fsm") {
+      o.centFsm = true;
+    } else if (a == "--table1") {
+      o.table1 = true;
+    } else if (a == "--no-table2") {
+      o.table2 = false;
+    } else if (a == "--verilog") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      o.verilogPath = *v;
+    } else if (a == "--testbench") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      o.testbenchPath = *v;
+    } else if (a == "--json") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      o.jsonPath = *v;
+    } else if (a == "--kiss") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      o.kissPrefix = *v;
+    } else if (a == "--dot") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      o.dotPath = *v;
+    } else if (!a.empty() && a[0] == '-') {
+      error = "unknown option " + a;
+      return std::nullopt;
+    } else if (o.inputPath.empty()) {
+      o.inputPath = a;
+    } else {
+      error = "unexpected extra argument " + a;
+      return std::nullopt;
+    }
+  }
+  if (o.inputPath.empty()) {
+    error = "no input file (try --help)";
+    return std::nullopt;
+  }
+  return o;
+}
+
+int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  if (options.showHelp) {
+    out << cliHelp();
+    return 0;
+  }
+  std::ifstream in(options.inputPath);
+  if (!in) {
+    err << "tauhlsc: cannot open " << options.inputPath << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    // Graph name from the file's basename, sans extension.
+    std::string name = options.inputPath;
+    if (auto slash = name.find_last_of('/'); slash != std::string::npos) {
+      name = name.substr(slash + 1);
+    }
+    if (auto dot = name.find_last_of('.'); dot != std::string::npos) {
+      name = name.substr(0, dot);
+    }
+    const dfg::Dfg graph = dfg::parseDfg(buffer.str(), name);
+
+    FlowConfig cfg;
+    cfg.allocation = options.allocation;
+    cfg.ps = options.ps;
+    cfg.strategy = options.strategy;
+    cfg.optimizeSignals = options.signalOpt;
+    cfg.buildCentFsm = options.centFsm;
+    cfg.synthesizeArea = options.table1;
+    const FlowResult r = runFlow(graph, cfg);
+
+    out << "tauhlsc: " << graph.numOps() << " ops, "
+        << r.distributed.controllers.size() << " controllers, clock "
+        << r.scheduled.clockNs << " ns, allocation "
+        << formatAllocation(r.scheduled) << "\n\n";
+    if (options.table2) out << formatTable2Row(name, r) << "\n";
+    if (options.table1) out << formatTable1(r) << "\n";
+
+    if (!options.verilogPath.empty()) {
+      std::ofstream v(options.verilogPath);
+      TAUHLS_CHECK(static_cast<bool>(v), "cannot open " + options.verilogPath);
+      v << emitVerilog(r);
+      out << "wrote Verilog to " << options.verilogPath << "\n";
+    }
+    if (!options.testbenchPath.empty()) {
+      const sim::SimTrace trace = sim::runDistributed(
+          r.distributed, r.scheduled, sim::allShort(r.scheduled));
+      std::ofstream tb(options.testbenchPath);
+      TAUHLS_CHECK(static_cast<bool>(tb),
+                   "cannot open " + options.testbenchPath);
+      tb << rtl::emitTestbench(r.distributed, trace,
+                               "dcu_" + graph.name());
+      out << "wrote testbench to " << options.testbenchPath << "\n";
+    }
+    if (!options.jsonPath.empty()) {
+      std::ofstream j(options.jsonPath);
+      TAUHLS_CHECK(static_cast<bool>(j), "cannot open " + options.jsonPath);
+      j << toJson(r) << "\n";
+      out << "wrote JSON report to " << options.jsonPath << "\n";
+    }
+    if (!options.kissPrefix.empty()) {
+      for (const fsm::UnitController& c : r.distributed.controllers) {
+        const std::string path = options.kissPrefix + "_" + c.fsm.name() + ".kiss2";
+        std::ofstream k(path);
+        TAUHLS_CHECK(static_cast<bool>(k), "cannot open " + path);
+        k << fsm::toKiss2(c.fsm);
+        out << "wrote " << path << "\n";
+      }
+    }
+    if (!options.dotPath.empty()) {
+      std::ofstream d(options.dotPath);
+      TAUHLS_CHECK(static_cast<bool>(d), "cannot open " + options.dotPath);
+      d << dfg::toDot(r.scheduled.graph);
+      out << "wrote DOT to " << options.dotPath << "\n";
+    }
+    return 0;
+  } catch (const Error& e) {
+    err << "tauhlsc: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace tauhls::core

@@ -1,0 +1,49 @@
+// Command-line front-end logic for the `tauhlsc` tool (testable separately
+// from the thin main in tools/tauhlsc.cpp).
+//
+//   tauhlsc design.dfg --alloc mult=2,add=1,sub=1 --p 0.9,0.7,0.5
+//           --table1 --table2 --verilog out.v --kiss out --dot out.dot
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/scheduled_dfg.hpp"
+
+namespace tauhls::core {
+
+struct CliOptions {
+  std::string inputPath;
+  sched::Allocation allocation;
+  std::vector<double> ps = {0.9, 0.7, 0.5};
+  sched::BindingStrategy strategy = sched::BindingStrategy::LeftEdge;
+  bool signalOpt = true;
+  bool centFsm = false;
+  bool table1 = false;
+  bool table2 = true;
+  std::string verilogPath;    ///< empty = don't emit
+  std::string testbenchPath;  ///< empty = don't emit (self-checking TB)
+  std::string jsonPath;       ///< empty = don't emit (full JSON report)
+  std::string kissPrefix;     ///< empty = don't emit; else PREFIX_<ctrl>.kiss2
+  std::string dotPath;        ///< empty = don't emit
+  bool showHelp = false;
+};
+
+/// Usage text.
+std::string cliHelp();
+
+/// Parse an allocation spec "mult=2,add=1,sub=1,div=1,logic=1"; throws
+/// tauhls::Error on malformed input.
+sched::Allocation parseAllocationSpec(const std::string& spec);
+
+/// Parse argv (without argv[0]); returns nullopt and fills `error` on bad
+/// usage.  `--help` yields options with showHelp set.
+std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
+                                   std::string& error);
+
+/// Execute: read the DFG, run the flow, print the requested reports to
+/// `out`, write any requested files.  Returns a process exit code.
+int runCli(const CliOptions& options, std::ostream& out, std::ostream& err);
+
+}  // namespace tauhls::core

@@ -1,0 +1,44 @@
+#include "core/flow.hpp"
+
+#include "common/error.hpp"
+#include "rtl/verilog.hpp"
+
+namespace tauhls::core {
+
+FlowResult runFlow(const dfg::Dfg& graph, const FlowConfig& config) {
+  FlowResult r;
+  r.scheduled =
+      sched::scheduleAndBind(graph, config.allocation, config.library,
+                             config.strategy);
+
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(r.scheduled);
+  if (config.optimizeSignals) {
+    r.distributed = fsm::optimizeSignals(dcu, &r.signalStats);
+  } else {
+    r.distributed = std::move(dcu);
+  }
+  r.centSync = fsm::buildCentSync(r.scheduled);
+  if (config.buildCentFsm) {
+    fsm::ProductOptions opt;
+    opt.maxStates = config.centFsmMaxStates;
+    r.centFsm = fsm::buildProduct(r.distributed, opt);
+  }
+
+  r.latency = sim::compareLatencies(r.scheduled, config.ps, config.mcSamples);
+
+  if (config.synthesizeArea) {
+    r.distArea = synth::distributedArea(r.distributed, config.encoding);
+    r.centSyncArea = synth::areaRow("CENT-SYNC-FSM", r.centSync, config.encoding);
+    if (r.centFsm) {
+      r.centFsmArea = synth::areaRow("CENT-FSM", *r.centFsm, config.encoding);
+    }
+  }
+  return r;
+}
+
+std::string emitVerilog(const FlowResult& result) {
+  return rtl::emitPackage(result.distributed,
+                          "dcu_" + result.scheduled.graph.name());
+}
+
+}  // namespace tauhls::core

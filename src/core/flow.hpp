@@ -1,0 +1,62 @@
+// The top-level synthesis flow -- the library's primary public entry point.
+//
+//   dfg::Dfg graph = dfg::diffeq();
+//   core::FlowConfig cfg;
+//   cfg.allocation = {{dfg::ResourceClass::Multiplier, 2},
+//                     {dfg::ResourceClass::Adder, 1},
+//                     {dfg::ResourceClass::Subtractor, 1}};
+//   core::FlowResult r = core::runFlow(graph, cfg);
+//   std::cout << core::formatTable2Row("Diff.", r);   // paper-style report
+//   std::string v = core::emitVerilog(r);             // synthesizable RTL
+//
+// The flow schedules and binds the DFG, derives the distributed controllers
+// (Algorithm 1), builds the centralized baselines, synthesizes everything to
+// the area model, and measures latency statistics.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fsm/cent_sync.hpp"
+#include "fsm/distributed.hpp"
+#include "fsm/product.hpp"
+#include "fsm/signal_opt.hpp"
+#include "sched/scheduled_dfg.hpp"
+#include "sim/stats.hpp"
+#include "synth/area.hpp"
+
+namespace tauhls::core {
+
+struct FlowConfig {
+  sched::Allocation allocation;                     ///< units per class
+  tau::ResourceLibrary library = tau::paperLibrary();
+  sched::BindingStrategy strategy = sched::BindingStrategy::LeftEdge;
+  bool optimizeSignals = true;                      ///< Fig. 7 signal pruning
+  std::vector<double> ps = {0.9, 0.7, 0.5};         ///< Table 2 P sweep
+  bool buildCentFsm = false;                        ///< explicit product (costly)
+  std::size_t centFsmMaxStates = 200000;
+  synth::EncodingStyle encoding = synth::EncodingStyle::Binary;
+  bool synthesizeArea = true;                       ///< run the area model
+  int mcSamples = 20000;                            ///< MC fallback (>20 TAU ops)
+};
+
+struct FlowResult {
+  sched::ScheduledDfg scheduled;
+  fsm::DistributedControlUnit distributed;          ///< post signal-opt
+  fsm::SignalOptStats signalStats;
+  fsm::Fsm centSync{"unset"};
+  std::optional<fsm::Fsm> centFsm;                  ///< when buildCentFsm
+  sim::LatencyComparison latency;
+  std::optional<synth::DistributedAreaReport> distArea;
+  std::optional<synth::AreaRow> centSyncArea;
+  std::optional<synth::AreaRow> centFsmArea;
+};
+
+/// Run the complete flow.  Throws tauhls::Error on any invalid input.
+FlowResult runFlow(const dfg::Dfg& graph, const FlowConfig& config);
+
+/// Emit the full Verilog package (latch primitive, controllers, top module)
+/// for the flow's distributed control unit.
+std::string emitVerilog(const FlowResult& result);
+
+}  // namespace tauhls::core

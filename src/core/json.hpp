@@ -1,0 +1,21 @@
+// JSON export of flow results, for downstream tooling (dashboards, report
+// diffs, CI trend tracking).  No external dependency: a minimal escaping
+// writer lives in the implementation.
+#pragma once
+
+#include <string>
+
+#include "core/flow.hpp"
+
+namespace tauhls::core {
+
+/// Serialize a flow result: design summary, latency comparison (best/avg per
+/// P/worst + enhancement), area rows when synthesized, signal-optimization
+/// stats and controller inventory.
+std::string toJson(const FlowResult& result);
+
+/// Escape a string for embedding in JSON (quotes, backslashes, control
+/// characters); exposed for tests.
+std::string jsonEscape(const std::string& s);
+
+}  // namespace tauhls::core

@@ -1,0 +1,119 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tauhls::core {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  TAUHLS_CHECK(row.size() == rows_[0].size(), "table row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::toString() const {
+  std::vector<std::size_t> width(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(width[c]))
+         << rows_[r][c];
+    }
+    os << "\n";
+    if (r == 0) {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        os << (c == 0 ? "" : "  ") << std::string(width[c], '-');
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string fixed1(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << v;
+  return os.str();
+}
+
+std::string areaCells(const synth::AreaRow& row) {
+  std::ostringstream os;
+  os << row.combArea << " / " << row.seqArea;
+  return os.str();
+}
+
+}  // namespace
+
+std::string formatLatencyCells(const sim::LatencyRow& row) {
+  std::ostringstream os;
+  os << "[" << fixed1(row.bestNs) << "][";
+  for (std::size_t i = 0; i < row.averageNs.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << fixed1(row.averageNs[i]);
+  }
+  os << "][" << fixed1(row.worstNs) << "]";
+  return os.str();
+}
+
+std::string formatAllocation(const sched::ScheduledDfg& s) {
+  std::map<dfg::ResourceClass, int> counts;
+  for (const sched::UnitInstance& u : s.binding.units()) ++counts[u.cls];
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [cls, count] : counts) {
+    const char* sym = cls == dfg::ResourceClass::Multiplier  ? "*"
+                      : cls == dfg::ResourceClass::Adder      ? "+"
+                      : cls == dfg::ResourceClass::Subtractor ? "-"
+                                                               : dfg::resourceClassName(cls);
+    os << (first ? "" : ", ") << sym << ":" << count;
+    first = false;
+  }
+  return os.str();
+}
+
+std::string formatTable2Row(const std::string& name, const FlowResult& r) {
+  std::ostringstream os;
+  os << name << "  (" << formatAllocation(r.scheduled) << ")\n";
+  os << "  LT_TAU  " << formatLatencyCells(r.latency.tau) << " ns\n";
+  os << "  LT_DIST " << formatLatencyCells(r.latency.dist) << " ns\n";
+  os << "  Enhancement [";
+  for (std::size_t i = 0; i < r.latency.enhancementPercent.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << fixed1(r.latency.enhancementPercent[i]) << "%";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+std::string formatTable1(const FlowResult& r) {
+  TAUHLS_CHECK(r.distArea.has_value() && r.centSyncArea.has_value(),
+               "run the flow with synthesizeArea=true for Table 1");
+  TextTable t({"FSM", "I/O", "States", "FFs", "Area(Com./Seq.)"});
+  auto add = [&t](const synth::AreaRow& row) {
+    t.addRow({row.name, std::to_string(row.inputs) + "/" + std::to_string(row.outputs),
+              std::to_string(row.states), std::to_string(row.flipFlops),
+              areaCells(row)});
+  };
+  if (r.centFsmArea) add(*r.centFsmArea);
+  add(*r.centSyncArea);
+  add(r.distArea->total);
+  for (const synth::AreaRow& row : r.distArea->perController) add(row);
+  std::ostringstream os;
+  os << t.toString();
+  os << "DIST-FSM aggregates the per-unit rows plus "
+     << r.distArea->completionLatches << " completion latches.\n";
+  return os.str();
+}
+
+}  // namespace tauhls::core

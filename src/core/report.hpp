@@ -1,0 +1,36 @@
+// Paper-style plain-text report formatting (Tables 1 and 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace tauhls::core {
+
+/// Minimal fixed-width text table used by every bench binary.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void addRow(std::vector<std::string> row);
+  std::string toString() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format "[best][avg@P...][worst]" the way Table 2 prints latencies.
+std::string formatLatencyCells(const sim::LatencyRow& row);
+
+/// One full Table 2 row: benchmark name, resources, LT_TAU, LT_DIST,
+/// enhancement percentages.
+std::string formatTable2Row(const std::string& name, const FlowResult& r);
+
+/// Table 1 (area analysis) for one flow: CENT-FSM (when built),
+/// CENT-SYNC-FSM, DIST-FSM and the per-unit D-FSM rows.
+std::string formatTable1(const FlowResult& r);
+
+/// Human-readable resource summary, e.g. "*:2, +:1, -:1".
+std::string formatAllocation(const sched::ScheduledDfg& s);
+
+}  // namespace tauhls::core

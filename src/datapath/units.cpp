@@ -1,0 +1,21 @@
+#include "datapath/units.hpp"
+
+#include "common/error.hpp"
+
+namespace tauhls::datapath {
+
+BitLevelLibrary::BitLevelLibrary(int width, int mulMagnitudeBudget)
+    : width_(width), mulGen_(width, mulMagnitudeBudget) {
+  TAUHLS_CHECK(width >= 1 && width <= 32,
+               "bit-level library word width must be 1..32");
+}
+
+Value BitLevelLibrary::compute(dfg::OpKind kind, Value a, Value b) const {
+  return applyOp(kind, a, b, width_);
+}
+
+bool BitLevelLibrary::multiplierShortClass(Value a, Value b) const {
+  return mulGen_.predictShort(a, b);
+}
+
+}  // namespace tauhls::datapath

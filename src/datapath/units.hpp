@@ -1,0 +1,37 @@
+// Bit-level functional unit models for the controller-driven datapath: every
+// telescopic multiplier carries the leading-zero completion generator of
+// bitlevel/, so the SD/LD class of each multiplication is decided by the
+// *actual operand values* flowing through the datapath rather than a
+// Bernoulli(P) coin -- the full Fig. 1 contract.
+#pragma once
+
+#include "bitlevel/completion.hpp"
+#include "datapath/value.hpp"
+
+namespace tauhls::datapath {
+
+class BitLevelLibrary {
+ public:
+  /// `width` <= 32 (array-multiplier model limit); `mulMagnitudeBudget`
+  /// parameterizes the multiplier's completion generator.
+  BitLevelLibrary(int width, int mulMagnitudeBudget);
+
+  int width() const { return width_; }
+
+  /// Functional result of an op on this library's word width.
+  Value compute(dfg::OpKind kind, Value a, Value b) const;
+
+  /// The telescopic multiplier's completion verdict for these operands
+  /// (true => the op finishes within SD, one clock cycle).
+  bool multiplierShortClass(Value a, Value b) const;
+
+  const bitlevel::MultiplierCompletionGenerator& multiplierGenerator() const {
+    return mulGen_;
+  }
+
+ private:
+  int width_;
+  bitlevel::MultiplierCompletionGenerator mulGen_;
+};
+
+}  // namespace tauhls::datapath

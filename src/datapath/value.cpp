@@ -1,0 +1,54 @@
+#include "datapath/value.hpp"
+
+#include "common/error.hpp"
+#include "dfg/analysis.hpp"
+
+namespace tauhls::datapath {
+
+namespace {
+Value maskOf(int width) {
+  TAUHLS_CHECK(width >= 1 && width <= 64, "word width must be 1..64");
+  return width == 64 ? ~Value{0} : ((Value{1} << width) - 1);
+}
+}  // namespace
+
+Value applyOp(dfg::OpKind kind, Value a, Value b, int width) {
+  const Value mask = maskOf(width);
+  TAUHLS_CHECK((a & ~mask) == 0 && (b & ~mask) == 0,
+               "operand exceeds the word width");
+  switch (kind) {
+    case dfg::OpKind::Add: return (a + b) & mask;
+    case dfg::OpKind::Sub: return (a - b) & mask;
+    case dfg::OpKind::Mul: return (a * b) & mask;
+    case dfg::OpKind::Div: return b == 0 ? mask : (a / b);  // saturate on /0
+    case dfg::OpKind::Compare: return a < b ? 1 : 0;
+    case dfg::OpKind::Shift: return (a << (b & 63)) & mask;
+    case dfg::OpKind::And: return a & b;
+    case dfg::OpKind::Or: return a | b;
+    case dfg::OpKind::Xor: return a ^ b;
+    case dfg::OpKind::Neg: return (~a + 1) & mask;
+    case dfg::OpKind::Input: break;
+  }
+  TAUHLS_FAIL("applyOp on a non-operation node");
+}
+
+std::vector<Value> evaluateDfg(const dfg::Dfg& g,
+                               const std::vector<Value>& inputValues,
+                               int width) {
+  TAUHLS_CHECK(inputValues.size() == g.numNodes(),
+               "inputValues must be indexed by NodeId");
+  std::vector<Value> values(g.numNodes(), 0);
+  for (dfg::NodeId v : dfg::topologicalOrder(g)) {
+    const dfg::Node& n = g.node(v);
+    if (n.kind == dfg::OpKind::Input) {
+      values[v] = inputValues[v] & maskOf(width);
+      continue;
+    }
+    const Value a = values[n.operands[0]];
+    const Value b = n.operands.size() > 1 ? values[n.operands[1]] : 0;
+    values[v] = applyOp(n.kind, a, b, width);
+  }
+  return values;
+}
+
+}  // namespace tauhls::datapath

@@ -1,0 +1,25 @@
+// Functional (golden) evaluation of dataflow graphs over fixed-width
+// unsigned words -- the reference the controller-driven datapath execution
+// (engine.hpp) is checked against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace tauhls::datapath {
+
+using Value = std::uint64_t;
+
+/// Apply one operation on `width`-bit words (result reduced mod 2^width;
+/// Compare yields 0/1; Neg uses only `a`).
+Value applyOp(dfg::OpKind kind, Value a, Value b, int width);
+
+/// Evaluate the whole graph.  `inputValues` is indexed by NodeId and must
+/// supply a value (< 2^width) for every Input node; returns per-node values.
+std::vector<Value> evaluateDfg(const dfg::Dfg& g,
+                               const std::vector<Value>& inputValues,
+                               int width);
+
+}  // namespace tauhls::datapath

@@ -1,0 +1,324 @@
+#include "dfg/benchmarks.hpp"
+
+#include "common/error.hpp"
+
+namespace tauhls::dfg {
+
+Dfg fir(int taps) {
+  TAUHLS_CHECK(taps >= 1, "fir needs at least one tap");
+  Dfg g("fir" + std::to_string(taps));
+  std::vector<NodeId> prods;
+  for (int i = 0; i < taps; ++i) {
+    NodeId x = g.addInput("x" + std::to_string(i));
+    NodeId c = g.addInput("c" + std::to_string(i));
+    prods.push_back(g.addOp(OpKind::Mul, {x, c}, "m" + std::to_string(i)));
+  }
+  NodeId acc = prods[0];
+  for (int i = 1; i < taps; ++i) {
+    acc = g.addOp(OpKind::Add, {acc, prods[i]}, "a" + std::to_string(i - 1));
+  }
+  g.markOutput(acc);
+  g.validate();
+  return g;
+}
+
+Dfg iir(int order) {
+  TAUHLS_CHECK(order >= 1, "iir needs order >= 1");
+  Dfg g("iir" + std::to_string(order));
+  std::vector<NodeId> prods;
+  // Feedforward taps b0..b_order on current/delayed inputs.
+  for (int i = 0; i <= order; ++i) {
+    NodeId x = g.addInput("x" + std::to_string(i));
+    NodeId b = g.addInput("b" + std::to_string(i));
+    prods.push_back(g.addOp(OpKind::Mul, {x, b}, "mf" + std::to_string(i)));
+  }
+  // Feedback taps a1..a_order on delayed outputs (signs folded into coeffs).
+  for (int i = 1; i <= order; ++i) {
+    NodeId y = g.addInput("y" + std::to_string(i));
+    NodeId a = g.addInput("a" + std::to_string(i));
+    prods.push_back(g.addOp(OpKind::Mul, {y, a}, "mb" + std::to_string(i)));
+  }
+  NodeId acc = prods[0];
+  for (std::size_t i = 1; i < prods.size(); ++i) {
+    acc = g.addOp(OpKind::Add, {acc, prods[i]}, "s" + std::to_string(i - 1));
+  }
+  g.markOutput(acc);
+  g.validate();
+  return g;
+}
+
+Dfg diffeq() {
+  // The HAL benchmark (Paulin & Knight): one iteration of the Euler method for
+  //   y'' + 3xy' + 3y = 0
+  //   x1 = x + dx;  u1 = u - 3*x*u*dx - 3*y*dx;  y1 = y + u*dx;  c = x1 < a
+  Dfg g("diffeq");
+  NodeId x = g.addInput("x");
+  NodeId y = g.addInput("y");
+  NodeId u = g.addInput("u");
+  NodeId dx = g.addInput("dx");
+  NodeId a = g.addInput("a");
+  NodeId three = g.addInput("three");
+
+  NodeId m1 = g.addOp(OpKind::Mul, {three, x}, "m1");   // 3*x
+  NodeId m2 = g.addOp(OpKind::Mul, {u, dx}, "m2");      // u*dx
+  NodeId m3 = g.addOp(OpKind::Mul, {m1, m2}, "m3");     // 3*x*u*dx
+  NodeId m4 = g.addOp(OpKind::Mul, {three, y}, "m4");   // 3*y
+  NodeId m5 = g.addOp(OpKind::Mul, {m4, dx}, "m5");     // 3*y*dx
+  NodeId m6 = g.addOp(OpKind::Mul, {u, dx}, "m6");      // u*dx (no CSE in HAL)
+
+  NodeId s1 = g.addOp(OpKind::Sub, {u, m3}, "s1");      // u - 3*x*u*dx
+  NodeId u1 = g.addOp(OpKind::Sub, {s1, m5}, "u1");     // ... - 3*y*dx
+  NodeId x1 = g.addOp(OpKind::Add, {x, dx}, "x1");
+  NodeId y1 = g.addOp(OpKind::Add, {y, m6}, "y1");
+  NodeId c = g.addOp(OpKind::Compare, {x1, a}, "c");
+
+  g.markOutput(u1);
+  g.markOutput(y1);
+  g.markOutput(c);
+  g.validate();
+  return g;
+}
+
+Dfg arLattice() {
+  // Four lattice stages; stage i maps (p, q) to
+  //   p' = p*k4i   + q*k4i+1
+  //   q' = p*k4i+2 + q*k4i+3
+  Dfg g("ar_lattice");
+  NodeId p = g.addInput("p0");
+  NodeId q = g.addInput("q0");
+  for (int s = 0; s < 4; ++s) {
+    const std::string ss = std::to_string(s);
+    NodeId k0 = g.addInput("k" + ss + "_0");
+    NodeId k1 = g.addInput("k" + ss + "_1");
+    NodeId k2 = g.addInput("k" + ss + "_2");
+    NodeId k3 = g.addInput("k" + ss + "_3");
+    NodeId m0 = g.addOp(OpKind::Mul, {p, k0}, "m" + ss + "_0");
+    NodeId m1 = g.addOp(OpKind::Mul, {q, k1}, "m" + ss + "_1");
+    NodeId m2 = g.addOp(OpKind::Mul, {p, k2}, "m" + ss + "_2");
+    NodeId m3 = g.addOp(OpKind::Mul, {q, k3}, "m" + ss + "_3");
+    p = g.addOp(OpKind::Add, {m0, m1}, "ap" + ss);
+    q = g.addOp(OpKind::Add, {m2, m3}, "aq" + ss);
+  }
+  g.markOutput(p);
+  g.markOutput(q);
+  g.validate();
+  return g;
+}
+
+Dfg ewf() {
+  // Elliptic-wave-filter-like benchmark: two interleaved add-dominated waves
+  // with 8 multiplications, 26 additions (34 ops), mirroring the op mix and
+  // depth of the classic EWF used in HLS literature.
+  Dfg g("ewf");
+  std::vector<NodeId> s;
+  for (int i = 0; i < 8; ++i) s.push_back(g.addInput("s" + std::to_string(i)));
+  NodeId in = g.addInput("x");
+  std::vector<NodeId> k;
+  for (int i = 0; i < 8; ++i) k.push_back(g.addInput("k" + std::to_string(i)));
+
+  int addIdx = 0;
+  auto add = [&](NodeId a, NodeId b) {
+    return g.addOp(OpKind::Add, {a, b}, "t" + std::to_string(addIdx++));
+  };
+
+  // Front ladder: fold the input with four states.
+  NodeId a0 = add(in, s[0]);
+  NodeId a1 = add(a0, s[1]);
+  NodeId a2 = add(a1, s[2]);
+  NodeId a3 = add(a2, s[3]);
+  // Four scaled branches.
+  NodeId m0 = g.addOp(OpKind::Mul, {a1, k[0]}, "m0");
+  NodeId m1 = g.addOp(OpKind::Mul, {a2, k[1]}, "m1");
+  NodeId m2 = g.addOp(OpKind::Mul, {a3, k[2]}, "m2");
+  NodeId m3 = g.addOp(OpKind::Mul, {a3, k[3]}, "m3");
+  // Middle wave.
+  NodeId b0 = add(m0, s[4]);
+  NodeId b1 = add(m1, s[5]);
+  NodeId b2 = add(m2, b0);
+  NodeId b3 = add(m3, b1);
+  NodeId b4 = add(b2, b3);
+  NodeId b5 = add(b4, s[6]);
+  NodeId b6 = add(b4, s[7]);
+  // Back scaled branches.
+  NodeId m4 = g.addOp(OpKind::Mul, {b5, k[4]}, "m4");
+  NodeId m5 = g.addOp(OpKind::Mul, {b6, k[5]}, "m5");
+  NodeId m6 = g.addOp(OpKind::Mul, {b2, k[6]}, "m6");
+  NodeId m7 = g.addOp(OpKind::Mul, {b3, k[7]}, "m7");
+  // Back ladder producing next states and the output.
+  NodeId c0 = add(m4, b0);
+  NodeId c1 = add(m5, b1);
+  NodeId c2 = add(m6, c0);
+  NodeId c3 = add(m7, c1);
+  NodeId c4 = add(c2, c3);
+  NodeId c5 = add(c4, a0);
+  NodeId c6 = add(c5, b4);
+  NodeId c7 = add(c6, c2);
+  NodeId c8 = add(c7, c3);
+  NodeId c9 = add(c8, c4);
+  NodeId c10 = add(c9, c5);
+  NodeId c11 = add(c10, c6);
+  NodeId out = add(c11, c9);
+  // Next-state updates.
+  NodeId ns0 = add(c10, b5);
+  NodeId ns1 = add(c11, b6);
+  g.markOutput(out);
+  g.markOutput(ns0);
+  g.markOutput(ns1);
+  g.validate();
+  TAUHLS_ASSERT(g.opsOfClass(ResourceClass::Multiplier).size() == 8,
+                "ewf must have 8 multiplications");
+  TAUHLS_ASSERT(g.opsOfClass(ResourceClass::Adder).size() == 26,
+                "ewf must have 26 additions");
+  return g;
+}
+
+Dfg fft(int stages) {
+  TAUHLS_CHECK(stages >= 1 && stages <= 5, "fft supports 1..5 stages");
+  const int n = 1 << stages;
+  Dfg g("fft" + std::to_string(n));
+  std::vector<NodeId> line;
+  for (int i = 0; i < n; ++i) line.push_back(g.addInput("x" + std::to_string(i)));
+
+  int twiddle = 0;
+  for (int stage = 0; stage < stages; ++stage) {
+    const int span = 1 << stage;
+    std::vector<NodeId> next = line;
+    for (int group = 0; group < n; group += 2 * span) {
+      for (int k = 0; k < span; ++k) {
+        const int i = group + k;
+        const int j = i + span;
+        const std::string tag =
+            "s" + std::to_string(stage) + "_" + std::to_string(i);
+        NodeId w = g.addInput("w" + std::to_string(twiddle++));
+        NodeId m = g.addOp(OpKind::Mul, {line[static_cast<std::size_t>(j)], w},
+                           "m" + tag);
+        next[static_cast<std::size_t>(i)] = g.addOp(
+            OpKind::Add, {line[static_cast<std::size_t>(i)], m}, "a" + tag);
+        next[static_cast<std::size_t>(j)] = g.addOp(
+            OpKind::Sub, {line[static_cast<std::size_t>(i)], m}, "b" + tag);
+      }
+    }
+    line = std::move(next);
+  }
+  for (NodeId v : line) g.markOutput(v);
+  g.validate();
+  return g;
+}
+
+Dfg dct8() {
+  // Loeffler-style 8-point DCT structure (real-valued; rotation pairs
+  // modelled as two multiplications and two additions each).
+  Dfg g("dct8");
+  std::vector<NodeId> x;
+  for (int i = 0; i < 8; ++i) x.push_back(g.addInput("x" + std::to_string(i)));
+  std::vector<NodeId> c;
+  for (int i = 0; i < 11; ++i) c.push_back(g.addInput("c" + std::to_string(i)));
+
+  // Stage 1: butterflies.
+  NodeId s10 = g.addOp(OpKind::Add, {x[0], x[7]}, "s1_0");
+  NodeId s11 = g.addOp(OpKind::Add, {x[1], x[6]}, "s1_1");
+  NodeId s12 = g.addOp(OpKind::Add, {x[2], x[5]}, "s1_2");
+  NodeId s13 = g.addOp(OpKind::Add, {x[3], x[4]}, "s1_3");
+  NodeId d10 = g.addOp(OpKind::Sub, {x[0], x[7]}, "d1_0");
+  NodeId d11 = g.addOp(OpKind::Sub, {x[1], x[6]}, "d1_1");
+  NodeId d12 = g.addOp(OpKind::Sub, {x[2], x[5]}, "d1_2");
+  NodeId d13 = g.addOp(OpKind::Sub, {x[3], x[4]}, "d1_3");
+
+  // Even part, stage 2.
+  NodeId s20 = g.addOp(OpKind::Add, {s10, s13}, "s2_0");
+  NodeId s21 = g.addOp(OpKind::Add, {s11, s12}, "s2_1");
+  NodeId d20 = g.addOp(OpKind::Sub, {s10, s13}, "d2_0");
+  NodeId d21 = g.addOp(OpKind::Sub, {s11, s12}, "d2_1");
+  // y0/y4.
+  NodeId y0 = g.addOp(OpKind::Add, {s20, s21}, "y0");
+  NodeId y4 = g.addOp(OpKind::Sub, {s20, s21}, "y4");
+  // y2/y6 rotation: two muls + two combining ops per output.
+  NodeId m20 = g.addOp(OpKind::Mul, {d20, c[0]}, "m2_0");
+  NodeId m21 = g.addOp(OpKind::Mul, {d21, c[1]}, "m2_1");
+  NodeId m22 = g.addOp(OpKind::Mul, {d20, c[2]}, "m2_2");
+  NodeId m23 = g.addOp(OpKind::Mul, {d21, c[3]}, "m2_3");
+  NodeId y2 = g.addOp(OpKind::Add, {m20, m21}, "y2");
+  NodeId y6 = g.addOp(OpKind::Sub, {m22, m23}, "y6");
+
+  // Odd part: two rotations, then butterflies.
+  NodeId m30 = g.addOp(OpKind::Mul, {d11, c[4]}, "m3_0");
+  NodeId m31 = g.addOp(OpKind::Mul, {d12, c[5]}, "m3_1");
+  NodeId r0 = g.addOp(OpKind::Add, {m30, m31}, "r0");
+  NodeId r1 = g.addOp(OpKind::Sub, {m30, m31}, "r1");
+  NodeId s30 = g.addOp(OpKind::Add, {d10, r0}, "s3_0");
+  NodeId s31 = g.addOp(OpKind::Sub, {d10, r0}, "s3_1");
+  NodeId s32 = g.addOp(OpKind::Add, {d13, r1}, "s3_2");
+  NodeId s33 = g.addOp(OpKind::Sub, {d13, r1}, "s3_3");
+  NodeId m40 = g.addOp(OpKind::Mul, {s30, c[6]}, "m4_0");
+  NodeId m41 = g.addOp(OpKind::Mul, {s32, c[7]}, "m4_1");
+  NodeId m42 = g.addOp(OpKind::Mul, {s31, c[8]}, "m4_2");
+  NodeId m43 = g.addOp(OpKind::Mul, {s33, c[9]}, "m4_3");
+  NodeId m44 = g.addOp(OpKind::Mul, {d12, c[10]}, "m4_4");
+  NodeId y1 = g.addOp(OpKind::Add, {m40, m41}, "y1");
+  NodeId y7 = g.addOp(OpKind::Sub, {m40, m41}, "y7");
+  NodeId y3 = g.addOp(OpKind::Add, {m42, m44}, "y3");
+  NodeId y5 = g.addOp(OpKind::Sub, {m43, m44}, "y5");
+
+  for (NodeId y : {y0, y1, y2, y3, y4, y5, y6, y7}) g.markOutput(y);
+  g.validate();
+  TAUHLS_ASSERT(g.opsOfClass(ResourceClass::Multiplier).size() == 11,
+                "dct8 must have 11 multiplications");
+  return g;
+}
+
+Dfg paperFig2() {
+  // Fig. 2(a): steps T0{O0,O3 (x)}, T1{O1 (+)}, T2{O2,O4 (x)}, T3{O5 (+)}.
+  Dfg g("paper_fig2");
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId c = g.addInput("c");
+  NodeId d = g.addInput("d");
+  NodeId e = g.addInput("e");
+  NodeId f = g.addInput("f");
+
+  NodeId o0 = g.addOp(OpKind::Mul, {a, b}, "O0");
+  NodeId o3 = g.addOp(OpKind::Mul, {c, d}, "O3");
+  NodeId o1 = g.addOp(OpKind::Add, {o0, e}, "O1");
+  NodeId o2 = g.addOp(OpKind::Mul, {o1, f}, "O2");
+  NodeId o4 = g.addOp(OpKind::Mul, {o3, o1}, "O4");
+  NodeId o5 = g.addOp(OpKind::Add, {o2, o4}, "O5");
+  g.markOutput(o5);
+  g.validate();
+  return g;
+}
+
+Dfg paperFig3() {
+  // Fig. 3(a): mult dependency cliques (O0-O1), (O4), (O6-O8); adds
+  // O3 -> O4, O6 -> O7 -> O8, combiners O2 and O5.
+  Dfg g("paper_fig3");
+  std::vector<NodeId> in;
+  for (char ch = 'a'; ch <= 'i'; ++ch) in.push_back(g.addInput(std::string(1, ch)));
+
+  NodeId o0 = g.addOp(OpKind::Mul, {in[0], in[1]}, "O0");
+  NodeId o6 = g.addOp(OpKind::Mul, {in[2], in[3]}, "O6");
+  NodeId o3 = g.addOp(OpKind::Add, {in[4], in[5]}, "O3");
+  NodeId o1 = g.addOp(OpKind::Mul, {o0, o3}, "O1");  // Fig. 6: O1 waits for C_PO(3)
+  NodeId o4 = g.addOp(OpKind::Mul, {o3, in[6]}, "O4");
+  NodeId o7 = g.addOp(OpKind::Add, {o6, in[7]}, "O7");
+  NodeId o8 = g.addOp(OpKind::Mul, {o7, in[8]}, "O8");
+  NodeId o2 = g.addOp(OpKind::Add, {o1, o4}, "O2");
+  NodeId o5 = g.addOp(OpKind::Add, {o2, o8}, "O5");
+  g.markOutput(o5);
+  g.validate();
+  return g;
+}
+
+std::vector<NamedBenchmark> paperTable2Suite() {
+  using RC = ResourceClass;
+  std::vector<NamedBenchmark> out;
+  out.push_back({"3rd FIR", fir(3), {{RC::Multiplier, 2}, {RC::Adder, 1}}});
+  out.push_back({"5th FIR", fir(5), {{RC::Multiplier, 2}, {RC::Adder, 1}}});
+  out.push_back({"2nd IIR", iir(2), {{RC::Multiplier, 2}, {RC::Adder, 1}}});
+  out.push_back({"3rd IIR", iir(3), {{RC::Multiplier, 3}, {RC::Adder, 2}}});
+  out.push_back({"Diff.", diffeq(),
+                 {{RC::Multiplier, 2}, {RC::Adder, 1}, {RC::Subtractor, 1}}});
+  out.push_back({"AR-lattice", arLattice(), {{RC::Multiplier, 4}, {RC::Adder, 2}}});
+  return out;
+}
+
+}  // namespace tauhls::dfg

@@ -1,0 +1,70 @@
+// The HLS benchmark DFGs the paper evaluates on (§5, Tables 1 & 2), plus the
+// running examples of Figs. 2 and 3, reconstructed as described in
+// DESIGN.md §4 ("Substitutions").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace tauhls::dfg {
+
+/// Requested number of unit instances per resource class.
+using Allocation = std::map<ResourceClass, int>;
+
+/// A benchmark together with the allocation the paper uses for it.
+struct NamedBenchmark {
+  std::string name;
+  Dfg graph;
+  Allocation allocation;
+};
+
+/// Direct-form FIR filter with `taps` multiplications and a serial adder
+/// chain (taps-1 additions).  The paper's "3rd FIR" is fir(3), "5th FIR" is
+/// fir(5): the 45 ns / 75 ns all-SD best cases in Table 2 are only consistent
+/// with 3 resp. 5 multiplications under {x:2, +:1}.
+Dfg fir(int taps);
+
+/// IIR filter of the given order: 2*order+1 multiplications feeding a serial
+/// adder chain (feedforward + feedback taps, signs folded into coefficients so
+/// only the adder class is used, matching the paper's {x, +} allocations).
+Dfg iir(int order);
+
+/// The classic HAL differential-equation solver ("Diff."): 6 multiplications,
+/// 2 additions, 2 subtractions and 1 comparison (11 operations).
+Dfg diffeq();
+
+/// AR-lattice filter: 4 stages x (4 multiplications + 2 additions) = 24 ops.
+/// Best case 8 cycles under {x:4, +:2}, matching Table 2's 120 ns.
+Dfg arLattice();
+
+/// Elliptic-wave-filter-like extra benchmark (8 multiplications, 26 additions,
+/// 34 operations) -- not in the paper's tables; used for scaling studies.
+Dfg ewf();
+
+/// Radix-2 decimation-in-time FFT dataflow on 2^stages points (real-valued
+/// model): each butterfly contributes one multiplication (twiddle), one
+/// addition and one subtraction.  stages >= 1; fft(3) has 36 operations.
+Dfg fft(int stages);
+
+/// 8-point one-dimensional DCT flowgraph (Loeffler-style structure,
+/// real-valued model): 11 multiplications, 29 additions/subtractions.
+Dfg dct8();
+
+/// The 6-operation running example of Fig. 2(a): two multiplications in the
+/// first step, two in the third, two additions between.
+Dfg paperFig2();
+
+/// The 9-operation example of Fig. 3(a): multiplications {O0,O1,O4,O6,O8},
+/// additions {O2,O3,O5,O7}, with the dependency structure that yields mult
+/// cliques (0-1), (4), (6-8).
+Dfg paperFig3();
+
+/// The six Table 2 rows with the paper's allocations:
+/// FIR3/FIR5/IIR2 {x:2,+:1}, IIR3 {x:3,+:2}, Diff {x:2,+:1,-:1},
+/// AR-lattice {x:4,+:2}.
+std::vector<NamedBenchmark> paperTable2Suite();
+
+}  // namespace tauhls::dfg

@@ -1,0 +1,37 @@
+#include "dfg/dot.hpp"
+
+#include <sstream>
+
+namespace tauhls::dfg {
+
+std::string toDot(const Dfg& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n";
+  os << "  rankdir=TB;\n";
+  for (NodeId i = 0; i < g.numNodes(); ++i) {
+    const Node& n = g.node(i);
+    if (n.kind == OpKind::Input) {
+      if (!options.showInputs) continue;
+      os << "  n" << i << " [shape=plaintext,label=\"" << n.name << "\"];\n";
+    } else {
+      os << "  n" << i << " [shape=circle,label=\"" << opKindSymbol(n.kind)
+         << "\\n" << n.name << "\"];\n";
+    }
+  }
+  for (NodeId i = 0; i < g.numNodes(); ++i) {
+    const Node& n = g.node(i);
+    for (NodeId o : n.operands) {
+      if (!options.showInputs && g.isInput(o)) continue;
+      os << "  n" << o << " -> n" << i << ";\n";
+    }
+  }
+  if (options.showScheduleArcs) {
+    for (const ScheduleArc& a : g.scheduleArcs()) {
+      os << "  n" << a.from << " -> n" << a.to << " [style=dashed,color=gray];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tauhls::dfg

@@ -1,0 +1,18 @@
+// Graphviz (DOT) export of dataflow graphs, for documentation and debugging.
+#pragma once
+
+#include <string>
+
+#include "dfg/graph.hpp"
+
+namespace tauhls::dfg {
+
+struct DotOptions {
+  bool showScheduleArcs = true;  ///< dashed edges for sequencing arcs
+  bool showInputs = true;        ///< include primary-input nodes
+};
+
+/// Render `g` as a DOT digraph.
+std::string toDot(const Dfg& g, const DotOptions& options = {});
+
+}  // namespace tauhls::dfg

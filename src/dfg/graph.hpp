@@ -1,0 +1,118 @@
+// Dataflow-graph IR.
+//
+// A Dfg is a DAG of operation nodes connected by data edges (operand lists),
+// optionally augmented with *schedule arcs*: pure sequencing edges inserted by
+// resource-constrained scheduling (paper §3) that carry no value but constrain
+// execution order exactly like a data dependence does.
+//
+// Node identity is a dense index (NodeId), so per-node side tables are plain
+// vectors throughout the code base.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dfg/op.hpp"
+
+namespace tauhls::dfg {
+
+/// Dense node index within one Dfg.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// One node of the graph: a primary input or an operation.
+struct Node {
+  OpKind kind = OpKind::Input;
+  std::string name;               ///< unique, auto-generated when empty at insert
+  std::vector<NodeId> operands;   ///< data predecessors, size == opKindArity(kind)
+};
+
+/// A sequencing-only edge inserted by scheduling (no value flows).
+struct ScheduleArc {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  friend bool operator==(const ScheduleArc&, const ScheduleArc&) = default;
+};
+
+/// Dataflow graph with schedule arcs.  All mutators validate locally;
+/// `validate()` re-checks the global invariants (acyclicity, unique names).
+class Dfg {
+ public:
+  Dfg() = default;
+  explicit Dfg(std::string name) : name_(std::move(name)) {}
+
+  /// Graph name used in reports and emitted RTL.
+  const std::string& name() const { return name_; }
+  void setName(std::string n) { name_ = std::move(n); }
+
+  /// Add a primary input; returns its id.
+  NodeId addInput(const std::string& name = "");
+
+  /// Add an operation consuming existing nodes; returns its id.
+  NodeId addOp(OpKind kind, std::span<const NodeId> operands,
+               const std::string& name = "");
+  NodeId addOp(OpKind kind, std::initializer_list<NodeId> operands,
+               const std::string& name = "");
+
+  /// Mark a node as a primary output (idempotent).
+  void markOutput(NodeId id);
+
+  /// Insert a sequencing-only arc; rejects self-arcs, duplicates, and arcs that
+  /// would close a cycle.
+  void addScheduleArc(NodeId from, NodeId to);
+
+  // --- read access -------------------------------------------------------
+  std::size_t numNodes() const { return nodes_.size(); }
+  const Node& node(NodeId id) const;
+  const std::vector<ScheduleArc>& scheduleArcs() const { return scheduleArcs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  bool isInput(NodeId id) const { return node(id).kind == OpKind::Input; }
+  bool isOp(NodeId id) const { return !isInput(id); }
+
+  /// Ids of all operation nodes (non-inputs), ascending.
+  std::vector<NodeId> opIds() const;
+  /// Ids of all primary inputs, ascending.
+  std::vector<NodeId> inputIds() const;
+  /// Operation nodes of one resource class, ascending.
+  std::vector<NodeId> opsOfClass(ResourceClass cls) const;
+  /// Count of operation nodes.
+  std::size_t numOps() const;
+
+  /// Data successors of a node (consumers of its value), ascending, deduped.
+  std::vector<NodeId> dataSuccessors(NodeId id) const;
+  /// Data predecessors (the operand list, deduped, inputs included).
+  std::vector<NodeId> dataPredecessors(NodeId id) const;
+  /// Predecessors through data edges *and* schedule arcs (deduped).
+  std::vector<NodeId> combinedPredecessors(NodeId id) const;
+  /// Successors through data edges *and* schedule arcs (deduped).
+  std::vector<NodeId> combinedSuccessors(NodeId id) const;
+
+  /// Find a node by name; kNoNode when absent.
+  NodeId findByName(const std::string& name) const;
+
+  /// Full structural validation; throws tauhls::Error on violation.
+  void validate() const;
+
+  /// True when the graph (data edges + schedule arcs) is acyclic.
+  bool isAcyclic() const;
+
+  /// Remove all schedule arcs (used when re-scheduling).
+  void clearScheduleArcs() { scheduleArcs_.clear(); }
+
+ private:
+  NodeId addNode(Node n);
+  std::string freshName(const char* stem) const;
+
+  std::string name_ = "dfg";
+  std::vector<Node> nodes_;
+  std::vector<ScheduleArc> scheduleArcs_;
+  std::vector<NodeId> outputs_;
+};
+
+}  // namespace tauhls::dfg

@@ -1,0 +1,89 @@
+#include "dfg/op.hpp"
+
+#include "common/error.hpp"
+
+namespace tauhls::dfg {
+
+const char* opKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::Input: return "in";
+    case OpKind::Add: return "add";
+    case OpKind::Sub: return "sub";
+    case OpKind::Mul: return "mul";
+    case OpKind::Div: return "div";
+    case OpKind::Compare: return "cmp";
+    case OpKind::Shift: return "shl";
+    case OpKind::And: return "and";
+    case OpKind::Or: return "or";
+    case OpKind::Xor: return "xor";
+    case OpKind::Neg: return "neg";
+  }
+  TAUHLS_FAIL("unknown OpKind");
+}
+
+std::optional<OpKind> parseOpKind(const std::string& name) {
+  static const std::pair<const char*, OpKind> table[] = {
+      {"in", OpKind::Input}, {"add", OpKind::Add},   {"sub", OpKind::Sub},
+      {"mul", OpKind::Mul},  {"div", OpKind::Div},   {"cmp", OpKind::Compare},
+      {"shl", OpKind::Shift}, {"and", OpKind::And},  {"or", OpKind::Or},
+      {"xor", OpKind::Xor},  {"neg", OpKind::Neg},
+  };
+  for (const auto& [n, k] : table) {
+    if (name == n) return k;
+  }
+  return std::nullopt;
+}
+
+int opKindArity(OpKind kind) {
+  switch (kind) {
+    case OpKind::Input: return 0;
+    case OpKind::Neg: return 1;
+    default: return 2;
+  }
+}
+
+ResourceClass resourceClassOf(OpKind kind) {
+  switch (kind) {
+    case OpKind::Input: return ResourceClass::None;
+    case OpKind::Add: return ResourceClass::Adder;
+    case OpKind::Sub:
+    case OpKind::Compare:
+    case OpKind::Neg: return ResourceClass::Subtractor;
+    case OpKind::Mul: return ResourceClass::Multiplier;
+    case OpKind::Div: return ResourceClass::Divider;
+    case OpKind::Shift:
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor: return ResourceClass::Logic;
+  }
+  TAUHLS_FAIL("unknown OpKind");
+}
+
+const char* resourceClassName(ResourceClass cls) {
+  switch (cls) {
+    case ResourceClass::None: return "none";
+    case ResourceClass::Adder: return "adder";
+    case ResourceClass::Subtractor: return "subtractor";
+    case ResourceClass::Multiplier: return "mult";
+    case ResourceClass::Divider: return "divider";
+    case ResourceClass::Logic: return "logic";
+  }
+  TAUHLS_FAIL("unknown ResourceClass");
+}
+
+const char* opKindSymbol(OpKind kind) {
+  switch (kind) {
+    case OpKind::Add: return "+";
+    case OpKind::Sub: return "-";
+    case OpKind::Mul: return "*";
+    case OpKind::Div: return "/";
+    case OpKind::Compare: return "<";
+    case OpKind::And: return "&";
+    case OpKind::Or: return "|";
+    case OpKind::Xor: return "^";
+    case OpKind::Shift: return "<<";
+    default: return opKindName(kind);
+  }
+}
+
+}  // namespace tauhls::dfg

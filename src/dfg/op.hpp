@@ -1,0 +1,60 @@
+// Operation kinds of the dataflow-graph IR.
+//
+// The paper's datapaths use multiplications (bound to telescopic units in the
+// experiments), additions, subtractions and comparisons; the IR supports the
+// usual wider set so user frontends are not artificially restricted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace tauhls::dfg {
+
+/// Kind of a DFG node.  `Input` nodes are primary inputs (no operands,
+/// consume no arithmetic unit); every other kind is an operation executed on
+/// an allocated arithmetic unit of the matching resource class.
+enum class OpKind : std::uint8_t {
+  Input,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Compare,  // relational; executes on the subtractor class (a compare is a subtract)
+  Shift,
+  And,
+  Or,
+  Xor,
+  Neg,
+};
+
+/// Resource class an operation executes on.  Binding allocates unit instances
+/// per class; Compare shares the Subtractor class (DESIGN.md §5.4).
+enum class ResourceClass : std::uint8_t {
+  None,        // Input nodes
+  Adder,       // Add
+  Subtractor,  // Sub, Compare, Neg
+  Multiplier,  // Mul
+  Divider,     // Div
+  Logic,       // Shift/And/Or/Xor
+};
+
+/// Stable lower-case mnemonic ("mul", "add", ...).
+const char* opKindName(OpKind kind);
+
+/// Parse a mnemonic produced by opKindName; empty optional when unknown.
+std::optional<OpKind> parseOpKind(const std::string& name);
+
+/// Number of operands the kind requires (Input -> 0, Neg -> 1, others -> 2).
+int opKindArity(OpKind kind);
+
+/// Resource class the kind executes on.
+ResourceClass resourceClassOf(OpKind kind);
+
+/// Stable name of a resource class ("mult", "adder", ...).
+const char* resourceClassName(ResourceClass cls);
+
+/// Infix symbol for pretty-printing ("*", "+", ...); mnemonic if none.
+const char* opKindSymbol(OpKind kind);
+
+}  // namespace tauhls::dfg

@@ -1,0 +1,54 @@
+#include "dfg/random.hpp"
+
+#include <random>
+
+#include "common/error.hpp"
+
+namespace tauhls::dfg {
+
+Dfg randomDfg(const RandomDfgSpec& spec) {
+  TAUHLS_CHECK(spec.numOps >= 1, "randomDfg needs at least one op");
+  TAUHLS_CHECK(spec.numInputs >= 1, "randomDfg needs at least one input");
+  TAUHLS_CHECK(spec.maxOpFanin >= 0 && spec.maxOpFanin <= 2,
+               "maxOpFanin must be 0..2");
+  std::mt19937_64 rng(spec.seed);
+  Dfg g("random_s" + std::to_string(spec.seed));
+  std::vector<NodeId> inputs;
+  for (int i = 0; i < spec.numInputs; ++i) inputs.push_back(g.addInput());
+
+  std::vector<NodeId> ops;
+  auto pickOperand = [&](bool allowOp) -> NodeId {
+    const bool useOp = allowOp && !ops.empty() &&
+                       std::uniform_int_distribution<int>(0, 99)(rng) < 70;
+    if (useOp) {
+      // Bias toward recent ops so depth grows with size.
+      std::size_t lo = ops.size() > 6 ? ops.size() - 6 : 0;
+      std::uniform_int_distribution<std::size_t> d(lo, ops.size() - 1);
+      return ops[d(rng)];
+    }
+    std::uniform_int_distribution<std::size_t> d(0, inputs.size() - 1);
+    return inputs[d(rng)];
+  };
+
+  for (int i = 0; i < spec.numOps; ++i) {
+    OpKind kind;
+    if (std::uniform_int_distribution<int>(0, 999)(rng) < spec.mulPermille) {
+      kind = OpKind::Mul;
+    } else {
+      kind = std::uniform_int_distribution<int>(0, 1)(rng) ? OpKind::Add
+                                                           : OpKind::Sub;
+    }
+    int opFanin = std::uniform_int_distribution<int>(0, spec.maxOpFanin)(rng);
+    NodeId a = pickOperand(opFanin >= 1);
+    NodeId b = pickOperand(opFanin >= 2);
+    ops.push_back(g.addOp(kind, {a, b}));
+  }
+  // Mark every value-producing sink as an output.
+  for (NodeId op : ops) {
+    if (g.dataSuccessors(op).empty()) g.markOutput(op);
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace tauhls::dfg

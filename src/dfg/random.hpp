@@ -1,0 +1,26 @@
+// Seeded random-DAG generator used by the parameterized property tests and
+// the scaling ablations.  Deterministic for a given RandomDfgSpec.
+#pragma once
+
+#include <cstdint>
+
+#include "dfg/graph.hpp"
+
+namespace tauhls::dfg {
+
+struct RandomDfgSpec {
+  std::uint64_t seed = 1;
+  int numOps = 12;
+  int numInputs = 4;
+  /// Per-mille probability that an op is a multiplication (TAU class);
+  /// remaining ops are split between Add and Sub.
+  int mulPermille = 500;
+  /// Maximum number of op-to-op data edges per new op (1..2); operands beyond
+  /// this come from primary inputs, keeping the graph wide.
+  int maxOpFanin = 2;
+};
+
+/// Generate a valid, acyclic DFG; all sinks are marked as outputs.
+Dfg randomDfg(const RandomDfgSpec& spec);
+
+}  // namespace tauhls::dfg

@@ -1,0 +1,147 @@
+#include "dfg/textio.hpp"
+
+#include <optional>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace tauhls::dfg {
+
+namespace {
+
+std::optional<OpKind> kindForSymbol(const std::string& sym) {
+  if (sym == "+") return OpKind::Add;
+  if (sym == "-") return OpKind::Sub;
+  if (sym == "*") return OpKind::Mul;
+  if (sym == "/") return OpKind::Div;
+  if (sym == "<") return OpKind::Compare;
+  if (sym == "&") return OpKind::And;
+  if (sym == "|") return OpKind::Or;
+  if (sym == "^") return OpKind::Xor;
+  if (sym == "<<") return OpKind::Shift;
+  return std::nullopt;
+}
+
+[[noreturn]] void parseError(int line, const std::string& msg) {
+  TAUHLS_FAIL("dfg parse error at line " + std::to_string(line) + ": " + msg);
+}
+
+NodeId lookup(const Dfg& g, const std::string& name, int line) {
+  NodeId id = g.findByName(name);
+  if (id == kNoNode) parseError(line, "undefined name '" + name + "'");
+  return id;
+}
+
+// Tokenize one statement into identifiers/operators.
+std::vector<std::string> tokenize(const std::string& stmt, int line) {
+  std::vector<std::string> toks;
+  std::size_t i = 0;
+  while (i < stmt.size()) {
+    char c = stmt[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < stmt.size() &&
+             (std::isalnum(static_cast<unsigned char>(stmt[j])) || stmt[j] == '_')) {
+        ++j;
+      }
+      toks.push_back(stmt.substr(i, j - i));
+      i = j;
+    } else if (c == '<' && i + 1 < stmt.size() && stmt[i + 1] == '<') {
+      toks.push_back("<<");
+      i += 2;
+    } else if (std::string("+-*/<&|^=,").find(c) != std::string::npos) {
+      toks.push_back(std::string(1, c));
+      ++i;
+    } else {
+      parseError(line, std::string("unexpected character '") + c + "'");
+    }
+  }
+  return toks;
+}
+
+}  // namespace
+
+Dfg parseDfg(const std::string& text, const std::string& name) {
+  Dfg g(name);
+  std::vector<std::string> pendingOutputs;
+  int lineNo = 0;
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::pair<int, std::string>> stmts;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    for (const std::string& stmt : split(line, ';')) {
+      if (!trim(stmt).empty()) stmts.emplace_back(lineNo, trim(stmt));
+    }
+  }
+
+  for (const auto& [ln, stmt] : stmts) {
+    std::vector<std::string> toks = tokenize(stmt, ln);
+    TAUHLS_ASSERT(!toks.empty(), "empty statement survived filtering");
+    if (toks[0] == "in" || toks[0] == "out") {
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        if (toks[i] == ",") continue;
+        if (!isIdentifier(toks[i])) parseError(ln, "expected identifier, got '" + toks[i] + "'");
+        if (toks[0] == "in") {
+          g.addInput(toks[i]);
+        } else {
+          pendingOutputs.push_back(toks[i]);
+        }
+      }
+      continue;
+    }
+    // assignment: name = a OP b  |  name = - a
+    if (toks.size() < 3 || toks[1] != "=" || !isIdentifier(toks[0])) {
+      parseError(ln, "expected 'name = expr'");
+    }
+    const std::string& dst = toks[0];
+    if (toks.size() == 4 && toks[2] == "-") {
+      NodeId a = lookup(g, toks[3], ln);
+      g.addOp(OpKind::Neg, {a}, dst);
+    } else if (toks.size() == 5) {
+      auto kind = kindForSymbol(toks[3]);
+      if (!kind) parseError(ln, "unknown operator '" + toks[3] + "'");
+      NodeId a = lookup(g, toks[2], ln);
+      NodeId b = lookup(g, toks[4], ln);
+      g.addOp(*kind, {a, b}, dst);
+    } else {
+      parseError(ln, "malformed expression in '" + stmt + "'");
+    }
+  }
+  for (const std::string& o : pendingOutputs) {
+    NodeId id = g.findByName(o);
+    if (id == kNoNode) TAUHLS_FAIL("dfg parse error: output '" + o + "' is undefined");
+    g.markOutput(id);
+  }
+  g.validate();
+  return g;
+}
+
+std::string printDfg(const Dfg& g) {
+  std::ostringstream os;
+  std::vector<std::string> ins;
+  for (NodeId i : g.inputIds()) ins.push_back(g.node(i).name);
+  if (!ins.empty()) os << "in " << join(ins, ", ") << "\n";
+  for (NodeId i = 0; i < g.numNodes(); ++i) {
+    const Node& n = g.node(i);
+    if (n.kind == OpKind::Input) continue;
+    if (n.kind == OpKind::Neg) {
+      os << n.name << " = - " << g.node(n.operands[0]).name << "\n";
+    } else {
+      os << n.name << " = " << g.node(n.operands[0]).name << " "
+         << opKindSymbol(n.kind) << " " << g.node(n.operands[1]).name << "\n";
+    }
+  }
+  std::vector<std::string> outs;
+  for (NodeId o : g.outputs()) outs.push_back(g.node(o).name);
+  if (!outs.empty()) os << "out " << join(outs, ", ") << "\n";
+  return os.str();
+}
+
+}  // namespace tauhls::dfg

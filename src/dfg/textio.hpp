@@ -1,0 +1,28 @@
+// A minimal textual frontend for dataflow graphs.
+//
+// Grammar (one statement per line or ';'-separated; '#' starts a comment):
+//
+//   in  a, b, c            declare primary inputs
+//   t1 = a * b             binary operation (+ - * / < & | ^ <<)
+//   t2 = - t1              unary negation
+//   out t2, t1             declare primary outputs
+//
+// Names must be unique identifiers.  Every right-hand operand must already be
+// defined.  This is sufficient for all the paper's benchmarks and keeps user
+// examples self-describing.
+#pragma once
+
+#include <string>
+
+#include "dfg/graph.hpp"
+
+namespace tauhls::dfg {
+
+/// Parse a DFG from the textual form above; throws tauhls::Error with a
+/// line-numbered message on malformed input.
+Dfg parseDfg(const std::string& text, const std::string& name = "dfg");
+
+/// Serialize to the same textual form (round-trips through parseDfg).
+std::string printDfg(const Dfg& g);
+
+}  // namespace tauhls::dfg

@@ -1,0 +1,135 @@
+#include "dfg/transform.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "dfg/analysis.hpp"
+
+namespace tauhls::dfg {
+
+namespace {
+
+bool isCommutative(OpKind kind) {
+  switch (kind) {
+    case OpKind::Add:
+    case OpKind::Mul:
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Xor: return true;
+    default: return false;
+  }
+}
+
+/// Rebuild `g` keeping nodes for which keep[] holds, remapping operands via
+/// replacement[] (applied transitively before the rebuild).
+Dfg rebuild(const Dfg& g, const std::vector<bool>& keep,
+            const std::vector<NodeId>& replacement) {
+  auto resolve = [&replacement](NodeId v) {
+    while (replacement[v] != v) v = replacement[v];
+    return v;
+  };
+  Dfg out(g.name());
+  std::vector<NodeId> newId(g.numNodes(), kNoNode);
+  for (NodeId v : topologicalOrder(g)) {
+    if (!keep[v]) continue;
+    const Node& n = g.node(v);
+    if (n.kind == OpKind::Input) {
+      newId[v] = out.addInput(n.name);
+    } else {
+      std::vector<NodeId> operands;
+      for (NodeId o : n.operands) {
+        const NodeId src = newId[resolve(o)];
+        TAUHLS_ASSERT(src != kNoNode, "operand dropped while still in use");
+        operands.push_back(src);
+      }
+      newId[v] = out.addOp(n.kind, operands, n.name);
+    }
+  }
+  for (NodeId o : g.outputs()) {
+    const NodeId mapped = newId[resolve(o)];
+    TAUHLS_ASSERT(mapped != kNoNode, "output dropped by transform");
+    out.markOutput(mapped);
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace
+
+Dfg commonSubexpressionElimination(const Dfg& g, TransformReport* report) {
+  std::vector<bool> keep(g.numNodes(), true);
+  std::vector<NodeId> replacement(g.numNodes());
+  for (NodeId v = 0; v < g.numNodes(); ++v) replacement[v] = v;
+
+  auto resolve = [&replacement](NodeId v) {
+    while (replacement[v] != v) v = replacement[v];
+    return v;
+  };
+
+  std::map<std::tuple<OpKind, NodeId, NodeId>, NodeId> seen;
+  for (NodeId v : topologicalOrder(g)) {
+    const Node& n = g.node(v);
+    if (n.kind == OpKind::Input) continue;
+    NodeId a = resolve(n.operands[0]);
+    NodeId b = n.operands.size() > 1 ? resolve(n.operands[1]) : kNoNode;
+    if (isCommutative(n.kind) && b != kNoNode && b < a) std::swap(a, b);
+    const auto key = std::make_tuple(n.kind, a, b);
+    auto [it, inserted] = seen.try_emplace(key, v);
+    if (!inserted) {
+      keep[v] = false;
+      replacement[v] = it->second;
+      if (report != nullptr) {
+        ++report->mergedOps;
+        report->notes.push_back("cse: " + n.name + " -> " +
+                                g.node(it->second).name);
+      }
+    }
+  }
+  return rebuild(g, keep, replacement);
+}
+
+Dfg eliminateDeadOps(const Dfg& g, TransformReport* report) {
+  if (g.outputs().empty()) return g;
+  std::vector<bool> live(g.numNodes(), false);
+  // Inputs are always kept (they are the design's interface).
+  for (NodeId v : g.inputIds()) live[v] = true;
+  // Walk backward from the outputs.
+  const std::vector<NodeId> order = topologicalOrder(g);
+  for (NodeId o : g.outputs()) live[o] = true;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (!live[*it]) continue;
+    for (NodeId p : g.node(*it).operands) live[p] = true;
+  }
+  std::vector<NodeId> replacement(g.numNodes());
+  for (NodeId v = 0; v < g.numNodes(); ++v) replacement[v] = v;
+  if (report != nullptr) {
+    for (NodeId v : g.opIds()) {
+      if (!live[v]) {
+        ++report->removedDead;
+        report->notes.push_back("dead: " + g.node(v).name);
+      }
+    }
+  }
+  return rebuild(g, live, replacement);
+}
+
+Dfg tidy(const Dfg& g, TransformReport* report) {
+  Dfg current = g;
+  for (int iter = 0; iter < 16; ++iter) {
+    TransformReport local;
+    Dfg next = eliminateDeadOps(commonSubexpressionElimination(current, &local),
+                                &local);
+    if (report != nullptr) {
+      report->mergedOps += local.mergedOps;
+      report->removedDead += local.removedDead;
+      report->notes.insert(report->notes.end(), local.notes.begin(),
+                           local.notes.end());
+    }
+    if (local.mergedOps == 0 && local.removedDead == 0) return next;
+    current = std::move(next);
+  }
+  TAUHLS_FAIL("tidy did not converge");
+}
+
+}  // namespace tauhls::dfg

@@ -1,0 +1,38 @@
+// Dataflow-graph cleanup passes applied before scheduling.
+//
+// The HLS literature's benchmark DFGs often carry redundancy (the HAL Diff.
+// graph famously computes u*dx twice); these passes let the flow quantify
+// and remove it:
+//   * commonSubexpressionElimination: merge ops with identical (kind,
+//     operands) -- commutative kinds match either operand order;
+//   * eliminateDeadOps: drop ops whose value reaches no output;
+//   * tidy: run both to a fixpoint.
+// All passes return a fresh graph plus a report of what changed; schedule
+// arcs are not preserved (run the passes before scheduling).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace tauhls::dfg {
+
+struct TransformReport {
+  int mergedOps = 0;    ///< removed by CSE
+  int removedDead = 0;  ///< removed by dead-op elimination
+  std::vector<std::string> notes;  ///< human-readable per-change log
+};
+
+/// Merge structurally identical operations.  Commutative kinds (Add, Mul,
+/// And, Or, Xor) match with swapped operands.
+Dfg commonSubexpressionElimination(const Dfg& g, TransformReport* report = nullptr);
+
+/// Remove operations that reach no primary output.  Graphs without any
+/// marked output are returned unchanged (everything is presumed live).
+Dfg eliminateDeadOps(const Dfg& g, TransformReport* report = nullptr);
+
+/// CSE + dead-op elimination to a fixpoint.
+Dfg tidy(const Dfg& g, TransformReport* report = nullptr);
+
+}  // namespace tauhls::dfg

@@ -1,0 +1,99 @@
+#include "explore/pareto.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "regalloc/leftedge.hpp"
+#include "sched/clique.hpp"
+
+namespace tauhls::explore {
+
+int DesignPoint::cost(int unitWeight) const {
+  return controllerArea + datapathRegisters * synth::kAreaPerFlipFlop +
+         unitCount * unitWeight;
+}
+
+std::vector<DesignPoint> explore(const dfg::Dfg& g,
+                                 const ExploreOptions& options) {
+  TAUHLS_CHECK(options.maxUnitsPerClass >= 1, "need at least one unit");
+  // Classes present and their sweep ranges (capped at full concurrency:
+  // beyond the minimum chain cover, extra units are never used).
+  std::vector<dfg::ResourceClass> classes;
+  std::vector<int> maxOf;
+  for (dfg::ResourceClass cls :
+       {dfg::ResourceClass::Multiplier, dfg::ResourceClass::Adder,
+        dfg::ResourceClass::Subtractor, dfg::ResourceClass::Divider,
+        dfg::ResourceClass::Logic}) {
+    const std::size_t ops = g.opsOfClass(cls).size();
+    if (ops == 0) continue;
+    classes.push_back(cls);
+    const int needed = static_cast<int>(sched::minChainCover(g, cls).size());
+    maxOf.push_back(std::min(options.maxUnitsPerClass, needed));
+  }
+  TAUHLS_CHECK(!classes.empty(), "graph has no operations to allocate for");
+
+  std::vector<DesignPoint> points;
+  std::vector<int> counts(classes.size(), 1);
+  while (true) {
+    DesignPoint point;
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      point.allocation[classes[i]] = counts[i];
+    }
+
+    core::FlowConfig cfg;
+    cfg.allocation = point.allocation;
+    cfg.ps = {options.p};
+    const core::FlowResult r = core::runFlow(g, cfg);
+    point.averageLatencyNs = r.latency.dist.averageNs[0];
+    point.controllerArea = r.distArea->total.totalArea();
+    point.unitCount =
+        static_cast<int>(r.scheduled.binding.numUnits());
+    point.datapathRegisters =
+        regalloc::leftEdgeRegisters(regalloc::distributedLifetimes(r.scheduled),
+                                    r.scheduled.graph.numNodes())
+            .numRegisters;
+    points.push_back(std::move(point));
+
+    // Odometer.
+    std::size_t pos = 0;
+    while (pos < counts.size()) {
+      if (++counts[pos] <= maxOf[pos]) break;
+      counts[pos] = 1;
+      ++pos;
+    }
+    if (pos == counts.size()) break;
+  }
+  const std::vector<DesignPoint> front =
+      paretoFront(points, options.unitWeightArea);
+  for (DesignPoint& p : points) {
+    p.paretoOptimal = false;
+    for (const DesignPoint& f : front) {
+      if (f.allocation == p.allocation) p.paretoOptimal = true;
+    }
+  }
+  return points;
+}
+
+std::vector<DesignPoint> paretoFront(const std::vector<DesignPoint>& points,
+                                     int unitWeight) {
+  std::vector<DesignPoint> front;
+  for (const DesignPoint& candidate : points) {
+    bool dominated = false;
+    for (const DesignPoint& other : points) {
+      const bool betterOrEqual =
+          other.averageLatencyNs <= candidate.averageLatencyNs + 1e-9 &&
+          other.cost(unitWeight) <= candidate.cost(unitWeight);
+      const bool strictlyBetter =
+          other.averageLatencyNs < candidate.averageLatencyNs - 1e-9 ||
+          other.cost(unitWeight) < candidate.cost(unitWeight);
+      if (betterOrEqual && strictlyBetter) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(candidate);
+  }
+  return front;
+}
+
+}  // namespace tauhls::explore

@@ -1,0 +1,44 @@
+// Allocation design-space exploration.
+//
+// Sweeps unit allocations over a bounded grid, runs the full flow for each
+// point, and reports the Pareto-optimal set under (average latency, total
+// implementation cost), where cost = controller area (combinational +
+// sequential incl. completion latches) + datapath registers (left-edge count
+// x one FF-equivalent each) + unit count weights.  The §6 "resource
+// allocation" piece of the envisioned HLS tool.
+#pragma once
+
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace tauhls::explore {
+
+struct DesignPoint {
+  sched::Allocation allocation;
+  double averageLatencyNs = 0.0;  ///< at the sweep's P
+  int controllerArea = 0;         ///< DIST total (Com. + Seq. incl. latches)
+  int datapathRegisters = 0;      ///< left-edge register count
+  int unitCount = 0;
+  bool paretoOptimal = false;
+
+  /// Total cost used for dominance, with `unitWeight` area units per unit.
+  int cost(int unitWeight) const;
+};
+
+struct ExploreOptions {
+  double p = 0.7;                ///< SD ratio for the latency objective
+  int maxUnitsPerClass = 4;
+  int unitWeightArea = 200;      ///< area charged per allocated unit
+};
+
+/// Sweep every combination of 1..maxUnitsPerClass units for each class
+/// present in `g` (capped at the op count of that class) and mark the
+/// Pareto front under (latency, cost).
+std::vector<DesignPoint> explore(const dfg::Dfg& g, const ExploreOptions& options = {});
+
+/// The Pareto-optimal subset of `points` (minimizing latency and cost).
+std::vector<DesignPoint> paretoFront(const std::vector<DesignPoint>& points,
+                                     int unitWeight);
+
+}  // namespace tauhls::explore

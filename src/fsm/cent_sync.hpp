@@ -1,0 +1,21 @@
+// Centralized synchronized baseline (paper §2.2/§4.1, Fig. 4(b)):
+// the TAUBM FSM expanded to several TAUs by synchronizing all telescopic
+// operations of a time step -- one state S_k per TAUBM step, one extra state
+// S_k' entered when *any* TAU op of the step misses SD (guard: NOT of the
+// conjunction of the step's unit-completion signals).
+#pragma once
+
+#include "fsm/machine.hpp"
+#include "sched/scheduled_dfg.hpp"
+
+namespace tauhls::fsm {
+
+/// Build the CENT-SYNC-FSM for a scheduled DFG.
+Fsm buildCentSync(const sched::ScheduledDfg& s);
+
+/// The original TAUBM FSM of [1,2] handles a single TAU; with one telescopic
+/// unit the synchronized expansion coincides with it (Fig. 2(c)).  This
+/// wrapper checks the single-TAU precondition and returns that machine.
+Fsm buildTaubmFsm(const sched::ScheduledDfg& s);
+
+}  // namespace tauhls::fsm

@@ -1,0 +1,62 @@
+// Algorithm 1 (paper §4.2): derive one synchronous controller per arithmetic
+// unit and aggregate them into a distributed global control unit.
+//
+// Controller shape for a telescopic unit with bound ops O_0..O_n:
+//   states  S_i (first execution cycle), S_i' (LD second cycle),
+//           R_i (ready-wait, only when O_i has predecessors on other units)
+//   guards  over the unit's completion signal C_T and the predecessor
+//           completion signals C_PO (= the producers' CCO_* wires)
+//   outputs OF_i while executing; RE_i and CCO_i on the completing cycle.
+// Non-telescopic units drop C_T and every S_i' (paper §4.2).
+//
+// Completion signals are single-cycle pulses; consumers latch them (sticky
+// completion latches, DESIGN.md §5.1).  The latches live *outside* the FSMs:
+// the FSM guard reads the OR of the latch and the live pulse.  The product
+// construction (product.hpp) and the FSM interpreter (sim/) both implement
+// this latch semantics; the RTL back-end emits one latch per consumed wire.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fsm/machine.hpp"
+#include "sched/scheduled_dfg.hpp"
+
+namespace tauhls::fsm {
+
+/// One arithmetic-unit controller plus its wiring metadata.
+struct UnitController {
+  int unitId = 0;                       ///< binding unit id
+  bool telescopic = false;
+  Fsm fsm;                              ///< the Algorithm-1 machine
+  std::vector<dfg::NodeId> ops;         ///< bound execution sequence
+  /// Completion-latch inputs: CCO_* signals read by this controller's guards.
+  std::vector<std::string> latchedInputs;
+
+  UnitController() : fsm("unnamed") {}
+};
+
+/// The distributed global control unit (paper Fig. 7).
+struct DistributedControlUnit {
+  std::vector<UnitController> controllers;
+  /// External inputs: the telescopic units' completion signals C_<unit>.
+  std::vector<std::string> externalInputs;
+  /// Controller index producing each inter-controller completion signal.
+  std::map<std::string, int> producerOf;
+  /// Controller indices consuming each inter-controller completion signal.
+  std::map<std::string, std::set<int>> consumersOf;
+
+  /// Total states / flip-flops across controllers (Table 1 reporting).
+  std::size_t totalStates() const;
+  int totalFlipFlops() const;
+  /// Number of completion latches (one per (consumer, signal) pair).
+  int completionLatchCount() const;
+};
+
+/// Run Algorithm 1 on every unit of the scheduled DFG.  All controllers are
+/// validated (deterministic + complete) before returning.
+DistributedControlUnit buildDistributed(const sched::ScheduledDfg& s);
+
+}  // namespace tauhls::fsm

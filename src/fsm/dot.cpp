@@ -1,0 +1,25 @@
+#include "fsm/dot.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace tauhls::fsm {
+
+std::string toDot(const Fsm& fsm) {
+  std::ostringstream os;
+  os << "digraph \"" << fsm.name() << "\" {\n";
+  os << "  rankdir=TB;\n";
+  for (int s = 0; s < static_cast<int>(fsm.numStates()); ++s) {
+    os << "  s" << s << " [shape=" << (s == fsm.initial() ? "doublecircle" : "circle")
+       << ",label=\"" << fsm.stateName(s) << "\"];\n";
+  }
+  for (const Transition& t : fsm.transitions()) {
+    os << "  s" << t.from << " -> s" << t.to << " [label=\""
+       << t.guard.toString() << " / " << join(t.outputs, " ") << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tauhls::fsm

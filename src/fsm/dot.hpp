@@ -1,0 +1,14 @@
+// Graphviz export of FSMs (controllers render like the paper's Figs. 2(c)
+// and 6: states as circles, transitions labelled "guard / outputs").
+#pragma once
+
+#include <string>
+
+#include "fsm/machine.hpp"
+
+namespace tauhls::fsm {
+
+/// Render `fsm` as a DOT digraph; the initial state is double-circled.
+std::string toDot(const Fsm& fsm);
+
+}  // namespace tauhls::fsm

@@ -1,0 +1,169 @@
+#include "fsm/kiss.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace tauhls::fsm {
+
+std::string toKiss2(const Fsm& fsm) {
+  validateFsm(fsm);
+  std::ostringstream os;
+  os << "# tauhls FSM '" << fsm.name() << "'\n";
+  os << "#i " << join(fsm.inputs(), " ") << "\n";
+  os << "#o " << join(fsm.outputs(), " ") << "\n";
+
+  // Count product-term rows first (.p header).
+  std::size_t rows = 0;
+  for (const Transition& t : fsm.transitions()) {
+    rows += std::max<std::size_t>(1, t.guard.terms().size());
+  }
+  os << ".i " << fsm.inputs().size() << "\n";
+  os << ".o " << fsm.outputs().size() << "\n";
+  os << ".p " << rows << "\n";
+  os << ".s " << fsm.numStates() << "\n";
+  os << ".r " << fsm.stateName(fsm.initial()) << "\n";
+
+  for (const Transition& t : fsm.transitions()) {
+    TAUHLS_CHECK(!t.guard.isNever(),
+                 "KISS2 cannot express an unsatisfiable transition");
+    std::string outBits(fsm.outputs().size(), '0');
+    for (const std::string& o : t.outputs) {
+      auto it = std::find(fsm.outputs().begin(), fsm.outputs().end(), o);
+      outBits[static_cast<std::size_t>(it - fsm.outputs().begin())] = '1';
+    }
+    for (const GuardTerm& term : t.guard.terms()) {
+      std::string inBits(fsm.inputs().size(), '-');
+      for (const auto& [sig, positive] : term.literals) {
+        auto it = std::find(fsm.inputs().begin(), fsm.inputs().end(), sig);
+        TAUHLS_ASSERT(it != fsm.inputs().end(), "guard signal undeclared");
+        inBits[static_cast<std::size_t>(it - fsm.inputs().begin())] =
+            positive ? '1' : '0';
+      }
+      if (inBits.empty()) inBits = "";  // zero-input machines: empty field
+      os << inBits << (inBits.empty() ? "" : " ") << fsm.stateName(t.from)
+         << " " << fsm.stateName(t.to) << " " << outBits << "\n";
+    }
+  }
+  return os.str();
+}
+
+Fsm fromKiss2(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  std::string line;
+  int numIn = -1;
+  int numOut = -1;
+  std::string resetState;
+  std::vector<std::string> inputNames;
+  std::vector<std::string> outputNames;
+  struct Row {
+    std::string inBits, from, to, outBits;
+  };
+  std::vector<Row> rowList;
+
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    std::string t = trim(line);
+    if (t.empty()) continue;
+    if (t.rfind("#i ", 0) == 0) {
+      inputNames = split(t.substr(3), ' ');
+      continue;
+    }
+    if (t.rfind("#o ", 0) == 0) {
+      outputNames = split(t.substr(3), ' ');
+      continue;
+    }
+    if (t[0] == '#') continue;
+    if (t[0] == '.') {
+      std::istringstream ls(t);
+      std::string key;
+      ls >> key;
+      if (key == ".i") ls >> numIn;
+      else if (key == ".o") ls >> numOut;
+      else if (key == ".r") ls >> resetState;
+      // .p/.s/.e are informational
+      continue;
+    }
+    std::vector<std::string> fields = split(t, ' ');
+    Row row;
+    if (numIn == 0) {
+      TAUHLS_CHECK(fields.size() == 3, "malformed KISS2 row at line " +
+                                           std::to_string(lineNo));
+      row.inBits = "";
+      row.from = fields[0];
+      row.to = fields[1];
+      row.outBits = fields[2];
+    } else {
+      TAUHLS_CHECK(fields.size() == 4, "malformed KISS2 row at line " +
+                                           std::to_string(lineNo));
+      row = Row{fields[0], fields[1], fields[2], fields[3]};
+    }
+    rowList.push_back(std::move(row));
+  }
+  TAUHLS_CHECK(numIn >= 0 && numOut >= 0, "KISS2 header (.i/.o) missing");
+  TAUHLS_CHECK(!rowList.empty(), "KISS2 description has no product terms");
+
+  if (static_cast<int>(inputNames.size()) != numIn) {
+    inputNames.clear();
+    for (int i = 0; i < numIn; ++i) inputNames.push_back("in" + std::to_string(i));
+  }
+  if (static_cast<int>(outputNames.size()) != numOut) {
+    outputNames.clear();
+    for (int i = 0; i < numOut; ++i) {
+      outputNames.push_back("out" + std::to_string(i));
+    }
+  }
+
+  Fsm fsm(name);
+  for (const std::string& i : inputNames) fsm.addInput(i);
+  for (const std::string& o : outputNames) fsm.addOutput(o);
+  auto stateId = [&fsm](const std::string& s) {
+    const int existing = fsm.findState(s);
+    return existing >= 0 ? existing : fsm.addState(s);
+  };
+  // Register the reset state first so it gets id 0 by convention.
+  if (!resetState.empty()) stateId(resetState);
+
+  // Merge rows that share (from, to, outputs) back into one transition.
+  std::map<std::tuple<int, int, std::string>, Guard> merged;
+  for (const Row& row : rowList) {
+    TAUHLS_CHECK(static_cast<int>(row.inBits.size()) == numIn,
+                 "input cube width mismatch");
+    TAUHLS_CHECK(static_cast<int>(row.outBits.size()) == numOut,
+                 "output cube width mismatch");
+    Guard g = Guard::always();
+    for (int i = 0; i < numIn; ++i) {
+      const char c = row.inBits[static_cast<std::size_t>(i)];
+      if (c == '1' || c == '0') {
+        g = g.conjoin(Guard::literal(inputNames[static_cast<std::size_t>(i)],
+                                     c == '1'));
+      } else {
+        TAUHLS_CHECK(c == '-', "invalid input cube character");
+      }
+    }
+    const int from = stateId(row.from);
+    const int to = stateId(row.to);
+    auto [it, inserted] =
+        merged.try_emplace({from, to, row.outBits}, Guard::never());
+    it->second = it->second.disjoin(g);
+  }
+  for (const auto& [key, guard] : merged) {
+    const auto& [from, to, outBits] = key;
+    std::vector<std::string> outs;
+    for (int o = 0; o < numOut; ++o) {
+      if (outBits[static_cast<std::size_t>(o)] == '1') {
+        outs.push_back(outputNames[static_cast<std::size_t>(o)]);
+      }
+    }
+    fsm.addTransition(from, to, guard, std::move(outs));
+  }
+  if (!resetState.empty()) fsm.setInitial(fsm.findState(resetState));
+  return fsm;
+}
+
+}  // namespace tauhls::fsm

@@ -1,0 +1,27 @@
+// KISS2 import/export -- the standard academic FSM interchange format
+// (SIS / espresso / STAMINA toolchains), so the generated controllers can be
+// fed to external sequential-synthesis tools and external machines can be
+// pulled into this library.
+//
+// Emission: one KISS2 product-term row per guard term,
+//   <input cube> <current state> <next state> <output bits>
+// with '-' for inputs absent from the term.  Because tauhls guards are sums
+// of products, a transition with k terms becomes k rows.
+#pragma once
+
+#include <string>
+
+#include "fsm/machine.hpp"
+
+namespace tauhls::fsm {
+
+/// Serialize to KISS2.  Signal order in the cubes follows fsm.inputs() /
+/// fsm.outputs(); a header comment records the signal names.
+std::string toKiss2(const Fsm& fsm);
+
+/// Parse a KISS2 description produced by toKiss2 (or a compatible tool).
+/// Input/output signal names are taken from the tauhls header comments when
+/// present, else synthesized as in0..  Throws tauhls::Error on malformed text.
+Fsm fromKiss2(const std::string& text, const std::string& name = "kiss");
+
+}  // namespace tauhls::fsm

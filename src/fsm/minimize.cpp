@@ -1,0 +1,117 @@
+#include "fsm/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace tauhls::fsm {
+
+namespace {
+
+/// Step result under one input assignment: sorted outputs + target state.
+struct Edge {
+  std::vector<std::string> outputs;
+  int target = 0;
+};
+
+}  // namespace
+
+Fsm minimizeStates(const Fsm& fsm) {
+  validateFsm(fsm);
+  const int numStates = static_cast<int>(fsm.numStates());
+  const std::size_t numInputs = fsm.inputs().size();
+  TAUHLS_CHECK(numInputs <= 16,
+               "state minimization enumerates the input alphabet; too many "
+               "inputs in " + fsm.name());
+
+  // Precompute the complete transition table.
+  const std::uint64_t alphabet = std::uint64_t{1} << numInputs;
+  std::vector<std::vector<Edge>> table(numStates);
+  for (int s = 0; s < numStates; ++s) {
+    table[s].reserve(alphabet);
+    for (std::uint64_t a = 0; a < alphabet; ++a) {
+      std::unordered_set<std::string> asserted;
+      for (std::size_t i = 0; i < numInputs; ++i) {
+        if ((a >> i) & 1) asserted.insert(fsm.inputs()[i]);
+      }
+      Fsm::StepResult r = fsm.step(s, asserted);
+      Edge e;
+      e.outputs = std::move(r.outputs);
+      std::sort(e.outputs.begin(), e.outputs.end());
+      e.target = r.nextState;
+      table[s].push_back(std::move(e));
+    }
+  }
+
+  // Initial partition: by the per-assignment output vectors.
+  std::vector<int> classOf(numStates, 0);
+  {
+    std::map<std::vector<std::vector<std::string>>, int> sig;
+    for (int s = 0; s < numStates; ++s) {
+      std::vector<std::vector<std::string>> outs;
+      outs.reserve(alphabet);
+      for (const Edge& e : table[s]) outs.push_back(e.outputs);
+      classOf[s] = sig.try_emplace(std::move(outs),
+                                   static_cast<int>(sig.size())).first->second;
+    }
+  }
+
+  // Refine: split classes whose members disagree on target classes.
+  for (bool changed = true; changed;) {
+    changed = false;
+    std::map<std::pair<int, std::vector<int>>, int> sig;
+    std::vector<int> next(numStates, 0);
+    for (int s = 0; s < numStates; ++s) {
+      std::vector<int> targets;
+      targets.reserve(alphabet);
+      for (const Edge& e : table[s]) targets.push_back(classOf[e.target]);
+      next[s] = sig.try_emplace({classOf[s], std::move(targets)},
+                                static_cast<int>(sig.size()))
+                    .first->second;
+    }
+    if (static_cast<int>(sig.size()) !=
+        *std::max_element(classOf.begin(), classOf.end()) + 1) {
+      changed = true;
+    }
+    classOf = std::move(next);
+  }
+
+  const int numClasses =
+      *std::max_element(classOf.begin(), classOf.end()) + 1;
+  if (numClasses == numStates) return fsm;  // already minimal
+
+  // Representative = lowest-id member; keeps the initial state's class first.
+  std::vector<int> repOf(numClasses, -1);
+  for (int s = 0; s < numStates; ++s) {
+    if (repOf[classOf[s]] == -1) repOf[classOf[s]] = s;
+  }
+
+  Fsm out(fsm.name());
+  for (int c = 0; c < numClasses; ++c) {
+    out.addState(fsm.stateName(repOf[c]));
+  }
+  for (const std::string& in : fsm.inputs()) out.addInput(in);
+  for (const std::string& o : fsm.outputs()) out.addOutput(o);
+
+  // Re-emit the representatives' transitions with retargeted states; merge
+  // duplicates (same source/target/outputs) by OR-ing guards.
+  for (int c = 0; c < numClasses; ++c) {
+    std::map<std::pair<int, std::vector<std::string>>, Guard> merged;
+    for (const Transition* t : fsm.transitionsFrom(repOf[c])) {
+      std::vector<std::string> outs = t->outputs;
+      std::sort(outs.begin(), outs.end());
+      auto [it, inserted] =
+          merged.try_emplace({classOf[t->to], std::move(outs)}, Guard::never());
+      it->second = it->second.disjoin(t->guard);
+    }
+    for (auto& [key, guard] : merged) {
+      out.addTransition(c, key.first, std::move(guard), key.second);
+    }
+  }
+  out.setInitial(classOf[fsm.initial()]);
+  validateFsm(out);
+  return out;
+}
+
+}  // namespace tauhls::fsm

@@ -1,0 +1,23 @@
+// Mealy-machine state minimization by partition refinement.
+//
+// Two states are equivalent when, for every assignment of the machine's
+// inputs, they emit the same output set and step into equivalent states.
+// The minimized machine keeps one representative per class and re-targets /
+// merges its transitions (guards of merged duplicates are OR-ed).
+//
+// Used to post-process the explicit CENT-FSM product, whose raw reachable
+// state space includes distinctions (e.g. latch contents that no future
+// output depends on) a logic synthesizer would collapse -- this makes the
+// Table 1 comparison against the paper's hand-derived CENT-FSM fairer.
+#pragma once
+
+#include "fsm/machine.hpp"
+
+namespace tauhls::fsm {
+
+/// Minimize `fsm` (must be valid).  Requires <= 16 declared inputs (the
+/// refinement enumerates the input alphabet).  The result is validated and
+/// behaviourally equivalent (property-tested via compareOnRandomTraces).
+Fsm minimizeStates(const Fsm& fsm);
+
+}  // namespace tauhls::fsm

@@ -1,0 +1,163 @@
+#include "fsm/product.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tauhls::fsm {
+
+namespace {
+
+/// Composite configuration: one state per controller plus the sticky
+/// completion latches, keyed per (controller, signal).
+struct Config {
+  std::vector<int> states;
+  std::set<std::pair<int, std::string>> latches;
+
+  auto operator<=>(const Config&) const = default;
+
+  std::string name(const DistributedControlUnit& dcu) const {
+    std::ostringstream os;
+    for (std::size_t c = 0; c < states.size(); ++c) {
+      if (c != 0) os << "_";
+      os << dcu.controllers[c].fsm.stateName(states[c]);
+    }
+    for (const auto& [c, sig] : latches) os << "+" << c << ":" << sig;
+    return os.str();
+  }
+};
+
+}  // namespace
+
+Fsm buildProduct(const DistributedControlUnit& dcu,
+                 const ProductOptions& options) {
+  TAUHLS_CHECK(!dcu.controllers.empty(), "product of zero controllers");
+  Fsm product("CENT_FSM");
+  for (const std::string& in : dcu.externalInputs) product.addInput(in);
+
+  std::set<std::string> internal;
+  for (const auto& [sig, producer] : dcu.producerOf) internal.insert(sig);
+  for (const UnitController& c : dcu.controllers) {
+    for (const std::string& out : c.fsm.outputs()) {
+      if (options.hideInternalSignals && internal.contains(out)) continue;
+      product.addOutput(out);
+    }
+  }
+
+  Config init;
+  for (const UnitController& c : dcu.controllers) {
+    init.states.push_back(c.fsm.initial());
+  }
+
+  std::map<Config, int> stateIds;
+  std::queue<Config> frontier;
+  auto intern = [&](const Config& cfg) {
+    auto it = stateIds.find(cfg);
+    if (it != stateIds.end()) return it->second;
+    TAUHLS_CHECK(stateIds.size() < options.maxStates,
+                 "product state bound exceeded (" +
+                     std::to_string(options.maxStates) + ")");
+    const int id = product.addState(cfg.name(dcu));
+    stateIds.emplace(cfg, id);
+    frontier.push(cfg);
+    return id;
+  };
+  intern(init);
+  product.setInitial(0);
+
+  const std::size_t numExt = dcu.externalInputs.size();
+  while (!frontier.empty()) {
+    const Config cfg = frontier.front();
+    frontier.pop();
+    const int fromId = stateIds.at(cfg);
+
+    // Group external assignments by (target, outputs) to merge guards.
+    std::map<std::pair<int, std::vector<std::string>>, Guard> merged;
+
+    for (std::uint64_t a = 0; a < (std::uint64_t{1} << numExt); ++a) {
+      std::unordered_set<std::string> external;
+      for (std::size_t i = 0; i < numExt; ++i) {
+        if ((a >> i) & 1) external.insert(dcu.externalInputs[i]);
+      }
+      // Phase 1: fixpoint of emitted completion pulses.  In the generated
+      // controllers output emission does not depend on CCO inputs, so this
+      // converges in <= 2 iterations; we iterate defensively.
+      std::unordered_set<std::string> emitted;
+      for (int iter = 0;; ++iter) {
+        TAUHLS_ASSERT(iter < 4, "completion-pulse fixpoint did not converge");
+        std::unordered_set<std::string> nextEmitted;
+        for (std::size_t c = 0; c < dcu.controllers.size(); ++c) {
+          std::unordered_set<std::string> asserted = external;
+          for (const std::string& e : emitted) asserted.insert(e);
+          for (const auto& [lc, sig] : cfg.latches) {
+            if (lc == static_cast<int>(c)) asserted.insert(sig);
+          }
+          const Fsm::StepResult r =
+              dcu.controllers[c].fsm.step(cfg.states[c], asserted);
+          for (const std::string& out : r.outputs) {
+            if (internal.contains(out)) nextEmitted.insert(out);
+          }
+        }
+        if (nextEmitted == emitted) break;
+        emitted = std::move(nextEmitted);
+      }
+      // Phase 2: final step of every controller; collect next config/outputs.
+      Config next;
+      next.latches = cfg.latches;
+      std::vector<std::string> outputs;
+      for (std::size_t c = 0; c < dcu.controllers.size(); ++c) {
+        std::unordered_set<std::string> asserted = external;
+        for (const std::string& e : emitted) asserted.insert(e);
+        for (const auto& [lc, sig] : cfg.latches) {
+          if (lc == static_cast<int>(c)) asserted.insert(sig);
+        }
+        const Transition* fired = nullptr;
+        for (const Transition* t :
+             dcu.controllers[c].fsm.transitionsFrom(cfg.states[c])) {
+          if (t->guard.evaluate(asserted)) {
+            fired = t;
+            break;
+          }
+        }
+        TAUHLS_ASSERT(fired != nullptr, "controller stuck in product step");
+        next.states.push_back(fired->to);
+        for (const std::string& out : fired->outputs) {
+          if (!(options.hideInternalSignals && internal.contains(out))) {
+            outputs.push_back(out);
+          }
+        }
+        // Phase 3: completion latches are level-sensitive -- set by the pulse
+        // and held until the iteration-restart strobe (DESIGN.md §5.1), so a
+        // later op of the same unit depending on the same producer still sees
+        // the completion.
+        for (const std::string& sig : dcu.controllers[c].latchedInputs) {
+          if (emitted.contains(sig)) {
+            next.latches.insert({static_cast<int>(c), sig});
+          }
+        }
+      }
+      std::sort(outputs.begin(), outputs.end());
+      const int toId = intern(next);
+
+      Guard minterm = Guard::always();
+      for (std::size_t i = 0; i < numExt; ++i) {
+        minterm =
+            minterm.conjoin(Guard::literal(dcu.externalInputs[i], (a >> i) & 1));
+      }
+      auto [it, inserted] =
+          merged.try_emplace({toId, outputs}, Guard::never());
+      it->second = it->second.disjoin(minterm);
+    }
+    for (auto& [key, guard] : merged) {
+      product.addTransition(fromId, key.first, std::move(guard), key.second);
+    }
+  }
+  validateFsm(product);
+  return product;
+}
+
+}  // namespace tauhls::fsm

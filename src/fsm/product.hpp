@@ -1,0 +1,28 @@
+// CENT-FSM (paper §4.1, Fig. 4(a)): the fully-concurrent centralized FSM,
+// built as the reachable synchronous product of the distributed unit
+// controllers with the inter-controller completion signals (and their sticky
+// latches) internalized.  Its state count grows exponentially with the number
+// of concurrently-active TAUs -- the effect the paper argues motivates the
+// distributed structure.
+#pragma once
+
+#include "fsm/distributed.hpp"
+#include "fsm/machine.hpp"
+
+namespace tauhls::fsm {
+
+struct ProductOptions {
+  /// Drop internalized CCO_* wires from the product's output alphabet.
+  bool hideInternalSignals = true;
+  /// Abort (throw) when the reachable state count exceeds this bound.
+  std::size_t maxStates = 200000;
+};
+
+/// Build the explicit product machine.  The composite state includes every
+/// controller's state and the contents of all completion latches, so the
+/// product is behaviourally equivalent to the distributed implementation
+/// (property-tested in tests/test_fsm_product.cpp).
+Fsm buildProduct(const DistributedControlUnit& dcu,
+                 const ProductOptions& options = {});
+
+}  // namespace tauhls::fsm

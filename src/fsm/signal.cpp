@@ -1,0 +1,21 @@
+#include "fsm/signal.hpp"
+
+namespace tauhls::fsm {
+
+std::string unitCompletionSignal(const sched::UnitInstance& unit) {
+  return "C_" + unit.name;
+}
+
+std::string opCompletionSignal(const std::string& opName) {
+  return "CCO_" + opName;
+}
+
+std::string operandFetchSignal(const std::string& opName) {
+  return "OF_" + opName;
+}
+
+std::string registerEnableSignal(const std::string& opName) {
+  return "RE_" + opName;
+}
+
+}  // namespace tauhls::fsm

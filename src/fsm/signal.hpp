@@ -1,0 +1,21 @@
+// Canonical control-signal naming shared by FSM generation, simulation and
+// RTL emission (paper Figs. 5-7):
+//   C_<unit>    completion signal of a telescopic unit's generator
+//   CCO_<op>    operation-completion signal (C_CO at the producer,
+//               C_PO at consumers -- same wire)
+//   OF_<op>     operand-fetch signal driving the unit's input muxes
+//   RE_<op>     register-enable latching the op's result
+#pragma once
+
+#include <string>
+
+#include "sched/binding.hpp"
+
+namespace tauhls::fsm {
+
+std::string unitCompletionSignal(const sched::UnitInstance& unit);
+std::string opCompletionSignal(const std::string& opName);
+std::string operandFetchSignal(const std::string& opName);
+std::string registerEnableSignal(const std::string& opName);
+
+}  // namespace tauhls::fsm

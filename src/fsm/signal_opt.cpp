@@ -1,0 +1,59 @@
+#include "fsm/signal_opt.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tauhls::fsm {
+
+namespace {
+
+/// Rebuild `fsm` keeping only outputs for which `keep` holds.
+Fsm filterOutputs(const Fsm& fsm, const std::set<std::string>& removed) {
+  Fsm out(fsm.name());
+  for (std::size_t i = 0; i < fsm.numStates(); ++i) {
+    out.addState(fsm.stateName(static_cast<int>(i)));
+  }
+  for (const std::string& in : fsm.inputs()) out.addInput(in);
+  for (const std::string& o : fsm.outputs()) {
+    if (!removed.contains(o)) out.addOutput(o);
+  }
+  for (const Transition& t : fsm.transitions()) {
+    std::vector<std::string> outputs;
+    for (const std::string& o : t.outputs) {
+      if (!removed.contains(o)) outputs.push_back(o);
+    }
+    out.addTransition(t.from, t.to, t.guard, std::move(outputs));
+  }
+  out.setInitial(fsm.initial());
+  return out;
+}
+
+}  // namespace
+
+DistributedControlUnit optimizeSignals(const DistributedControlUnit& dcu,
+                                       SignalOptStats* stats) {
+  SignalOptStats local;
+  DistributedControlUnit out = dcu;
+  for (std::size_t c = 0; c < out.controllers.size(); ++c) {
+    UnitController& ctl = out.controllers[c];
+    std::set<std::string> removed;
+    for (const std::string& o : ctl.fsm.outputs()) {
+      if (!o.starts_with("CCO_")) continue;
+      auto consumers = dcu.consumersOf.find(o);
+      if (consumers == dcu.consumersOf.end() || consumers->second.empty()) {
+        removed.insert(o);
+        ++local.removedOutputs;
+      } else {
+        ++local.keptOutputs;
+      }
+    }
+    if (!removed.empty()) {
+      ctl.fsm = filterOutputs(ctl.fsm, removed);
+      for (const std::string& o : removed) out.producerOf.erase(o);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace tauhls::fsm

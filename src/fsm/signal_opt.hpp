@@ -1,0 +1,24 @@
+// Communication-signal optimization (paper Fig. 7: "several communication
+// signals are optimized; for example C_CO(0) is removed since any other
+// controllers do not receive it").
+//
+// A controller emits CCO_<op> for every bound op; only the signals some other
+// controller actually reads need to leave the chip area.  This pass removes
+// unconsumed completion outputs from every controller and reports what it
+// dropped (studied by bench/ablation_signal_opt).
+#pragma once
+
+#include "fsm/distributed.hpp"
+
+namespace tauhls::fsm {
+
+struct SignalOptStats {
+  int removedOutputs = 0;   ///< CCO_* outputs dropped across all controllers
+  int keptOutputs = 0;      ///< CCO_* outputs still consumed
+};
+
+/// Return a copy of `dcu` with unconsumed completion outputs removed.
+DistributedControlUnit optimizeSignals(const DistributedControlUnit& dcu,
+                                       SignalOptStats* stats = nullptr);
+
+}  // namespace tauhls::fsm

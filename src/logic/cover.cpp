@@ -1,0 +1,50 @@
+#include "logic/cover.hpp"
+
+#include "common/error.hpp"
+
+namespace tauhls::logic {
+
+void Cover::add(const Cube& cube) {
+  TAUHLS_CHECK(cube.numVars() == numVars_, "cube arity mismatch with cover");
+  cubes_.push_back(cube);
+}
+
+bool Cover::evaluate(std::uint64_t assignment) const {
+  for (const Cube& c : cubes_) {
+    if (c.covers(assignment)) return true;
+  }
+  return false;
+}
+
+int Cover::literalCount() const {
+  int n = 0;
+  for (const Cube& c : cubes_) n += c.numLiterals();
+  return n;
+}
+
+void Cover::removeContained() {
+  std::vector<Cube> kept;
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    bool contained = false;
+    for (std::size_t j = 0; j < cubes_.size() && !contained; ++j) {
+      if (i == j) continue;
+      if (cubes_[j].contains(cubes_[i])) {
+        // Break ties between equal cubes by keeping the earlier one.
+        contained = !(cubes_[i] == cubes_[j]) || j < i;
+      }
+    }
+    if (!contained) kept.push_back(cubes_[i]);
+  }
+  cubes_ = std::move(kept);
+}
+
+std::string Cover::toString() const {
+  std::string s;
+  for (const Cube& c : cubes_) {
+    s += c.toString();
+    s += '\n';
+  }
+  return s;
+}
+
+}  // namespace tauhls::logic

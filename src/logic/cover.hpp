@@ -1,0 +1,42 @@
+// A cover (sum of products) over up to 64 variables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace tauhls::logic {
+
+class Cover {
+ public:
+  explicit Cover(int numVars) : numVars_(numVars) {}
+
+  int numVars() const { return numVars_; }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  bool empty() const { return cubes_.empty(); }
+  std::size_t numCubes() const { return cubes_.size(); }
+
+  /// Append a product term (arity-checked).
+  void add(const Cube& cube);
+
+  /// OR-evaluate under a full variable assignment.
+  bool evaluate(std::uint64_t assignment) const;
+
+  /// Total literal count -- the technology-independent combinational-area
+  /// proxy used throughout the synth module.
+  int literalCount() const;
+
+  /// Remove cubes contained in another cube of the cover (single-cube
+  /// containment; keeps the first of equal cubes).
+  void removeContained();
+
+  /// Multi-line "1-0-" representation, one cube per line.
+  std::string toString() const;
+
+ private:
+  int numVars_;
+  std::vector<Cube> cubes_;
+};
+
+}  // namespace tauhls::logic

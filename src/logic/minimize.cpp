@@ -1,0 +1,188 @@
+#include "logic/minimize.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace tauhls::logic {
+
+namespace {
+
+struct CubeKey {
+  std::uint64_t care;
+  std::uint64_t value;
+  auto operator<=>(const CubeKey&) const = default;
+};
+
+}  // namespace
+
+std::vector<Cube> primeImplicants(const TruthTable& tt) {
+  TAUHLS_CHECK(tt.numVars() <= 14, "primeImplicants limited to 14 variables");
+  // Level 0: all onset + dc minterms as cubes.
+  std::vector<Cube> current;
+  for (std::uint64_t r = 0; r < tt.numRows(); ++r) {
+    if (tt.get(r) != Ternary::Zero) {
+      current.push_back(Cube::minterm(tt.numVars(), r));
+    }
+  }
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    // Group by care mask and by popcount of the value so only adjacent groups
+    // are compared (classic QM bucketing).
+    std::map<std::pair<std::uint64_t, int>, std::vector<std::size_t>> buckets;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      buckets[{current[i].careMask(),
+               std::popcount(current[i].valueMask())}].push_back(i);
+    }
+    std::vector<bool> merged(current.size(), false);
+    std::set<CubeKey> nextKeys;
+    std::vector<Cube> next;
+    for (const auto& [key, indices] : buckets) {
+      auto upper = buckets.find({key.first, key.second + 1});
+      if (upper == buckets.end()) continue;
+      for (std::size_t i : indices) {
+        for (std::size_t j : upper->second) {
+          if (auto m = current[i].merge(current[j])) {
+            merged[i] = merged[j] = true;
+            if (nextKeys.insert({m->careMask(), m->valueMask()}).second) {
+              next.push_back(*m);
+            }
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (!merged[i]) primes.push_back(current[i]);
+    }
+    current = std::move(next);
+  }
+  return primes;
+}
+
+namespace {
+
+/// Select a small subset of primes covering all onset rows: essential primes
+/// first, then greedy by remaining coverage (ties: fewer literals).
+Cover coverFromPrimes(const TruthTable& tt, const std::vector<Cube>& primes) {
+  const std::vector<std::uint64_t> onset = tt.onset();
+  Cover result(tt.numVars());
+  if (onset.empty()) return result;
+
+  // cover matrix: for each onset row, the primes covering it.
+  std::vector<std::vector<std::size_t>> coveredBy(onset.size());
+  for (std::size_t p = 0; p < primes.size(); ++p) {
+    for (std::size_t r = 0; r < onset.size(); ++r) {
+      if (primes[p].covers(onset[r])) coveredBy[r].push_back(p);
+    }
+  }
+  std::vector<bool> selected(primes.size(), false);
+  std::vector<bool> rowDone(onset.size(), false);
+
+  auto selectPrime = [&](std::size_t p) {
+    selected[p] = true;
+    for (std::size_t r = 0; r < onset.size(); ++r) {
+      if (!rowDone[r] && primes[p].covers(onset[r])) rowDone[r] = true;
+    }
+  };
+
+  // Essential primes.
+  for (std::size_t r = 0; r < onset.size(); ++r) {
+    TAUHLS_ASSERT(!coveredBy[r].empty(), "onset row not covered by any prime");
+    if (coveredBy[r].size() == 1 && !selected[coveredBy[r][0]]) {
+      selectPrime(coveredBy[r][0]);
+    }
+  }
+  // Greedy remainder.
+  while (true) {
+    std::size_t bestPrime = primes.size();
+    std::size_t bestCount = 0;
+    int bestLits = 0;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (selected[p]) continue;
+      std::size_t count = 0;
+      for (std::size_t r = 0; r < onset.size(); ++r) {
+        if (!rowDone[r] && primes[p].covers(onset[r])) ++count;
+      }
+      if (count == 0) continue;
+      const int lits = primes[p].numLiterals();
+      if (count > bestCount || (count == bestCount && lits < bestLits)) {
+        bestPrime = p;
+        bestCount = count;
+        bestLits = lits;
+      }
+    }
+    if (bestPrime == primes.size()) break;
+    selectPrime(bestPrime);
+  }
+  for (std::size_t p = 0; p < primes.size(); ++p) {
+    if (selected[p]) result.add(primes[p]);
+  }
+  result.removeContained();
+  return result;
+}
+
+}  // namespace
+
+Cover minimizeExact(const TruthTable& tt) {
+  Cover cover = coverFromPrimes(tt, primeImplicants(tt));
+  TAUHLS_ASSERT(implements(cover, tt), "QM produced a non-implementing cover");
+  return cover;
+}
+
+Cover minimizeExpand(const TruthTable& tt) {
+  const std::vector<std::uint64_t> offset = tt.offset();
+  const std::vector<std::uint64_t> onset = tt.onset();
+  Cover result(tt.numVars());
+
+  auto hitsOffset = [&offset](const Cube& c) {
+    for (std::uint64_t r : offset) {
+      if (c.covers(r)) return true;
+    }
+    return false;
+  };
+
+  std::unordered_set<std::uint64_t> covered;
+  for (std::uint64_t row : onset) {
+    if (covered.contains(row)) continue;
+    Cube cube = Cube::minterm(tt.numVars(), row);
+    // Expand: drop literals one by one while staying off the offset.
+    for (int v = 0; v < tt.numVars(); ++v) {
+      Cube trial = cube;
+      trial.dropLiteral(v);
+      if (!hitsOffset(trial)) cube = trial;
+    }
+    result.add(cube);
+    for (std::uint64_t m : onset) {
+      if (cube.covers(m)) covered.insert(m);
+    }
+  }
+  result.removeContained();
+  TAUHLS_ASSERT(implements(result, tt), "expand produced a non-implementing cover");
+  return result;
+}
+
+Cover minimize(const TruthTable& tt) {
+  if (tt.numVars() > 14) return minimizeExpand(tt);
+  // QM's cost is driven by the onset+dc minterm count; when don't-cares
+  // dominate (e.g. sparse one-hot encodings) the heuristic is far cheaper
+  // and loses almost nothing.
+  const std::uint64_t careOnPlusDc = tt.numRows() - tt.offset().size();
+  return careOnPlusDc <= 4096 ? minimizeExact(tt) : minimizeExpand(tt);
+}
+
+bool implements(const Cover& cover, const TruthTable& spec) {
+  TAUHLS_CHECK(cover.numVars() == spec.numVars(),
+               "cover/spec variable count mismatch");
+  for (std::uint64_t r = 0; r < spec.numRows(); ++r) {
+    const Ternary want = spec.get(r);
+    if (want == Ternary::DontCare) continue;
+    if (cover.evaluate(r) != (want == Ternary::One)) return false;
+  }
+  return true;
+}
+
+}  // namespace tauhls::logic

@@ -1,0 +1,35 @@
+// Two-level minimization.
+//
+// Two engines:
+//  * minimizeExact: Quine-McCluskey prime generation + essential extraction +
+//    greedy cover of the remainder.  Exact primes; near-minimal covers.
+//    Practical up to ~14 variables.
+//  * minimizeExpand: ESPRESSO-style single-cube expansion against the offset;
+//    heuristic but fast, handles larger variable counts.
+//
+// minimize() dispatches on variable count.  All results are verified
+// implementable against the spec by `implements`.
+#pragma once
+
+#include "logic/cover.hpp"
+#include "logic/truth_table.hpp"
+
+namespace tauhls::logic {
+
+/// Quine-McCluskey prime implicants of (onset + dcset).
+std::vector<Cube> primeImplicants(const TruthTable& tt);
+
+/// Exact-prime minimization (QM); requires numVars <= 14.
+Cover minimizeExact(const TruthTable& tt);
+
+/// Heuristic expand-based minimization; any supported variable count.
+Cover minimizeExpand(const TruthTable& tt);
+
+/// Dispatch: exact up to 14 variables, expand beyond.
+Cover minimize(const TruthTable& tt);
+
+/// True when `cover` is 1 on every onset row and 0 on every offset row of
+/// `spec` (don't-cares unconstrained).
+bool implements(const Cover& cover, const TruthTable& spec);
+
+}  // namespace tauhls::logic

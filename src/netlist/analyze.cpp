@@ -1,0 +1,65 @@
+#include "netlist/analyze.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace tauhls::netlist {
+
+namespace {
+
+/// Levels a single n-input gate adds under 2-input decomposition.
+int levelsOf(std::size_t fanin) {
+  if (fanin <= 1) return 0;
+  return std::bit_width(fanin - 1);  // ceil(log2(fanin))
+}
+
+}  // namespace
+
+GateStats analyze(const Netlist& net) {
+  GateStats stats;
+  std::vector<int> level(net.numGates(), 0);
+  for (NetId i = 0; i < net.numGates(); ++i) {
+    const Gate& g = net.gate(i);
+    int inLevel = 0;
+    for (NetId f : g.fanins) inLevel = std::max(inLevel, level[f]);
+    switch (g.kind) {
+      case GateKind::Input:
+        ++stats.inputs;
+        level[i] = 0;
+        break;
+      case GateKind::Const0:
+      case GateKind::Const1:
+        level[i] = 0;
+        break;
+      case GateKind::Inv:
+        ++stats.inverters;
+        stats.gateEquivalents += 1;
+        level[i] = inLevel + 1;
+        break;
+      case GateKind::And:
+      case GateKind::Or: {
+        if (g.kind == GateKind::And) ++stats.andGates; else ++stats.orGates;
+        stats.gateEquivalents += static_cast<int>(g.fanins.size()) - 1;
+        stats.maxFanin = std::max(stats.maxFanin,
+                                  static_cast<int>(g.fanins.size()));
+        level[i] = inLevel + levelsOf(g.fanins.size());
+        break;
+      }
+    }
+  }
+  for (const auto& [name, netId] : net.outputs()) {
+    stats.depth = std::max(stats.depth, level[netId]);
+  }
+  return stats;
+}
+
+bool meetsClock(const GateStats& stats, double clockNs, double nsPerLevel,
+                double marginNs) {
+  TAUHLS_CHECK(clockNs > 0.0 && nsPerLevel > 0.0,
+               "clock and gate delay must be positive");
+  return stats.depth * nsPerLevel + marginNs <= clockNs;
+}
+
+}  // namespace tauhls::netlist

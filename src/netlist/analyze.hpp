@@ -1,0 +1,34 @@
+// Gate-level area and delay analysis.
+//
+// Area: gate-equivalents -- INV = 1, n-input AND/OR = n-1 two-input
+// equivalents (decomposition into a 2-input tree).  Delay: levels of the
+// same 2-input decomposition (an n-input gate contributes ceil(log2(n))
+// levels), so the reported depth is what a naive technology mapping to
+// 2-input cells achieves.  meetsClock checks controller timing closure:
+// the control-logic depth must fit within the system clock CC_TAU -- an
+// implicit requirement of the paper's scheme that the literal-count model
+// cannot express.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace tauhls::netlist {
+
+struct GateStats {
+  int inputs = 0;
+  int inverters = 0;
+  int andGates = 0;    ///< n-input AND instances
+  int orGates = 0;
+  int gateEquivalents = 0;  ///< 2-input-equivalent area
+  int depth = 0;            ///< 2-input-equivalent levels on the worst path
+  int maxFanin = 0;
+};
+
+GateStats analyze(const Netlist& net);
+
+/// True when the network settles within `clockNs` at `nsPerLevel` per
+/// 2-input gate level, leaving `marginNs` for register setup/clock skew.
+bool meetsClock(const GateStats& stats, double clockNs, double nsPerLevel,
+                double marginNs = 0.0);
+
+}  // namespace tauhls::netlist

@@ -1,0 +1,17 @@
+// Structural Verilog emission of a netlist (gate primitives), usable as a
+// drop-in implementation of the behavioural controller's combinational block.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace tauhls::netlist {
+
+/// Emit `module <moduleName>` with one wire per internal net and Verilog
+/// gate primitives (not/and/or); n-input gates map directly (Verilog
+/// primitives accept arbitrary fanin).
+std::string emitStructuralVerilog(const Netlist& net,
+                                  const std::string& moduleName);
+
+}  // namespace tauhls::netlist

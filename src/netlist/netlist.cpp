@@ -1,0 +1,168 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tauhls::netlist {
+
+const char* gateKindName(GateKind kind) {
+  switch (kind) {
+    case GateKind::Input: return "input";
+    case GateKind::Const0: return "const0";
+    case GateKind::Const1: return "const1";
+    case GateKind::Inv: return "inv";
+    case GateKind::And: return "and";
+    case GateKind::Or: return "or";
+  }
+  TAUHLS_FAIL("unknown GateKind");
+}
+
+NetId Netlist::add(Gate g) {
+  for (NetId f : g.fanins) {
+    TAUHLS_CHECK(f < gates_.size(), "gate fanin out of range");
+  }
+  gates_.push_back(std::move(g));
+  return static_cast<NetId>(gates_.size() - 1);
+}
+
+NetId Netlist::addInput(const std::string& inputName) {
+  TAUHLS_CHECK(!inputName.empty(), "input needs a name");
+  TAUHLS_CHECK(findInput(inputName) == kNoNet,
+               "duplicate input name: " + inputName);
+  Gate g;
+  g.kind = GateKind::Input;
+  g.name = inputName;
+  return add(std::move(g));
+}
+
+NetId Netlist::constant(bool value) {
+  NetId& cache = value ? const1_ : const0_;
+  if (cache == kNoNet) {
+    Gate g;
+    g.kind = value ? GateKind::Const1 : GateKind::Const0;
+    cache = add(std::move(g));
+  }
+  return cache;
+}
+
+NetId Netlist::addInv(NetId a) {
+  Gate g;
+  g.kind = GateKind::Inv;
+  g.fanins = {a};
+  return add(std::move(g));
+}
+
+NetId Netlist::addAnd(std::vector<NetId> fanins) {
+  TAUHLS_CHECK(!fanins.empty(), "AND needs at least one fanin");
+  if (fanins.size() == 1) return fanins[0];
+  Gate g;
+  g.kind = GateKind::And;
+  g.fanins = std::move(fanins);
+  return add(std::move(g));
+}
+
+NetId Netlist::addOr(std::vector<NetId> fanins) {
+  TAUHLS_CHECK(!fanins.empty(), "OR needs at least one fanin");
+  if (fanins.size() == 1) return fanins[0];
+  Gate g;
+  g.kind = GateKind::Or;
+  g.fanins = std::move(fanins);
+  return add(std::move(g));
+}
+
+void Netlist::markOutput(const std::string& outputName, NetId net) {
+  TAUHLS_CHECK(net < gates_.size(), "output net out of range");
+  for (const auto& [name, existing] : outputs_) {
+    TAUHLS_CHECK(name != outputName, "duplicate output name: " + outputName);
+  }
+  outputs_.emplace_back(outputName, net);
+}
+
+const Gate& Netlist::gate(NetId id) const {
+  TAUHLS_CHECK(id < gates_.size(), "net id out of range");
+  return gates_[id];
+}
+
+std::vector<NetId> Netlist::inputNets() const {
+  std::vector<NetId> out;
+  for (NetId i = 0; i < gates_.size(); ++i) {
+    if (gates_[i].kind == GateKind::Input) out.push_back(i);
+  }
+  return out;
+}
+
+NetId Netlist::findInput(const std::string& inputName) const {
+  for (NetId i = 0; i < gates_.size(); ++i) {
+    if (gates_[i].kind == GateKind::Input && gates_[i].name == inputName) {
+      return i;
+    }
+  }
+  return kNoNet;
+}
+
+std::vector<bool> Netlist::evaluate(
+    const std::unordered_set<std::string>& asserted) const {
+  std::vector<bool> value(gates_.size(), false);
+  // Gates are appended after their fanins, so id order is topological.
+  for (NetId i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.kind) {
+      case GateKind::Input: value[i] = asserted.contains(g.name); break;
+      case GateKind::Const0: value[i] = false; break;
+      case GateKind::Const1: value[i] = true; break;
+      case GateKind::Inv: value[i] = !value[g.fanins[0]]; break;
+      case GateKind::And: {
+        bool v = true;
+        for (NetId f : g.fanins) v = v && value[f];
+        value[i] = v;
+        break;
+      }
+      case GateKind::Or: {
+        bool v = false;
+        for (NetId f : g.fanins) v = v || value[f];
+        value[i] = v;
+        break;
+      }
+    }
+  }
+  return value;
+}
+
+bool Netlist::evaluateOutput(const std::string& outputName,
+                             const std::unordered_set<std::string>& asserted) const {
+  for (const auto& [name, net] : outputs_) {
+    if (name == outputName) return evaluate(asserted)[net];
+  }
+  TAUHLS_FAIL("unknown output: " + outputName);
+}
+
+void Netlist::validate() const {
+  for (NetId i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    for (NetId f : g.fanins) {
+      TAUHLS_CHECK(f < i, "fanin must precede its gate (topological ids)");
+    }
+    switch (g.kind) {
+      case GateKind::Input:
+        TAUHLS_CHECK(g.fanins.empty() && !g.name.empty(), "malformed input");
+        break;
+      case GateKind::Const0:
+      case GateKind::Const1:
+        TAUHLS_CHECK(g.fanins.empty(), "constants have no fanin");
+        break;
+      case GateKind::Inv:
+        TAUHLS_CHECK(g.fanins.size() == 1, "INV needs exactly one fanin");
+        break;
+      case GateKind::And:
+      case GateKind::Or:
+        TAUHLS_CHECK(g.fanins.size() >= 2, "AND/OR need >= 2 fanins");
+        break;
+    }
+  }
+  for (const auto& [name, net] : outputs_) {
+    TAUHLS_CHECK(net < gates_.size(), "dangling output: " + name);
+  }
+}
+
+}  // namespace tauhls::netlist

@@ -1,0 +1,83 @@
+// Gate-level netlist IR.
+//
+// A Netlist is a DAG of primitive gates (INV / AND / OR of arbitrary fanin,
+// plus constants) over named primary inputs, with named primary outputs.
+// It is the structural implementation target of the synthesized two-level
+// controller logic (build.hpp) and the basis of the gate-level area/delay
+// model (analyze.hpp) -- replacing the literal-count proxy with a countable,
+// simulatable circuit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace tauhls::netlist {
+
+using NetId = std::uint32_t;
+inline constexpr NetId kNoNet = static_cast<NetId>(-1);
+
+enum class GateKind : std::uint8_t {
+  Input,   ///< primary input (no fanin)
+  Const0,
+  Const1,
+  Inv,     ///< 1 fanin
+  And,     ///< >= 2 fanins
+  Or,      ///< >= 2 fanins
+};
+
+const char* gateKindName(GateKind kind);
+
+struct Gate {
+  GateKind kind = GateKind::Input;
+  std::string name;             ///< nonempty for inputs; optional elsewhere
+  std::vector<NetId> fanins;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Declare a primary input (unique name); returns its net.
+  NetId addInput(const std::string& inputName);
+  NetId constant(bool value);
+  NetId addInv(NetId a);
+  /// And/Or of >= 1 fanins (a single fanin passes through without a gate).
+  NetId addAnd(std::vector<NetId> fanins);
+  NetId addOr(std::vector<NetId> fanins);
+
+  /// Mark a net as a named primary output.
+  void markOutput(const std::string& outputName, NetId net);
+
+  std::size_t numGates() const { return gates_.size(); }
+  const Gate& gate(NetId id) const;
+  const std::vector<std::pair<std::string, NetId>>& outputs() const {
+    return outputs_;
+  }
+  std::vector<NetId> inputNets() const;
+  NetId findInput(const std::string& inputName) const;  ///< kNoNet if absent
+
+  /// Evaluate all nets under an assignment (asserted input names = 1).
+  std::vector<bool> evaluate(const std::unordered_set<std::string>& asserted) const;
+  /// Evaluate one named output.
+  bool evaluateOutput(const std::string& outputName,
+                      const std::unordered_set<std::string>& asserted) const;
+
+  /// Structural checks (fanin arities, acyclicity by construction, outputs
+  /// resolve); throws tauhls::Error on violation.
+  void validate() const;
+
+ private:
+  NetId add(Gate g);
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<std::pair<std::string, NetId>> outputs_;
+  NetId const0_ = kNoNet;
+  NetId const1_ = kNoNet;
+};
+
+}  // namespace tauhls::netlist

@@ -1,0 +1,86 @@
+#include "regalloc/leftedge.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace tauhls::regalloc {
+
+RegisterAllocation leftEdgeRegisters(const std::vector<Lifetime>& lifetimes,
+                                     std::size_t numNodes) {
+  RegisterAllocation alloc;
+  alloc.registerOf.assign(numNodes, -1);
+
+  std::vector<const Lifetime*> order;
+  order.reserve(lifetimes.size());
+  for (const Lifetime& lt : lifetimes) {
+    TAUHLS_CHECK(lt.value < numNodes, "lifetime value id out of range");
+    order.push_back(&lt);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Lifetime* a, const Lifetime* b) {
+              if (a->writeCycle != b->writeCycle) {
+                return a->writeCycle < b->writeCycle;
+              }
+              return a->value < b->value;
+            });
+
+  std::vector<int> retireOf;  // per register: lastReadCycle of its occupant
+  for (const Lifetime* lt : order) {
+    int chosen = -1;
+    for (std::size_t r = 0; r < retireOf.size(); ++r) {
+      // (write, lastRead] intervals: reuse allowed when the previous value's
+      // last read is no later than this value's write edge.
+      if (retireOf[r] <= lt->writeCycle) {
+        chosen = static_cast<int>(r);
+        break;
+      }
+    }
+    if (chosen == -1) {
+      chosen = static_cast<int>(retireOf.size());
+      retireOf.push_back(0);
+    }
+    retireOf[static_cast<std::size_t>(chosen)] = lt->lastReadCycle;
+    alloc.registerOf[lt->value] = chosen;
+  }
+  alloc.numRegisters = static_cast<int>(retireOf.size());
+  validateAllocation(lifetimes, alloc);
+  return alloc;
+}
+
+int maxLiveValues(const std::vector<Lifetime>& lifetimes) {
+  // Sweep the (write, lastRead] intervals: +1 just after write, -1 after
+  // lastRead.
+  std::map<int, int> delta;
+  for (const Lifetime& lt : lifetimes) {
+    delta[lt.writeCycle + 1] += 1;
+    delta[lt.lastReadCycle + 1] -= 1;
+  }
+  int live = 0;
+  int best = 0;
+  for (const auto& [cycle, d] : delta) {
+    live += d;
+    best = std::max(best, live);
+  }
+  return best;
+}
+
+void validateAllocation(const std::vector<Lifetime>& lifetimes,
+                        const RegisterAllocation& alloc) {
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    const Lifetime& a = lifetimes[i];
+    TAUHLS_CHECK(alloc.registerOf[a.value] >= 0, "value left unallocated");
+    TAUHLS_CHECK(alloc.registerOf[a.value] < alloc.numRegisters,
+                 "register index out of range");
+    for (std::size_t j = i + 1; j < lifetimes.size(); ++j) {
+      const Lifetime& b = lifetimes[j];
+      if (alloc.registerOf[a.value] != alloc.registerOf[b.value]) continue;
+      const bool disjoint =
+          a.lastReadCycle <= b.writeCycle || b.lastReadCycle <= a.writeCycle;
+      TAUHLS_CHECK(disjoint, "overlapping lifetimes share a register");
+    }
+  }
+}
+
+}  // namespace tauhls::regalloc

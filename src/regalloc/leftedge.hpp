@@ -1,0 +1,31 @@
+// Left-edge register allocation (Hashimoto-Stevens / Kurdahi-Parker): sort
+// values by write time and greedily pack each into the first register whose
+// last occupant has retired.  On interval conflict graphs this is optimal:
+// the register count equals the maximum number of simultaneously-live
+// values (asserted by the tests).
+#pragma once
+
+#include "regalloc/lifetime.hpp"
+
+namespace tauhls::regalloc {
+
+struct RegisterAllocation {
+  int numRegisters = 0;
+  /// Register index per node id; -1 for nodes without a lifetime entry.
+  std::vector<int> registerOf;
+};
+
+/// Allocate registers for the given lifetimes (`numNodes` sizes the map).
+RegisterAllocation leftEdgeRegisters(const std::vector<Lifetime>& lifetimes,
+                                     std::size_t numNodes);
+
+/// Maximum number of simultaneously-live values -- the lower bound any
+/// allocation must meet.
+int maxLiveValues(const std::vector<Lifetime>& lifetimes);
+
+/// Throws unless no two values sharing a register have overlapping
+/// occupancy intervals (write, lastRead].
+void validateAllocation(const std::vector<Lifetime>& lifetimes,
+                        const RegisterAllocation& alloc);
+
+}  // namespace tauhls::regalloc

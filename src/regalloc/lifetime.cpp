@@ -1,0 +1,63 @@
+#include "regalloc/lifetime.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tauhls::regalloc {
+
+using dfg::NodeId;
+
+namespace {
+
+std::vector<Lifetime> lifetimesFrom(const sched::ScheduledDfg& s,
+                                    const std::vector<int>& earliestFinish,
+                                    const std::vector<int>& latestFinish) {
+  std::vector<Lifetime> out;
+  for (NodeId v = 0; v < s.graph.numNodes(); ++v) {
+    Lifetime lt;
+    lt.value = v;
+    lt.writeCycle = s.graph.isInput(v) ? -1 : earliestFinish[v];
+    int lastRead = lt.writeCycle;
+    for (NodeId consumer : s.graph.dataSuccessors(v)) {
+      lastRead = std::max(lastRead, latestFinish[consumer]);
+    }
+    // Primary outputs (and any unconsumed value) stay valid one extra cycle
+    // so the environment can sample them.
+    if (s.graph.dataSuccessors(v).empty()) lastRead = lt.writeCycle + 1;
+    lt.lastReadCycle = lastRead;
+    TAUHLS_ASSERT(lt.lastReadCycle >= lt.writeCycle, "inverted lifetime");
+    out.push_back(lt);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Lifetime> distributedLifetimes(const sched::ScheduledDfg& s) {
+  const std::vector<int> earliest =
+      sim::distributedFinishCycles(s, sim::allShort(s));
+  const std::vector<int> latest =
+      sim::distributedFinishCycles(s, sim::allLong(s));
+  return lifetimesFrom(s, earliest, latest);
+}
+
+std::vector<Lifetime> syncLifetimes(const sched::ScheduledDfg& s) {
+  // Deterministic worst-case step timing: cumulative cycle at which each
+  // TAUBM step ends when every split step spends both halves.
+  std::vector<int> stepEnd(s.taubm.steps.size(), 0);
+  int cycle = 0;
+  for (std::size_t k = 0; k < s.taubm.steps.size(); ++k) {
+    cycle += s.taubm.steps[k].split ? 2 : 1;
+    stepEnd[k] = cycle - 1;
+  }
+  std::vector<int> finish(s.graph.numNodes(), 0);
+  for (NodeId v = 0; v < s.graph.numNodes(); ++v) {
+    if (s.graph.isOp(v)) {
+      finish[v] = stepEnd[static_cast<std::size_t>(s.steps.stepOf[v])];
+    }
+  }
+  return lifetimesFrom(s, finish, finish);
+}
+
+}  // namespace tauhls::regalloc

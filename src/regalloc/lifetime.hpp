@@ -1,0 +1,37 @@
+// Value-lifetime analysis for datapath register allocation.
+//
+// Under the distributed control unit, operation start times vary with the
+// operand classes, so a register-sharing decision must hold for *every*
+// execution.  We use the sound conservative interval per value:
+//   write    = earliest possible production  (all-SD finish cycle)
+//   lastRead = latest possible consumption   (all-LD consumer finish cycle;
+//              operands must stay stable through an LD second cycle)
+// A value occupies its register over (write, lastRead]: the write happens on
+// the clock edge ending `write`, reads complete by the edge ending
+// `lastRead`, so intervals that merely touch may share.
+//
+// Primary inputs are written at cycle -1 (available from reset) and read
+// like any operand; unconsumed values (primary outputs) are held one cycle
+// past their production.
+#pragma once
+
+#include <vector>
+
+#include "sim/makespan.hpp"
+
+namespace tauhls::regalloc {
+
+struct Lifetime {
+  dfg::NodeId value = 0;
+  int writeCycle = 0;     ///< cycle whose ending edge writes the register
+  int lastReadCycle = 0;  ///< last cycle during which the value is consumed
+};
+
+/// Conservative lifetimes under the distributed controllers (see above).
+std::vector<Lifetime> distributedLifetimes(const sched::ScheduledDfg& s);
+
+/// Lifetimes under the CENT-SYNC schedule (deterministic per the worst-case
+/// TAUBM step timing: every split step charged both halves).
+std::vector<Lifetime> syncLifetimes(const sched::ScheduledDfg& s);
+
+}  // namespace tauhls::regalloc

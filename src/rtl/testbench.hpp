@@ -1,0 +1,25 @@
+// Self-checking Verilog testbench generation.
+//
+// Given a simulated trace (sim::runDistributed records the per-cycle
+// completion-input stimulus and the expected control outputs), emits a
+// testbench that drives the generated top module cycle by cycle and checks
+// every register-enable signal against the golden trace, printing PASS or a
+// per-cycle FAIL report.  Lets users validate the emitted RTL in any Verilog
+// simulator (iverilog/verilator) without tauhls present.
+#pragma once
+
+#include <string>
+
+#include "fsm/distributed.hpp"
+#include "sim/interp.hpp"
+
+namespace tauhls::rtl {
+
+/// Emit a testbench module `<topName>_tb` for the top emitted by
+/// emitDistributedTop(dcu, topName).  The trace must come from
+/// sim::runDistributed on the same control unit.
+std::string emitTestbench(const fsm::DistributedControlUnit& dcu,
+                          const sim::SimTrace& trace,
+                          const std::string& topName);
+
+}  // namespace tauhls::rtl

@@ -1,0 +1,37 @@
+// Synthesizable Verilog-2001 emission (the "new high-level synthesis tool"
+// back-end the paper's §6 plans): one module per controller FSM, a shared
+// completion-latch primitive, and a top module wiring the distributed
+// control unit of Fig. 7.
+//
+// Controller modules are behavioural two-process machines (state register +
+// combinational next-state/output block); guards become if/else-if chains,
+// which is sound because every generated machine is deterministic and
+// complete (validated before emission).
+#pragma once
+
+#include <string>
+
+#include "fsm/distributed.hpp"
+#include "fsm/machine.hpp"
+
+namespace tauhls::rtl {
+
+/// Emit a single FSM (controller or centralized baseline) as a module named
+/// `moduleName` with clk/rst plus its declared inputs and outputs.
+std::string emitFsm(const fsm::Fsm& fsm, const std::string& moduleName);
+
+/// The completion-latch primitive: set by a one-cycle pulse, held until the
+/// iteration-restart strobe, output = latch OR live pulse (DESIGN.md §5.1).
+std::string emitCompletionLatchModule();
+
+/// Top module instantiating every unit controller and one completion latch
+/// per inter-controller signal; ports: clk, rst, restart, the telescopic
+/// completion inputs C_*, and all OF_*/RE_* control outputs.
+std::string emitDistributedTop(const fsm::DistributedControlUnit& dcu,
+                               const std::string& moduleName);
+
+/// Full self-contained package: latch primitive + all controllers + top.
+std::string emitPackage(const fsm::DistributedControlUnit& dcu,
+                        const std::string& topName);
+
+}  // namespace tauhls::rtl

@@ -1,0 +1,27 @@
+#include "sched/allocation.hpp"
+
+#include "common/error.hpp"
+#include "sched/clique.hpp"
+
+namespace tauhls::sched {
+
+Allocation normalizeAllocation(const dfg::Dfg& g, const Allocation& requested) {
+  Allocation out;
+  for (dfg::NodeId v : g.opIds()) {
+    const dfg::ResourceClass cls = dfg::resourceClassOf(g.node(v).kind);
+    if (out.contains(cls)) continue;
+    auto it = requested.find(cls);
+    if (it != requested.end()) {
+      TAUHLS_CHECK(it->second >= 1,
+                   std::string("allocation must be >= 1 for class ") +
+                       dfg::resourceClassName(cls));
+      out[cls] = it->second;
+    } else {
+      // Unconstrained: enough units for full concurrency.
+      out[cls] = static_cast<int>(minChainCover(g, cls).size());
+    }
+  }
+  return out;
+}
+
+}  // namespace tauhls::sched

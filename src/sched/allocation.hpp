@@ -1,0 +1,20 @@
+// Resource allocation: how many unit instances of each class are available.
+#pragma once
+
+#include <map>
+
+#include "dfg/graph.hpp"
+
+namespace tauhls::sched {
+
+/// Unit-instance counts per resource class (same shape as
+/// dfg::Allocation from the benchmark library).
+using Allocation = std::map<dfg::ResourceClass, int>;
+
+/// Fill in classes the caller omitted (each gets enough units for full
+/// concurrency, i.e. the size of its minimum chain cover) and validate that
+/// every requested count is >= 1.  The result covers exactly the classes with
+/// at least one operation in `g`.
+Allocation normalizeAllocation(const dfg::Dfg& g, const Allocation& requested);
+
+}  // namespace tauhls::sched

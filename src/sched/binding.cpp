@@ -1,0 +1,148 @@
+#include "sched/binding.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dfg/analysis.hpp"
+
+namespace tauhls::sched {
+
+using dfg::Dfg;
+using dfg::NodeId;
+using dfg::ResourceClass;
+
+int Binding::addUnit(ResourceClass cls, int index) {
+  UnitInstance u;
+  u.cls = cls;
+  u.index = index;
+  u.name = std::string(dfg::resourceClassName(cls)) + std::to_string(index + 1);
+  units_.push_back(u);
+  sequences_.emplace_back();
+  return static_cast<int>(units_.size()) - 1;
+}
+
+void Binding::assign(NodeId op, int unitId) {
+  TAUHLS_CHECK(unitId >= 0 && unitId < static_cast<int>(units_.size()),
+               "unit id out of range");
+  TAUHLS_CHECK(unitOf(op) == -1, "op already bound");
+  sequences_[unitId].push_back(op);
+  unitOf_.emplace_back(op, unitId);
+}
+
+const UnitInstance& Binding::unit(int unitId) const {
+  TAUHLS_CHECK(unitId >= 0 && unitId < static_cast<int>(units_.size()),
+               "unit id out of range");
+  return units_[unitId];
+}
+
+int Binding::unitOf(NodeId op) const {
+  for (const auto& [node, unit] : unitOf_) {
+    if (node == op) return unit;
+  }
+  return -1;
+}
+
+const std::vector<NodeId>& Binding::sequenceOf(int unitId) const {
+  TAUHLS_CHECK(unitId >= 0 && unitId < static_cast<int>(units_.size()),
+               "unit id out of range");
+  return sequences_[unitId];
+}
+
+std::vector<int> Binding::unitsOfClass(ResourceClass cls) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    if (units_[i].cls == cls) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+Binding bindFromSteps(const Dfg& g, const StepSchedule& steps,
+                      const Allocation& alloc) {
+  validateStepSchedule(g, steps, &alloc);
+  Binding b;
+  // Create every allocated unit of classes that actually occur.
+  std::map<ResourceClass, std::vector<int>> unitIds;
+  for (const auto& [cls, count] : alloc) {
+    if (g.opsOfClass(cls).empty()) continue;
+    for (int i = 0; i < count; ++i) unitIds[cls].push_back(b.addUnit(cls, i));
+  }
+  // Last op bound on each unit (for the predecessor-affinity heuristic).
+  std::vector<NodeId> lastOn(b.numUnits(), dfg::kNoNode);
+
+  for (int step = 0; step < steps.numSteps; ++step) {
+    std::map<ResourceClass, std::vector<int>> freeUnits = unitIds;
+    for (NodeId v : steps.opsInStep(g, step)) {
+      const ResourceClass cls = dfg::resourceClassOf(g.node(v).kind);
+      auto it = freeUnits.find(cls);
+      TAUHLS_CHECK(it != freeUnits.end() && !it->second.empty(),
+                   "step schedule exceeds allocation for class " +
+                       std::string(dfg::resourceClassName(cls)));
+      // Prefer a free unit whose last op produced one of v's operands.
+      std::size_t pick = 0;
+      const std::vector<NodeId> preds = g.dataPredecessors(v);
+      for (std::size_t i = 0; i < it->second.size(); ++i) {
+        NodeId last = lastOn[it->second[i]];
+        if (last != dfg::kNoNode &&
+            std::find(preds.begin(), preds.end(), last) != preds.end()) {
+          pick = i;
+          break;
+        }
+      }
+      const int unitId = it->second[pick];
+      it->second.erase(it->second.begin() + static_cast<long>(pick));
+      b.assign(v, unitId);
+      lastOn[unitId] = v;
+    }
+  }
+  // Prune allocated units that received no operations (hardware for them
+  // would be optimized away); renumber per class to keep names dense.
+  Binding pruned;
+  std::map<ResourceClass, int> nextIndex;
+  for (std::size_t u = 0; u < b.numUnits(); ++u) {
+    const auto& seq = b.sequenceOf(static_cast<int>(u));
+    if (seq.empty()) continue;
+    const ResourceClass cls = b.unit(static_cast<int>(u)).cls;
+    const int id = pruned.addUnit(cls, nextIndex[cls]++);
+    for (NodeId v : seq) pruned.assign(v, id);
+  }
+  validateBinding(g, pruned);
+  return pruned;
+}
+
+void addSerializationArcs(Dfg& g, const Binding& binding) {
+  for (std::size_t u = 0; u < binding.numUnits(); ++u) {
+    const std::vector<NodeId>& seq = binding.sequenceOf(static_cast<int>(u));
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      if (!dfg::reaches(g, seq[i], seq[i + 1])) {
+        g.addScheduleArc(seq[i], seq[i + 1]);
+      }
+    }
+  }
+}
+
+void validateBinding(const Dfg& g, const Binding& binding) {
+  std::vector<int> seen(g.numNodes(), 0);
+  for (std::size_t u = 0; u < binding.numUnits(); ++u) {
+    const UnitInstance& unit = binding.unit(static_cast<int>(u));
+    for (NodeId v : binding.sequenceOf(static_cast<int>(u))) {
+      TAUHLS_CHECK(g.isOp(v), "binding assigns a non-op node");
+      TAUHLS_CHECK(dfg::resourceClassOf(g.node(v).kind) == unit.cls,
+                   "op bound to a unit of the wrong class: " + g.node(v).name);
+      TAUHLS_CHECK(++seen[v] == 1, "op bound twice: " + g.node(v).name);
+    }
+    // Sequence order must not contradict dependences.
+    const std::vector<NodeId>& seq = binding.sequenceOf(static_cast<int>(u));
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      for (std::size_t j = i + 1; j < seq.size(); ++j) {
+        TAUHLS_CHECK(!dfg::reaches(g, seq[j], seq[i]),
+                     "unit sequence contradicts dependences between " +
+                         g.node(seq[i]).name + " and " + g.node(seq[j]).name);
+      }
+    }
+  }
+  for (NodeId v : g.opIds()) {
+    TAUHLS_CHECK(seen[v] == 1, "op left unbound: " + g.node(v).name);
+  }
+}
+
+}  // namespace tauhls::sched

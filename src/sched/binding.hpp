@@ -1,0 +1,63 @@
+// Resource binding: assignment of operations to concrete unit instances, and
+// the per-unit execution order the distributed controllers will realize.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "sched/allocation.hpp"
+#include "sched/steps.hpp"
+
+namespace tauhls::sched {
+
+/// One allocated arithmetic unit.
+struct UnitInstance {
+  dfg::ResourceClass cls = dfg::ResourceClass::None;
+  int index = 0;      ///< 0-based within the class
+  std::string name;   ///< e.g. "mult1", "adder2" (1-based, as in the paper)
+};
+
+class Binding {
+ public:
+  /// Register a unit; returns its dense id.
+  int addUnit(dfg::ResourceClass cls, int index);
+
+  /// Append `op` to unit `unitId`'s execution sequence.
+  void assign(dfg::NodeId op, int unitId);
+
+  std::size_t numUnits() const { return units_.size(); }
+  const UnitInstance& unit(int unitId) const;
+  const std::vector<UnitInstance>& units() const { return units_; }
+
+  /// Unit id executing `op`; -1 when unbound (e.g. inputs).
+  int unitOf(dfg::NodeId op) const;
+
+  /// Execution order of ops on `unitId`.
+  const std::vector<dfg::NodeId>& sequenceOf(int unitId) const;
+
+  /// Unit ids of one class, ascending by index.
+  std::vector<int> unitsOfClass(dfg::ResourceClass cls) const;
+
+ private:
+  std::vector<UnitInstance> units_;
+  std::vector<std::vector<dfg::NodeId>> sequences_;
+  std::vector<std::pair<dfg::NodeId, int>> unitOf_;
+};
+
+/// Left-edge-style binding from a step schedule: ops are assigned within each
+/// step to the lowest-numbered free unit of their class, preferring a unit
+/// whose previous op is a data predecessor (fewer cross-controller signals).
+Binding bindFromSteps(const dfg::Dfg& g, const StepSchedule& steps,
+                      const Allocation& alloc);
+
+/// Add schedule arcs serializing consecutive same-unit ops that are not
+/// already ordered by existing edges (paper §3, Fig. 3(c)).
+void addSerializationArcs(dfg::Dfg& g, const Binding& binding);
+
+/// Throws unless the binding is complete and consistent: every op bound to a
+/// unit of its class, sequences are duplicate-free and respect data+schedule
+/// dependences (no op may precede, in its unit's sequence, a node it depends on).
+void validateBinding(const dfg::Dfg& g, const Binding& binding);
+
+}  // namespace tauhls::sched

@@ -1,0 +1,157 @@
+#include "sched/clique.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dfg/analysis.hpp"
+
+namespace tauhls::sched {
+
+using dfg::Dfg;
+using dfg::NodeId;
+using dfg::ResourceClass;
+
+namespace {
+
+/// Simple augmenting-path bipartite matching.  adj[u] lists right-side
+/// vertices reachable from left vertex u; returns matchL (right partner of
+/// each left vertex, or -1).
+std::vector<int> maxBipartiteMatching(const std::vector<std::vector<int>>& adj,
+                                      int numRight) {
+  const int numLeft = static_cast<int>(adj.size());
+  std::vector<int> matchL(numLeft, -1);
+  std::vector<int> matchR(numRight, -1);
+  std::vector<bool> visited;
+
+  std::function<bool(int)> tryAugment = [&](int u) -> bool {
+    for (int v : adj[u]) {
+      if (visited[v]) continue;
+      visited[v] = true;
+      if (matchR[v] == -1 || tryAugment(matchR[v])) {
+        matchL[u] = v;
+        matchR[v] = u;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (int u = 0; u < numLeft; ++u) {
+    visited.assign(numRight, false);
+    tryAugment(u);
+  }
+  return matchL;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> minChainCover(const Dfg& g, ResourceClass cls) {
+  const std::vector<NodeId> ops = g.opsOfClass(cls);
+  const int n = static_cast<int>(ops.size());
+  if (n == 0) return {};
+
+  const auto closure = dfg::reachabilityClosure(g);
+  // Dilworth via König: left copy = chain predecessors, right copy = chain
+  // successors; edge (i, j) when ops[i] reaches ops[j].
+  std::vector<std::vector<int>> adj(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && closure[ops[i]][ops[j]]) adj[i].push_back(j);
+    }
+  }
+  const std::vector<int> nextOf = maxBipartiteMatching(adj, n);
+  std::vector<bool> isChainHead(n, true);
+  for (int i = 0; i < n; ++i) {
+    if (nextOf[i] != -1) isChainHead[nextOf[i]] = false;
+  }
+  std::vector<std::vector<NodeId>> chains;
+  for (int i = 0; i < n; ++i) {
+    if (!isChainHead[i]) continue;
+    std::vector<NodeId> chain;
+    for (int cur = i; cur != -1; cur = nextOf[cur]) chain.push_back(ops[cur]);
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+namespace {
+
+/// Topologically order `members` consistently with `g`'s dependences.
+std::vector<NodeId> orderMembers(const Dfg& g, std::vector<NodeId> members) {
+  std::vector<int> pos(g.numNodes(), -1);
+  const std::vector<NodeId> topo = dfg::topologicalOrder(g);
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = static_cast<int>(i);
+  std::sort(members.begin(), members.end(),
+            [&pos](NodeId a, NodeId b) { return pos[a] < pos[b]; });
+  return members;
+}
+
+/// Critical path of `g` if the chain `merged` were serialized by arcs between
+/// consecutive not-yet-ordered members; returns -1 when the merge would
+/// create a cycle.
+int mergedCriticalPath(const Dfg& g, const std::vector<NodeId>& merged,
+                       const dfg::DurationFn& dur) {
+  Dfg trial = g;  // graphs are HLS-sized; copying is cheap and keeps `g` clean
+  for (std::size_t i = 0; i + 1 < merged.size(); ++i) {
+    if (dfg::reaches(trial, merged[i], merged[i + 1])) continue;
+    if (dfg::reaches(trial, merged[i + 1], merged[i])) return -1;
+    trial.addScheduleArc(merged[i], merged[i + 1]);
+  }
+  return dfg::criticalPathLength(trial, dur);
+}
+
+}  // namespace
+
+Binding cliqueSchedule(Dfg& g, const Allocation& alloc,
+                       const dfg::DurationFn& worstCaseDuration) {
+  const Allocation norm = normalizeAllocation(g, alloc);
+  Binding binding;
+  for (const auto& [cls, count] : norm) {
+    std::vector<std::vector<NodeId>> chains = minChainCover(g, cls);
+    // Merge down to the allocation.
+    while (static_cast<int>(chains.size()) > count) {
+      int bestA = -1;
+      int bestB = -1;
+      int bestCost = -1;
+      std::vector<NodeId> bestMerged;
+      for (std::size_t a = 0; a < chains.size(); ++a) {
+        for (std::size_t b = 0; b < chains.size(); ++b) {
+          if (a == b) continue;
+          std::vector<NodeId> merged = chains[a];
+          merged.insert(merged.end(), chains[b].begin(), chains[b].end());
+          merged = orderMembers(g, std::move(merged));
+          const int cost = mergedCriticalPath(g, merged, worstCaseDuration);
+          if (cost < 0) continue;
+          if (bestCost < 0 || cost < bestCost) {
+            bestA = static_cast<int>(a);
+            bestB = static_cast<int>(b);
+            bestCost = cost;
+            bestMerged = std::move(merged);
+          }
+        }
+      }
+      TAUHLS_ASSERT(bestA >= 0, "no feasible chain merge found");
+      // Replace chain A by the merge, drop chain B.
+      chains[static_cast<std::size_t>(bestA)] = std::move(bestMerged);
+      chains.erase(chains.begin() + bestB);
+    }
+    // Commit arcs and bind each chain to one unit.
+    int index = 0;
+    for (std::vector<NodeId>& chain : chains) {
+      chain = orderMembers(g, std::move(chain));
+      for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+        if (!dfg::reaches(g, chain[i], chain[i + 1])) {
+          g.addScheduleArc(chain[i], chain[i + 1]);
+        }
+      }
+      const int unitId = binding.addUnit(cls, index++);
+      for (NodeId v : chain) binding.assign(v, unitId);
+    }
+    // Allocation may exceed need; unused units are simply not created, which
+    // matches hardware reality (they would be optimized away).
+  }
+  validateBinding(g, binding);
+  return binding;
+}
+
+}  // namespace tauhls::sched

@@ -1,0 +1,36 @@
+// The paper's §3 scheduling method: build the dependency graph of the
+// operations of one resource class, cover it with a minimum number of cliques
+// (a clique of the comparability graph is a dependence *chain*, so the
+// minimum clique cover equals Dilworth's minimum chain cover, computed
+// exactly via bipartite matching), and -- when fewer units are allocated than
+// chains exist -- insert schedule arcs that merge chains while minimizing the
+// worst-case critical-path growth (paper Fig. 3(b): dotted edges).
+#pragma once
+
+#include <vector>
+
+#include "dfg/analysis.hpp"
+#include "dfg/graph.hpp"
+#include "sched/allocation.hpp"
+#include "sched/binding.hpp"
+
+namespace tauhls::sched {
+
+/// Minimum chain cover of the ops of `cls` under the reachability partial
+/// order of `g` (data edges + existing schedule arcs).  Each chain is in
+/// dependence order.  The number of chains is the minimum number of units of
+/// `cls` executing `g` with no concurrency loss (paper: "at least three
+/// TAU-multipliers are required").
+std::vector<std::vector<dfg::NodeId>> minChainCover(const dfg::Dfg& g,
+                                                    dfg::ResourceClass cls);
+
+/// Schedule-arc-based scheduling: for every class, reduce the chain cover to
+/// at most the allocated unit count by inserting schedule arcs into `g`
+/// (choosing, among all pairwise chain merges, one minimizing the worst-case
+/// critical path), then bind each resulting chain to one unit.
+/// `worstCaseDuration(op)` gives the per-op cycle count used for the merge
+/// cost (typically 2 for TAU-class ops, 1 otherwise).
+Binding cliqueSchedule(dfg::Dfg& g, const Allocation& alloc,
+                       const dfg::DurationFn& worstCaseDuration);
+
+}  // namespace tauhls::sched

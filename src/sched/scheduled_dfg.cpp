@@ -1,0 +1,83 @@
+#include "sched/scheduled_dfg.hpp"
+
+#include "common/error.hpp"
+#include "sched/clique.hpp"
+
+namespace tauhls::sched {
+
+bool ScheduledDfg::unitIsTelescopic(int unitId) const {
+  const dfg::ResourceClass cls = binding.unit(unitId).cls;
+  return library.has(cls) && library.typeFor(cls).telescopic;
+}
+
+int ScheduledDfg::opCycles(dfg::NodeId v, bool shortClass) const {
+  const dfg::ResourceClass cls = dfg::resourceClassOf(graph.node(v).kind);
+  return tau::cyclesFor(library.typeFor(cls), shortClass, clockNs);
+}
+
+dfg::DurationFn ScheduledDfg::worstCaseDurations() const {
+  return [this](dfg::NodeId v) {
+    return graph.isInput(v) ? 0 : opCycles(v, /*shortClass=*/false);
+  };
+}
+
+dfg::DurationFn ScheduledDfg::bestCaseDurations() const {
+  return [this](dfg::NodeId v) {
+    return graph.isInput(v) ? 0 : opCycles(v, /*shortClass=*/true);
+  };
+}
+
+ScheduledDfg scheduleAndBind(const dfg::Dfg& g, const Allocation& alloc,
+                             const tau::ResourceLibrary& lib,
+                             BindingStrategy strategy, PriorityRule priority) {
+  g.validate();
+  for (dfg::NodeId v : g.opIds()) {
+    const dfg::ResourceClass cls = dfg::resourceClassOf(g.node(v).kind);
+    TAUHLS_CHECK(lib.has(cls),
+                 std::string("resource library lacks class ") +
+                     dfg::resourceClassName(cls) + " required by op " +
+                     g.node(v).name);
+  }
+
+  ScheduledDfg out;
+  out.graph = g;
+  out.library = lib;
+  out.clockNs = tau::tauClockNs(lib);
+  // The controller generators model two-level TAUs (paper §2.1: one or two
+  // clock cycles); reject libraries whose long delay needs more cycles.
+  for (dfg::ResourceClass cls : lib.classes()) {
+    const tau::UnitType& type = lib.typeFor(cls);
+    if (type.telescopic) {
+      TAUHLS_CHECK(tau::cyclesFor(type, false, out.clockNs) <= 2,
+                   "telescopic unit '" + type.name +
+                       "' is not two-level: LD exceeds two clock periods");
+    } else {
+      TAUHLS_CHECK(tau::cyclesFor(type, true, out.clockNs) == 1,
+                   "fixed unit '" + type.name +
+                       "' must fit in one clock period");
+    }
+  }
+  const Allocation norm = normalizeAllocation(g, alloc);
+
+  if (strategy == BindingStrategy::LeftEdge) {
+    out.steps = listSchedule(out.graph, norm, priority);
+    out.binding = bindFromSteps(out.graph, out.steps, norm);
+    addSerializationArcs(out.graph, out.binding);
+  } else {
+    const dfg::DurationFn worst = [&](dfg::NodeId v) {
+      if (g.isInput(v)) return 0;
+      const dfg::ResourceClass cls = dfg::resourceClassOf(g.node(v).kind);
+      return tau::cyclesFor(lib.typeFor(cls), /*shortClass=*/false,
+                            tau::tauClockNs(lib));
+    };
+    out.binding = cliqueSchedule(out.graph, norm, worst);
+    // Steps for the centralized baselines, consistent with the inserted arcs.
+    out.steps = listSchedule(out.graph, norm);
+  }
+  validateStepSchedule(out.graph, out.steps, &norm);
+  validateBinding(out.graph, out.binding);
+  out.taubm = buildTaubm(out.graph, out.steps, lib);
+  return out;
+}
+
+}  // namespace tauhls::sched

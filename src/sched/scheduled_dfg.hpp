@@ -1,0 +1,47 @@
+// The complete scheduling artifact consumed by controller generation and
+// simulation: the (arc-augmented) graph, the binding, the step schedule used
+// by the centralized baselines, and the timing context.
+#pragma once
+
+#include "dfg/analysis.hpp"
+#include "dfg/graph.hpp"
+#include "sched/binding.hpp"
+#include "sched/steps.hpp"
+#include "sched/taubm_dfg.hpp"
+#include "tau/clocking.hpp"
+#include "tau/library.hpp"
+
+namespace tauhls::sched {
+
+enum class BindingStrategy {
+  LeftEdge,     ///< list schedule + left-edge binding + serialization arcs
+  CliqueCover,  ///< the paper's §3 chain/clique method (schedule-arc insertion)
+};
+
+struct ScheduledDfg {
+  dfg::Dfg graph;              ///< includes serialization schedule arcs
+  Binding binding;
+  StepSchedule steps;          ///< valid on `graph`
+  TaubmSchedule taubm;         ///< step-split view of `steps`
+  tau::ResourceLibrary library;
+  double clockNs = 0.0;        ///< CC_TAU
+
+  /// True when the unit executes a telescopic class.
+  bool unitIsTelescopic(int unitId) const;
+  /// Cycles op `v` occupies its unit given its operand class.
+  int opCycles(dfg::NodeId v, bool shortClass) const;
+  /// Worst-case per-op duration function (LD cycles for TAU-bound ops).
+  dfg::DurationFn worstCaseDurations() const;
+  /// Best-case per-op duration function (SD everywhere).
+  dfg::DurationFn bestCaseDurations() const;
+};
+
+/// Full scheduling + binding pipeline; validates every intermediate artifact.
+/// `priority` selects the list-scheduling ready-op ordering (LeftEdge only;
+/// the clique strategy derives order from the chain cover).
+ScheduledDfg scheduleAndBind(const dfg::Dfg& g, const Allocation& alloc,
+                             const tau::ResourceLibrary& lib,
+                             BindingStrategy strategy = BindingStrategy::LeftEdge,
+                             PriorityRule priority = PriorityRule::CriticalPath);
+
+}  // namespace tauhls::sched

@@ -1,0 +1,175 @@
+#include "sched/steps.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dfg/analysis.hpp"
+
+namespace tauhls::sched {
+
+using dfg::Dfg;
+using dfg::NodeId;
+
+std::vector<NodeId> StepSchedule::opsInStep(const Dfg& g, int s) const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < g.numNodes(); ++i) {
+    if (g.isOp(i) && stepOf[i] == s) out.push_back(i);
+  }
+  return out;
+}
+
+StepSchedule asap(const Dfg& g) {
+  StepSchedule s;
+  s.stepOf.assign(g.numNodes(), -1);
+  const std::vector<int> dist = dfg::longestPathTo(g, dfg::unitDurations(g));
+  for (NodeId i = 0; i < g.numNodes(); ++i) {
+    if (g.isOp(i)) {
+      s.stepOf[i] = dist[i] - 1;  // dist includes the op's own unit duration
+      s.numSteps = std::max(s.numSteps, dist[i]);
+    }
+  }
+  return s;
+}
+
+StepSchedule alap(const Dfg& g, int numSteps) {
+  const StepSchedule fwd = asap(g);
+  if (numSteps == 0) numSteps = fwd.numSteps;
+  TAUHLS_CHECK(numSteps >= fwd.numSteps,
+               "ALAP budget smaller than the critical path");
+  StepSchedule s;
+  s.stepOf.assign(g.numNodes(), -1);
+  s.numSteps = numSteps;
+  const std::vector<NodeId> order = dfg::topologicalOrder(g);
+  // Walk in reverse topological order: each op is placed as late as its
+  // earliest-scheduled successor allows.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId v = *it;
+    if (!g.isOp(v)) continue;
+    int latest = numSteps - 1;
+    for (NodeId succ : g.combinedSuccessors(v)) {
+      if (g.isOp(succ)) latest = std::min(latest, s.stepOf[succ] - 1);
+    }
+    TAUHLS_ASSERT(latest >= 0, "ALAP underflow despite budget check");
+    s.stepOf[v] = latest;
+  }
+  return s;
+}
+
+StepSchedule listSchedule(const Dfg& g, const Allocation& alloc) {
+  return listSchedule(g, alloc, PriorityRule::CriticalPath);
+}
+
+StepSchedule listSchedule(const Dfg& g, const Allocation& alloc,
+                          PriorityRule rule) {
+  StepSchedule s;
+  s.stepOf.assign(g.numNodes(), -1);
+
+  // Base priority: length of the longest path from the op to any sink (ops
+  // with more downstream work go first).
+  std::vector<int> priority(g.numNodes(), 0);
+  const std::vector<NodeId> order = dfg::topologicalOrder(g);
+  TAUHLS_CHECK(order.size() == g.numNodes(), "listSchedule requires a DAG");
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId v = *it;
+    int best = 0;
+    for (NodeId succ : g.combinedSuccessors(v)) best = std::max(best, priority[succ]);
+    priority[v] = best + (g.isOp(v) ? 1 : 0);
+  }
+  if (rule == PriorityRule::Mobility) {
+    // Mobility = ALAP - ASAP slack; urgent (low-slack) ops first.  Encode as
+    // a composite key: -(maxSlack - slack) dominates, path length breaks ties.
+    const StepSchedule early = asap(g);
+    const StepSchedule late = alap(g);
+    const int scale = static_cast<int>(g.numNodes()) + 1;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      if (!g.isOp(v)) continue;
+      const int slack = late.stepOf[v] - early.stepOf[v];
+      priority[v] = (static_cast<int>(g.numNodes()) - slack) * scale +
+                    priority[v];
+    }
+  }
+
+  std::vector<int> pendingPreds(g.numNodes(), 0);
+  for (NodeId i = 0; i < g.numNodes(); ++i) {
+    for (NodeId p : g.combinedPredecessors(i)) {
+      if (g.isOp(p)) ++pendingPreds[i];
+    }
+  }
+
+  std::size_t scheduled = 0;
+  const std::size_t total = g.numOps();
+  std::vector<NodeId> ready;
+  for (NodeId i = 0; i < g.numNodes(); ++i) {
+    if (g.isOp(i) && pendingPreds[i] == 0) ready.push_back(i);
+  }
+
+  for (int step = 0; scheduled < total; ++step) {
+    TAUHLS_ASSERT(step <= static_cast<int>(total),
+                  "list scheduling failed to make progress");
+    // Highest priority first; ties by id for determinism.
+    std::sort(ready.begin(), ready.end(), [&](NodeId a, NodeId b) {
+      return priority[a] != priority[b] ? priority[a] > priority[b] : a < b;
+    });
+    Allocation used;
+    std::vector<NodeId> placed;
+    std::vector<NodeId> deferred;
+    for (NodeId v : ready) {
+      const dfg::ResourceClass cls = dfg::resourceClassOf(g.node(v).kind);
+      auto limit = alloc.find(cls);
+      if (limit != alloc.end() && used[cls] >= limit->second) {
+        deferred.push_back(v);
+        continue;
+      }
+      ++used[cls];
+      s.stepOf[v] = step;
+      placed.push_back(v);
+      ++scheduled;
+    }
+    s.numSteps = step + 1;
+    ready = std::move(deferred);
+    for (NodeId v : placed) {
+      for (NodeId succ : g.combinedSuccessors(v)) {
+        if (g.isOp(succ) && --pendingPreds[succ] == 0) ready.push_back(succ);
+      }
+    }
+  }
+  return s;
+}
+
+void validateStepSchedule(const Dfg& g, const StepSchedule& s,
+                          const Allocation* alloc) {
+  TAUHLS_CHECK(s.stepOf.size() == g.numNodes(), "schedule size mismatch");
+  for (NodeId i = 0; i < g.numNodes(); ++i) {
+    if (!g.isOp(i)) {
+      TAUHLS_CHECK(s.stepOf[i] == -1, "inputs must not carry a step");
+      continue;
+    }
+    TAUHLS_CHECK(s.stepOf[i] >= 0 && s.stepOf[i] < s.numSteps,
+                 "op step out of range: " + g.node(i).name);
+    for (NodeId p : g.combinedPredecessors(i)) {
+      if (g.isOp(p)) {
+        TAUHLS_CHECK(s.stepOf[p] < s.stepOf[i],
+                     "dependence violated between " + g.node(p).name + " and " +
+                         g.node(i).name);
+      }
+    }
+  }
+  if (alloc != nullptr) {
+    for (int step = 0; step < s.numSteps; ++step) {
+      Allocation used;
+      for (NodeId v : s.opsInStep(g, step)) {
+        ++used[dfg::resourceClassOf(g.node(v).kind)];
+      }
+      for (const auto& [cls, count] : used) {
+        auto limit = alloc->find(cls);
+        if (limit != alloc->end()) {
+          TAUHLS_CHECK(count <= limit->second,
+                       std::string("allocation exceeded for class ") +
+                           dfg::resourceClassName(cls));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tauhls::sched

@@ -1,0 +1,48 @@
+// Time-step scheduling (synchronous scheduling in the paper's §3 sense):
+// every operation is assigned to one control step; all operations take one
+// step (the original clock CC accommodates every unit's worst-case delay).
+#pragma once
+
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "sched/allocation.hpp"
+
+namespace tauhls::sched {
+
+struct StepSchedule {
+  /// Step index per node (data nodes only; inputs carry -1).
+  std::vector<int> stepOf;
+  int numSteps = 0;
+
+  /// Ops scheduled in step `s`, ascending by id.
+  std::vector<dfg::NodeId> opsInStep(const dfg::Dfg& g, int s) const;
+};
+
+/// As-soon-as-possible schedule (unconstrained).
+StepSchedule asap(const dfg::Dfg& g);
+
+/// As-late-as-possible schedule within `numSteps` (0 = use the ASAP length).
+StepSchedule alap(const dfg::Dfg& g, int numSteps = 0);
+
+/// Ready-op ordering rule for list scheduling.
+enum class PriorityRule {
+  CriticalPath,  ///< longest path to a sink first (the default)
+  Mobility,      ///< smallest ALAP - ASAP slack first (ties: critical path)
+};
+
+/// Resource-constrained list scheduling with critical-path priority.
+/// Classes absent from `alloc` are unconstrained.
+StepSchedule listSchedule(const dfg::Dfg& g, const Allocation& alloc);
+
+/// List scheduling with an explicit priority rule.
+StepSchedule listSchedule(const dfg::Dfg& g, const Allocation& alloc,
+                          PriorityRule rule);
+
+/// Throws unless `s` is a valid schedule for `g`: every op has a step, data
+/// predecessors are in strictly earlier steps, and (when `alloc` is given)
+/// per-step class usage never exceeds the allocation.
+void validateStepSchedule(const dfg::Dfg& g, const StepSchedule& s,
+                          const Allocation* alloc = nullptr);
+
+}  // namespace tauhls::sched

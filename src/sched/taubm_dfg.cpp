@@ -1,0 +1,36 @@
+#include "sched/taubm_dfg.hpp"
+
+#include "common/error.hpp"
+
+namespace tauhls::sched {
+
+int TaubmSchedule::bestCaseCycles() const {
+  return static_cast<int>(steps.size());
+}
+
+int TaubmSchedule::worstCaseCycles() const {
+  int cycles = 0;
+  for (const TaubmStep& s : steps) cycles += s.split ? 2 : 1;
+  return cycles;
+}
+
+TaubmSchedule buildTaubm(const dfg::Dfg& g, const StepSchedule& steps,
+                         const tau::ResourceLibrary& lib) {
+  validateStepSchedule(g, steps);
+  TaubmSchedule out;
+  for (int s = 0; s < steps.numSteps; ++s) {
+    TaubmStep step;
+    step.originalStep = s;
+    step.ops = steps.opsInStep(g, s);
+    TAUHLS_CHECK(!step.ops.empty(), "empty time step in schedule");
+    for (dfg::NodeId v : step.ops) {
+      const dfg::ResourceClass cls = dfg::resourceClassOf(g.node(v).kind);
+      if (lib.has(cls) && lib.typeFor(cls).telescopic) step.tauOps.push_back(v);
+    }
+    step.split = !step.tauOps.empty();
+    out.steps.push_back(std::move(step));
+  }
+  return out;
+}
+
+}  // namespace tauhls::sched

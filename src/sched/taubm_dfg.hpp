@@ -1,0 +1,37 @@
+// TAUBM DFG transform (paper §2.2, Fig. 2(b)).
+//
+// Starting from a step schedule on the original clock, every step containing
+// operations bound to telescopic units is split into T_i and T_i'; TAU-bound
+// operations span both halves (the second half is skipped when every TAU op
+// of the step completes within SD), while fixed ops stay in T_i only.
+#pragma once
+
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "sched/steps.hpp"
+#include "tau/library.hpp"
+
+namespace tauhls::sched {
+
+struct TaubmStep {
+  int originalStep = 0;
+  std::vector<dfg::NodeId> ops;     ///< all ops of the step
+  std::vector<dfg::NodeId> tauOps;  ///< subset bound to telescopic classes
+  bool split = false;               ///< true when the step has a T_i' half
+};
+
+struct TaubmSchedule {
+  std::vector<TaubmStep> steps;
+
+  /// Cycles when every TAU op hits SD (gray halves skipped).
+  int bestCaseCycles() const;
+  /// Cycles when every TAU op needs LD (every split step spends both halves).
+  int worstCaseCycles() const;
+};
+
+/// Build the TAUBM schedule; `lib` decides which classes are telescopic.
+TaubmSchedule buildTaubm(const dfg::Dfg& g, const StepSchedule& steps,
+                         const tau::ResourceLibrary& lib);
+
+}  // namespace tauhls::sched

@@ -1,0 +1,51 @@
+#include "sim/classes.hpp"
+
+#include <random>
+
+#include "common/error.hpp"
+
+namespace tauhls::sim {
+
+OperandClasses allShort(const sched::ScheduledDfg& s) {
+  OperandClasses c;
+  c.shortClass.assign(s.graph.numNodes(), true);
+  return c;
+}
+
+OperandClasses allLong(const sched::ScheduledDfg& s) {
+  OperandClasses c;
+  c.shortClass.assign(s.graph.numNodes(), false);
+  return c;
+}
+
+std::vector<dfg::NodeId> tauOps(const sched::ScheduledDfg& s) {
+  std::vector<dfg::NodeId> out;
+  for (dfg::NodeId v : s.graph.opIds()) {
+    const int u = s.binding.unitOf(v);
+    TAUHLS_ASSERT(u >= 0, "unbound op in scheduled DFG");
+    if (s.unitIsTelescopic(u)) out.push_back(v);
+  }
+  return out;
+}
+
+OperandClasses fromMask(const sched::ScheduledDfg& s, std::uint64_t mask) {
+  const std::vector<dfg::NodeId> taus = tauOps(s);
+  TAUHLS_CHECK(taus.size() <= 64, "mask enumeration limited to 64 TAU ops");
+  OperandClasses c = allShort(s);
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    c.shortClass[taus[i]] = (mask >> i) & 1;
+  }
+  return c;
+}
+
+OperandClasses randomClasses(const sched::ScheduledDfg& s, double p,
+                             std::uint64_t seed) {
+  TAUHLS_CHECK(p >= 0.0 && p <= 1.0, "P must lie in [0,1]");
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution sd(p);
+  OperandClasses c = allShort(s);
+  for (dfg::NodeId v : tauOps(s)) c.shortClass[v] = sd(rng);
+  return c;
+}
+
+}  // namespace tauhls::sim

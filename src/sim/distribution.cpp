@@ -1,0 +1,58 @@
+#include "sim/distribution.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tauhls::sim {
+
+double LatencyDistribution::mean() const {
+  double m = 0.0;
+  for (const auto& [cycles, prob] : pmf) m += cycles * prob;
+  return m;
+}
+
+int LatencyDistribution::quantile(double q) const {
+  TAUHLS_CHECK(q >= 0.0 && q <= 1.0, "quantile must lie in [0,1]");
+  TAUHLS_CHECK(!pmf.empty(), "empty distribution");
+  double cumulative = 0.0;
+  for (const auto& [cycles, prob] : pmf) {
+    cumulative += prob;
+    if (cumulative >= q - 1e-12) return cycles;
+  }
+  return pmf.rbegin()->first;
+}
+
+int LatencyDistribution::minCycles() const {
+  TAUHLS_CHECK(!pmf.empty(), "empty distribution");
+  return pmf.begin()->first;
+}
+
+int LatencyDistribution::maxCycles() const {
+  TAUHLS_CHECK(!pmf.empty(), "empty distribution");
+  return pmf.rbegin()->first;
+}
+
+LatencyDistribution latencyDistribution(const sched::ScheduledDfg& s,
+                                        ControlStyle style, double p) {
+  TAUHLS_CHECK(p >= 0.0 && p <= 1.0, "P must lie in [0,1]");
+  const int n = static_cast<int>(tauOps(s).size());
+  TAUHLS_CHECK(n <= 20, "exact distribution limited to 20 TAU ops");
+  const MakespanEngine engine(s);
+  LatencyDistribution dist;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    const int shortCount = std::popcount(mask);
+    const double weight =
+        std::pow(p, shortCount) * std::pow(1.0 - p, n - shortCount);
+    if (weight == 0.0) continue;
+    const OperandClasses classes = fromMask(s, mask);
+    const int cycles = style == ControlStyle::Distributed
+                           ? engine.distributedCycles(classes)
+                           : engine.syncCycles(classes);
+    dist.pmf[cycles] += weight;
+  }
+  return dist;
+}
+
+}  // namespace tauhls::sim

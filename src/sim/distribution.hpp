@@ -1,0 +1,30 @@
+// Exact latency distributions.
+//
+// Table 2 reports only expected latencies; for real-time budgeting the full
+// probability mass function matters.  With <= 20 TAU ops the pmf over
+// makespan cycles is computed exactly by enumerating the 2^n operand-class
+// assignments with their Bernoulli(P) weights.
+#pragma once
+
+#include <map>
+
+#include "sim/stats.hpp"
+
+namespace tauhls::sim {
+
+struct LatencyDistribution {
+  /// cycles -> probability (sums to 1).
+  std::map<int, double> pmf;
+
+  double mean() const;
+  /// Smallest cycle count c with P(latency <= c) >= q.
+  int quantile(double q) const;
+  int minCycles() const;
+  int maxCycles() const;
+};
+
+/// Exact pmf under `style` at SD-ratio `p`; requires <= 20 TAU ops.
+LatencyDistribution latencyDistribution(const sched::ScheduledDfg& s,
+                                        ControlStyle style, double p);
+
+}  // namespace tauhls::sim

@@ -1,0 +1,55 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tauhls::sim {
+
+std::string renderGantt(const sched::ScheduledDfg& s,
+                        const OperandClasses& classes) {
+  const std::vector<int> finish = distributedFinishCycles(s, classes);
+  const int total = distributedMakespanCycles(s, classes);
+
+  // Column width: longest op name + 1.
+  std::size_t cell = 2;
+  for (dfg::NodeId v : s.graph.opIds()) {
+    cell = std::max(cell, s.graph.node(v).name.size() + 1);
+  }
+  std::size_t label = 4;
+  for (const sched::UnitInstance& u : s.binding.units()) {
+    label = std::max(label, u.name.size());
+  }
+
+  std::ostringstream os;
+  os << std::string(label, ' ') << " |";
+  for (int c = 0; c < total; ++c) {
+    std::string h = std::to_string(c);
+    h.resize(cell, ' ');
+    os << h;
+  }
+  os << "\n";
+
+  for (std::size_t u = 0; u < s.binding.numUnits(); ++u) {
+    std::string row(static_cast<std::size_t>(total) * cell, '.');
+    for (dfg::NodeId v : s.binding.sequenceOf(static_cast<int>(u))) {
+      const int dur = s.opCycles(v, classes.isShort(v));
+      const int start = finish[v] - dur + 1;
+      for (int c = start; c <= finish[v]; ++c) {
+        std::string tag = c == start ? s.graph.node(v).name
+                                     : "+" + s.graph.node(v).name;
+        tag.resize(cell, ' ');
+        TAUHLS_ASSERT(c >= 0 && c < total, "op outside the makespan window");
+        std::copy(tag.begin(), tag.end(),
+                  row.begin() + static_cast<long>(c) * static_cast<long>(cell));
+      }
+    }
+    std::string name = s.binding.unit(static_cast<int>(u)).name;
+    name.resize(label, ' ');
+    os << name << " |" << row << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tauhls::sim

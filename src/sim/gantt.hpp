@@ -1,0 +1,16 @@
+// Text Gantt rendering of a distributed execution: one row per arithmetic
+// unit, one column per clock cycle, showing which operation occupies the
+// unit (LD second cycles marked with '+').  Used by examples and docs.
+#pragma once
+
+#include <string>
+
+#include "sim/makespan.hpp"
+
+namespace tauhls::sim {
+
+/// Render the distributed schedule of one iteration under `classes`.
+std::string renderGantt(const sched::ScheduledDfg& s,
+                        const OperandClasses& classes);
+
+}  // namespace tauhls::sim

@@ -1,0 +1,273 @@
+#include "sim/interp.hpp"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "fsm/signal.hpp"
+
+namespace tauhls::sim {
+
+using dfg::NodeId;
+
+bool SimTrace::asserted(int cycle, const std::string& signal) const {
+  if (cycle < 0 || cycle >= static_cast<int>(outputsPerCycle.size())) return false;
+  const auto& v = outputsPerCycle[cycle];
+  return std::find(v.begin(), v.end(), signal) != v.end();
+}
+
+int SimTrace::firstCycle(const std::string& signal) const {
+  for (std::size_t c = 0; c < outputsPerCycle.size(); ++c) {
+    if (asserted(static_cast<int>(c), signal)) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+namespace {
+
+/// Parse "S<i>", "S<i>p", "R<i>" into (kind, index); kind 'S' means the op's
+/// first execution cycle, 'P' the LD second cycle, 'R' a ready-wait state.
+struct ParsedState {
+  char kind = '?';
+  int index = -1;
+};
+
+ParsedState parseState(const std::string& name) {
+  ParsedState p;
+  if (name.size() < 2) return p;
+  const bool primed = name.back() == 'p';
+  const std::string digits = name.substr(1, name.size() - 1 - (primed ? 1 : 0));
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return p;
+  }
+  p.index = std::stoi(digits);
+  if (name[0] == 'S') p.kind = primed ? 'P' : 'S';
+  if (name[0] == 'R' && !primed) p.kind = 'R';
+  return p;
+}
+
+}  // namespace
+
+SimTrace runDistributed(const fsm::DistributedControlUnit& dcu,
+                        const sched::ScheduledDfg& s,
+                        const OperandClasses& classes, int maxCycles) {
+  TAUHLS_CHECK(classes.shortClass.size() == s.graph.numNodes(),
+               "operand-class vector size mismatch");
+  const std::size_t n = dcu.controllers.size();
+  std::vector<int> state(n);
+  std::vector<std::set<std::string>> latches(n);
+  for (std::size_t c = 0; c < n; ++c) state[c] = dcu.controllers[c].fsm.initial();
+
+  std::set<std::string> pendingRe;
+  for (NodeId v : s.graph.opIds()) {
+    pendingRe.insert(fsm::registerEnableSignal(s.graph.node(v).name));
+  }
+
+  SimTrace trace;
+  for (int cycle = 0; cycle < maxCycles && !pendingRe.empty(); ++cycle) {
+    // Datapath model: C_<unit> is raised during the first execution cycle of
+    // an SD-class op on that telescopic unit.
+    std::unordered_set<std::string> external;
+    for (std::size_t c = 0; c < n; ++c) {
+      const fsm::UnitController& ctl = dcu.controllers[c];
+      if (!ctl.telescopic) continue;
+      const ParsedState p = parseState(ctl.fsm.stateName(state[c]));
+      if (p.kind == 'S' && classes.isShort(ctl.ops[p.index])) {
+        external.insert(
+            fsm::unitCompletionSignal(s.binding.unit(ctl.unitId)));
+      }
+    }
+    // Completion-pulse fixpoint (emission is independent of CCO inputs in the
+    // generated machines; iterate defensively).
+    std::unordered_set<std::string> emitted;
+    for (int iter = 0;; ++iter) {
+      TAUHLS_ASSERT(iter < 4, "completion-pulse fixpoint did not converge");
+      std::unordered_set<std::string> next;
+      for (std::size_t c = 0; c < n; ++c) {
+        std::unordered_set<std::string> asserted = external;
+        asserted.insert(emitted.begin(), emitted.end());
+        asserted.insert(latches[c].begin(), latches[c].end());
+        const auto r = dcu.controllers[c].fsm.step(state[c], asserted);
+        for (const std::string& o : r.outputs) {
+          if (o.starts_with("CCO_")) next.insert(o);
+        }
+      }
+      if (next == emitted) break;
+      emitted = std::move(next);
+    }
+    // Commit: advance every controller, collect outputs, update latches.
+    std::vector<std::string> cycleOutputs;
+    for (std::size_t c = 0; c < n; ++c) {
+      std::unordered_set<std::string> asserted = external;
+      asserted.insert(emitted.begin(), emitted.end());
+      asserted.insert(latches[c].begin(), latches[c].end());
+      const fsm::Transition* fired = nullptr;
+      for (const fsm::Transition* t :
+           dcu.controllers[c].fsm.transitionsFrom(state[c])) {
+        if (t->guard.evaluate(asserted)) {
+          fired = t;
+          break;
+        }
+      }
+      TAUHLS_ASSERT(fired != nullptr, "controller stuck during simulation");
+      state[c] = fired->to;
+      for (const std::string& o : fired->outputs) {
+        cycleOutputs.push_back(o);
+        pendingRe.erase(o);
+      }
+      // Level-sensitive completion latches: set by the pulse, held for the
+      // rest of the iteration (cleared by the restart strobe in hardware).
+      for (const std::string& sig : dcu.controllers[c].latchedInputs) {
+        if (emitted.contains(sig)) latches[c].insert(sig);
+      }
+    }
+    std::sort(cycleOutputs.begin(), cycleOutputs.end());
+    trace.outputsPerCycle.push_back(std::move(cycleOutputs));
+    std::vector<std::string> externalsSorted(external.begin(), external.end());
+    std::sort(externalsSorted.begin(), externalsSorted.end());
+    trace.externalsPerCycle.push_back(std::move(externalsSorted));
+  }
+  TAUHLS_CHECK(pendingRe.empty(),
+               "distributed simulation did not finish within the cycle bound");
+  trace.latencyCycles = static_cast<int>(trace.outputsPerCycle.size());
+  return trace;
+}
+
+SimTrace runCentSync(const fsm::Fsm& centSync, const sched::ScheduledDfg& s,
+                     const OperandClasses& classes, int maxCycles) {
+  TAUHLS_CHECK(classes.shortClass.size() == s.graph.numNodes(),
+               "operand-class vector size mismatch");
+  std::set<std::string> pendingRe;
+  for (NodeId v : s.graph.opIds()) {
+    pendingRe.insert(fsm::registerEnableSignal(s.graph.node(v).name));
+  }
+
+  SimTrace trace;
+  int state = centSync.initial();
+  for (int cycle = 0; cycle < maxCycles && !pendingRe.empty(); ++cycle) {
+    // Datapath model: in state S_k (first half of step k), the unit executing
+    // a TAU op of that step raises C when the op is SD-class.
+    const ParsedState p = parseState(centSync.stateName(state));
+    TAUHLS_ASSERT(p.kind != '?', "unexpected state name in CENT-SYNC FSM");
+    std::unordered_set<std::string> asserted;
+    if (p.kind == 'S') {
+      const sched::TaubmStep& step = s.taubm.steps[p.index];
+      for (NodeId v : step.tauOps) {
+        if (classes.isShort(v)) {
+          asserted.insert(
+              fsm::unitCompletionSignal(s.binding.unit(s.binding.unitOf(v))));
+        }
+      }
+    }
+    const auto r = centSync.step(state, asserted);
+    state = r.nextState;
+    std::vector<std::string> outs = r.outputs;
+    for (const std::string& o : outs) pendingRe.erase(o);
+    std::sort(outs.begin(), outs.end());
+    trace.outputsPerCycle.push_back(std::move(outs));
+  }
+  TAUHLS_CHECK(pendingRe.empty(),
+               "CENT-SYNC simulation did not finish within the cycle bound");
+  trace.latencyCycles = static_cast<int>(trace.outputsPerCycle.size());
+  return trace;
+}
+
+int compareProductToDistributed(const fsm::DistributedControlUnit& dcu,
+                                const fsm::Fsm& product, std::uint64_t seed,
+                                int numTraces, int traceLength) {
+  std::mt19937_64 rng(seed);
+  const std::size_t n = dcu.controllers.size();
+  for (int t = 0; t < numTraces; ++t) {
+    std::vector<int> state(n);
+    std::vector<std::set<std::string>> latches(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      state[c] = dcu.controllers[c].fsm.initial();
+    }
+    int productState = product.initial();
+
+    for (int cycle = 0; cycle < traceLength; ++cycle) {
+      std::unordered_set<std::string> external;
+      for (const std::string& in : dcu.externalInputs) {
+        if (std::uniform_int_distribution<int>(0, 1)(rng)) external.insert(in);
+      }
+      // Distributed side: pulse fixpoint, then commit.
+      std::unordered_set<std::string> emitted;
+      for (int iter = 0;; ++iter) {
+        TAUHLS_ASSERT(iter < 4, "completion-pulse fixpoint did not converge");
+        std::unordered_set<std::string> next;
+        for (std::size_t c = 0; c < n; ++c) {
+          std::unordered_set<std::string> asserted = external;
+          asserted.insert(emitted.begin(), emitted.end());
+          asserted.insert(latches[c].begin(), latches[c].end());
+          const auto r = dcu.controllers[c].fsm.step(state[c], asserted);
+          for (const std::string& o : r.outputs) {
+            if (o.starts_with("CCO_")) next.insert(o);
+          }
+        }
+        if (next == emitted) break;
+        emitted = std::move(next);
+      }
+      std::vector<std::string> visible;
+      for (std::size_t c = 0; c < n; ++c) {
+        std::unordered_set<std::string> asserted = external;
+        asserted.insert(emitted.begin(), emitted.end());
+        asserted.insert(latches[c].begin(), latches[c].end());
+        const fsm::Transition* fired = nullptr;
+        for (const fsm::Transition* tr :
+             dcu.controllers[c].fsm.transitionsFrom(state[c])) {
+          if (tr->guard.evaluate(asserted)) {
+            fired = tr;
+            break;
+          }
+        }
+        TAUHLS_ASSERT(fired != nullptr, "controller stuck in trace comparison");
+        state[c] = fired->to;
+        for (const std::string& o : fired->outputs) {
+          if (!o.starts_with("CCO_")) visible.push_back(o);
+        }
+        for (const std::string& sig : dcu.controllers[c].latchedInputs) {
+          if (emitted.contains(sig)) latches[c].insert(sig);
+        }
+      }
+      // Product side.
+      auto rp = product.step(productState, external);
+      productState = rp.nextState;
+      std::vector<std::string> productOut = rp.outputs;
+      std::sort(visible.begin(), visible.end());
+      std::sort(productOut.begin(), productOut.end());
+      if (visible != productOut) return cycle;
+    }
+  }
+  return -1;
+}
+
+int compareOnRandomTraces(const fsm::Fsm& a, const fsm::Fsm& b,
+                          std::uint64_t seed, int numTraces, int traceLength) {
+  TAUHLS_CHECK(a.inputs() == b.inputs(),
+               "machines must share an input alphabet for trace comparison");
+  std::mt19937_64 rng(seed);
+  for (int t = 0; t < numTraces; ++t) {
+    int stateA = a.initial();
+    int stateB = b.initial();
+    for (int cycle = 0; cycle < traceLength; ++cycle) {
+      std::unordered_set<std::string> asserted;
+      for (const std::string& in : a.inputs()) {
+        if (std::uniform_int_distribution<int>(0, 1)(rng)) asserted.insert(in);
+      }
+      auto ra = a.step(stateA, asserted);
+      auto rb = b.step(stateB, asserted);
+      std::vector<std::string> oa = ra.outputs;
+      std::vector<std::string> ob = rb.outputs;
+      std::sort(oa.begin(), oa.end());
+      std::sort(ob.begin(), ob.end());
+      if (oa != ob) return cycle;
+      stateA = ra.nextState;
+      stateB = rb.nextState;
+    }
+  }
+  return -1;
+}
+
+}  // namespace tauhls::sim

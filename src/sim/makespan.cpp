@@ -1,0 +1,128 @@
+#include "sim/makespan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dfg/analysis.hpp"
+
+namespace tauhls::sim {
+
+using dfg::NodeId;
+
+std::vector<int> distributedFinishCycles(const sched::ScheduledDfg& s,
+                                         const OperandClasses& classes) {
+  TAUHLS_CHECK(classes.shortClass.size() == s.graph.numNodes(),
+               "operand-class vector size mismatch");
+  std::vector<int> finish(s.graph.numNodes(), -1);
+
+  // Previous op on the same unit.
+  std::vector<NodeId> prevOnUnit(s.graph.numNodes(), dfg::kNoNode);
+  for (std::size_t u = 0; u < s.binding.numUnits(); ++u) {
+    const auto& seq = s.binding.sequenceOf(static_cast<int>(u));
+    for (std::size_t i = 1; i < seq.size(); ++i) prevOnUnit[seq[i]] = seq[i - 1];
+  }
+
+  const std::vector<NodeId> order = dfg::topologicalOrder(s.graph);
+  TAUHLS_ASSERT(order.size() == s.graph.numNodes(), "scheduled graph not a DAG");
+  for (NodeId v : order) {
+    if (!s.graph.isOp(v)) continue;
+    int start = 0;
+    for (NodeId p : s.graph.dataPredecessors(v)) {
+      if (s.graph.isOp(p)) start = std::max(start, finish[p] + 1);
+    }
+    if (prevOnUnit[v] != dfg::kNoNode) {
+      TAUHLS_ASSERT(finish[prevOnUnit[v]] >= 0,
+                    "unit sequence out of topological order");
+      start = std::max(start, finish[prevOnUnit[v]] + 1);
+    }
+    finish[v] = start + s.opCycles(v, classes.isShort(v)) - 1;
+  }
+  return finish;
+}
+
+int distributedMakespanCycles(const sched::ScheduledDfg& s,
+                              const OperandClasses& classes) {
+  const std::vector<int> finish = distributedFinishCycles(s, classes);
+  int last = -1;
+  for (NodeId v : s.graph.opIds()) last = std::max(last, finish[v]);
+  return last + 1;
+}
+
+int syncMakespanCycles(const sched::ScheduledDfg& s,
+                       const OperandClasses& classes) {
+  TAUHLS_CHECK(classes.shortClass.size() == s.graph.numNodes(),
+               "operand-class vector size mismatch");
+  int cycles = 0;
+  for (const sched::TaubmStep& step : s.taubm.steps) {
+    bool anyLong = false;
+    for (NodeId v : step.tauOps) anyLong |= !classes.isShort(v);
+    cycles += anyLong ? 2 : 1;
+  }
+  return cycles;
+}
+
+MakespanEngine::MakespanEngine(const sched::ScheduledDfg& s) {
+  numNodes_ = s.graph.numNodes();
+  const std::vector<NodeId> order = dfg::topologicalOrder(s.graph);
+  TAUHLS_CHECK(order.size() == numNodes_, "scheduled graph not a DAG");
+
+  std::vector<NodeId> prevOnUnit(numNodes_, dfg::kNoNode);
+  for (std::size_t u = 0; u < s.binding.numUnits(); ++u) {
+    const auto& seq = s.binding.sequenceOf(static_cast<int>(u));
+    for (std::size_t i = 1; i < seq.size(); ++i) prevOnUnit[seq[i]] = seq[i - 1];
+  }
+
+  slotOf_.assign(numNodes_, 0);
+  for (NodeId v : order) {
+    if (!s.graph.isOp(v)) continue;
+    OpInfo info;
+    info.id = v;
+    info.shortCycles = s.opCycles(v, true);
+    info.longCycles = s.opCycles(v, false);
+    for (NodeId p : s.graph.dataPredecessors(v)) {
+      if (s.graph.isOp(p)) info.predSlots.push_back(slotOf_[p]);
+    }
+    if (prevOnUnit[v] != dfg::kNoNode) {
+      info.prevOnUnitSlot = static_cast<int>(slotOf_[prevOnUnit[v]]);
+    }
+    slotOf_[v] = static_cast<std::uint32_t>(ops_.size());
+    ops_.push_back(std::move(info));
+  }
+  for (const sched::TaubmStep& step : s.taubm.steps) {
+    steps_.push_back(StepInfo{step.tauOps});
+  }
+}
+
+int MakespanEngine::distributedCycles(const OperandClasses& classes) const {
+  TAUHLS_CHECK(classes.shortClass.size() == numNodes_,
+               "operand-class vector size mismatch");
+  int last = 0;
+  // finish[slot]; stack-friendly local buffer.
+  std::vector<int> finish(ops_.size(), 0);
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const OpInfo& op = ops_[i];
+    int start = 0;
+    for (std::uint32_t p : op.predSlots) start = std::max(start, finish[p] + 1);
+    if (op.prevOnUnitSlot >= 0) {
+      start = std::max(start, finish[op.prevOnUnitSlot] + 1);
+    }
+    const int dur = classes.isShort(op.id) ? op.shortCycles : op.longCycles;
+    finish[i] = start + dur - 1;
+    last = std::max(last, finish[i]);
+  }
+  return ops_.empty() ? 0 : last + 1;
+}
+
+int MakespanEngine::syncCycles(const OperandClasses& classes) const {
+  TAUHLS_CHECK(classes.shortClass.size() == numNodes_,
+               "operand-class vector size mismatch");
+  int cycles = 0;
+  for (const StepInfo& step : steps_) {
+    bool anyLong = false;
+    for (NodeId v : step.tauOps) anyLong |= !classes.isShort(v);
+    cycles += anyLong ? 2 : 1;
+  }
+  return cycles;
+}
+
+}  // namespace tauhls::sim

@@ -1,0 +1,58 @@
+// Abstract cycle-accurate latency engines (DESIGN.md §3 semantics).
+//
+//  * distributedMakespanCycles: the distributed control unit preserves all
+//    concurrency -- op start = max(finish of data predecessors, finish of the
+//    previous op on the same unit) + 1; TAU ops take 1 cycle (SD) or 2 (LD).
+//  * syncMakespanCycles: the CENT-SYNC baseline synchronizes each TAUBM time
+//    step -- a split step costs 2 cycles as soon as *any* of its TAU ops is
+//    in the LD class (paper §2.3 problem 1), 1 otherwise.
+//
+// Both engines are cross-checked against FSM-level interpretation in
+// tests/test_sim.cpp.
+#pragma once
+
+#include "sim/classes.hpp"
+
+namespace tauhls::sim {
+
+/// Makespan (clock cycles) of one iteration under the distributed controllers.
+int distributedMakespanCycles(const sched::ScheduledDfg& s,
+                              const OperandClasses& classes);
+
+/// Makespan (clock cycles) under the synchronized centralized baseline.
+int syncMakespanCycles(const sched::ScheduledDfg& s,
+                       const OperandClasses& classes);
+
+/// Per-op finish cycles of the distributed schedule (diagnostics/Gantt).
+std::vector<int> distributedFinishCycles(const sched::ScheduledDfg& s,
+                                         const OperandClasses& classes);
+
+/// Precomputed evaluation context: topological order, per-op predecessor
+/// lists, same-unit chaining and cycle counts are derived once, making a
+/// single makespan evaluation O(V + E) with no allocation beyond the finish
+/// vector.  Used by the exact-enumeration statistics (65k+ evaluations).
+class MakespanEngine {
+ public:
+  explicit MakespanEngine(const sched::ScheduledDfg& s);
+
+  int distributedCycles(const OperandClasses& classes) const;
+  int syncCycles(const OperandClasses& classes) const;
+
+ private:
+  struct OpInfo {
+    dfg::NodeId id = 0;
+    int shortCycles = 1;
+    int longCycles = 1;
+    std::vector<std::uint32_t> predSlots;  ///< indices into ops_ (data preds)
+    int prevOnUnitSlot = -1;               ///< index into ops_, -1 if first
+  };
+  std::vector<OpInfo> ops_;                 ///< topological order
+  std::vector<std::uint32_t> slotOf_;       ///< NodeId -> slot
+  struct StepInfo {
+    std::vector<dfg::NodeId> tauOps;
+  };
+  std::vector<StepInfo> steps_;
+  std::size_t numNodes_ = 0;
+};
+
+}  // namespace tauhls::sim

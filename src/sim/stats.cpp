@@ -1,0 +1,91 @@
+#include "sim/stats.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tauhls::sim {
+
+int makespanCycles(const sched::ScheduledDfg& s, ControlStyle style,
+                   const OperandClasses& classes) {
+  return style == ControlStyle::Distributed
+             ? distributedMakespanCycles(s, classes)
+             : syncMakespanCycles(s, classes);
+}
+
+int bestCaseCycles(const sched::ScheduledDfg& s, ControlStyle style) {
+  return makespanCycles(s, style, allShort(s));
+}
+
+int worstCaseCycles(const sched::ScheduledDfg& s, ControlStyle style) {
+  return makespanCycles(s, style, allLong(s));
+}
+
+double averageCyclesExact(const sched::ScheduledDfg& s, ControlStyle style,
+                          double p) {
+  TAUHLS_CHECK(p >= 0.0 && p <= 1.0, "P must lie in [0,1]");
+  const std::vector<dfg::NodeId> taus = tauOps(s);
+  const int n = static_cast<int>(taus.size());
+  TAUHLS_CHECK(n <= 20, "exact enumeration limited to 20 TAU ops; use "
+                        "averageCyclesMonteCarlo");
+  const MakespanEngine engine(s);
+  double expectation = 0.0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    const int shortCount = std::popcount(mask);
+    const double weight = std::pow(p, shortCount) *
+                          std::pow(1.0 - p, n - shortCount);
+    if (weight == 0.0) continue;
+    const OperandClasses classes = fromMask(s, mask);
+    const int cycles = style == ControlStyle::Distributed
+                           ? engine.distributedCycles(classes)
+                           : engine.syncCycles(classes);
+    expectation += weight * cycles;
+  }
+  return expectation;
+}
+
+double averageCyclesMonteCarlo(const sched::ScheduledDfg& s, ControlStyle style,
+                               double p, int samples, std::uint64_t seed) {
+  TAUHLS_CHECK(samples > 0, "need at least one sample");
+  const MakespanEngine engine(s);
+  double sum = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const OperandClasses classes =
+        randomClasses(s, p, seed + static_cast<std::uint64_t>(i));
+    sum += style == ControlStyle::Distributed ? engine.distributedCycles(classes)
+                                              : engine.syncCycles(classes);
+  }
+  return sum / samples;
+}
+
+LatencyComparison compareLatencies(const sched::ScheduledDfg& s,
+                                   const std::vector<double>& ps,
+                                   int mcSamples) {
+  const bool exact = tauOps(s).size() <= 20;
+  LatencyComparison out;
+  out.ps = ps;
+  auto row = [&](ControlStyle style) {
+    LatencyRow r;
+    r.bestNs = bestCaseCycles(s, style) * s.clockNs;
+    r.worstNs = worstCaseCycles(s, style) * s.clockNs;
+    for (double p : ps) {
+      const double cycles =
+          exact ? averageCyclesExact(s, style, p)
+                : averageCyclesMonteCarlo(s, style, p, mcSamples);
+      r.averageNs.push_back(cycles * s.clockNs);
+    }
+    return r;
+  };
+  out.tau = row(ControlStyle::CentSync);
+  out.dist = row(ControlStyle::Distributed);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double tau = out.tau.averageNs[i];
+    const double dist = out.dist.averageNs[i];
+    out.enhancementPercent.push_back(tau > 0.0 ? (tau - dist) / tau * 100.0
+                                               : 0.0);
+  }
+  return out;
+}
+
+}  // namespace tauhls::sim

@@ -1,0 +1,60 @@
+// Latency statistics over the Bernoulli(P) operand-class model (Table 2).
+//
+// Two estimators: exact enumeration of all 2^n SD/LD assignments of the n
+// TAU-bound ops (noise-free; used whenever n <= 20 -- every paper benchmark
+// qualifies), and seeded Monte-Carlo sampling for larger designs.  Both are
+// available for both control styles; tests cross-validate them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/makespan.hpp"
+
+namespace tauhls::sim {
+
+enum class ControlStyle {
+  Distributed,  ///< the paper's proposal (LT_DIST)
+  CentSync,     ///< synchronized TAUBM expansion (LT_TAU)
+};
+
+/// Makespan in cycles under `style` for a specific class assignment.
+int makespanCycles(const sched::ScheduledDfg& s, ControlStyle style,
+                   const OperandClasses& classes);
+
+/// Best case: every TAU op in the SD class.
+int bestCaseCycles(const sched::ScheduledDfg& s, ControlStyle style);
+/// Worst case: every TAU op in the LD class.
+int worstCaseCycles(const sched::ScheduledDfg& s, ControlStyle style);
+
+/// Expected makespan (cycles) by exact enumeration; requires <= 20 TAU ops.
+double averageCyclesExact(const sched::ScheduledDfg& s, ControlStyle style,
+                          double p);
+
+/// Expected makespan (cycles) by Monte-Carlo sampling.
+double averageCyclesMonteCarlo(const sched::ScheduledDfg& s, ControlStyle style,
+                               double p, int samples, std::uint64_t seed = 1);
+
+/// One Table 2 row for one control style.
+struct LatencyRow {
+  double bestNs = 0.0;
+  std::vector<double> averageNs;  ///< one entry per requested P
+  double worstNs = 0.0;
+};
+
+/// Full Table 2 entry: LT_TAU (CentSync), LT_DIST (Distributed) and the
+/// paper's enhancement percentages per P value.
+struct LatencyComparison {
+  std::vector<double> ps;
+  LatencyRow tau;
+  LatencyRow dist;
+  std::vector<double> enhancementPercent;  ///< (tau - dist) / tau * 100, per P
+};
+
+/// Compute the comparison with exact averages (Monte-Carlo fallback with
+/// `mcSamples` samples when the design has more than 20 TAU ops).
+LatencyComparison compareLatencies(const sched::ScheduledDfg& s,
+                                   const std::vector<double>& ps,
+                                   int mcSamples = 20000);
+
+}  // namespace tauhls::sim

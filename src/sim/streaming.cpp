@@ -1,0 +1,84 @@
+#include "sim/streaming.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dfg/analysis.hpp"
+
+namespace tauhls::sim {
+
+using dfg::NodeId;
+
+StreamingResult streamingMakespan(
+    const sched::ScheduledDfg& s,
+    const std::vector<OperandClasses>& perIteration) {
+  TAUHLS_CHECK(!perIteration.empty(), "need at least one iteration");
+  const int R = static_cast<int>(perIteration.size());
+
+  const std::vector<NodeId> order = dfg::topologicalOrder(s.graph);
+  TAUHLS_CHECK(order.size() == s.graph.numNodes(), "scheduled graph not a DAG");
+
+  std::vector<NodeId> prevOnUnit(s.graph.numNodes(), dfg::kNoNode);
+  std::vector<NodeId> firstOnUnit;
+  std::vector<NodeId> lastOnUnit;
+  for (std::size_t u = 0; u < s.binding.numUnits(); ++u) {
+    const auto& seq = s.binding.sequenceOf(static_cast<int>(u));
+    TAUHLS_ASSERT(!seq.empty(), "unit without ops in streaming analysis");
+    firstOnUnit.push_back(seq.front());
+    lastOnUnit.push_back(seq.back());
+    for (std::size_t i = 1; i < seq.size(); ++i) prevOnUnit[seq[i]] = seq[i - 1];
+  }
+
+  StreamingResult result;
+  // finish[v] of the previous iteration's ops, carried across iterations.
+  std::vector<int> prevFinish(s.graph.numNodes(), -1);
+  std::vector<int> finish(s.graph.numNodes(), -1);
+  for (int k = 0; k < R; ++k) {
+    const OperandClasses& classes = perIteration[static_cast<std::size_t>(k)];
+    TAUHLS_CHECK(classes.shortClass.size() == s.graph.numNodes(),
+                 "operand-class vector size mismatch");
+    for (NodeId v : order) {
+      if (!s.graph.isOp(v)) continue;
+      int start = 0;
+      for (NodeId p : s.graph.dataPredecessors(v)) {
+        if (s.graph.isOp(p)) start = std::max(start, finish[p] + 1);
+      }
+      if (prevOnUnit[v] != dfg::kNoNode) {
+        start = std::max(start, finish[prevOnUnit[v]] + 1);
+      } else if (k > 0) {
+        // First op of the unit: wraps behind the unit's last op of k-1.
+        const int u = s.binding.unitOf(v);
+        start = std::max(start, prevFinish[lastOnUnit[static_cast<std::size_t>(u)]] + 1);
+      }
+      finish[v] = start + s.opCycles(v, classes.isShort(v)) - 1;
+    }
+    int last = -1;
+    for (NodeId v : s.graph.opIds()) last = std::max(last, finish[v]);
+    result.iterationFinish.push_back(last + 1);
+    prevFinish = finish;
+  }
+  result.totalCycles = result.iterationFinish.back();
+  if (R == 1) {
+    result.avgInitiationInterval = result.totalCycles;
+  } else {
+    result.avgInitiationInterval =
+        static_cast<double>(result.iterationFinish.back() -
+                            result.iterationFinish.front()) /
+        (R - 1);
+  }
+  return result;
+}
+
+StreamingResult streamingMakespanRandom(const sched::ScheduledDfg& s, int R,
+                                        double p, std::uint64_t seed) {
+  TAUHLS_CHECK(R >= 1, "need at least one iteration");
+  std::vector<OperandClasses> perIteration;
+  perIteration.reserve(static_cast<std::size_t>(R));
+  for (int k = 0; k < R; ++k) {
+    perIteration.push_back(
+        randomClasses(s, p, seed + static_cast<std::uint64_t>(k)));
+  }
+  return streamingMakespan(s, perIteration);
+}
+
+}  // namespace tauhls::sim

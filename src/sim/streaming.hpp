@@ -1,0 +1,43 @@
+// Streaming (multi-iteration) analysis.
+//
+// Algorithm 1 wraps every controller's last operation back to its first
+// (S_{n+1} = S_0), so the distributed control unit naturally pipelines
+// consecutive DFG iterations: a unit may start iteration k+1's first op
+// while other units still finish iteration k.  This engine computes the
+// overlapped makespan of R iterations:
+//
+//   start(v, k) >= finish(pred(v), k) + 1          (intra-iteration data)
+//   start(v, k) >= finish(prev-on-unit(v, k)) + 1  (unit order; the first op
+//                                                   of iteration k chains
+//                                                   behind the unit's last op
+//                                                   of iteration k-1)
+//
+// NOTE: this is a best-case bound for hardware -- sustaining it requires a
+// per-iteration completion-latch renewal protocol (e.g. phase toggling)
+// beyond the single restart strobe of DESIGN.md §5.1; the single-iteration
+// numbers elsewhere do not rely on it.  bench/ablation_streaming quantifies
+// the throughput headroom this overlap offers.
+#pragma once
+
+#include "sim/classes.hpp"
+
+namespace tauhls::sim {
+
+struct StreamingResult {
+  int totalCycles = 0;                 ///< finish of the last iteration
+  std::vector<int> iterationFinish;    ///< finish cycle of each iteration
+  /// Average initiation interval over iterations 2..R (equals the
+  /// single-iteration makespan when R == 1).
+  double avgInitiationInterval = 0.0;
+};
+
+/// Overlapped makespan of `perIteration.size()` iterations; element k gives
+/// the operand classes of iteration k.
+StreamingResult streamingMakespan(const sched::ScheduledDfg& s,
+                                  const std::vector<OperandClasses>& perIteration);
+
+/// Convenience: R iterations with seeded Bernoulli(p) classes each.
+StreamingResult streamingMakespanRandom(const sched::ScheduledDfg& s, int R,
+                                        double p, std::uint64_t seed = 1);
+
+}  // namespace tauhls::sim

@@ -1,0 +1,42 @@
+#include "synth/area.hpp"
+
+namespace tauhls::synth {
+
+AreaRow areaRow(const std::string& name, const fsm::Fsm& fsm,
+                EncodingStyle style) {
+  const SynthesizedFsm s = synthesize(fsm, style);
+  AreaRow row;
+  row.name = name;
+  row.inputs = s.numInputs;
+  row.outputs = s.numOutputs;
+  row.states = s.numStates;
+  row.flipFlops = s.flipFlops;
+  row.combArea = s.totalLiterals() * kAreaPerLiteral;
+  row.seqArea = s.flipFlops * kAreaPerFlipFlop;
+  return row;
+}
+
+DistributedAreaReport distributedArea(const fsm::DistributedControlUnit& dcu,
+                                      EncodingStyle style) {
+  DistributedAreaReport report;
+  report.completionLatches = dcu.completionLatchCount();
+  AreaRow total;
+  total.name = "DIST-FSM";
+  for (const fsm::UnitController& c : dcu.controllers) {
+    AreaRow row = areaRow("D-FSM-" + c.fsm.name().substr(6), c.fsm, style);
+    total.inputs += row.inputs;
+    total.outputs += row.outputs;
+    total.states += row.states;
+    total.flipFlops += row.flipFlops;
+    total.combArea += row.combArea;
+    total.seqArea += row.seqArea;
+    report.perController.push_back(std::move(row));
+  }
+  // Completion latches: one FF each, charged to the aggregate.
+  total.flipFlops += report.completionLatches;
+  total.seqArea += report.completionLatches * kAreaPerFlipFlop;
+  report.total = total;
+  return report;
+}
+
+}  // namespace tauhls::synth

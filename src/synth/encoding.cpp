@@ -1,0 +1,30 @@
+#include "synth/encoding.hpp"
+
+#include "common/error.hpp"
+
+namespace tauhls::synth {
+
+int Encoding::stateOf(std::uint32_t code) const {
+  for (std::size_t s = 0; s < codeOf.size(); ++s) {
+    if (codeOf[s] == code) return static_cast<int>(s);
+  }
+  return -1;
+}
+
+Encoding encodeStates(const fsm::Fsm& fsm, EncodingStyle style) {
+  TAUHLS_CHECK(fsm.numStates() > 0, "cannot encode an empty FSM");
+  Encoding e;
+  e.style = style;
+  if (style == EncodingStyle::Binary) {
+    e.bits = fsm.flipFlopCount();
+    for (std::uint32_t s = 0; s < fsm.numStates(); ++s) e.codeOf.push_back(s);
+  } else {
+    e.bits = static_cast<int>(fsm.numStates());
+    for (std::uint32_t s = 0; s < fsm.numStates(); ++s) {
+      e.codeOf.push_back(std::uint32_t{1} << s);
+    }
+  }
+  return e;
+}
+
+}  // namespace tauhls::synth

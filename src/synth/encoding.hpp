@@ -1,0 +1,27 @@
+// State encoding for FSM synthesis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fsm/machine.hpp"
+
+namespace tauhls::synth {
+
+enum class EncodingStyle {
+  Binary,  ///< minimal-length binary, codes assigned in state-id order
+  OneHot,  ///< one flip-flop per state
+};
+
+struct Encoding {
+  EncodingStyle style = EncodingStyle::Binary;
+  int bits = 0;                        ///< flip-flop count
+  std::vector<std::uint32_t> codeOf;   ///< per state id
+
+  /// State id for `code`; -1 when the code is unused (a don't-care row).
+  int stateOf(std::uint32_t code) const;
+};
+
+Encoding encodeStates(const fsm::Fsm& fsm, EncodingStyle style);
+
+}  // namespace tauhls::synth

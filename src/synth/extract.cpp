@@ -1,0 +1,101 @@
+#include "synth/extract.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "logic/minimize.hpp"
+#include "logic/truth_table.hpp"
+
+namespace tauhls::synth {
+
+namespace {
+
+/// States reachable from the initial state through any transition.
+std::vector<bool> reachableStates(const fsm::Fsm& fsm) {
+  std::vector<bool> seen(fsm.numStates(), false);
+  std::queue<int> q;
+  q.push(fsm.initial());
+  seen[fsm.initial()] = true;
+  while (!q.empty()) {
+    int s = q.front();
+    q.pop();
+    for (const fsm::Transition* t : fsm.transitionsFrom(s)) {
+      if (!seen[t->to]) {
+        seen[t->to] = true;
+        q.push(t->to);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+int SynthesizedFsm::totalLiterals() const {
+  int n = 0;
+  for (const logic::Cover& c : nextStateLogic) n += c.literalCount();
+  for (const logic::Cover& c : outputLogic) n += c.literalCount();
+  return n;
+}
+
+SynthesizedFsm synthesize(const fsm::Fsm& fsm, EncodingStyle style) {
+  fsm::validateFsm(fsm);
+  const Encoding enc = encodeStates(fsm, style);
+  const int numInputs = static_cast<int>(fsm.inputs().size());
+  const int numVars = enc.bits + numInputs;
+  TAUHLS_CHECK(numVars <= 22,
+               "FSM too large for explicit logic extraction: " + fsm.name());
+
+  const std::vector<bool> reachable = reachableStates(fsm);
+
+  SynthesizedFsm out;
+  out.name = fsm.name();
+  out.numInputs = numInputs;
+  out.numOutputs = static_cast<int>(fsm.outputs().size());
+  out.numStates = static_cast<int>(fsm.numStates());
+  out.flipFlops = enc.bits;
+
+  // One truth table per next-state bit and per output.
+  std::vector<logic::TruthTable> nextBits(enc.bits, logic::TruthTable(numVars));
+  std::vector<logic::TruthTable> outBits(fsm.outputs().size(),
+                                         logic::TruthTable(numVars));
+
+  const std::uint64_t rows = std::uint64_t{1} << numVars;
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    const std::uint32_t code =
+        static_cast<std::uint32_t>(row & ((std::uint64_t{1} << enc.bits) - 1));
+    const int state = enc.stateOf(code);
+    const bool careRow = state >= 0 && reachable[state];
+    if (!careRow) {
+      for (auto& tt : nextBits) tt.set(row, logic::Ternary::DontCare);
+      for (auto& tt : outBits) tt.set(row, logic::Ternary::DontCare);
+      continue;
+    }
+    std::unordered_set<std::string> asserted;
+    for (int i = 0; i < numInputs; ++i) {
+      if ((row >> (enc.bits + i)) & 1) asserted.insert(fsm.inputs()[i]);
+    }
+    const fsm::Fsm::StepResult r = fsm.step(state, asserted);
+    const std::uint32_t nextCode = enc.codeOf[r.nextState];
+    for (int b = 0; b < enc.bits; ++b) {
+      nextBits[b].set(row, ((nextCode >> b) & 1) ? logic::Ternary::One
+                                                 : logic::Ternary::Zero);
+    }
+    for (std::size_t o = 0; o < fsm.outputs().size(); ++o) {
+      const bool on = std::find(r.outputs.begin(), r.outputs.end(),
+                                fsm.outputs()[o]) != r.outputs.end();
+      outBits[o].set(row, on ? logic::Ternary::One : logic::Ternary::Zero);
+    }
+  }
+
+  for (const logic::TruthTable& tt : nextBits) {
+    out.nextStateLogic.push_back(logic::minimize(tt));
+  }
+  for (const logic::TruthTable& tt : outBits) {
+    out.outputLogic.push_back(logic::minimize(tt));
+  }
+  return out;
+}
+
+}  // namespace tauhls::synth

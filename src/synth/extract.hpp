@@ -1,0 +1,36 @@
+// Next-state / output logic extraction and two-level minimization.
+//
+// Variables of every extracted function, LSB first: the encoded state bits,
+// then the declared input signals.  Rows whose state-bit pattern decodes to
+// no state (or to an unreachable one) are don't-cares, which is where binary
+// encoding recovers area.  Each function is minimized with the logic module
+// (exact QM up to 14 variables, heuristic expansion beyond) and re-verified
+// against its specification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/cover.hpp"
+#include "synth/encoding.hpp"
+
+namespace tauhls::synth {
+
+struct SynthesizedFsm {
+  std::string name;
+  int numInputs = 0;
+  int numOutputs = 0;
+  int numStates = 0;
+  int flipFlops = 0;
+  std::vector<logic::Cover> nextStateLogic;  ///< one cover per state bit
+  std::vector<logic::Cover> outputLogic;     ///< one cover per output signal
+
+  /// Total literals of the minimized next-state + output network.
+  int totalLiterals() const;
+};
+
+/// Synthesize `fsm` (which must be valid: deterministic and complete).
+SynthesizedFsm synthesize(const fsm::Fsm& fsm,
+                          EncodingStyle style = EncodingStyle::Binary);
+
+}  // namespace tauhls::synth

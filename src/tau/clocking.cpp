@@ -1,0 +1,35 @@
+#include "tau/clocking.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tauhls::tau {
+
+double tauClockNs(const ResourceLibrary& lib) {
+  double clock = 0.0;
+  for (dfg::ResourceClass cls : lib.classes()) {
+    clock = std::max(clock, lib.typeFor(cls).shortDelayNs);
+  }
+  TAUHLS_CHECK(clock > 0.0, "resource library is empty");
+  return clock;
+}
+
+double conventionalClockNs(const ResourceLibrary& lib) {
+  double clock = 0.0;
+  for (dfg::ResourceClass cls : lib.classes()) {
+    clock = std::max(clock, lib.typeFor(cls).worstDelayNs());
+  }
+  TAUHLS_CHECK(clock > 0.0, "resource library is empty");
+  return clock;
+}
+
+int cyclesFor(const UnitType& type, bool shortClass, double clockNs) {
+  TAUHLS_CHECK(clockNs > 0.0, "clock period must be positive");
+  const double delay = shortClass ? type.shortDelayNs : type.longDelayNs;
+  // Tolerate exact multiples despite floating-point representation.
+  return static_cast<int>(std::ceil(delay / clockNs - 1e-9));
+}
+
+}  // namespace tauhls::tau

@@ -1,0 +1,22 @@
+// Clock-cycle derivation (paper Fig. 2 caption: CC is set by worst-case fixed
+// delays, CC_TAU by the telescopic units' short delays).
+#pragma once
+
+#include "tau/library.hpp"
+
+namespace tauhls::tau {
+
+/// The telescopic system clock CC_TAU: the maximum over all registered
+/// classes of SD (telescopic) / FD (fixed).  Every operation then takes an
+/// integral number of CC_TAU cycles.
+double tauClockNs(const ResourceLibrary& lib);
+
+/// The conventional clock CC a non-telescopic design would use: max over
+/// worst-case delays (LD / FD).
+double conventionalClockNs(const ResourceLibrary& lib);
+
+/// Cycles an operation of `type` takes at clock `clockNs` when its operands
+/// fall in the short-delay class (`shortClass`) or not.  ceil(delay/clock).
+int cyclesFor(const UnitType& type, bool shortClass, double clockNs);
+
+}  // namespace tauhls::tau

@@ -1,0 +1,43 @@
+#include "tau/library.hpp"
+
+#include "common/error.hpp"
+
+namespace tauhls::tau {
+
+void ResourceLibrary::registerType(const UnitType& type) {
+  validateUnitType(type);
+  types_[type.cls] = type;
+}
+
+const UnitType& ResourceLibrary::typeFor(dfg::ResourceClass cls) const {
+  auto it = types_.find(cls);
+  TAUHLS_CHECK(it != types_.end(),
+               std::string("no unit type registered for class ") +
+                   dfg::resourceClassName(cls));
+  return it->second;
+}
+
+std::vector<dfg::ResourceClass> ResourceLibrary::classes() const {
+  std::vector<dfg::ResourceClass> out;
+  out.reserve(types_.size());
+  for (const auto& [cls, type] : types_) out.push_back(cls);
+  return out;
+}
+
+bool ResourceLibrary::hasTelescopicTypes() const {
+  for (const auto& [cls, type] : types_) {
+    if (type.telescopic) return true;
+  }
+  return false;
+}
+
+ResourceLibrary paperLibrary(double p) {
+  ResourceLibrary lib;
+  lib.registerType(
+      telescopicUnit("tau_mult", dfg::ResourceClass::Multiplier, 15.0, 20.0, p));
+  lib.registerType(fixedUnit("adder", dfg::ResourceClass::Adder, 15.0));
+  lib.registerType(fixedUnit("subtractor", dfg::ResourceClass::Subtractor, 15.0));
+  return lib;
+}
+
+}  // namespace tauhls::tau

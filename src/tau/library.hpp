@@ -1,0 +1,33 @@
+// Resource library: one UnitType per resource class (paper §6 lists such a
+// library as the substrate of the envisioned HLS tool).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "tau/unit.hpp"
+
+namespace tauhls::tau {
+
+class ResourceLibrary {
+ public:
+  /// Register (or replace) the unit type implementing a resource class.
+  void registerType(const UnitType& type);
+
+  bool has(dfg::ResourceClass cls) const { return types_.contains(cls); }
+  const UnitType& typeFor(dfg::ResourceClass cls) const;
+  std::vector<dfg::ResourceClass> classes() const;
+
+  /// True when at least one registered type is telescopic.
+  bool hasTelescopicTypes() const;
+
+ private:
+  std::map<dfg::ResourceClass, UnitType> types_;
+};
+
+/// The library used throughout the paper's evaluation (§5, Table 2 footnote):
+/// telescopic multiplier with SD = 15 ns, LD = 20 ns and SD-ratio `p`;
+/// fixed adder and subtractor with FD = 15 ns.
+ResourceLibrary paperLibrary(double p = 0.5);
+
+}  // namespace tauhls::tau

@@ -1,0 +1,47 @@
+#include "tau/unit.hpp"
+
+#include "common/error.hpp"
+
+namespace tauhls::tau {
+
+UnitType fixedUnit(std::string name, dfg::ResourceClass cls, double delayNs) {
+  UnitType t;
+  t.name = std::move(name);
+  t.cls = cls;
+  t.telescopic = false;
+  t.shortDelayNs = delayNs;
+  t.longDelayNs = delayNs;
+  t.sdProbability = 1.0;
+  validateUnitType(t);
+  return t;
+}
+
+UnitType telescopicUnit(std::string name, dfg::ResourceClass cls, double sdNs,
+                        double ldNs, double p) {
+  UnitType t;
+  t.name = std::move(name);
+  t.cls = cls;
+  t.telescopic = true;
+  t.shortDelayNs = sdNs;
+  t.longDelayNs = ldNs;
+  t.sdProbability = p;
+  validateUnitType(t);
+  return t;
+}
+
+void validateUnitType(const UnitType& type) {
+  TAUHLS_CHECK(!type.name.empty(), "unit type needs a name");
+  TAUHLS_CHECK(type.cls != dfg::ResourceClass::None,
+               "unit type needs a resource class");
+  TAUHLS_CHECK(type.shortDelayNs > 0.0, "unit delay must be positive");
+  TAUHLS_CHECK(type.longDelayNs >= type.shortDelayNs,
+               "long delay must be >= short delay");
+  TAUHLS_CHECK(type.sdProbability >= 0.0 && type.sdProbability <= 1.0,
+               "SD probability must be within [0,1]");
+  if (!type.telescopic) {
+    TAUHLS_CHECK(type.longDelayNs == type.shortDelayNs,
+                 "fixed units have a single delay");
+  }
+}
+
+}  // namespace tauhls::tau

@@ -1,0 +1,35 @@
+// Generalized Algorithm 1 for multi-level VCAUs.
+//
+// Per bound operation O_i of an L-level unit: states S_i^0 .. S_i^{L-1}
+// (named "S<i>", "S<i>p", "S<i>pp", ...) plus R_i when O_i has cross-unit
+// predecessors.  In S_i^k with k < L-1 the guard reads the completion
+// signal C: when low, advance to S_i^{k+1}; when high (or unconditionally in
+// the last level) the op completes with the usual OF/RE/CCO outputs and the
+// predecessor-guarded hop to the next op's S/R state.  With L = 2 this is
+// exactly the paper's construction (asserted by the tests).
+#pragma once
+
+#include <map>
+
+#include "fsm/distributed.hpp"
+#include "vcau/unit.hpp"
+
+namespace tauhls::vcau {
+
+/// Per-class override of the scheduled DFG's unit types.  Classes absent
+/// from the map keep their (validated two-level / fixed) tau::UnitType.
+using MultiLevelLibrary = std::map<dfg::ResourceClass, MultiLevelUnitType>;
+
+/// Build the distributed control unit with multi-level controllers for the
+/// overridden classes.  Level-cycle contracts are validated against
+/// s.clockNs.  Controllers of non-overridden classes are the standard
+/// Algorithm 1 machines.
+fsm::DistributedControlUnit buildMultiLevelDistributed(
+    const sched::ScheduledDfg& s, const MultiLevelLibrary& overrides);
+
+/// Number of delay levels of the unit executing `unitId` (1 for fixed units,
+/// 2 for standard TAUs, overrides.numLevels() when overridden).
+int levelsOfUnit(const sched::ScheduledDfg& s, const MultiLevelLibrary& overrides,
+                 int unitId);
+
+}  // namespace tauhls::vcau

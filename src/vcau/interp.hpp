@@ -1,0 +1,17 @@
+// FSM-level interpretation of multi-level distributed control units: the
+// datapath raises a unit's C during the cycle in which its current op's
+// operand level completes.  Ground truth for the vcau makespan engine.
+#pragma once
+
+#include "sim/interp.hpp"
+#include "vcau/makespan.hpp"
+
+namespace tauhls::vcau {
+
+/// Run one DFG iteration; returns the same trace shape as sim::runDistributed.
+sim::SimTrace runDistributed(const fsm::DistributedControlUnit& dcu,
+                             const sched::ScheduledDfg& s,
+                             const MultiLevelLibrary& overrides,
+                             const LevelClasses& classes, int maxCycles = 100000);
+
+}  // namespace tauhls::vcau

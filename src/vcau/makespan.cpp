@@ -1,0 +1,116 @@
+#include "vcau/makespan.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "common/error.hpp"
+#include "dfg/analysis.hpp"
+
+namespace tauhls::vcau {
+
+using dfg::NodeId;
+
+namespace {
+
+int levelsOfOp(const sched::ScheduledDfg& s, const MultiLevelLibrary& overrides,
+               NodeId v) {
+  return levelsOfUnit(s, overrides, s.binding.unitOf(v));
+}
+
+}  // namespace
+
+int opLevelCycles(const sched::ScheduledDfg& s,
+                  const MultiLevelLibrary& overrides, NodeId v, int level) {
+  const int levels = levelsOfOp(s, overrides, v);
+  TAUHLS_CHECK(level >= 0 && level < levels,
+               "level out of range for op " + s.graph.node(v).name);
+  // Contract: level k takes k+1 cycles (validated at controller build).
+  return level + 1;
+}
+
+LevelClasses allFastest(const sched::ScheduledDfg& s,
+                        const MultiLevelLibrary& overrides) {
+  (void)overrides;
+  LevelClasses c;
+  c.levelOf.assign(s.graph.numNodes(), 0);
+  return c;
+}
+
+LevelClasses allSlowest(const sched::ScheduledDfg& s,
+                        const MultiLevelLibrary& overrides) {
+  LevelClasses c;
+  c.levelOf.assign(s.graph.numNodes(), 0);
+  for (NodeId v : s.graph.opIds()) {
+    c.levelOf[v] = levelsOfOp(s, overrides, v) - 1;
+  }
+  return c;
+}
+
+LevelClasses randomLevels(const sched::ScheduledDfg& s,
+                          const MultiLevelLibrary& overrides,
+                          std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  LevelClasses c;
+  c.levelOf.assign(s.graph.numNodes(), 0);
+  for (NodeId v : s.graph.opIds()) {
+    const int unitId = s.binding.unitOf(v);
+    const dfg::ResourceClass cls = s.binding.unit(unitId).cls;
+    auto it = overrides.find(cls);
+    if (it != overrides.end()) {
+      std::discrete_distribution<int> d(it->second.levelProbabilities.begin(),
+                                        it->second.levelProbabilities.end());
+      c.levelOf[v] = d(rng);
+    } else if (s.unitIsTelescopic(unitId)) {
+      std::bernoulli_distribution slow(
+          1.0 - s.library.typeFor(cls).sdProbability);
+      c.levelOf[v] = slow(rng) ? 1 : 0;
+    }
+  }
+  return c;
+}
+
+int distributedMakespanCycles(const sched::ScheduledDfg& s,
+                              const MultiLevelLibrary& overrides,
+                              const LevelClasses& classes) {
+  TAUHLS_CHECK(classes.levelOf.size() == s.graph.numNodes(),
+               "level-class vector size mismatch");
+  std::vector<NodeId> prevOnUnit(s.graph.numNodes(), dfg::kNoNode);
+  for (std::size_t u = 0; u < s.binding.numUnits(); ++u) {
+    const auto& seq = s.binding.sequenceOf(static_cast<int>(u));
+    for (std::size_t i = 1; i < seq.size(); ++i) prevOnUnit[seq[i]] = seq[i - 1];
+  }
+  std::vector<int> finish(s.graph.numNodes(), -1);
+  int last = -1;
+  for (NodeId v : dfg::topologicalOrder(s.graph)) {
+    if (!s.graph.isOp(v)) continue;
+    int start = 0;
+    for (NodeId p : s.graph.dataPredecessors(v)) {
+      if (s.graph.isOp(p)) start = std::max(start, finish[p] + 1);
+    }
+    if (prevOnUnit[v] != dfg::kNoNode) {
+      start = std::max(start, finish[prevOnUnit[v]] + 1);
+    }
+    finish[v] = start + opLevelCycles(s, overrides, v, classes.level(v)) - 1;
+    last = std::max(last, finish[v]);
+  }
+  return last + 1;
+}
+
+int syncMakespanCycles(const sched::ScheduledDfg& s,
+                       const MultiLevelLibrary& overrides,
+                       const LevelClasses& classes) {
+  TAUHLS_CHECK(classes.levelOf.size() == s.graph.numNodes(),
+               "level-class vector size mismatch");
+  int cycles = 0;
+  for (const sched::TaubmStep& step : s.taubm.steps) {
+    int duration = 1;
+    for (NodeId v : step.ops) {
+      duration = std::max(
+          duration, opLevelCycles(s, overrides, v, classes.level(v)));
+    }
+    cycles += duration;
+  }
+  return cycles;
+}
+
+}  // namespace tauhls::vcau

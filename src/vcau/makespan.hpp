@@ -1,0 +1,45 @@
+// Latency engines for multi-level VCAUs: per-op durations come from a level
+// assignment (level k => k+1 cycles) instead of the two-level SD/LD bool.
+#pragma once
+
+#include <vector>
+
+#include "vcau/controller.hpp"
+
+namespace tauhls::vcau {
+
+/// Per-op delay-level assignment (0-based level per node; fixed-unit ops
+/// must carry level 0).
+struct LevelClasses {
+  std::vector<int> levelOf;
+
+  int level(dfg::NodeId v) const { return levelOf[v]; }
+};
+
+/// All ops at the fastest / slowest level of their unit.
+LevelClasses allFastest(const sched::ScheduledDfg& s,
+                        const MultiLevelLibrary& overrides);
+LevelClasses allSlowest(const sched::ScheduledDfg& s,
+                        const MultiLevelLibrary& overrides);
+
+/// Seeded sample from each overridden unit's level distribution; two-level
+/// TAU classes sample Bernoulli(P) as usual.
+LevelClasses randomLevels(const sched::ScheduledDfg& s,
+                          const MultiLevelLibrary& overrides, std::uint64_t seed);
+
+/// Distributed makespan (cycles) under the level assignment.
+int distributedMakespanCycles(const sched::ScheduledDfg& s,
+                              const MultiLevelLibrary& overrides,
+                              const LevelClasses& classes);
+
+/// Synchronized-baseline makespan: each TAUBM step costs the max level
+/// duration among its variable-latency ops.
+int syncMakespanCycles(const sched::ScheduledDfg& s,
+                       const MultiLevelLibrary& overrides,
+                       const LevelClasses& classes);
+
+/// Cycles op `v` occupies its unit at level `level`.
+int opLevelCycles(const sched::ScheduledDfg& s,
+                  const MultiLevelLibrary& overrides, dfg::NodeId v, int level);
+
+}  // namespace tauhls::vcau

@@ -1,0 +1,103 @@
+#include "vcau/stats.hpp"
+
+#include "common/error.hpp"
+
+namespace tauhls::vcau {
+
+using dfg::NodeId;
+
+namespace {
+
+int makespan(const sched::ScheduledDfg& s, const MultiLevelLibrary& overrides,
+             ControlStyle style, const LevelClasses& classes) {
+  return style == ControlStyle::Distributed
+             ? distributedMakespanCycles(s, overrides, classes)
+             : syncMakespanCycles(s, overrides, classes);
+}
+
+/// Ops with more than one possible level, with their distributions.
+struct VariableOp {
+  NodeId op;
+  std::vector<double> probs;
+};
+
+std::vector<VariableOp> variableOps(const sched::ScheduledDfg& s,
+                                    const MultiLevelLibrary& overrides) {
+  std::vector<VariableOp> out;
+  for (NodeId v : s.graph.opIds()) {
+    const int unitId = s.binding.unitOf(v);
+    const dfg::ResourceClass cls = s.binding.unit(unitId).cls;
+    auto it = overrides.find(cls);
+    if (it != overrides.end()) {
+      if (it->second.numLevels() > 1) out.push_back({v, it->second.levelProbabilities});
+    } else if (s.unitIsTelescopic(unitId)) {
+      const double p = s.library.typeFor(cls).sdProbability;
+      out.push_back({v, {p, 1.0 - p}});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double averageCyclesExact(const sched::ScheduledDfg& s,
+                          const MultiLevelLibrary& overrides,
+                          ControlStyle style) {
+  const std::vector<VariableOp> vars = variableOps(s, overrides);
+  double total = 1.0;
+  for (const VariableOp& v : vars) total *= static_cast<double>(v.probs.size());
+  TAUHLS_CHECK(total <= (1 << 20),
+               "exact enumeration space too large; use Monte-Carlo");
+
+  LevelClasses classes;
+  classes.levelOf.assign(s.graph.numNodes(), 0);
+  double expectation = 0.0;
+
+  // Odometer over the per-op level choices.
+  std::vector<std::size_t> choice(vars.size(), 0);
+  while (true) {
+    double weight = 1.0;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      classes.levelOf[vars[i].op] = static_cast<int>(choice[i]);
+      weight *= vars[i].probs[choice[i]];
+    }
+    if (weight > 0.0) {
+      expectation += weight * makespan(s, overrides, style, classes);
+    }
+    // Increment.
+    std::size_t pos = 0;
+    while (pos < vars.size()) {
+      if (++choice[pos] < vars[pos].probs.size()) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == vars.size()) break;
+  }
+  return expectation;
+}
+
+double averageCycles(const sched::ScheduledDfg& s,
+                     const MultiLevelLibrary& overrides, ControlStyle style,
+                     int mcSamples) {
+  double space = 1.0;
+  for (const VariableOp& v : variableOps(s, overrides)) {
+    space *= static_cast<double>(v.probs.size());
+  }
+  if (space <= (1 << 20)) return averageCyclesExact(s, overrides, style);
+  return averageCyclesMonteCarlo(s, overrides, style, mcSamples);
+}
+
+double averageCyclesMonteCarlo(const sched::ScheduledDfg& s,
+                               const MultiLevelLibrary& overrides,
+                               ControlStyle style, int samples,
+                               std::uint64_t seed) {
+  TAUHLS_CHECK(samples > 0, "need at least one sample");
+  double sum = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    sum += makespan(s, overrides, style,
+                    randomLevels(s, overrides, seed + static_cast<std::uint64_t>(i)));
+  }
+  return sum / samples;
+}
+
+}  // namespace tauhls::vcau

@@ -1,0 +1,30 @@
+// Latency statistics for multi-level VCAUs: exact expectation over all
+// level assignments (product of per-op level distributions) for small
+// designs, Monte-Carlo beyond.
+#pragma once
+
+#include "vcau/makespan.hpp"
+
+namespace tauhls::vcau {
+
+enum class ControlStyle { Distributed, CentSync };
+
+/// Exact expected makespan (cycles); enumeration bounded to 2^20 total
+/// assignments (levels^numVariableOps).
+double averageCyclesExact(const sched::ScheduledDfg& s,
+                          const MultiLevelLibrary& overrides,
+                          ControlStyle style);
+
+/// Monte-Carlo expectation.
+double averageCyclesMonteCarlo(const sched::ScheduledDfg& s,
+                               const MultiLevelLibrary& overrides,
+                               ControlStyle style, int samples,
+                               std::uint64_t seed = 1);
+
+/// Dispatcher: exact when the assignment space fits 2^20, else Monte-Carlo
+/// with `mcSamples` samples.
+double averageCycles(const sched::ScheduledDfg& s,
+                     const MultiLevelLibrary& overrides, ControlStyle style,
+                     int mcSamples = 20000);
+
+}  // namespace tauhls::vcau

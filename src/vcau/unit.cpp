@@ -1,0 +1,55 @@
+#include "vcau/unit.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace tauhls::vcau {
+
+MultiLevelUnitType multiLevelUnit(std::string name, dfg::ResourceClass cls,
+                                  std::vector<double> levelDelaysNs,
+                                  std::vector<double> levelProbabilities) {
+  MultiLevelUnitType t;
+  t.name = std::move(name);
+  t.cls = cls;
+  t.levelDelaysNs = std::move(levelDelaysNs);
+  t.levelProbabilities = std::move(levelProbabilities);
+  validateMultiLevelUnit(t);
+  return t;
+}
+
+void validateMultiLevelUnit(const MultiLevelUnitType& type, double clockNs) {
+  TAUHLS_CHECK(!type.name.empty(), "multi-level unit needs a name");
+  TAUHLS_CHECK(type.cls != dfg::ResourceClass::None,
+               "multi-level unit needs a resource class");
+  TAUHLS_CHECK(!type.levelDelaysNs.empty(), "at least one delay level");
+  TAUHLS_CHECK(type.levelDelaysNs.size() == type.levelProbabilities.size(),
+               "one probability per delay level");
+  for (std::size_t k = 0; k < type.levelDelaysNs.size(); ++k) {
+    TAUHLS_CHECK(type.levelDelaysNs[k] > 0.0, "level delays must be positive");
+    if (k > 0) {
+      TAUHLS_CHECK(type.levelDelaysNs[k] > type.levelDelaysNs[k - 1],
+                   "level delays must be strictly increasing");
+    }
+    TAUHLS_CHECK(type.levelProbabilities[k] >= 0.0 &&
+                     type.levelProbabilities[k] <= 1.0,
+                 "level probabilities must lie in [0,1]");
+  }
+  const double sum = std::accumulate(type.levelProbabilities.begin(),
+                                     type.levelProbabilities.end(), 0.0);
+  TAUHLS_CHECK(std::abs(sum - 1.0) < 1e-9,
+               "level probabilities must sum to 1");
+  if (clockNs > 0.0) {
+    for (std::size_t k = 0; k < type.levelDelaysNs.size(); ++k) {
+      const int cycles =
+          static_cast<int>(std::ceil(type.levelDelaysNs[k] / clockNs - 1e-9));
+      TAUHLS_CHECK(cycles == static_cast<int>(k) + 1,
+                   "level " + std::to_string(k) + " of '" + type.name +
+                       "' must take exactly " + std::to_string(k + 1) +
+                       " cycles at the given clock");
+    }
+  }
+}
+
+}  // namespace tauhls::vcau

@@ -1,0 +1,44 @@
+// Multi-level variable-computation-time arithmetic units.
+//
+// The paper (§2.1, §6) restricts the exposition to two-level TAUs "just for
+// convenience of explanation -- the proposed method can be applied to other
+// kinds of synchronous VCAUs in the same manner".  This module delivers that
+// generalization: a unit with L delay levels completes after 1..L clock
+// cycles; its completion generator raises C during cycle k exactly when the
+// operands fall in level k's class.  Algorithm 1 generalizes per operation
+// to the state chain S_i = S_i^0 -> S_i^1 -> ... -> S_i^{L-1} (the paper's
+// S_i' is the L = 2 special case).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfg/op.hpp"
+
+namespace tauhls::vcau {
+
+struct MultiLevelUnitType {
+  std::string name;
+  dfg::ResourceClass cls = dfg::ResourceClass::None;
+  /// Level k completes within (k+1) clock cycles; levelDelaysNs must be
+  /// strictly increasing and levelDelaysNs[k] must fit in k+1 cycles of the
+  /// system clock (validated against the clock at controller build time).
+  std::vector<double> levelDelaysNs;
+  /// Probability that an operation's operands fall in level k (sums to 1).
+  std::vector<double> levelProbabilities;
+
+  int numLevels() const { return static_cast<int>(levelDelaysNs.size()); }
+  double worstDelayNs() const { return levelDelaysNs.back(); }
+};
+
+/// Build and validate a multi-level unit type.
+MultiLevelUnitType multiLevelUnit(std::string name, dfg::ResourceClass cls,
+                                  std::vector<double> levelDelaysNs,
+                                  std::vector<double> levelProbabilities);
+
+/// Validate invariants; additionally checks the cycles-per-level contract
+/// against `clockNs` when positive.
+void validateMultiLevelUnit(const MultiLevelUnitType& type,
+                            double clockNs = 0.0);
+
+}  // namespace tauhls::vcau

@@ -1,0 +1,93 @@
+#include "vsim/elaborate.hpp"
+
+#include "common/error.hpp"
+
+namespace tauhls::vsim {
+
+namespace {
+
+class Elaborator {
+ public:
+  Elaborator(const Design& design, Elaboration& out)
+      : design_(design), out_(out) {}
+
+  void run(const std::string& topModule) {
+    const Module* top = design_.findModule(topModule);
+    TAUHLS_CHECK(top != nullptr, "unknown top module: " + topModule);
+    out_.top = top;
+    instantiate(top, "", {});
+  }
+
+ private:
+  SignalId newSignal(const std::string& hierarchicalName, int width) {
+    out_.signalNames.push_back(hierarchicalName);
+    out_.signalWidth.push_back(width);
+    return static_cast<SignalId>(out_.signalNames.size() - 1);
+  }
+
+  void instantiate(const Module* mod, const std::string& path,
+                   const std::map<std::string, SignalId>& portBindings) {
+    FlatInstance flat;
+    flat.module = mod;
+    flat.path = path;
+    const std::string prefix = path.empty() ? "" : path + ".";
+
+    auto declare = [&](const std::string& name, int width) {
+      auto bound = portBindings.find(name);
+      if (bound != portBindings.end()) {
+        flat.signalOf[name] = bound->second;
+        return;
+      }
+      if (!flat.signalOf.contains(name)) {
+        flat.signalOf[name] = newSignal(prefix + name, width);
+      }
+    };
+
+    for (const Port& p : mod->ports) declare(p.name, 1);
+    for (const NetDecl& d : mod->nets) declare(d.name, d.width);
+    // Gate outputs / assign targets may reference implicit wires; our
+    // emitters always declare them, so any unknown name is an error later.
+
+    const std::size_t myIndex = out_.instances.size();
+    out_.instances.push_back(std::move(flat));
+
+    for (const Instance& inst : mod->instances) {
+      const Module* child = design_.findModule(inst.moduleName);
+      TAUHLS_CHECK(child != nullptr,
+                   "unknown module instantiated: " + inst.moduleName);
+      std::map<std::string, SignalId> childBindings;
+      for (const auto& [port, outer] : inst.connections) {
+        const auto& mine = out_.instances[myIndex].signalOf;
+        auto it = mine.find(outer);
+        TAUHLS_CHECK(it != mine.end(), "connection to undeclared signal '" +
+                                           outer + "' in " + mod->name);
+        bool portExists = false;
+        for (const Port& p : child->ports) portExists |= (p.name == port);
+        TAUHLS_CHECK(portExists, "no port '" + port + "' on module " +
+                                     inst.moduleName);
+        childBindings[port] = it->second;
+      }
+      instantiate(child, prefix + inst.instanceName, childBindings);
+    }
+  }
+
+  const Design& design_;
+  Elaboration& out_;
+};
+
+}  // namespace
+
+SignalId Elaboration::findSignal(const std::string& hierarchicalName) const {
+  for (SignalId i = 0; i < signalNames.size(); ++i) {
+    if (signalNames[i] == hierarchicalName) return i;
+  }
+  TAUHLS_FAIL("unknown signal: " + hierarchicalName);
+}
+
+Elaboration elaborate(const Design& design, const std::string& topModule) {
+  Elaboration out;
+  Elaborator(design, out).run(topModule);
+  return out;
+}
+
+}  // namespace tauhls::vsim

@@ -1,0 +1,34 @@
+// Hierarchy elaboration: flatten a parsed design under a chosen top module
+// into a signal table plus a list of flat instances whose local names map to
+// global signal slots (connected ports alias the outer signal).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vsim/ast.hpp"
+
+namespace tauhls::vsim {
+
+using SignalId = std::uint32_t;
+
+struct FlatInstance {
+  const Module* module = nullptr;
+  std::string path;                           ///< "" for top, else "a.b"
+  std::map<std::string, SignalId> signalOf;   ///< local name -> global slot
+};
+
+struct Elaboration {
+  const Module* top = nullptr;
+  std::vector<FlatInstance> instances;        ///< top first, then children
+  std::vector<std::string> signalNames;       ///< hierarchical, per slot
+  std::vector<int> signalWidth;               ///< bits per slot
+
+  SignalId findSignal(const std::string& hierarchicalName) const;  ///< throws
+};
+
+/// Flatten `topModule`; throws on unknown modules/ports or name clashes.
+Elaboration elaborate(const Design& design, const std::string& topModule);
+
+}  // namespace tauhls::vsim

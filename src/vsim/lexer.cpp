@@ -1,0 +1,126 @@
+#include "vsim/lexer.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace tauhls::vsim {
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto peek = [&](std::size_t k) { return i + k < n ? source[i + k] : '\0'; };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '`') {  // compiler directives (`timescale ...): skip the line
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '_' || source[j] == '$')) {
+        ++j;
+      }
+      out.push_back({TokKind::Identifier, source.substr(i, j - i), 0, line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // decimal, possibly a sized literal: <size>'<base><digits>
+      std::size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) ++j;
+      if (j < n && source[j] == '\'') {
+        TAUHLS_CHECK(j + 1 < n, "truncated sized literal at line " +
+                                    std::to_string(line));
+        const char base = source[j + 1];
+        std::size_t k = j + 2;
+        std::uint64_t value = 0;
+        if (base == 'b' || base == 'B') {
+          while (k < n && (source[k] == '0' || source[k] == '1')) {
+            value = value * 2 + static_cast<std::uint64_t>(source[k] - '0');
+            ++k;
+          }
+        } else if (base == 'd' || base == 'D') {
+          while (k < n && std::isdigit(static_cast<unsigned char>(source[k]))) {
+            value = value * 10 + static_cast<std::uint64_t>(source[k] - '0');
+            ++k;
+          }
+        } else if (base == 'h' || base == 'H') {
+          while (k < n && std::isxdigit(static_cast<unsigned char>(source[k]))) {
+            const char h = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(source[k])));
+            value = value * 16 + static_cast<std::uint64_t>(
+                                     std::isdigit(static_cast<unsigned char>(h))
+                                         ? h - '0'
+                                         : h - 'a' + 10);
+            ++k;
+          }
+        } else {
+          TAUHLS_FAIL("unsupported literal base at line " + std::to_string(line));
+        }
+        TAUHLS_CHECK(k > j + 2, "empty sized literal at line " +
+                                    std::to_string(line));
+        out.push_back({TokKind::Number, source.substr(i, k - i), value, line});
+        i = k;
+      } else {
+        std::uint64_t value = 0;
+        for (std::size_t k = i; k < j; ++k) {
+          value = value * 10 + static_cast<std::uint64_t>(source[k] - '0');
+        }
+        out.push_back({TokKind::Number, source.substr(i, j - i), value, line});
+        i = j;
+      }
+      continue;
+    }
+    // Multi-char punctuation first.
+    static const char* kMulti[] = {"<=", "==", "!==", "!=", "&&", "||", "@*"};
+    bool matched = false;
+    for (const char* m : kMulti) {
+      const std::size_t len = std::string(m).size();
+      if (source.compare(i, len, m) == 0) {
+        out.push_back({TokKind::Punct, m, 0, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    if (std::string("()[]{};,.:=!~&|^#@*<>-?").find(c) != std::string::npos) {
+      out.push_back({TokKind::Punct, std::string(1, c), 0, line});
+      ++i;
+      continue;
+    }
+    if (c == '"') {  // string literal (testbench $display): skip content
+      std::size_t j = i + 1;
+      while (j < n && source[j] != '"') ++j;
+      TAUHLS_CHECK(j < n, "unterminated string at line " + std::to_string(line));
+      out.push_back({TokKind::Punct, "\"...\"", 0, line});
+      i = j + 1;
+      continue;
+    }
+    TAUHLS_FAIL("unexpected character '" + std::string(1, c) + "' at line " +
+                std::to_string(line));
+  }
+  out.push_back({TokKind::End, "", 0, line});
+  return out;
+}
+
+}  // namespace tauhls::vsim

@@ -1,0 +1,27 @@
+// Tokenizer for the emitted-Verilog subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tauhls::vsim {
+
+enum class TokKind : std::uint8_t {
+  Identifier,
+  Number,       ///< plain decimal or sized (3'd5, 1'b0); value pre-decoded
+  Punct,        ///< single/multi-char punctuation, text in `text`
+  End,
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  std::uint64_t value = 0;
+  int line = 0;
+};
+
+/// Tokenize; strips // comments and whitespace; throws on stray characters.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace tauhls::vsim

@@ -1,0 +1,381 @@
+#include "vsim/parser.hpp"
+
+#include "common/error.hpp"
+#include "vsim/lexer.hpp"
+
+namespace tauhls::vsim {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Design parse() {
+    Design design;
+    while (!at(TokKind::End)) {
+      design.modules.push_back(parseModule());
+    }
+    return design;
+  }
+
+ private:
+  // --- token helpers ------------------------------------------------------
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(TokKind k) const { return cur().kind == k; }
+  bool atPunct(const std::string& p) const {
+    return cur().kind == TokKind::Punct && cur().text == p;
+  }
+  bool atIdent(const std::string& word) const {
+    return cur().kind == TokKind::Identifier && cur().text == word;
+  }
+  Token take() { return toks_[pos_++]; }
+  [[noreturn]] void fail(const std::string& msg) const {
+    TAUHLS_FAIL("vsim parse error at line " + std::to_string(cur().line) +
+                ": " + msg + " (got '" + cur().text + "')");
+  }
+  Token expectIdent() {
+    if (!at(TokKind::Identifier)) fail("expected identifier");
+    return take();
+  }
+  void expectPunct(const std::string& p) {
+    if (!atPunct(p)) fail("expected '" + p + "'");
+    take();
+  }
+  void expectKeyword(const std::string& w) {
+    if (!atIdent(w)) fail("expected '" + w + "'");
+    take();
+  }
+
+  /// Skip a bit-range "[msb:lsb]"; returns width (msb - lsb + 1).
+  int parseRange() {
+    expectPunct("[");
+    if (!at(TokKind::Number)) fail("expected range msb");
+    const int msb = static_cast<int>(take().value);
+    expectPunct(":");
+    if (!at(TokKind::Number)) fail("expected range lsb");
+    const int lsb = static_cast<int>(take().value);
+    expectPunct("]");
+    return msb - lsb + 1;
+  }
+
+  // --- expressions --------------------------------------------------------
+  ExprPtr makeOp(ExprKind kind, ExprPtr a, ExprPtr b) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->args.push_back(std::move(a));
+    e->args.push_back(std::move(b));
+    return e;
+  }
+
+  ExprPtr parsePrimary() {
+    if (atPunct("(")) {
+      take();
+      ExprPtr e = parseExpr();
+      expectPunct(")");
+      return e;
+    }
+    if (atPunct("!") || atPunct("~")) {
+      take();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::Not;
+      e->args.push_back(parsePrimary());
+      return e;
+    }
+    if (at(TokKind::Number)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::Const;
+      e->value = take().value;
+      return e;
+    }
+    if (at(TokKind::Identifier)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::Ref;
+      e->name = take().text;
+      return e;
+    }
+    fail("expected expression");
+  }
+
+  ExprPtr parseEquality() {
+    ExprPtr lhs = parsePrimary();
+    while (atPunct("==") || atPunct("!=") || atPunct("!==")) {
+      const bool eq = cur().text == "==";
+      take();
+      lhs = makeOp(eq ? ExprKind::Eq : ExprKind::NotEq, std::move(lhs),
+                   parsePrimary());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseBitAnd() {
+    ExprPtr lhs = parseEquality();
+    while (atPunct("&")) {
+      take();
+      lhs = makeOp(ExprKind::And, std::move(lhs), parseEquality());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseBitXor() {
+    ExprPtr lhs = parseBitAnd();
+    while (atPunct("^")) {
+      take();
+      lhs = makeOp(ExprKind::Xor, std::move(lhs), parseBitAnd());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseBitOr() {
+    ExprPtr lhs = parseBitXor();
+    while (atPunct("|")) {
+      take();
+      lhs = makeOp(ExprKind::Or, std::move(lhs), parseBitXor());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseLogicalAnd() {
+    ExprPtr lhs = parseBitOr();
+    while (atPunct("&&")) {
+      take();
+      lhs = makeOp(ExprKind::And, std::move(lhs), parseBitOr());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseExpr() {
+    ExprPtr lhs = parseLogicalAnd();
+    while (atPunct("||")) {
+      take();
+      lhs = makeOp(ExprKind::Or, std::move(lhs), parseLogicalAnd());
+    }
+    return lhs;
+  }
+
+  // --- statements ----------------------------------------------------------
+  std::vector<StmtPtr> parseStmtOrBlock() {
+    std::vector<StmtPtr> out;
+    if (atIdent("begin")) {
+      take();
+      while (!atIdent("end")) out.push_back(parseStmt());
+      take();
+    } else {
+      out.push_back(parseStmt());
+    }
+    return out;
+  }
+
+  StmtPtr parseStmt() {
+    if (atIdent("if")) {
+      take();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::If;
+      expectPunct("(");
+      s->condition = parseExpr();
+      expectPunct(")");
+      s->thenBody = parseStmtOrBlock();
+      if (atIdent("else")) {
+        take();
+        s->elseBody = parseStmtOrBlock();
+      }
+      return s;
+    }
+    if (atIdent("case")) {
+      take();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::Case;
+      expectPunct("(");
+      s->subject = parseExpr();
+      expectPunct(")");
+      while (!atIdent("endcase")) {
+        CaseArm arm;
+        if (atIdent("default")) {
+          take();
+        } else {
+          arm.label = parseExpr();
+        }
+        expectPunct(":");
+        arm.body = parseStmtOrBlock();
+        s->arms.push_back(std::move(arm));
+      }
+      take();  // endcase
+      return s;
+    }
+    // assignment
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Assign;
+    s->lhs = expectIdent().text;
+    if (atPunct("<=")) {
+      s->nonblocking = true;
+      take();
+    } else {
+      expectPunct("=");
+    }
+    s->rhs = parseExpr();
+    expectPunct(";");
+    return s;
+  }
+
+  // --- module items --------------------------------------------------------
+  Module parseModule() {
+    expectKeyword("module");
+    Module m;
+    m.name = expectIdent().text;
+    expectPunct("(");
+    if (!atPunct(")")) {
+      while (true) {
+        Port p;
+        if (atIdent("input")) {
+          take();
+          p.dir = PortDir::Input;
+        } else if (atIdent("output")) {
+          take();
+          p.dir = PortDir::Output;
+        } else {
+          fail("expected port direction");
+        }
+        if (atIdent("wire")) {
+          take();
+        } else if (atIdent("reg")) {
+          take();
+          p.isReg = true;
+        }
+        p.name = expectIdent().text;
+        m.ports.push_back(p);
+        if (atPunct(",")) {
+          take();
+          continue;
+        }
+        break;
+      }
+    }
+    expectPunct(")");
+    expectPunct(";");
+
+    while (!atIdent("endmodule")) {
+      parseModuleItem(m);
+    }
+    take();  // endmodule
+    return m;
+  }
+
+  void parseModuleItem(Module& m) {
+    if (atIdent("localparam")) {
+      take();
+      if (atPunct("[")) parseRange();
+      const std::string name = expectIdent().text;
+      expectPunct("=");
+      if (!at(TokKind::Number)) fail("expected localparam value");
+      m.localparams[name] = take().value;
+      expectPunct(";");
+      return;
+    }
+    if (atIdent("reg") || atIdent("wire")) {
+      const bool isReg = cur().text == "reg";
+      take();
+      int width = 1;
+      if (atPunct("[")) width = parseRange();
+      while (true) {
+        NetDecl d;
+        d.isReg = isReg;
+        d.width = width;
+        d.name = expectIdent().text;
+        if (atPunct("=")) {  // wire n = <expr>;
+          take();
+          d.init = parseExpr();
+        }
+        m.nets.push_back(std::move(d));
+        if (atPunct(",")) {
+          take();
+          continue;
+        }
+        break;
+      }
+      expectPunct(";");
+      return;
+    }
+    if (atIdent("assign")) {
+      take();
+      ContinuousAssign a;
+      a.lhs = expectIdent().text;
+      expectPunct("=");
+      a.rhs = parseExpr();
+      expectPunct(";");
+      m.assigns.push_back(std::move(a));
+      return;
+    }
+    if (atIdent("not") || atIdent("and") || atIdent("or")) {
+      GateInst g;
+      g.kind = take().text;
+      expectIdent();  // instance label
+      expectPunct("(");
+      g.output = expectIdent().text;
+      while (atPunct(",")) {
+        take();
+        g.inputs.push_back(expectIdent().text);
+      }
+      expectPunct(")");
+      expectPunct(";");
+      m.gates.push_back(std::move(g));
+      return;
+    }
+    if (atIdent("always")) {
+      take();
+      AlwaysBlock blk;
+      if (atPunct("@*")) {
+        take();
+        blk.sequential = false;
+      } else {
+        expectPunct("@");
+        expectPunct("(");
+        expectKeyword("posedge");
+        expectIdent();  // clk
+        expectPunct(")");
+        blk.sequential = true;
+      }
+      blk.body = parseStmtOrBlock();
+      m.always.push_back(std::move(blk));
+      return;
+    }
+    if (at(TokKind::Identifier)) {
+      // module instantiation: Type inst ( .port(sig), ... );
+      Instance inst;
+      inst.moduleName = take().text;
+      inst.instanceName = expectIdent().text;
+      expectPunct("(");
+      while (atPunct(".")) {
+        take();
+        const std::string port = expectIdent().text;
+        expectPunct("(");
+        inst.connections[port] = expectIdent().text;
+        expectPunct(")");
+        if (atPunct(",")) take();
+      }
+      expectPunct(")");
+      expectPunct(";");
+      m.instances.push_back(std::move(inst));
+      return;
+    }
+    fail("unexpected module item");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Module* Design::findModule(const std::string& name) const {
+  for (const Module& m : modules) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+Design parseDesign(const std::string& source) {
+  Parser parser(tokenize(source));
+  return parser.parse();
+}
+
+}  // namespace tauhls::vsim

@@ -1,0 +1,14 @@
+// Recursive-descent parser for the emitted-Verilog subset (see ast.hpp).
+#pragma once
+
+#include <string>
+
+#include "vsim/ast.hpp"
+
+namespace tauhls::vsim {
+
+/// Parse a source file possibly containing several modules.  Throws
+/// tauhls::Error with a line number on anything outside the subset.
+Design parseDesign(const std::string& source);
+
+}  // namespace tauhls::vsim

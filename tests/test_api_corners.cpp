@@ -1,0 +1,119 @@
+// Odds-and-ends coverage for public API corners not exercised elsewhere:
+// string renderings, enum name tables, default arguments, and small
+// accessors that reports and debuggers rely on.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dfg/benchmarks.hpp"
+#include "dfg/textio.hpp"
+#include "fsm/guard.hpp"
+#include "logic/cover.hpp"
+#include "netlist/netlist.hpp"
+#include "sched/steps.hpp"
+#include "sim/interp.hpp"
+#include "sim/makespan.hpp"
+#include "testutil.hpp"
+
+namespace tauhls {
+namespace {
+
+TEST(ApiCorners, OpKindSymbolsAndNames) {
+  using dfg::OpKind;
+  EXPECT_STREQ(dfg::opKindSymbol(OpKind::Add), "+");
+  EXPECT_STREQ(dfg::opKindSymbol(OpKind::Compare), "<");
+  EXPECT_STREQ(dfg::opKindSymbol(OpKind::Neg), "neg");  // falls back to name
+  EXPECT_STREQ(dfg::opKindSymbol(OpKind::Shift), "<<");
+  EXPECT_STREQ(dfg::opKindSymbol(OpKind::And), "&");
+  EXPECT_STREQ(dfg::resourceClassName(dfg::ResourceClass::Logic), "logic");
+  EXPECT_STREQ(dfg::resourceClassName(dfg::ResourceClass::Divider), "divider");
+}
+
+TEST(ApiCorners, TextioLogicOperators) {
+  // The &, |, ^, << operators parse and round-trip.
+  dfg::Dfg g = dfg::parseDfg(
+      "in a, b\n"
+      "x1 = a & b\n"
+      "x2 = a | b\n"
+      "x3 = a ^ b\n"
+      "x4 = a << b\n"
+      "out x1, x2, x3, x4\n");
+  EXPECT_EQ(g.opsOfClass(dfg::ResourceClass::Logic).size(), 4u);
+  dfg::Dfg round = dfg::parseDfg(dfg::printDfg(g), "round");
+  EXPECT_EQ(dfg::printDfg(round), dfg::printDfg(g));
+}
+
+TEST(ApiCorners, CoverToString) {
+  logic::Cover cov(3);
+  logic::Cube a = logic::Cube::full(3);
+  a.setLiteral(0, true);
+  a.setLiteral(2, false);
+  cov.add(a);
+  cov.add(logic::Cube::minterm(3, 0b101));
+  EXPECT_EQ(cov.toString(), "1-0\n101\n");
+}
+
+TEST(ApiCorners, GateKindNames) {
+  using netlist::GateKind;
+  EXPECT_STREQ(netlist::gateKindName(GateKind::Input), "input");
+  EXPECT_STREQ(netlist::gateKindName(GateKind::Inv), "inv");
+  EXPECT_STREQ(netlist::gateKindName(GateKind::And), "and");
+  EXPECT_STREQ(netlist::gateKindName(GateKind::Or), "or");
+  EXPECT_STREQ(netlist::gateKindName(GateKind::Const0), "const0");
+  EXPECT_STREQ(netlist::gateKindName(GateKind::Const1), "const1");
+}
+
+TEST(ApiCorners, AlapDefaultBudgetEqualsAsap) {
+  dfg::Dfg g = dfg::fir(4);
+  sched::StepSchedule a = sched::asap(g);
+  sched::StepSchedule l = sched::alap(g);  // budget 0 => ASAP length
+  EXPECT_EQ(l.numSteps, a.numSteps);
+  sched::validateStepSchedule(g, l);
+}
+
+TEST(ApiCorners, GuardConjoinWithNeverAndAlways) {
+  fsm::Guard g = fsm::Guard::literal("x", true);
+  EXPECT_TRUE(g.conjoin(fsm::Guard::never()).isNever());
+  EXPECT_EQ(g.conjoin(fsm::Guard::always()).toString(), g.toString());
+  EXPECT_TRUE(fsm::Guard::never().disjoin(fsm::Guard::never()).isNever());
+}
+
+TEST(ApiCorners, SimTraceLookupsOutOfRange) {
+  sim::SimTrace t;
+  t.outputsPerCycle = {{"RE_a"}, {}};
+  EXPECT_TRUE(t.asserted(0, "RE_a"));
+  EXPECT_FALSE(t.asserted(1, "RE_a"));
+  EXPECT_FALSE(t.asserted(-1, "RE_a"));
+  EXPECT_FALSE(t.asserted(5, "RE_a"));
+  EXPECT_EQ(t.firstCycle("RE_a"), 0);
+  EXPECT_EQ(t.firstCycle("RE_missing"), -1);
+}
+
+TEST(ApiCorners, BindingUnitsOfClassOrdering) {
+  sched::Binding b;
+  int m0 = b.addUnit(dfg::ResourceClass::Multiplier, 0);
+  int a0 = b.addUnit(dfg::ResourceClass::Adder, 0);
+  int m1 = b.addUnit(dfg::ResourceClass::Multiplier, 1);
+  EXPECT_EQ(b.unitsOfClass(dfg::ResourceClass::Multiplier),
+            (std::vector<int>{m0, m1}));
+  EXPECT_EQ(b.unitsOfClass(dfg::ResourceClass::Adder), (std::vector<int>{a0}));
+  EXPECT_TRUE(b.unitsOfClass(dfg::ResourceClass::Divider).empty());
+  EXPECT_EQ(b.unit(m1).name, "mult2");  // 1-based names as in the paper
+  EXPECT_EQ(b.unitOf(dfg::NodeId{0}), -1);
+}
+
+TEST(ApiCorners, TaubmCycleBoundsWithoutTelescopicUnits) {
+  dfg::Dfg g = dfg::fir(3);
+  tau::ResourceLibrary lib;
+  lib.registerType(tau::fixedUnit("mult", dfg::ResourceClass::Multiplier, 20));
+  lib.registerType(tau::fixedUnit("adder", dfg::ResourceClass::Adder, 20));
+  auto s = sched::scheduleAndBind(
+      g, {{dfg::ResourceClass::Multiplier, 2}, {dfg::ResourceClass::Adder, 1}},
+      lib);
+  EXPECT_EQ(s.taubm.bestCaseCycles(), s.taubm.worstCaseCycles());
+  // With no telescopic units, DIST and SYNC agree exactly.
+  EXPECT_EQ(sim::distributedMakespanCycles(s, sim::allShort(s)),
+            s.taubm.bestCaseCycles());
+}
+
+}  // namespace
+}  // namespace tauhls

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bitlevel/adder.hpp"
+#include "bitlevel/completion.hpp"
+#include "bitlevel/measure.hpp"
+#include "bitlevel/multiplier.hpp"
+#include "common/error.hpp"
+
+namespace tauhls::bitlevel {
+namespace {
+
+TEST(Adder, SumsCorrectly) {
+  EXPECT_EQ(rippleAdd(3, 4, 8).sum, 7u);
+  EXPECT_EQ(rippleAdd(200, 100, 8).sum, 44u);  // mod 256
+  EXPECT_EQ(rippleAdd(~std::uint64_t{0}, 1, 64).sum, 0u);
+}
+
+TEST(Adder, PropagateRuns) {
+  // a ^ b = 0 -> no propagation.
+  EXPECT_EQ(longestPropagateRun(0b1010, 0b1010, 8), 0);
+  // Full-width propagate: a ^ b = all ones.
+  EXPECT_EQ(longestPropagateRun(0b1111, 0b0000, 4), 4);
+  // Mixed: 0b0110 ^ 0b0011 = 0b0101 -> runs of length 1.
+  EXPECT_EQ(longestPropagateRun(0b0110, 0b0011, 4), 1);
+}
+
+TEST(Adder, DelayIsRunPlusOne) {
+  EXPECT_EQ(rippleAdd(0, 0, 16).settlingDelay, 1);
+  // 0xFFFF ^ 0x0001 = 0xFFFE: a 15-position propagate run, so the carry
+  // generated at bit 0 ripples for 15 stages -> delay 16.
+  EXPECT_EQ(rippleAdd(0xFFFF, 0x0001, 16).settlingDelay, 16);
+}
+
+TEST(Adder, RejectsBadInputs) {
+  EXPECT_THROW(rippleAdd(256, 0, 8), Error);
+  EXPECT_THROW(rippleAdd(0, 0, 0), Error);
+  EXPECT_THROW(rippleAdd(0, 0, 65), Error);
+}
+
+TEST(Multiplier, ProductsCorrect) {
+  EXPECT_EQ(arrayMultiply(7, 6, 8).product, 42u);
+  EXPECT_EQ(arrayMultiply(0, 99, 8).product, 0u);
+  EXPECT_EQ(arrayMultiply(0xFFFF, 0xFFFF, 16).product, 0xFFFE0001u);
+}
+
+TEST(Multiplier, DelayGrowsWithMagnitude) {
+  EXPECT_EQ(arrayMultiply(0, 5, 8).settlingDelay, 1);
+  EXPECT_EQ(arrayMultiply(1, 1, 8).settlingDelay, 2);      // msb 0 + 0 + 2
+  EXPECT_EQ(arrayMultiply(128, 128, 8).settlingDelay, 16); // 7 + 7 + 2
+  EXPECT_LT(arrayMultiply(3, 3, 8).settlingDelay,
+            arrayMultiply(200, 200, 8).settlingDelay);
+}
+
+TEST(Multiplier, MsbIndex) {
+  EXPECT_EQ(msbIndex(0), -1);
+  EXPECT_EQ(msbIndex(1), 0);
+  EXPECT_EQ(msbIndex(0x80), 7);
+  EXPECT_EQ(msbIndex(~std::uint64_t{0}), 63);
+}
+
+TEST(CompletionAdder, PredictsWithinBound) {
+  AdderCompletionGenerator gen(16, 4);
+  EXPECT_EQ(gen.shortDelayBound(), 4);
+  EXPECT_TRUE(gen.predictShort(0, 0));
+  EXPECT_FALSE(gen.predictShort(0xFFFF, 0x0001));
+}
+
+TEST(CompletionAdder, RejectsBadConfig) {
+  EXPECT_THROW(AdderCompletionGenerator(16, 0), Error);
+  EXPECT_THROW(AdderCompletionGenerator(16, 17), Error);
+}
+
+TEST(CompletionMultiplier, MagnitudeClassification) {
+  MultiplierCompletionGenerator gen(8, 6);
+  EXPECT_TRUE(gen.predictShort(0, 255));   // kill path
+  EXPECT_TRUE(gen.predictShort(7, 7));     // msb 2 + 2 <= 6
+  EXPECT_FALSE(gen.predictShort(128, 2));  // msb 7 + 1 > 6
+  EXPECT_EQ(gen.shortDelayBound(), 8);
+}
+
+class ConservativenessProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConservativenessProperty, AdderGeneratorNeverLies) {
+  const int maxRun = GetParam();
+  AdderCompletionGenerator gen(16, maxRun);
+  std::mt19937_64 rng(maxRun * 12345);
+  for (int t = 0; t < 20000; ++t) {
+    const std::uint64_t a = rng() & 0xFFFF;
+    const std::uint64_t b = rng() & 0xFFFF;
+    if (gen.predictShort(a, b)) {
+      EXPECT_LE(rippleAdd(a, b, 16).settlingDelay, gen.shortDelayBound())
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxRuns, ConservativenessProperty,
+                         ::testing::Values(1, 2, 4, 8, 12, 16));
+
+class MulConservativeness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MulConservativeness, MultiplierGeneratorNeverLies) {
+  const int budget = GetParam();
+  MultiplierCompletionGenerator gen(8, budget);
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      if (gen.predictShort(a, b)) {
+        EXPECT_LE(arrayMultiply(a, b, 8).settlingDelay, gen.shortDelayBound());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, MulConservativeness,
+                         ::testing::Values(0, 3, 6, 9, 12, 14));
+
+TEST(Measure, AdderPIncreasesWithRelaxedBound) {
+  double prev = -1.0;
+  for (int maxRun : {2, 4, 8, 16}) {
+    AdderCompletionGenerator gen(16, maxRun);
+    PMeasurement m = measureAdderP(gen, OperandDistribution::Uniform, 20000);
+    EXPECT_EQ(m.falseCompletions, 0);
+    EXPECT_GT(m.p, prev);
+    prev = m.p;
+  }
+  EXPECT_GT(prev, 0.95);  // a 16-bit bound certifies almost everything
+}
+
+TEST(Measure, LowMagnitudeOperandsRaiseMultiplierP) {
+  MultiplierCompletionGenerator gen(16, 14);
+  PMeasurement uniform =
+      measureMultiplierP(gen, OperandDistribution::Uniform, 20000);
+  PMeasurement lowMag =
+      measureMultiplierP(gen, OperandDistribution::LowMagnitude, 20000);
+  EXPECT_EQ(uniform.falseCompletions, 0);
+  EXPECT_EQ(lowMag.falseCompletions, 0);
+  EXPECT_GT(lowMag.p, uniform.p);
+}
+
+TEST(Measure, SmallDeltaShortensAdderCarries) {
+  AdderCompletionGenerator gen(32, 8);
+  PMeasurement uniform = measureAdderP(gen, OperandDistribution::Uniform, 20000);
+  PMeasurement delta = measureAdderP(gen, OperandDistribution::SmallDelta, 20000);
+  EXPECT_EQ(delta.falseCompletions, 0);
+  // Small deltas give short propagate chains far more often... in the mean
+  // delay if not always in the windowed classifier.
+  EXPECT_LT(delta.meanDelay, uniform.meanDelay + 1.0);
+}
+
+TEST(Measure, DeterministicForSeed) {
+  AdderCompletionGenerator gen(16, 4);
+  PMeasurement a = measureAdderP(gen, OperandDistribution::Uniform, 5000, 9);
+  PMeasurement b = measureAdderP(gen, OperandDistribution::Uniform, 5000, 9);
+  EXPECT_EQ(a.p, b.p);
+  EXPECT_EQ(a.worstDelay, b.worstDelay);
+}
+
+TEST(Measure, UnitTypeBridge) {
+  MultiplierCompletionGenerator gen(16, 20);
+  PMeasurement m = measureMultiplierP(gen, OperandDistribution::Uniform, 10000);
+  tau::UnitType t = telescopicMultiplierFromMeasurement(16, gen, m, 0.5);
+  EXPECT_TRUE(t.telescopic);
+  EXPECT_DOUBLE_EQ(t.shortDelayNs, gen.shortDelayBound() * 0.5);
+  EXPECT_DOUBLE_EQ(t.longDelayNs, 32.0 * 0.5);  // (2*(16-1)+2) * 0.5
+  EXPECT_DOUBLE_EQ(t.sdProbability, m.p);
+}
+
+TEST(Measure, BridgeRejectsLyingGenerator) {
+  MultiplierCompletionGenerator gen(16, 20);
+  PMeasurement fake;
+  fake.falseCompletions = 1;
+  EXPECT_THROW(telescopicMultiplierFromMeasurement(16, gen, fake, 0.5), Error);
+}
+
+}  // namespace
+}  // namespace tauhls::bitlevel

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/cli.hpp"
+
+namespace tauhls::core {
+namespace {
+
+using dfg::ResourceClass;
+
+TEST(CliParse, AllocationSpec) {
+  sched::Allocation a = parseAllocationSpec("mult=2,add=1,sub=3");
+  EXPECT_EQ(a.at(ResourceClass::Multiplier), 2);
+  EXPECT_EQ(a.at(ResourceClass::Adder), 1);
+  EXPECT_EQ(a.at(ResourceClass::Subtractor), 3);
+  EXPECT_EQ(parseAllocationSpec("div=1,logic=2").at(ResourceClass::Divider), 1);
+  EXPECT_THROW(parseAllocationSpec("mult=0"), Error);
+  EXPECT_THROW(parseAllocationSpec("gpu=1"), Error);
+  EXPECT_THROW(parseAllocationSpec("mult"), Error);
+  EXPECT_THROW(parseAllocationSpec("mult=x"), Error);
+}
+
+TEST(CliParse, FullCommandLine) {
+  std::string error;
+  auto o = parseCli({"design.dfg", "--alloc", "mult=2,add=1", "--p", "0.9,0.5",
+                     "--strategy", "clique", "--no-signal-opt", "--cent-fsm",
+                     "--table1", "--no-table2", "--verilog", "out.v", "--kiss",
+                     "pfx", "--dot", "g.dot"},
+                    error);
+  ASSERT_TRUE(o.has_value()) << error;
+  EXPECT_EQ(o->inputPath, "design.dfg");
+  EXPECT_EQ(o->allocation.at(ResourceClass::Multiplier), 2);
+  EXPECT_EQ(o->ps, (std::vector<double>{0.9, 0.5}));
+  EXPECT_EQ(o->strategy, sched::BindingStrategy::CliqueCover);
+  EXPECT_FALSE(o->signalOpt);
+  EXPECT_TRUE(o->centFsm);
+  EXPECT_TRUE(o->table1);
+  EXPECT_FALSE(o->table2);
+  EXPECT_EQ(o->verilogPath, "out.v");
+  EXPECT_EQ(o->kissPrefix, "pfx");
+  EXPECT_EQ(o->dotPath, "g.dot");
+}
+
+TEST(CliParse, Defaults) {
+  std::string error;
+  auto o = parseCli({"x.dfg"}, error);
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(o->ps, (std::vector<double>{0.9, 0.7, 0.5}));
+  EXPECT_EQ(o->strategy, sched::BindingStrategy::LeftEdge);
+  EXPECT_TRUE(o->signalOpt);
+  EXPECT_FALSE(o->table1);
+  EXPECT_TRUE(o->table2);
+}
+
+TEST(CliParse, Errors) {
+  std::string error;
+  EXPECT_FALSE(parseCli({}, error).has_value());
+  EXPECT_FALSE(parseCli({"--alloc"}, error).has_value());
+  EXPECT_FALSE(parseCli({"a.dfg", "--strategy", "magic"}, error).has_value());
+  EXPECT_FALSE(parseCli({"a.dfg", "--p", "abc"}, error).has_value());
+  EXPECT_FALSE(parseCli({"a.dfg", "b.dfg"}, error).has_value());
+  EXPECT_FALSE(parseCli({"a.dfg", "--frobnicate"}, error).has_value());
+}
+
+TEST(CliParse, HelpShortCircuits) {
+  std::string error;
+  auto o = parseCli({"--help"}, error);
+  ASSERT_TRUE(o.has_value());
+  EXPECT_TRUE(o->showHelp);
+  EXPECT_NE(cliHelp().find("--alloc"), std::string::npos);
+}
+
+class CliRun : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "cli_test.dfg";
+    std::ofstream f(path_);
+    f << "in a, b, c, d\n"
+         "m1 = a * b\n"
+         "m2 = c * d\n"
+         "s1 = m1 + m2\n"
+         "out s1\n";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CliRun, EndToEndReports) {
+  CliOptions o;
+  o.inputPath = path_;
+  o.allocation = parseAllocationSpec("mult=2,add=1");
+  o.table1 = true;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(runCli(o, out, err), 0);
+  EXPECT_NE(out.str().find("LT_DIST"), std::string::npos);
+  EXPECT_NE(out.str().find("DIST-FSM"), std::string::npos);
+  EXPECT_TRUE(err.str().empty());
+}
+
+TEST_F(CliRun, WritesTestbench) {
+  CliOptions o;
+  o.inputPath = path_;
+  o.testbenchPath = ::testing::TempDir() + "cli_test_tb.v";
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(runCli(o, out, err), 0);
+  std::ifstream tb(o.testbenchPath);
+  ASSERT_TRUE(tb.good());
+  std::stringstream content;
+  content << tb.rdbuf();
+  EXPECT_NE(content.str().find("module dcu_cli_test_tb;"), std::string::npos);
+  EXPECT_NE(content.str().find("$finish"), std::string::npos);
+  std::remove(o.testbenchPath.c_str());
+}
+
+TEST_F(CliRun, WritesArtifacts) {
+  CliOptions o;
+  o.inputPath = path_;
+  o.verilogPath = ::testing::TempDir() + "cli_test.v";
+  o.kissPrefix = ::testing::TempDir() + "cli_test";
+  o.dotPath = ::testing::TempDir() + "cli_test.dot";
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(runCli(o, out, err), 0);
+  std::ifstream v(o.verilogPath);
+  EXPECT_TRUE(v.good());
+  std::string firstLine;
+  std::getline(v, firstLine);
+  EXPECT_NE(firstLine.find("tauhls"), std::string::npos);
+  std::ifstream d(o.dotPath);
+  EXPECT_TRUE(d.good());
+  std::ifstream k(o.kissPrefix + "_D_FSM_mult1.kiss2");
+  EXPECT_TRUE(k.good());
+  std::remove(o.verilogPath.c_str());
+  std::remove(o.dotPath.c_str());
+  std::remove((o.kissPrefix + "_D_FSM_mult1.kiss2").c_str());
+  std::remove((o.kissPrefix + "_D_FSM_mult2.kiss2").c_str());
+  std::remove((o.kissPrefix + "_D_FSM_adder1.kiss2").c_str());
+}
+
+TEST_F(CliRun, WritesJson) {
+  CliOptions o;
+  o.inputPath = path_;
+  o.jsonPath = ::testing::TempDir() + "cli_test.json";
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(runCli(o, out, err), 0);
+  std::ifstream j(o.jsonPath);
+  ASSERT_TRUE(j.good());
+  std::stringstream content;
+  content << j.rdbuf();
+  EXPECT_NE(content.str().find("\"design\":\"cli_test\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"latency\":"), std::string::npos);
+  std::remove(o.jsonPath.c_str());
+}
+
+TEST_F(CliRun, MissingFileFails) {
+  CliOptions o;
+  o.inputPath = "/nonexistent/nowhere.dfg";
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(runCli(o, out, err), 1);
+  EXPECT_NE(err.str().find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliRun, HelpMode) {
+  CliOptions o;
+  o.showHelp = true;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(runCli(o, out, err), 0);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tauhls::core

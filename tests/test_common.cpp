@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace tauhls {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    TAUHLS_CHECK(false, "the message");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("check"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(TAUHLS_CHECK(1 + 1 == 2, "never"));
+}
+
+TEST(Error, FailAlwaysThrows) {
+  EXPECT_THROW(TAUHLS_FAIL("boom"), Error);
+}
+
+TEST(Error, AssertReportsAssertKind) {
+  try {
+    TAUHLS_ASSERT(false, "inv");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("assert"), std::string::npos);
+  }
+}
+
+TEST(Strings, JoinBasics) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitDropsEmptyByDefault) {
+  EXPECT_EQ(split("a;;b;", ';'), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split("a;;b", ';', true), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_TRUE(split("", ';').empty());
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(isIdentifier("a"));
+  EXPECT_TRUE(isIdentifier("_x9"));
+  EXPECT_FALSE(isIdentifier(""));
+  EXPECT_FALSE(isIdentifier("9x"));
+  EXPECT_FALSE(isIdentifier("a-b"));
+}
+
+TEST(Strings, ZeroPad) {
+  EXPECT_EQ(zeroPad(7, 3), "007");
+  EXPECT_EQ(zeroPad(1234, 3), "1234");
+  EXPECT_EQ(zeroPad(0, 1), "0");
+}
+
+}  // namespace
+}  // namespace tauhls

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "dfg/benchmarks.hpp"
+
+namespace tauhls::core {
+namespace {
+
+using dfg::ResourceClass;
+
+FlowConfig diffeqConfig() {
+  FlowConfig cfg;
+  cfg.allocation = {{ResourceClass::Multiplier, 2},
+                    {ResourceClass::Adder, 1},
+                    {ResourceClass::Subtractor, 1}};
+  return cfg;
+}
+
+TEST(Flow, EndToEndDiffeq) {
+  FlowResult r = runFlow(dfg::diffeq(), diffeqConfig());
+  EXPECT_EQ(r.distributed.controllers.size(), 4u);
+  EXPECT_GT(r.signalStats.removedOutputs, 0);
+  EXPECT_EQ(r.latency.ps, (std::vector<double>{0.9, 0.7, 0.5}));
+  ASSERT_TRUE(r.distArea.has_value());
+  ASSERT_TRUE(r.centSyncArea.has_value());
+  EXPECT_FALSE(r.centFsm.has_value());
+  // Latency sanity: distributed never worse than the synchronized baseline.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(r.latency.dist.averageNs[i], r.latency.tau.averageNs[i]);
+  }
+  EXPECT_LE(r.latency.dist.worstNs, r.latency.tau.worstNs);
+}
+
+TEST(Flow, CentFsmOnDemand) {
+  FlowConfig cfg = diffeqConfig();
+  cfg.buildCentFsm = true;
+  FlowResult r = runFlow(dfg::diffeq(), cfg);
+  ASSERT_TRUE(r.centFsm.has_value());
+  ASSERT_TRUE(r.centFsmArea.has_value());
+  EXPECT_GT(r.centFsmArea->states, r.centSyncArea->states);
+}
+
+TEST(Flow, SignalOptToggle) {
+  FlowConfig cfg = diffeqConfig();
+  cfg.optimizeSignals = false;
+  FlowResult r = runFlow(dfg::diffeq(), cfg);
+  EXPECT_EQ(r.signalStats.removedOutputs, 0);
+  // Without optimization every op's CCO remains an output.
+  std::size_t ccoOutputs = 0;
+  for (const auto& c : r.distributed.controllers) {
+    for (const std::string& o : c.fsm.outputs()) {
+      if (o.starts_with("CCO_")) ++ccoOutputs;
+    }
+  }
+  EXPECT_EQ(ccoOutputs, dfg::diffeq().numOps());
+}
+
+TEST(Flow, StrategySelection) {
+  FlowConfig cfg = diffeqConfig();
+  cfg.strategy = sched::BindingStrategy::CliqueCover;
+  FlowResult r = runFlow(dfg::diffeq(), cfg);
+  EXPECT_EQ(r.distributed.controllers.size(), 4u);
+}
+
+TEST(Flow, AreaCanBeSkipped) {
+  FlowConfig cfg = diffeqConfig();
+  cfg.synthesizeArea = false;
+  FlowResult r = runFlow(dfg::diffeq(), cfg);
+  EXPECT_FALSE(r.distArea.has_value());
+  EXPECT_FALSE(r.centSyncArea.has_value());
+}
+
+TEST(Flow, VerilogEmission) {
+  FlowResult r = runFlow(dfg::diffeq(), diffeqConfig());
+  std::string v = emitVerilog(r);
+  EXPECT_NE(v.find("module dcu_diffeq ("), std::string::npos);
+  EXPECT_NE(v.find("tauhls_completion_latch"), std::string::npos);
+}
+
+TEST(Flow, PaperSuiteRunsEndToEnd) {
+  for (const dfg::NamedBenchmark& b : dfg::paperTable2Suite()) {
+    FlowConfig cfg;
+    cfg.allocation = b.allocation;
+    cfg.synthesizeArea = false;  // latency-only sweep
+    FlowResult r = runFlow(b.graph, cfg);
+    EXPECT_GT(r.latency.dist.bestNs, 0.0) << b.name;
+    EXPECT_GE(r.latency.tau.worstNs, r.latency.tau.bestNs) << b.name;
+    for (double e : r.latency.enhancementPercent) {
+      EXPECT_GE(e, -1e-9) << b.name;
+    }
+  }
+}
+
+TEST(Report, TextTableAlignsColumns) {
+  TextTable t({"A", "LongHeader"});
+  t.addRow({"x", "1"});
+  t.addRow({"yyyy", "2"});
+  std::string s = t.toString();
+  EXPECT_NE(s.find("A     LongHeader"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_THROW(t.addRow({"only-one"}), Error);
+}
+
+TEST(Report, Table2RowMentionsEverything) {
+  FlowResult r = runFlow(dfg::diffeq(), diffeqConfig());
+  std::string row = formatTable2Row("Diff.", r);
+  EXPECT_NE(row.find("Diff."), std::string::npos);
+  EXPECT_NE(row.find("*:2"), std::string::npos);
+  EXPECT_NE(row.find("LT_TAU"), std::string::npos);
+  EXPECT_NE(row.find("LT_DIST"), std::string::npos);
+  EXPECT_NE(row.find("Enhancement"), std::string::npos);
+  EXPECT_NE(row.find("%"), std::string::npos);
+}
+
+TEST(Report, Table1ListsAllMachines) {
+  FlowConfig cfg = diffeqConfig();
+  cfg.buildCentFsm = true;
+  FlowResult r = runFlow(dfg::diffeq(), cfg);
+  std::string t = formatTable1(r);
+  EXPECT_NE(t.find("CENT-FSM"), std::string::npos);
+  EXPECT_NE(t.find("CENT-SYNC-FSM"), std::string::npos);
+  EXPECT_NE(t.find("DIST-FSM"), std::string::npos);
+  EXPECT_NE(t.find("D-FSM-mult1"), std::string::npos);
+  EXPECT_NE(t.find("completion latches"), std::string::npos);
+}
+
+TEST(Report, Table1RequiresAreaSynthesis) {
+  FlowConfig cfg = diffeqConfig();
+  cfg.synthesizeArea = false;
+  FlowResult r = runFlow(dfg::diffeq(), cfg);
+  EXPECT_THROW(formatTable1(r), Error);
+}
+
+TEST(Report, LatencyCellsFormat) {
+  sim::LatencyRow row;
+  row.bestNs = 60.0;
+  row.averageNs = {68.1, 80.7, 90.6};
+  row.worstNs = 105.0;
+  EXPECT_EQ(formatLatencyCells(row), "[60.0][68.1, 80.7, 90.6][105.0]");
+}
+
+}  // namespace
+}  // namespace tauhls::core

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+#include "common/error.hpp"
+
+#include "dfg/analysis.hpp"
+#include "dfg/benchmarks.hpp"
+
+namespace tauhls::dfg {
+namespace {
+
+TEST(Benchmarks, FirOpCounts) {
+  for (int taps : {1, 3, 5, 8}) {
+    Dfg g = fir(taps);
+    EXPECT_EQ(g.opsOfClass(ResourceClass::Multiplier).size(),
+              static_cast<std::size_t>(taps));
+    EXPECT_EQ(g.opsOfClass(ResourceClass::Adder).size(),
+              static_cast<std::size_t>(taps - 1));
+    EXPECT_NO_THROW(g.validate());
+  }
+}
+
+TEST(Benchmarks, FirCriticalPath) {
+  // Serial adder chain: 1 mult + (taps-1) adds on the longest path.
+  Dfg g = fir(5);
+  EXPECT_EQ(criticalPathLength(g, unitDurations(g)), 5);
+}
+
+TEST(Benchmarks, IirOpCounts) {
+  Dfg g2 = iir(2);
+  EXPECT_EQ(g2.opsOfClass(ResourceClass::Multiplier).size(), 5u);
+  EXPECT_EQ(g2.opsOfClass(ResourceClass::Adder).size(), 4u);
+  Dfg g3 = iir(3);
+  EXPECT_EQ(g3.opsOfClass(ResourceClass::Multiplier).size(), 7u);
+  EXPECT_EQ(g3.opsOfClass(ResourceClass::Adder).size(), 6u);
+}
+
+TEST(Benchmarks, DiffeqMatchesHal) {
+  Dfg g = diffeq();
+  EXPECT_EQ(g.numOps(), 11u);
+  EXPECT_EQ(g.opsOfClass(ResourceClass::Multiplier).size(), 6u);
+  EXPECT_EQ(g.opsOfClass(ResourceClass::Adder).size(), 2u);
+  // 2 subtractions + 1 comparison share the subtractor class.
+  EXPECT_EQ(g.opsOfClass(ResourceClass::Subtractor).size(), 3u);
+  EXPECT_EQ(g.outputs().size(), 3u);
+  // Longest dependency chain: m1/m2 -> m3 -> s1 -> u1 (4 ops).
+  EXPECT_EQ(criticalPathLength(g, unitDurations(g)), 4);
+}
+
+TEST(Benchmarks, ArLatticeStructure) {
+  Dfg g = arLattice();
+  EXPECT_EQ(g.opsOfClass(ResourceClass::Multiplier).size(), 16u);
+  EXPECT_EQ(g.opsOfClass(ResourceClass::Adder).size(), 8u);
+  // 4 stages x (mult then add) = 8 ops on the critical path.
+  EXPECT_EQ(criticalPathLength(g, unitDurations(g)), 8);
+}
+
+TEST(Benchmarks, EwfOpMix) {
+  Dfg g = ewf();
+  EXPECT_EQ(g.numOps(), 34u);
+  EXPECT_EQ(g.opsOfClass(ResourceClass::Multiplier).size(), 8u);
+  EXPECT_EQ(g.opsOfClass(ResourceClass::Adder).size(), 26u);
+}
+
+TEST(Benchmarks, FftStructure) {
+  for (int stages : {1, 2, 3, 4}) {
+    Dfg g = fft(stages);
+    const int n = 1 << stages;
+    const std::size_t butterflies =
+        static_cast<std::size_t>(stages) * static_cast<std::size_t>(n) / 2;
+    EXPECT_EQ(g.opsOfClass(ResourceClass::Multiplier).size(), butterflies);
+    EXPECT_EQ(g.opsOfClass(ResourceClass::Adder).size(), butterflies);
+    EXPECT_EQ(g.opsOfClass(ResourceClass::Subtractor).size(), butterflies);
+    EXPECT_EQ(g.outputs().size(), static_cast<std::size_t>(n));
+    EXPECT_NO_THROW(g.validate());
+    // Critical path: each stage adds mul + add/sub (2 ops).
+    EXPECT_EQ(criticalPathLength(g, unitDurations(g)), 2 * stages);
+  }
+  EXPECT_THROW(fft(0), tauhls::Error);
+}
+
+TEST(Benchmarks, Dct8Structure) {
+  Dfg g = dct8();
+  EXPECT_EQ(g.opsOfClass(ResourceClass::Multiplier).size(), 11u);
+  EXPECT_EQ(g.numOps(), 37u);
+  EXPECT_EQ(g.outputs().size(), 8u);
+  EXPECT_NO_THROW(g.validate());
+  // Every DCT output depends on some input.
+  for (NodeId y : g.outputs()) {
+    bool reachable = false;
+    for (NodeId x : g.inputIds()) reachable |= reaches(g, x, y);
+    EXPECT_TRUE(reachable) << g.node(y).name;
+  }
+}
+
+TEST(Benchmarks, PaperFig2Shape) {
+  Dfg g = paperFig2();
+  EXPECT_EQ(g.numOps(), 6u);
+  EXPECT_EQ(g.opsOfClass(ResourceClass::Multiplier).size(), 4u);
+  EXPECT_EQ(g.opsOfClass(ResourceClass::Adder).size(), 2u);
+  // O1 depends on O0 but not on O3 (the concurrency the paper discusses).
+  NodeId o0 = g.findByName("O0");
+  NodeId o1 = g.findByName("O1");
+  NodeId o3 = g.findByName("O3");
+  EXPECT_TRUE(reaches(g, o0, o1));
+  EXPECT_FALSE(reaches(g, o3, o1));
+  EXPECT_EQ(criticalPathLength(g, unitDurations(g)), 4);
+}
+
+TEST(Benchmarks, PaperFig3Shape) {
+  Dfg g = paperFig3();
+  EXPECT_EQ(g.numOps(), 9u);
+  EXPECT_EQ(g.opsOfClass(ResourceClass::Multiplier).size(), 5u);
+  EXPECT_EQ(g.opsOfClass(ResourceClass::Adder).size(), 4u);
+  // Mult dependency cliques: O0->O1, O6->(O7)->O8, O4 isolated.
+  EXPECT_TRUE(reaches(g, g.findByName("O0"), g.findByName("O1")));
+  EXPECT_TRUE(reaches(g, g.findByName("O6"), g.findByName("O8")));
+  EXPECT_FALSE(reaches(g, g.findByName("O0"), g.findByName("O4")));
+  EXPECT_FALSE(reaches(g, g.findByName("O4"), g.findByName("O8")));
+}
+
+TEST(Benchmarks, PaperSuiteAllocationsMatchTable2) {
+  auto suite = paperTable2Suite();
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].name, "3rd FIR");
+  EXPECT_EQ(suite[0].allocation.at(ResourceClass::Multiplier), 2);
+  EXPECT_EQ(suite[0].allocation.at(ResourceClass::Adder), 1);
+  EXPECT_EQ(suite[3].name, "3rd IIR");
+  EXPECT_EQ(suite[3].allocation.at(ResourceClass::Multiplier), 3);
+  EXPECT_EQ(suite[3].allocation.at(ResourceClass::Adder), 2);
+  EXPECT_EQ(suite[4].allocation.at(ResourceClass::Subtractor), 1);
+  EXPECT_EQ(suite[5].allocation.at(ResourceClass::Multiplier), 4);
+  for (const auto& b : suite) {
+    EXPECT_NO_THROW(b.graph.validate()) << b.name;
+    // Every benchmark must actually need its allocation: at least as many ops
+    // of each allocated class as units requested.
+    for (const auto& [cls, count] : b.allocation) {
+      EXPECT_GE(b.graph.opsOfClass(cls).size(), static_cast<std::size_t>(count))
+          << b.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tauhls::dfg

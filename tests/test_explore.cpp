@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dfg/benchmarks.hpp"
+#include "explore/pareto.hpp"
+#include "testutil.hpp"
+
+namespace tauhls::explore {
+namespace {
+
+using dfg::ResourceClass;
+
+TEST(Explore, SweepsBoundedGrid) {
+  // fir(5): 5 muls (chain cover 5, capped at 3 by options) and 4 chained
+  // adds (chain cover 1) -> 3 x 1 = 3 points.
+  ExploreOptions opt;
+  opt.maxUnitsPerClass = 3;
+  auto points = explore(dfg::fir(5), opt);
+  EXPECT_EQ(points.size(), 3u);
+  for (const DesignPoint& p : points) {
+    EXPECT_GE(p.allocation.at(ResourceClass::Multiplier), 1);
+    EXPECT_LE(p.allocation.at(ResourceClass::Multiplier), 3);
+    EXPECT_EQ(p.allocation.at(ResourceClass::Adder), 1);  // chain: cap 1
+    EXPECT_GT(p.averageLatencyNs, 0.0);
+    EXPECT_GT(p.controllerArea, 0);
+    EXPECT_GT(p.datapathRegisters, 0);
+  }
+}
+
+TEST(Explore, MoreUnitsNeverSlower) {
+  ExploreOptions opt;
+  opt.maxUnitsPerClass = 3;
+  auto points = explore(dfg::fir(5), opt);
+  std::map<int, double> latencyByMults;
+  for (const DesignPoint& p : points) {
+    latencyByMults[p.allocation.at(ResourceClass::Multiplier)] =
+        p.averageLatencyNs;
+  }
+  EXPECT_LE(latencyByMults.at(2), latencyByMults.at(1));
+  EXPECT_LE(latencyByMults.at(3), latencyByMults.at(2));
+}
+
+TEST(Explore, ParetoFrontIsNonDominated) {
+  ExploreOptions opt;
+  opt.maxUnitsPerClass = 3;
+  auto points = explore(dfg::diffeq(), opt);
+  auto front = paretoFront(points, opt.unitWeightArea);
+  EXPECT_FALSE(front.empty());
+  EXPECT_LE(front.size(), points.size());
+  for (const DesignPoint& f : front) {
+    for (const DesignPoint& other : points) {
+      const bool dominates =
+          other.averageLatencyNs < f.averageLatencyNs - 1e-9 &&
+          other.cost(opt.unitWeightArea) < f.cost(opt.unitWeightArea);
+      EXPECT_FALSE(dominates);
+    }
+  }
+  // Flags match membership.
+  int flagged = 0;
+  for (const DesignPoint& p : points) flagged += p.paretoOptimal ? 1 : 0;
+  EXPECT_EQ(flagged, static_cast<int>(front.size()));
+}
+
+TEST(Explore, CheapestAndFastestAlwaysOnFront) {
+  // The minimum-cost point and the minimum-latency point can never be
+  // dominated (with ties broken by the dominance definition).
+  ExploreOptions opt;
+  opt.maxUnitsPerClass = 2;
+  auto points = explore(dfg::diffeq(), opt);
+  auto front = paretoFront(points, opt.unitWeightArea);
+  double bestLatency = 1e18;
+  int bestCost = 1 << 30;
+  for (const DesignPoint& p : points) {
+    bestLatency = std::min(bestLatency, p.averageLatencyNs);
+    bestCost = std::min(bestCost, p.cost(opt.unitWeightArea));
+  }
+  bool frontHasBestLatency = false;
+  bool frontHasBestCost = false;
+  for (const DesignPoint& f : front) {
+    frontHasBestLatency |= f.averageLatencyNs <= bestLatency + 1e-9;
+    frontHasBestCost |= f.cost(opt.unitWeightArea) <= bestCost;
+  }
+  EXPECT_TRUE(frontHasBestLatency);
+  EXPECT_TRUE(frontHasBestCost);
+}
+
+TEST(Explore, RejectsDegenerateInputs) {
+  dfg::Dfg empty("empty");
+  empty.addInput("a");
+  EXPECT_THROW(explore(empty), Error);
+  ExploreOptions bad;
+  bad.maxUnitsPerClass = 0;
+  EXPECT_THROW(explore(dfg::fir(3), bad), Error);
+}
+
+}  // namespace
+}  // namespace tauhls::explore

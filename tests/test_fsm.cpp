@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "fsm/guard.hpp"
+#include "fsm/machine.hpp"
+#include "fsm/signal.hpp"
+
+namespace tauhls::fsm {
+namespace {
+
+using Asserted = std::unordered_set<std::string>;
+
+TEST(Guard, Constants) {
+  EXPECT_TRUE(Guard::always().evaluate({}));
+  EXPECT_TRUE(Guard::always().isAlways());
+  EXPECT_FALSE(Guard::never().evaluate({"x"}));
+  EXPECT_TRUE(Guard::never().isNever());
+}
+
+TEST(Guard, Literals) {
+  Guard pos = Guard::literal("c", true);
+  Guard neg = Guard::literal("c", false);
+  EXPECT_TRUE(pos.evaluate({"c"}));
+  EXPECT_FALSE(pos.evaluate({}));
+  EXPECT_FALSE(neg.evaluate({"c"}));
+  EXPECT_TRUE(neg.evaluate({}));
+}
+
+TEST(Guard, AllOfAndNotAllOf) {
+  Guard all = Guard::allOf({"a", "b"});
+  Guard notAll = Guard::notAllOf({"a", "b"});
+  for (const Asserted& env :
+       {Asserted{}, Asserted{"a"}, Asserted{"b"}, Asserted{"a", "b"}}) {
+    EXPECT_NE(all.evaluate(env), notAll.evaluate(env))
+        << "allOf/notAllOf must partition";
+  }
+  EXPECT_TRUE(all.evaluate({"a", "b"}));
+  EXPECT_TRUE(Guard::allOf({}).isAlways());
+  EXPECT_TRUE(Guard::notAllOf({}).isNever());
+}
+
+TEST(Guard, ConjoinDropsContradictions) {
+  Guard g = Guard::literal("a", true).conjoin(Guard::literal("a", false));
+  EXPECT_TRUE(g.isNever());
+  Guard h = Guard::literal("a", true).conjoin(Guard::notAllOf({"a", "b"}));
+  // a & (!a | !b) == a & !b
+  EXPECT_FALSE(h.evaluate({"a", "b"}));
+  EXPECT_TRUE(h.evaluate({"a"}));
+  EXPECT_FALSE(h.evaluate({"b"}));
+}
+
+TEST(Guard, DisjoinUnions) {
+  Guard g = Guard::literal("a", true).disjoin(Guard::literal("b", true));
+  EXPECT_TRUE(g.evaluate({"a"}));
+  EXPECT_TRUE(g.evaluate({"b"}));
+  EXPECT_FALSE(g.evaluate({}));
+}
+
+TEST(Guard, SignalsSortedUnique) {
+  Guard g = Guard::allOf({"b", "a"}).disjoin(Guard::literal("a", false));
+  EXPECT_EQ(g.signals(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Guard, ToStringShapes) {
+  EXPECT_EQ(Guard::never().toString(), "0");
+  EXPECT_EQ(Guard::always().toString(), "1");
+  EXPECT_EQ(Guard::literal("c", false).toString(), "!c");
+  EXPECT_EQ(Guard::allOf({"a", "b"}).toString(), "a&b");
+}
+
+TEST(SignalNames, Scheme) {
+  sched::UnitInstance u;
+  u.cls = dfg::ResourceClass::Multiplier;
+  u.index = 0;
+  u.name = "mult1";
+  EXPECT_EQ(unitCompletionSignal(u), "C_mult1");
+  EXPECT_EQ(opCompletionSignal("O3"), "CCO_O3");
+  EXPECT_EQ(operandFetchSignal("O3"), "OF_O3");
+  EXPECT_EQ(registerEnableSignal("O3"), "RE_O3");
+}
+
+Fsm twoStateMachine() {
+  Fsm f("toy");
+  int s0 = f.addState("S0");
+  int s1 = f.addState("S1");
+  f.addInput("c");
+  f.addOutput("go");
+  f.addTransition(s0, s1, Guard::literal("c", true), {"go"});
+  f.addTransition(s0, s0, Guard::literal("c", false), {});
+  f.addTransition(s1, s0, Guard::always(), {});
+  f.setInitial(s0);
+  return f;
+}
+
+TEST(Machine, BasicStepping) {
+  Fsm f = twoStateMachine();
+  validateFsm(f);
+  auto r = f.step(0, {"c"});
+  EXPECT_EQ(r.nextState, 1);
+  EXPECT_EQ(r.outputs, (std::vector<std::string>{"go"}));
+  auto r2 = f.step(0, {});
+  EXPECT_EQ(r2.nextState, 0);
+  EXPECT_TRUE(r2.outputs.empty());
+}
+
+TEST(Machine, DeclarationsEnforced) {
+  Fsm f("bad");
+  int s0 = f.addState("S0");
+  EXPECT_THROW(f.addTransition(s0, s0, Guard::literal("x", true), {}), Error);
+  EXPECT_THROW(f.addTransition(s0, s0, Guard::always(), {"y"}), Error);
+  EXPECT_THROW(f.addState("S0"), Error);
+  EXPECT_THROW(f.setInitial(3), Error);
+}
+
+TEST(Machine, ValidateCatchesIncomplete) {
+  Fsm f("incomplete");
+  int s0 = f.addState("S0");
+  f.addInput("c");
+  f.addTransition(s0, s0, Guard::literal("c", true), {});
+  EXPECT_THROW(validateFsm(f), Error);  // nothing fires when c=0
+}
+
+TEST(Machine, ValidateCatchesNondeterminism) {
+  Fsm f("nondet");
+  int s0 = f.addState("S0");
+  f.addInput("c");
+  f.addTransition(s0, s0, Guard::always(), {});
+  f.addTransition(s0, s0, Guard::literal("c", true), {});
+  EXPECT_THROW(validateFsm(f), Error);
+}
+
+TEST(Machine, ValidateCatchesDeadStates) {
+  Fsm f("dead");
+  f.addState("S0");
+  EXPECT_THROW(validateFsm(f), Error);
+}
+
+TEST(Machine, StepRejectsIllFormed) {
+  Fsm f("nofire");
+  int s0 = f.addState("S0");
+  f.addInput("c");
+  f.addTransition(s0, s0, Guard::literal("c", true), {});
+  EXPECT_THROW(f.step(0, {}), Error);
+}
+
+TEST(Machine, FlipFlopCount) {
+  Fsm f("ff");
+  f.addState("A");
+  EXPECT_EQ(f.flipFlopCount(), 1);
+  f.addState("B");
+  EXPECT_EQ(f.flipFlopCount(), 1);
+  f.addState("C");
+  EXPECT_EQ(f.flipFlopCount(), 2);
+  f.addState("D");
+  EXPECT_EQ(f.flipFlopCount(), 2);
+  f.addState("E");
+  EXPECT_EQ(f.flipFlopCount(), 3);
+}
+
+TEST(Machine, InputsUsedByState) {
+  Fsm f = twoStateMachine();
+  EXPECT_EQ(f.inputsUsedBy(0), (std::vector<std::string>{"c"}));
+  EXPECT_TRUE(f.inputsUsedBy(1).empty());
+}
+
+TEST(Machine, DescribeMentionsEverything) {
+  std::string d = describe(twoStateMachine());
+  EXPECT_NE(d.find("toy"), std::string::npos);
+  EXPECT_NE(d.find("S0 -> S1"), std::string::npos);
+  EXPECT_NE(d.find("go"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tauhls::fsm

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dfg/benchmarks.hpp"
+#include "fsm/cent_sync.hpp"
+#include "fsm/distributed.hpp"
+#include "fsm/kiss.hpp"
+#include "sim/interp.hpp"
+#include "testutil.hpp"
+
+namespace tauhls::fsm {
+namespace {
+
+using dfg::ResourceClass;
+using sched::Allocation;
+
+Fsm sampleMachine() {
+  Fsm f("sample");
+  int s0 = f.addState("S0");
+  int s1 = f.addState("S1");
+  f.addInput("c");
+  f.addInput("d");
+  f.addOutput("x");
+  f.addOutput("y");
+  f.addTransition(s0, s1, Guard::allOf({"c", "d"}), {"x", "y"});
+  f.addTransition(s0, s0, Guard::notAllOf({"c", "d"}), {"x"});
+  f.addTransition(s1, s0, Guard::always(), {});
+  f.setInitial(s0);
+  return f;
+}
+
+TEST(Kiss, HeaderAndRows) {
+  std::string k = toKiss2(sampleMachine());
+  EXPECT_NE(k.find(".i 2"), std::string::npos);
+  EXPECT_NE(k.find(".o 2"), std::string::npos);
+  EXPECT_NE(k.find(".s 2"), std::string::npos);
+  EXPECT_NE(k.find(".r S0"), std::string::npos);
+  // notAllOf({c,d}) expands into two product-term rows.
+  EXPECT_NE(k.find(".p 4"), std::string::npos);
+  EXPECT_NE(k.find("11 S0 S1 11"), std::string::npos);
+  EXPECT_NE(k.find("0- S0 S0 10"), std::string::npos);
+  EXPECT_NE(k.find("-0 S0 S0 10"), std::string::npos);
+  EXPECT_NE(k.find("-- S1 S0 00"), std::string::npos);
+  // Signal-name comments for lossless reimport.
+  EXPECT_NE(k.find("#i c d"), std::string::npos);
+  EXPECT_NE(k.find("#o x y"), std::string::npos);
+}
+
+TEST(Kiss, RoundTripPreservesBehaviour) {
+  Fsm f = sampleMachine();
+  Fsm back = fromKiss2(toKiss2(f), "back");
+  EXPECT_EQ(back.numStates(), f.numStates());
+  EXPECT_EQ(back.inputs(), f.inputs());
+  EXPECT_EQ(back.outputs(), f.outputs());
+  EXPECT_EQ(sim::compareOnRandomTraces(f, back, 3, 10, 60), -1);
+}
+
+TEST(Kiss, RoundTripForGeneratedControllers) {
+  auto s = sched::scheduleAndBind(dfg::diffeq(),
+                                  Allocation{{ResourceClass::Multiplier, 2},
+                                             {ResourceClass::Adder, 1},
+                                             {ResourceClass::Subtractor, 1}},
+                                  tau::paperLibrary());
+  DistributedControlUnit dcu = buildDistributed(s);
+  for (const UnitController& c : dcu.controllers) {
+    Fsm back = fromKiss2(toKiss2(c.fsm), c.fsm.name());
+    EXPECT_EQ(sim::compareOnRandomTraces(c.fsm, back, 7, 5, 40), -1)
+        << c.fsm.name();
+  }
+  Fsm sync = buildCentSync(s);
+  Fsm back = fromKiss2(toKiss2(sync), "sync");
+  EXPECT_EQ(sim::compareOnRandomTraces(sync, back, 7, 5, 40), -1);
+}
+
+TEST(Kiss, ZeroInputMachine) {
+  Fsm f("noin");
+  int a = f.addState("A");
+  int b = f.addState("B");
+  f.addOutput("t");
+  f.addTransition(a, b, Guard::always(), {"t"});
+  f.addTransition(b, a, Guard::always(), {});
+  f.setInitial(a);
+  std::string k = toKiss2(f);
+  EXPECT_NE(k.find(".i 0"), std::string::npos);
+  Fsm back = fromKiss2(k);
+  EXPECT_EQ(back.numStates(), 2u);
+  EXPECT_EQ(sim::compareOnRandomTraces(f, back, 1, 3, 10), -1);
+}
+
+TEST(Kiss, ParserRejectsGarbage) {
+  EXPECT_THROW(fromKiss2(""), Error);
+  EXPECT_THROW(fromKiss2(".i 2\n.o 1\n"), Error);           // no rows
+  EXPECT_THROW(fromKiss2(".i 2\n.o 1\n1 S0 S1 1\n"), Error);  // short cube
+  EXPECT_THROW(fromKiss2(".i 1\n.o 1\nz S0 S1 1\n"), Error);  // bad char
+}
+
+TEST(Kiss, ParserSynthesizesNamesWithoutComments) {
+  Fsm f = fromKiss2(".i 1\n.o 1\n.r A\n1 A B 1\n0 A A 0\n- B A 0\n");
+  EXPECT_EQ(f.inputs(), (std::vector<std::string>{"in0"}));
+  EXPECT_EQ(f.outputs(), (std::vector<std::string>{"out0"}));
+  EXPECT_EQ(f.stateName(f.initial()), "A");
+  validateFsm(f);
+}
+
+}  // namespace
+}  // namespace tauhls::fsm

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dfg/benchmarks.hpp"
+#include "dfg/random.hpp"
+#include "fsm/cent_sync.hpp"
+#include "fsm/distributed.hpp"
+#include "fsm/minimize.hpp"
+#include "fsm/product.hpp"
+#include "sim/interp.hpp"
+#include "testutil.hpp"
+
+namespace tauhls::fsm {
+namespace {
+
+using dfg::ResourceClass;
+using sched::Allocation;
+
+Fsm machineWithRedundantStates() {
+  // S1 and S2 are bisimilar (same outputs, both go to S0), so 3 -> 2 states.
+  Fsm f("redundant");
+  int s0 = f.addState("S0");
+  int s1 = f.addState("S1");
+  int s2 = f.addState("S2");
+  f.addInput("c");
+  f.addOutput("x");
+  f.addTransition(s0, s1, Guard::literal("c", true), {"x"});
+  f.addTransition(s0, s2, Guard::literal("c", false), {"x"});
+  f.addTransition(s1, s0, Guard::always(), {});
+  f.addTransition(s2, s0, Guard::always(), {});
+  f.setInitial(s0);
+  return f;
+}
+
+TEST(Minimize, CollapsesBisimilarStates) {
+  Fsm f = machineWithRedundantStates();
+  Fsm m = minimizeStates(f);
+  EXPECT_EQ(m.numStates(), 2u);
+  EXPECT_EQ(sim::compareOnRandomTraces(f, m, 1, 10, 50), -1);
+}
+
+TEST(Minimize, MinimalMachineUntouched) {
+  // A 3-state counter with distinct behaviour per state stays 3 states.
+  Fsm f("counter");
+  int s0 = f.addState("A");
+  int s1 = f.addState("B");
+  int s2 = f.addState("C");
+  f.addOutput("done");
+  f.addTransition(s0, s1, Guard::always(), {});
+  f.addTransition(s1, s2, Guard::always(), {});
+  f.addTransition(s2, s0, Guard::always(), {"done"});
+  f.setInitial(s0);
+  Fsm m = minimizeStates(f);
+  EXPECT_EQ(m.numStates(), 3u);
+}
+
+TEST(Minimize, AllStatesEquivalentCollapsesToOne) {
+  Fsm f("uniform");
+  int s0 = f.addState("A");
+  int s1 = f.addState("B");
+  f.addOutput("tick");
+  f.addTransition(s0, s1, Guard::always(), {"tick"});
+  f.addTransition(s1, s0, Guard::always(), {"tick"});
+  f.setInitial(s0);
+  Fsm m = minimizeStates(f);
+  EXPECT_EQ(m.numStates(), 1u);
+  auto r = m.step(m.initial(), {});
+  EXPECT_EQ(r.nextState, m.initial());
+  EXPECT_EQ(r.outputs, (std::vector<std::string>{"tick"}));
+}
+
+TEST(Minimize, Idempotent) {
+  Fsm m = minimizeStates(machineWithRedundantStates());
+  Fsm m2 = minimizeStates(m);
+  EXPECT_EQ(m.numStates(), m2.numStates());
+}
+
+TEST(Minimize, ParallelTauProductIsAlreadyMinimal) {
+  // The 2^n product states of n independent TAUs are all distinguishable
+  // (each tracks which units are in their LD cycle), so minimization keeps
+  // them: the exponential growth of Fig. 4 is intrinsic, not an artifact.
+  dfg::Dfg g = test::parallelMuls(3);
+  auto s = sched::scheduleAndBind(g, Allocation{{ResourceClass::Multiplier, 3}},
+                                  tau::paperLibrary());
+  Fsm product = buildProduct(buildDistributed(s));
+  EXPECT_EQ(product.numStates(), 8u);
+  EXPECT_EQ(minimizeStates(product).numStates(), 8u);
+}
+
+TEST(Minimize, DiffeqProductIsAlreadyMinimal) {
+  // The exact reachable product of the Diff. controllers is minimal under
+  // Mealy equivalence: because the controllers wrap and loop, every latch
+  // distinction is eventually observable.  The exponential blow-up of
+  // CENT-FSM is therefore intrinsic, not an artifact of the construction.
+  auto s = sched::scheduleAndBind(dfg::diffeq(),
+                                  Allocation{{ResourceClass::Multiplier, 2},
+                                             {ResourceClass::Adder, 1},
+                                             {ResourceClass::Subtractor, 1}},
+                                  tau::paperLibrary());
+  Fsm product = buildProduct(buildDistributed(s));
+  Fsm m = minimizeStates(product);
+  EXPECT_EQ(m.numStates(), product.numStates());
+  EXPECT_EQ(sim::compareOnRandomTraces(product, m, 17, 8, 60), -1);
+}
+
+class MinimizeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinimizeProperty, EquivalentOnRandomControllers) {
+  dfg::RandomDfgSpec spec;
+  spec.seed = GetParam() * 31;
+  spec.numOps = 6 + static_cast<int>(GetParam() % 8);
+  dfg::Dfg g = dfg::randomDfg(spec);
+  auto s = sched::scheduleAndBind(g,
+                                  Allocation{{ResourceClass::Multiplier, 2},
+                                             {ResourceClass::Adder, 1},
+                                             {ResourceClass::Subtractor, 1}},
+                                  tau::paperLibrary());
+  DistributedControlUnit dcu = buildDistributed(s);
+  for (const UnitController& c : dcu.controllers) {
+    Fsm m = minimizeStates(c.fsm);
+    EXPECT_LE(m.numStates(), c.fsm.numStates());
+    EXPECT_EQ(sim::compareOnRandomTraces(c.fsm, m, GetParam(), 5, 40), -1)
+        << c.fsm.name();
+  }
+  Fsm sync = buildCentSync(s);
+  Fsm syncMin = minimizeStates(sync);
+  EXPECT_EQ(sim::compareOnRandomTraces(sync, syncMin, GetParam(), 5, 40), -1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace tauhls::fsm

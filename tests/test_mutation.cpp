@@ -1,0 +1,196 @@
+// Mutation tests: inject controlled faults into generated artifacts and
+// assert that the repository's verification layers actually *detect* them --
+// guarding against vacuous checks.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dfg/benchmarks.hpp"
+#include "fsm/distributed.hpp"
+#include "fsm/product.hpp"
+#include "logic/minimize.hpp"
+#include "netlist/build.hpp"
+#include "sim/interp.hpp"
+#include "synth/extract.hpp"
+#include "testutil.hpp"
+
+namespace tauhls {
+namespace {
+
+using dfg::ResourceClass;
+using sched::Allocation;
+
+sched::ScheduledDfg scheduledDiffeq() {
+  return sched::scheduleAndBind(dfg::diffeq(),
+                                Allocation{{ResourceClass::Multiplier, 2},
+                                           {ResourceClass::Adder, 1},
+                                           {ResourceClass::Subtractor, 1}},
+                                tau::paperLibrary());
+}
+
+/// Rebuild `fsm` with one transition's target redirected.
+fsm::Fsm retargetTransition(const fsm::Fsm& original, std::size_t index,
+                            int newTarget) {
+  fsm::Fsm out(original.name());
+  for (std::size_t s = 0; s < original.numStates(); ++s) {
+    out.addState(original.stateName(static_cast<int>(s)));
+  }
+  for (const std::string& in : original.inputs()) out.addInput(in);
+  for (const std::string& o : original.outputs()) out.addOutput(o);
+  const auto& ts = original.transitions();
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    out.addTransition(ts[i].from, i == index ? newTarget : ts[i].to,
+                      ts[i].guard, ts[i].outputs);
+  }
+  out.setInitial(original.initial());
+  return out;
+}
+
+/// Rebuild `fsm` with one output signal stripped from every transition
+/// (the register enable never fires on any path).
+fsm::Fsm dropSignalEverywhere(const fsm::Fsm& original,
+                              const std::string& signal) {
+  fsm::Fsm out(original.name());
+  for (std::size_t s = 0; s < original.numStates(); ++s) {
+    out.addState(original.stateName(static_cast<int>(s)));
+  }
+  for (const std::string& in : original.inputs()) out.addInput(in);
+  for (const std::string& o : original.outputs()) out.addOutput(o);
+  for (const fsm::Transition& t : original.transitions()) {
+    std::vector<std::string> outputs;
+    for (const std::string& o : t.outputs) {
+      if (o != signal) outputs.push_back(o);
+    }
+    out.addTransition(t.from, t.to, t.guard, std::move(outputs));
+  }
+  out.setInitial(original.initial());
+  return out;
+}
+
+TEST(Mutation, ProductComparisonCatchesRetargetedTransition) {
+  auto s = scheduledDiffeq();
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+  fsm::Fsm product = fsm::buildProduct(dcu);
+  // Mutate: redirect the first completing transition (one with outputs) of
+  // the first telescopic controller to its own source state.
+  fsm::DistributedControlUnit mutated = dcu;
+  for (fsm::UnitController& c : mutated.controllers) {
+    if (!c.telescopic) continue;
+    const auto& ts = c.fsm.transitions();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (!ts[i].outputs.empty() && ts[i].to != ts[i].from) {
+        c.fsm = retargetTransition(c.fsm, i, ts[i].from);
+        goto mutated_done;
+      }
+    }
+  }
+mutated_done:
+  EXPECT_NE(sim::compareProductToDistributed(mutated, product, 3, 10, 40), -1)
+      << "the trace comparison must notice the retargeted transition";
+}
+
+TEST(Mutation, InterpreterCatchesDroppedRegisterEnable) {
+  auto s = scheduledDiffeq();
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+  // Strip one op's RE from every transition: it never fires on any path, so
+  // one-iteration simulation cannot terminate and must report the stall.
+  fsm::UnitController& victim = dcu.controllers.front();
+  std::string reSignal;
+  for (const std::string& o : victim.fsm.outputs()) {
+    if (o.starts_with("RE_")) {
+      reSignal = o;
+      break;
+    }
+  }
+  ASSERT_FALSE(reSignal.empty());
+  victim.fsm = dropSignalEverywhere(victim.fsm, reSignal);
+  EXPECT_THROW(sim::runDistributed(dcu, s, sim::allShort(s), 200), Error);
+}
+
+TEST(Mutation, NetlistVerifierCatchesCorruptedGate) {
+  auto s = scheduledDiffeq();
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+  const fsm::Fsm& f = dcu.controllers[0].fsm;
+  netlist::ControllerNetlist cn = netlist::buildControllerNetlist(f);
+  ASSERT_TRUE(netlist::verifyAgainstFsm(cn, f));
+  // Corrupt: invert the first output's net.
+  netlist::ControllerNetlist bad;
+  bad.stateBits = cn.stateBits;
+  bad.net = netlist::Netlist(cn.net.name());
+  // Rebuild by copying gates then inverting the first output.
+  std::vector<netlist::NetId> remap;
+  for (netlist::NetId i = 0; i < cn.net.numGates(); ++i) {
+    const netlist::Gate& g = cn.net.gate(i);
+    switch (g.kind) {
+      case netlist::GateKind::Input:
+        remap.push_back(bad.net.addInput(g.name));
+        break;
+      case netlist::GateKind::Const0:
+        remap.push_back(bad.net.constant(false));
+        break;
+      case netlist::GateKind::Const1:
+        remap.push_back(bad.net.constant(true));
+        break;
+      case netlist::GateKind::Inv:
+        remap.push_back(bad.net.addInv(remap[g.fanins[0]]));
+        break;
+      case netlist::GateKind::And:
+      case netlist::GateKind::Or: {
+        std::vector<netlist::NetId> fanins;
+        for (netlist::NetId fin : g.fanins) fanins.push_back(remap[fin]);
+        remap.push_back(g.kind == netlist::GateKind::And
+                            ? bad.net.addAnd(std::move(fanins))
+                            : bad.net.addOr(std::move(fanins)));
+        break;
+      }
+    }
+  }
+  bool first = true;
+  for (const auto& [name, net] : cn.net.outputs()) {
+    bad.net.markOutput(name, first ? bad.net.addInv(remap[net]) : remap[net]);
+    first = false;
+  }
+  EXPECT_FALSE(netlist::verifyAgainstFsm(bad, f));
+}
+
+TEST(Mutation, ImplementsCatchesCorruptedCover) {
+  logic::TruthTable tt(4);
+  for (std::uint64_t m : {1, 3, 7, 11, 15}) tt.set(m, logic::Ternary::One);
+  logic::Cover good = logic::minimize(tt);
+  ASSERT_TRUE(logic::implements(good, tt));
+  // Drop one cube: some onset row goes uncovered.
+  logic::Cover bad(4);
+  for (std::size_t i = 1; i < good.cubes().size(); ++i) bad.add(good.cubes()[i]);
+  EXPECT_FALSE(logic::implements(bad, tt));
+  // Add a cube covering an offset row.
+  logic::Cover tooBig = good;
+  tooBig.add(logic::Cube::minterm(4, 0));
+  EXPECT_FALSE(logic::implements(tooBig, tt));
+}
+
+TEST(Mutation, ValidateFsmCatchesGuardTampering) {
+  auto s = scheduledDiffeq();
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+  const fsm::Fsm& f = dcu.controllers[0].fsm;
+  // Widen one guard to `always`: it now overlaps its sibling -> rejected.
+  fsm::Fsm bad(f.name());
+  for (std::size_t st = 0; st < f.numStates(); ++st) {
+    bad.addState(f.stateName(static_cast<int>(st)));
+  }
+  for (const std::string& in : f.inputs()) bad.addInput(in);
+  for (const std::string& o : f.outputs()) bad.addOutput(o);
+  bool tampered = false;
+  for (const fsm::Transition& t : f.transitions()) {
+    if (!tampered && !t.guard.isAlways()) {
+      bad.addTransition(t.from, t.to, fsm::Guard::always(), t.outputs);
+      tampered = true;
+    } else {
+      bad.addTransition(t.from, t.to, t.guard, t.outputs);
+    }
+  }
+  bad.setInitial(f.initial());
+  ASSERT_TRUE(tampered);
+  EXPECT_THROW(fsm::validateFsm(bad), Error);
+}
+
+}  // namespace
+}  // namespace tauhls

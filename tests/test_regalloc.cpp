@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dfg/benchmarks.hpp"
+#include "dfg/random.hpp"
+#include "regalloc/leftedge.hpp"
+#include "regalloc/lifetime.hpp"
+#include "testutil.hpp"
+
+namespace tauhls::regalloc {
+namespace {
+
+using dfg::NodeId;
+using dfg::ResourceClass;
+using sched::Allocation;
+
+sched::ScheduledDfg scheduledDiffeq() {
+  return sched::scheduleAndBind(dfg::diffeq(),
+                                Allocation{{ResourceClass::Multiplier, 2},
+                                           {ResourceClass::Adder, 1},
+                                           {ResourceClass::Subtractor, 1}},
+                                tau::paperLibrary());
+}
+
+TEST(Lifetime, DiamondIntervals) {
+  dfg::Dfg g = test::diamond();
+  auto s = sched::scheduleAndBind(
+      g,
+      Allocation{{ResourceClass::Multiplier, 2}, {ResourceClass::Adder, 1}},
+      tau::paperLibrary());
+  auto lts = distributedLifetimes(s);
+  ASSERT_EQ(lts.size(), g.numNodes());
+  // Inputs written at -1; m1/m2 written at their all-SD finish (cycle 0) and
+  // read until the add's all-LD finish.
+  NodeId m1 = g.findByName("m1");
+  NodeId sum = g.findByName("s");
+  EXPECT_EQ(lts[g.findByName("a")].writeCycle, -1);
+  EXPECT_EQ(lts[m1].writeCycle, 0);
+  EXPECT_GE(lts[m1].lastReadCycle, 2);  // add finishes at cycle 2 all-LD
+  // The unconsumed sum is held one extra cycle.
+  EXPECT_EQ(lts[sum].lastReadCycle, lts[sum].writeCycle + 1);
+}
+
+TEST(Lifetime, SyncUsesWorstCaseStepTiming) {
+  auto s = scheduledDiffeq();
+  auto lts = syncLifetimes(s);
+  // Every op's write cycle equals the worst-case end of its step; the last
+  // step's ops finish at worstCaseCycles - 1.
+  const int total = s.taubm.worstCaseCycles();
+  int latest = 0;
+  for (NodeId v : s.graph.opIds()) {
+    latest = std::max(latest, lts[v].writeCycle);
+  }
+  EXPECT_EQ(latest, total - 1);
+}
+
+TEST(LeftEdge, ChainReusesOneRegister) {
+  // A pure chain: each value dies as the next is produced... with TAU
+  // conservatism the read extends into the consumer's LD window, so
+  // neighbouring values overlap but value i and i+2 can share.
+  dfg::Dfg g = test::mulChain(6);
+  auto s = sched::scheduleAndBind(g, Allocation{{ResourceClass::Multiplier, 1}},
+                                  tau::paperLibrary());
+  auto lts = distributedLifetimes(s);
+  RegisterAllocation alloc = leftEdgeRegisters(lts, g.numNodes());
+  EXPECT_EQ(alloc.numRegisters, maxLiveValues(lts));
+  EXPECT_LT(alloc.numRegisters, static_cast<int>(g.numNodes()));
+}
+
+TEST(LeftEdge, OptimalOnIntervals) {
+  // Left-edge matches the max-live lower bound (optimality on intervals).
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    dfg::RandomDfgSpec spec;
+    spec.seed = seed * 97;
+    spec.numOps = 8 + static_cast<int>(seed % 10);
+    dfg::Dfg g = dfg::randomDfg(spec);
+    auto s = sched::scheduleAndBind(g,
+                                    Allocation{{ResourceClass::Multiplier, 2},
+                                               {ResourceClass::Adder, 1},
+                                               {ResourceClass::Subtractor, 1}},
+                                    tau::paperLibrary());
+    auto lts = distributedLifetimes(s);
+    RegisterAllocation alloc = leftEdgeRegisters(lts, g.numNodes());
+    EXPECT_EQ(alloc.numRegisters, maxLiveValues(lts)) << "seed=" << seed;
+  }
+}
+
+TEST(LeftEdge, ValidationCatchesOverlap) {
+  std::vector<Lifetime> lts{{0, 0, 5}, {1, 2, 7}};
+  RegisterAllocation bad;
+  bad.numRegisters = 1;
+  bad.registerOf = {0, 0};
+  EXPECT_THROW(validateAllocation(lts, bad), Error);
+  RegisterAllocation good;
+  good.numRegisters = 2;
+  good.registerOf = {0, 1};
+  EXPECT_NO_THROW(validateAllocation(lts, good));
+}
+
+TEST(LeftEdge, TouchingIntervalsShare) {
+  // (0,3] and (3,6] may share one register (write edge after last read).
+  std::vector<Lifetime> lts{{0, 0, 3}, {1, 3, 6}};
+  RegisterAllocation alloc = leftEdgeRegisters(lts, 2);
+  EXPECT_EQ(alloc.numRegisters, 1);
+}
+
+TEST(LeftEdge, DiffeqRegisterCounts) {
+  auto s = scheduledDiffeq();
+  auto dist = leftEdgeRegisters(distributedLifetimes(s), s.graph.numNodes());
+  auto sync = leftEdgeRegisters(syncLifetimes(s), s.graph.numNodes());
+  // Both well below one register per value (11 ops + 6 inputs = 17 values).
+  EXPECT_LT(dist.numRegisters, 17);
+  EXPECT_LT(sync.numRegisters, 17);
+  // The conservative distributed intervals can never need fewer registers
+  // than a run with deterministic timing would... they are supersets of the
+  // sync intervals only in spirit; assert both satisfy their own lower
+  // bounds instead.
+  EXPECT_EQ(dist.numRegisters, maxLiveValues(distributedLifetimes(s)));
+  EXPECT_EQ(sync.numRegisters, maxLiveValues(syncLifetimes(s)));
+}
+
+}  // namespace
+}  // namespace tauhls::regalloc

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "dfg/benchmarks.hpp"
+#include "fsm/distributed.hpp"
+#include "fsm/signal_opt.hpp"
+#include "rtl/verilog.hpp"
+#include "testutil.hpp"
+
+namespace tauhls::rtl {
+namespace {
+
+using dfg::ResourceClass;
+using sched::Allocation;
+
+fsm::DistributedControlUnit diffeqDcu() {
+  auto sdfg = sched::scheduleAndBind(dfg::diffeq(),
+                                     Allocation{{ResourceClass::Multiplier, 2},
+                                                {ResourceClass::Adder, 1},
+                                                {ResourceClass::Subtractor, 1}},
+                                     tau::paperLibrary());
+  return fsm::optimizeSignals(fsm::buildDistributed(sdfg));
+}
+
+TEST(Verilog, FsmModuleStructure) {
+  fsm::DistributedControlUnit dcu = diffeqDcu();
+  const fsm::Fsm& f = dcu.controllers[0].fsm;
+  std::string v = emitFsm(f, "ctrl0");
+  EXPECT_NE(v.find("module ctrl0 ("), std::string::npos);
+  EXPECT_NE(v.find("input  wire clk"), std::string::npos);
+  EXPECT_NE(v.find("input  wire rst"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("always @*"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Every state gets a localparam; every output a reg port.
+  for (std::size_t s = 0; s < f.numStates(); ++s) {
+    EXPECT_NE(v.find("ST_" + f.stateName(static_cast<int>(s))), std::string::npos);
+  }
+  for (const std::string& out : f.outputs()) {
+    EXPECT_NE(v.find("output reg  " + out), std::string::npos);
+  }
+  // Default arm guards against illegal encodings.
+  EXPECT_NE(v.find("default: state_next"), std::string::npos);
+}
+
+TEST(Verilog, GuardsBecomeBooleanExpressions) {
+  fsm::DistributedControlUnit dcu = diffeqDcu();
+  // A telescopic controller has a !C_mult transition.
+  std::string v;
+  for (const fsm::UnitController& c : dcu.controllers) {
+    if (c.telescopic) {
+      v = emitFsm(c.fsm, "m");
+      break;
+    }
+  }
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.find("!C_mult"), std::string::npos);
+  EXPECT_NE(v.find("if ("), std::string::npos);
+  EXPECT_NE(v.find("else if ("), std::string::npos);
+}
+
+TEST(Verilog, LatchModuleSemantics) {
+  std::string v = emitCompletionLatchModule();
+  EXPECT_NE(v.find("module tauhls_completion_latch"), std::string::npos);
+  EXPECT_NE(v.find("rst || restart"), std::string::npos);
+  EXPECT_NE(v.find("held | pulse"), std::string::npos);
+}
+
+TEST(Verilog, TopWiresLatchesAndControllers) {
+  fsm::DistributedControlUnit dcu = diffeqDcu();
+  std::string v = emitDistributedTop(dcu, "dcu_top");
+  EXPECT_NE(v.find("module dcu_top ("), std::string::npos);
+  EXPECT_NE(v.find("input  wire restart"), std::string::npos);
+  // One latch instance per consumed completion signal.
+  std::size_t latchCount = 0;
+  std::size_t pos = 0;
+  while ((pos = v.find("tauhls_completion_latch u_latch_", pos)) !=
+         std::string::npos) {
+    ++latchCount;
+    pos += 1;
+  }
+  EXPECT_EQ(latchCount, dcu.consumersOf.size());
+  // Every controller is instantiated; consumed inputs ride the _level wires.
+  for (const fsm::UnitController& c : dcu.controllers) {
+    EXPECT_NE(v.find(c.fsm.name() + " u_" + c.fsm.name()), std::string::npos);
+  }
+  EXPECT_NE(v.find("_level)"), std::string::npos);
+  EXPECT_NE(v.find("_pulse)"), std::string::npos);
+  // External completion inputs are ports.
+  for (const std::string& in : dcu.externalInputs) {
+    EXPECT_NE(v.find("input  wire " + in), std::string::npos);
+  }
+}
+
+TEST(Verilog, PackageIsSelfContained) {
+  fsm::DistributedControlUnit dcu = diffeqDcu();
+  std::string v = emitPackage(dcu, "dcu_diffeq");
+  // Exactly one latch primitive definition, all controllers, one top.
+  EXPECT_EQ(v.find("module tauhls_completion_latch"),
+            v.rfind("module tauhls_completion_latch"));
+  for (const fsm::UnitController& c : dcu.controllers) {
+    EXPECT_NE(v.find("module " + c.fsm.name() + " ("), std::string::npos);
+  }
+  EXPECT_NE(v.find("module dcu_diffeq ("), std::string::npos);
+  // Balanced module/endmodule counts.
+  std::size_t modules = 0;
+  std::size_t ends = 0;
+  for (std::size_t pos = 0; (pos = v.find("\nmodule ", pos)) != std::string::npos;
+       ++pos) {
+    ++modules;
+  }
+  for (std::size_t pos = 0; (pos = v.find("endmodule", pos)) != std::string::npos;
+       ++pos) {
+    ++ends;
+  }
+  EXPECT_EQ(ends, modules);
+}
+
+TEST(Verilog, UnconditionalTransitionHasNoIf) {
+  // A one-op fixed-unit controller is a single unconditional self-loop.
+  dfg::Dfg g("one_add");
+  auto a = g.addInput("a");
+  auto b = g.addInput("b");
+  auto s = g.addOp(dfg::OpKind::Add, {a, b}, "s0");
+  g.markOutput(s);
+  auto sdfg = sched::scheduleAndBind(g, Allocation{{ResourceClass::Adder, 1}},
+                                     tau::paperLibrary());
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(sdfg);
+  std::string v = emitFsm(dcu.controllers[0].fsm, "adder_ctrl");
+  // The combinational block (after "always @*") needs no guard at all; the
+  // only "if" in the module is the reset in the sequential block.
+  EXPECT_EQ(v.find("if (", v.find("always @*")), std::string::npos);
+  EXPECT_NE(v.find("RE_s0 = 1'b1;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tauhls::rtl

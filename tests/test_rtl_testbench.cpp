@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dfg/benchmarks.hpp"
+#include "fsm/distributed.hpp"
+#include "fsm/signal_opt.hpp"
+#include "rtl/testbench.hpp"
+#include "rtl/verilog.hpp"
+#include "sim/interp.hpp"
+
+namespace tauhls::rtl {
+namespace {
+
+using dfg::ResourceClass;
+using sched::Allocation;
+
+struct TbSetup {
+  sched::ScheduledDfg s;
+  fsm::DistributedControlUnit dcu;
+  sim::SimTrace trace;
+};
+
+TbSetup diffeqSetup(bool allShortClasses) {
+  TbSetup setup{sched::scheduleAndBind(dfg::diffeq(),
+                                     Allocation{{ResourceClass::Multiplier, 2},
+                                                {ResourceClass::Adder, 1},
+                                                {ResourceClass::Subtractor, 1}},
+                                     tau::paperLibrary()),
+              {}, {}};
+  setup.dcu = fsm::optimizeSignals(fsm::buildDistributed(setup.s));
+  setup.trace = sim::runDistributed(
+      setup.dcu, setup.s,
+      allShortClasses ? sim::allShort(setup.s) : sim::allLong(setup.s));
+  return setup;
+}
+
+TEST(Testbench, TraceRecordsExternals) {
+  TbSetup su = diffeqSetup(true);
+  ASSERT_EQ(su.trace.externalsPerCycle.size(),
+            su.trace.outputsPerCycle.size());
+  // All-SD: every cycle in which a multiplier executes carries its C signal.
+  bool sawC = false;
+  for (const auto& cyc : su.trace.externalsPerCycle) {
+    for (const std::string& sig : cyc) {
+      EXPECT_TRUE(sig.starts_with("C_mult"));
+      sawC = true;
+    }
+  }
+  EXPECT_TRUE(sawC);
+  // All-LD: no completion input is ever asserted.
+  TbSetup slow = diffeqSetup(false);
+  for (const auto& cyc : slow.trace.externalsPerCycle) {
+    EXPECT_TRUE(cyc.empty());
+  }
+}
+
+TEST(Testbench, StructureAndChecks) {
+  TbSetup su = diffeqSetup(true);
+  const std::string tb = emitTestbench(su.dcu, su.trace, "dcu_diffeq");
+  EXPECT_NE(tb.find("module dcu_diffeq_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("dcu_diffeq dut ("), std::string::npos);
+  EXPECT_NE(tb.find("always #5 clk = ~clk;"), std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+  EXPECT_NE(tb.find("PASS"), std::string::npos);
+  // One cycle banner per simulated cycle.
+  for (std::size_t c = 0; c < su.trace.outputsPerCycle.size(); ++c) {
+    EXPECT_NE(tb.find("---- cycle " + std::to_string(c) + " ----"),
+              std::string::npos);
+  }
+  // Every RE signal is checked in every cycle: 11 ops x latency cycles.
+  std::size_t checkCount = 0;
+  for (std::size_t pos = 0; (pos = tb.find("    check(", pos)) != std::string::npos;
+       ++pos) {
+    ++checkCount;
+  }
+  EXPECT_EQ(checkCount,
+            su.s.graph.numOps() * su.trace.outputsPerCycle.size());
+  // The golden trace marks RE_m1 high in cycle 0 under all-SD.
+  EXPECT_NE(tb.find("check(RE_m1, 1'b1, \"RE_m1\", 0);"), std::string::npos);
+}
+
+TEST(Testbench, StimulusMatchesTrace) {
+  TbSetup su = diffeqSetup(true);
+  const std::string tb = emitTestbench(su.dcu, su.trace, "top");
+  // In every cycle each external input is driven to exactly the traced value.
+  for (std::size_t c = 0; c < su.trace.externalsPerCycle.size(); ++c) {
+    for (const std::string& in : su.dcu.externalInputs) {
+      const bool on =
+          std::find(su.trace.externalsPerCycle[c].begin(),
+                    su.trace.externalsPerCycle[c].end(),
+                    in) != su.trace.externalsPerCycle[c].end();
+      // Count occurrences up to this cycle's banner to keep it simple:
+      // just assert the exact drive line exists somewhere.
+      EXPECT_NE(tb.find(in + " = 1'b" + (on ? "1" : "0") + ";"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(Testbench, RejectsTraceWithoutExternals) {
+  TbSetup su = diffeqSetup(true);
+  sim::SimTrace bare;
+  bare.outputsPerCycle = su.trace.outputsPerCycle;
+  EXPECT_THROW(emitTestbench(su.dcu, bare, "top"), Error);
+}
+
+TEST(Testbench, PairsWithEmittedPackage) {
+  // The package and the testbench must agree on the port list.
+  TbSetup su = diffeqSetup(true);
+  const std::string pkg = emitPackage(su.dcu, "dcu_diffeq");
+  const std::string tb = emitTestbench(su.dcu, su.trace, "dcu_diffeq");
+  for (const std::string& in : su.dcu.externalInputs) {
+    EXPECT_NE(pkg.find("input  wire " + in), std::string::npos);
+    EXPECT_NE(tb.find("reg " + in), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tauhls::rtl

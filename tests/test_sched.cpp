@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dfg/analysis.hpp"
+#include "dfg/benchmarks.hpp"
+#include "dfg/random.hpp"
+#include "sched/binding.hpp"
+#include "sched/clique.hpp"
+#include "sched/scheduled_dfg.hpp"
+#include "sched/steps.hpp"
+#include "sched/taubm_dfg.hpp"
+#include "testutil.hpp"
+
+namespace tauhls::sched {
+namespace {
+
+using dfg::Dfg;
+using dfg::NodeId;
+using dfg::ResourceClass;
+
+TEST(Steps, AsapDiamond) {
+  Dfg g = test::diamond();
+  StepSchedule s = asap(g);
+  EXPECT_EQ(s.numSteps, 2);
+  EXPECT_EQ(s.stepOf[g.findByName("m1")], 0);
+  EXPECT_EQ(s.stepOf[g.findByName("m2")], 0);
+  EXPECT_EQ(s.stepOf[g.findByName("s")], 1);
+  EXPECT_EQ(s.stepOf[g.findByName("a")], -1);
+  validateStepSchedule(g, s);
+}
+
+TEST(Steps, AlapPushesLate) {
+  Dfg g = dfg::fir(3);  // 3 muls feeding a 2-add chain
+  StepSchedule a = asap(g);
+  EXPECT_EQ(a.numSteps, 3);
+  StepSchedule l = alap(g, 5);
+  validateStepSchedule(g, l);
+  EXPECT_EQ(l.numSteps, 5);
+  // The final add must be in the last step; the first mult can slide late.
+  NodeId lastAdd = g.findByName("a1");
+  EXPECT_EQ(l.stepOf[lastAdd], 4);
+  NodeId m2 = g.findByName("m2");
+  EXPECT_GT(l.stepOf[m2], a.stepOf[m2]);
+}
+
+TEST(Steps, AlapRejectsTooTightBudget) {
+  Dfg g = dfg::fir(3);
+  EXPECT_THROW(alap(g, 2), Error);
+}
+
+TEST(Steps, ListScheduleRespectsAllocation) {
+  Dfg g = dfg::fir(5);  // 5 muls
+  Allocation alloc{{ResourceClass::Multiplier, 2}, {ResourceClass::Adder, 1}};
+  StepSchedule s = listSchedule(g, alloc);
+  validateStepSchedule(g, s, &alloc);
+  // 5 muls on 2 units need at least 3 mult steps.
+  EXPECT_GE(s.numSteps, 3);
+}
+
+TEST(Steps, ListScheduleUnconstrainedEqualsAsapLength) {
+  Dfg g = dfg::diffeq();
+  StepSchedule s = listSchedule(g, {});
+  validateStepSchedule(g, s);
+  EXPECT_EQ(s.numSteps, asap(g).numSteps);
+}
+
+TEST(Steps, MobilityPriorityProducesValidSchedules) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    dfg::RandomDfgSpec spec;
+    spec.seed = seed * 37;
+    spec.numOps = 10 + static_cast<int>(seed % 12);
+    Dfg g = dfg::randomDfg(spec);
+    Allocation alloc{{ResourceClass::Multiplier, 2},
+                     {ResourceClass::Adder, 1},
+                     {ResourceClass::Subtractor, 1}};
+    StepSchedule cp = listSchedule(g, alloc, PriorityRule::CriticalPath);
+    StepSchedule mob = listSchedule(g, alloc, PriorityRule::Mobility);
+    validateStepSchedule(g, cp, &alloc);
+    validateStepSchedule(g, mob, &alloc);
+    // Both respect the dependence-only lower bound.
+    const int lower = dfg::criticalPathLength(g, dfg::unitDurations(g));
+    EXPECT_GE(cp.numSteps, lower);
+    EXPECT_GE(mob.numSteps, lower);
+  }
+}
+
+TEST(Steps, MobilityPrefersUrgentOps) {
+  // One mult unit; a long mult chain plus an independent mult: the chain op
+  // (zero slack) must be scheduled before the slack-rich independent op.
+  Dfg g("urgent");
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId chain = g.addOp(dfg::OpKind::Mul, {a, b}, "chain0");
+  chain = g.addOp(dfg::OpKind::Mul, {chain, b}, "chain1");
+  chain = g.addOp(dfg::OpKind::Mul, {chain, b}, "chain2");
+  NodeId indep = g.addOp(dfg::OpKind::Mul, {a, b}, "indep");
+  g.markOutput(chain);
+  g.markOutput(indep);
+  Allocation alloc{{ResourceClass::Multiplier, 1}};
+  StepSchedule mob = listSchedule(g, alloc, PriorityRule::Mobility);
+  EXPECT_EQ(mob.stepOf[g.findByName("chain0")], 0);
+  EXPECT_GT(mob.stepOf[g.findByName("indep")], 0);
+}
+
+TEST(Steps, ValidationCatchesBrokenSchedules) {
+  Dfg g = test::diamond();
+  StepSchedule s = asap(g);
+  s.stepOf[g.findByName("s")] = 0;  // same step as its predecessors
+  EXPECT_THROW(validateStepSchedule(g, s), Error);
+}
+
+TEST(Binding, FromStepsBindsEverything) {
+  Dfg g = dfg::diffeq();
+  Allocation alloc{{ResourceClass::Multiplier, 2},
+                   {ResourceClass::Adder, 1},
+                   {ResourceClass::Subtractor, 1}};
+  StepSchedule s = listSchedule(g, alloc);
+  Binding b = bindFromSteps(g, s, alloc);
+  EXPECT_EQ(b.numUnits(), 4u);
+  EXPECT_EQ(b.unitsOfClass(ResourceClass::Multiplier).size(), 2u);
+  std::size_t totalBound = 0;
+  for (std::size_t u = 0; u < b.numUnits(); ++u) {
+    totalBound += b.sequenceOf(static_cast<int>(u)).size();
+  }
+  EXPECT_EQ(totalBound, g.numOps());
+  for (NodeId v : g.opIds()) EXPECT_NE(b.unitOf(v), -1);
+}
+
+TEST(Binding, SerializationArcsOrderSameUnitOps) {
+  Dfg g = test::parallelMuls(4);
+  Allocation alloc{{ResourceClass::Multiplier, 2}};
+  StepSchedule s = listSchedule(g, alloc);
+  Binding b = bindFromSteps(g, s, alloc);
+  addSerializationArcs(g, b);
+  // Each unit runs 2 ops; consecutive ops are now ordered.
+  for (std::size_t u = 0; u < b.numUnits(); ++u) {
+    const auto& seq = b.sequenceOf(static_cast<int>(u));
+    ASSERT_EQ(seq.size(), 2u);
+    EXPECT_TRUE(dfg::reaches(g, seq[0], seq[1]));
+  }
+  EXPECT_EQ(g.scheduleArcs().size(), 2u);
+}
+
+TEST(Binding, ValidateRejectsWrongClassAndDuplicates) {
+  Dfg g = test::diamond();
+  Binding b;
+  int mu = b.addUnit(ResourceClass::Multiplier, 0);
+  int au = b.addUnit(ResourceClass::Adder, 0);
+  b.assign(g.findByName("m1"), mu);
+  b.assign(g.findByName("m2"), au);  // wrong class
+  b.assign(g.findByName("s"), au);
+  EXPECT_THROW(validateBinding(g, b), Error);
+}
+
+TEST(Binding, ValidateRejectsIncompleteBinding) {
+  Dfg g = test::diamond();
+  Binding b;
+  int mu = b.addUnit(ResourceClass::Multiplier, 0);
+  b.assign(g.findByName("m1"), mu);
+  EXPECT_THROW(validateBinding(g, b), Error);
+}
+
+TEST(Binding, ValidateRejectsOrderContradictingDeps) {
+  Dfg g = test::mulChain(2);
+  Binding b;
+  int mu = b.addUnit(ResourceClass::Multiplier, 0);
+  b.assign(g.findByName("m1"), mu);  // depends on m0 but listed first
+  b.assign(g.findByName("m0"), mu);
+  EXPECT_THROW(validateBinding(g, b), Error);
+}
+
+TEST(Clique, ChainCoverOfIndependentOps) {
+  Dfg g = test::parallelMuls(4);
+  auto chains = minChainCover(g, ResourceClass::Multiplier);
+  EXPECT_EQ(chains.size(), 4u);  // no two comparable
+}
+
+TEST(Clique, ChainCoverOfChain) {
+  Dfg g = test::mulChain(5);
+  auto chains = minChainCover(g, ResourceClass::Multiplier);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].size(), 5u);
+}
+
+TEST(Clique, PaperFig3NeedsThreeMultipliers) {
+  // The paper: mult cliques (O0-O1), (O4), (O6-O8) -> minimum three units.
+  Dfg g = dfg::paperFig3();
+  auto chains = minChainCover(g, ResourceClass::Multiplier);
+  EXPECT_EQ(chains.size(), 3u);
+}
+
+TEST(Clique, ScheduleReducesToTwoMultipliers) {
+  // Fig. 3(b): after inserting schedule arcs the cover drops to two chains.
+  Dfg g = dfg::paperFig3();
+  Allocation alloc{{ResourceClass::Multiplier, 2}, {ResourceClass::Adder, 2}};
+  Binding b = cliqueSchedule(g, alloc, dfg::unitDurations(g));
+  EXPECT_EQ(b.unitsOfClass(ResourceClass::Multiplier).size(), 2u);
+  EXPECT_EQ(b.unitsOfClass(ResourceClass::Adder).size(), 2u);
+  // After arc insertion, the cover is realizable with 2 units.
+  auto chains = minChainCover(g, ResourceClass::Multiplier);
+  EXPECT_LE(chains.size(), 2u);
+  validateBinding(g, b);
+}
+
+TEST(Clique, ChainsRespectDependenceOrder) {
+  Dfg g = dfg::arLattice();
+  for (auto& chain : minChainCover(g, ResourceClass::Multiplier)) {
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      EXPECT_TRUE(dfg::reaches(g, chain[i], chain[i + 1]));
+    }
+  }
+}
+
+TEST(Taubm, SplitsOnlyTauSteps) {
+  Dfg g = dfg::paperFig2();
+  tau::ResourceLibrary lib = tau::paperLibrary();
+  Allocation alloc{{ResourceClass::Multiplier, 2}, {ResourceClass::Adder, 1}};
+  StepSchedule s = listSchedule(g, alloc);
+  TaubmSchedule tb = buildTaubm(g, s, lib);
+  ASSERT_EQ(tb.steps.size(), 4u);  // T0..T3 as in Fig. 2
+  EXPECT_TRUE(tb.steps[0].split);   // O0, O3 multiplications
+  EXPECT_FALSE(tb.steps[1].split);  // O1 addition
+  EXPECT_TRUE(tb.steps[2].split);   // O2, O4 multiplications
+  EXPECT_FALSE(tb.steps[3].split);  // O5 addition
+  // Fig. 2(c): latency varies between 4 and 6 clock cycles.
+  EXPECT_EQ(tb.bestCaseCycles(), 4);
+  EXPECT_EQ(tb.worstCaseCycles(), 6);
+}
+
+TEST(Taubm, NoTelescopicTypesMeansNoSplits) {
+  Dfg g = dfg::paperFig2();
+  tau::ResourceLibrary lib;
+  lib.registerType(tau::fixedUnit("mult", ResourceClass::Multiplier, 20.0));
+  lib.registerType(tau::fixedUnit("adder", ResourceClass::Adder, 15.0));
+  StepSchedule s = listSchedule(g, {});
+  TaubmSchedule tb = buildTaubm(g, s, lib);
+  EXPECT_EQ(tb.bestCaseCycles(), tb.worstCaseCycles());
+}
+
+TEST(ScheduledDfg, EndToEndLeftEdge) {
+  Dfg g = dfg::diffeq();
+  Allocation alloc{{ResourceClass::Multiplier, 2},
+                   {ResourceClass::Adder, 1},
+                   {ResourceClass::Subtractor, 1}};
+  ScheduledDfg s = scheduleAndBind(g, alloc, tau::paperLibrary());
+  EXPECT_DOUBLE_EQ(s.clockNs, 15.0);
+  EXPECT_EQ(s.binding.numUnits(), 4u);
+  for (int u = 0; u < static_cast<int>(s.binding.numUnits()); ++u) {
+    const bool isMult = s.binding.unit(u).cls == ResourceClass::Multiplier;
+    EXPECT_EQ(s.unitIsTelescopic(u), isMult);
+  }
+  NodeId m1 = s.graph.findByName("m1");
+  EXPECT_EQ(s.opCycles(m1, true), 1);
+  EXPECT_EQ(s.opCycles(m1, false), 2);
+  NodeId x1 = s.graph.findByName("x1");
+  EXPECT_EQ(s.opCycles(x1, false), 1);
+}
+
+TEST(ScheduledDfg, EndToEndCliqueCover) {
+  Dfg g = dfg::paperFig3();
+  Allocation alloc{{ResourceClass::Multiplier, 2}, {ResourceClass::Adder, 2}};
+  ScheduledDfg s = scheduleAndBind(g, alloc, tau::paperLibrary(),
+                                   BindingStrategy::CliqueCover);
+  EXPECT_EQ(s.binding.unitsOfClass(ResourceClass::Multiplier).size(), 2u);
+  // Step schedule remains valid on the arc-augmented graph.
+  validateStepSchedule(s.graph, s.steps);
+}
+
+TEST(ScheduledDfg, NonTwoLevelTauRejected) {
+  // LD = 50 needs 4 cycles of the 15 ns clock: not a two-level TAU.
+  dfg::Dfg g = test::parallelMuls(2);
+  tau::ResourceLibrary lib;
+  lib.registerType(
+      tau::telescopicUnit("slow", ResourceClass::Multiplier, 15.0, 50.0, 0.5));
+  EXPECT_THROW(scheduleAndBind(g, {}, lib), Error);
+}
+
+TEST(ScheduledDfg, MissingLibraryClassRejected) {
+  Dfg g = dfg::diffeq();
+  tau::ResourceLibrary lib;
+  lib.registerType(
+      tau::telescopicUnit("tm", ResourceClass::Multiplier, 15, 20, 0.5));
+  EXPECT_THROW(scheduleAndBind(g, {}, lib), Error);
+}
+
+struct StrategyCase {
+  std::uint64_t seed;
+  BindingStrategy strategy;
+};
+
+class SchedProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, BindingStrategy>> {};
+
+TEST_P(SchedProperty, RandomGraphsScheduleCleanly) {
+  const auto [seed, strategy] = GetParam();
+  dfg::RandomDfgSpec spec;
+  spec.seed = seed;
+  spec.numOps = 8 + static_cast<int>(seed % 25);
+  Dfg g = dfg::randomDfg(spec);
+  Allocation alloc{{ResourceClass::Multiplier, 2},
+                   {ResourceClass::Adder, 1},
+                   {ResourceClass::Subtractor, 1}};
+  ScheduledDfg s = scheduleAndBind(g, alloc, tau::paperLibrary(), strategy);
+  // Invariants checked by construction; additionally the arc-augmented graph
+  // must still be a DAG, and every op bound exactly once.
+  EXPECT_TRUE(s.graph.isAcyclic());
+  std::size_t bound = 0;
+  for (std::size_t u = 0; u < s.binding.numUnits(); ++u) {
+    bound += s.binding.sequenceOf(static_cast<int>(u)).size();
+  }
+  EXPECT_EQ(bound, s.graph.numOps());
+  // The schedule never beats the dependence-only critical path.
+  EXPECT_GE(s.steps.numSteps,
+            dfg::criticalPathLength(g, dfg::unitDurations(g)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SchedProperty,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 16),
+                       ::testing::Values(BindingStrategy::LeftEdge,
+                                         BindingStrategy::CliqueCover)));
+
+}  // namespace
+}  // namespace tauhls::sched

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dfg/benchmarks.hpp"
+#include "dfg/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/streaming.hpp"
+#include "testutil.hpp"
+
+namespace tauhls::sim {
+namespace {
+
+using dfg::ResourceClass;
+using sched::Allocation;
+using sched::ScheduledDfg;
+
+ScheduledDfg scheduledDiffeq() {
+  return sched::scheduleAndBind(dfg::diffeq(),
+                                Allocation{{ResourceClass::Multiplier, 2},
+                                           {ResourceClass::Adder, 1},
+                                           {ResourceClass::Subtractor, 1}},
+                                tau::paperLibrary());
+}
+
+TEST(Streaming, SingleIterationEqualsMakespan) {
+  ScheduledDfg s = scheduledDiffeq();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    OperandClasses c = randomClasses(s, 0.5, seed);
+    StreamingResult r = streamingMakespan(s, {c});
+    EXPECT_EQ(r.totalCycles, distributedMakespanCycles(s, c));
+    EXPECT_EQ(r.avgInitiationInterval, r.totalCycles);
+  }
+}
+
+TEST(Streaming, OverlapNeverHurts) {
+  // Total cycles of R overlapped iterations <= R x single-iteration worst,
+  // and the initiation interval <= the single-iteration makespan.
+  ScheduledDfg s = scheduledDiffeq();
+  const int R = 8;
+  StreamingResult r = streamingMakespanRandom(s, R, 0.7, 3);
+  const int single = worstCaseCycles(s, ControlStyle::Distributed);
+  EXPECT_LE(r.totalCycles, R * single);
+  EXPECT_LE(r.avgInitiationInterval, single + 1e-9);
+  ASSERT_EQ(r.iterationFinish.size(), static_cast<std::size_t>(R));
+  for (int k = 1; k < R; ++k) {
+    EXPECT_GT(r.iterationFinish[k], r.iterationFinish[k - 1]);
+  }
+}
+
+TEST(Streaming, SerialChainHasNoOverlap) {
+  // One unit, fully serial chain: iteration k+1 starts only after k ends.
+  dfg::Dfg g = test::mulChain(3);
+  ScheduledDfg s = sched::scheduleAndBind(
+      g, Allocation{{ResourceClass::Multiplier, 1}}, tau::paperLibrary());
+  std::vector<OperandClasses> iters(4, allShort(s));
+  StreamingResult r = streamingMakespan(s, iters);
+  EXPECT_EQ(r.totalCycles, 4 * 3);
+  EXPECT_DOUBLE_EQ(r.avgInitiationInterval, 3.0);
+}
+
+TEST(Streaming, UnbalancedUnitsOverlap) {
+  // Two mults on one unit feed one add: the mult unit starts iteration 2
+  // while the adder finishes iteration 1 -> II < single-iteration latency.
+  dfg::Dfg g = test::diamond();
+  ScheduledDfg s = sched::scheduleAndBind(
+      g,
+      Allocation{{ResourceClass::Multiplier, 1}, {ResourceClass::Adder, 1}},
+      tau::paperLibrary());
+  std::vector<OperandClasses> iters(6, allShort(s));
+  StreamingResult r = streamingMakespan(s, iters);
+  const int single = distributedMakespanCycles(s, allShort(s));
+  EXPECT_LT(r.avgInitiationInterval, single);
+}
+
+TEST(Streaming, MixedClassesPerIteration) {
+  ScheduledDfg s = scheduledDiffeq();
+  std::vector<OperandClasses> iters{allShort(s), allLong(s), allShort(s)};
+  StreamingResult r = streamingMakespan(s, iters);
+  // The all-LD middle iteration must push iteration 3 later than an all-SD
+  // middle would.
+  std::vector<OperandClasses> fast{allShort(s), allShort(s), allShort(s)};
+  StreamingResult rf = streamingMakespan(s, fast);
+  EXPECT_GT(r.totalCycles, rf.totalCycles);
+}
+
+TEST(Streaming, RejectsEmptyAndMismatched) {
+  ScheduledDfg s = scheduledDiffeq();
+  EXPECT_THROW(streamingMakespan(s, {}), Error);
+  OperandClasses bad;
+  bad.shortClass.assign(3, true);
+  EXPECT_THROW(streamingMakespan(s, {bad}), Error);
+  EXPECT_THROW(streamingMakespanRandom(s, 0, 0.5), Error);
+}
+
+class StreamingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamingProperty, PrefixConsistencyOnRandomGraphs) {
+  dfg::RandomDfgSpec spec;
+  spec.seed = GetParam() * 53;
+  spec.numOps = 6 + static_cast<int>(GetParam() % 10);
+  dfg::Dfg g = dfg::randomDfg(spec);
+  ScheduledDfg s = sched::scheduleAndBind(g,
+                                          Allocation{{ResourceClass::Multiplier, 2},
+                                                     {ResourceClass::Adder, 1},
+                                                     {ResourceClass::Subtractor, 1}},
+                                          tau::paperLibrary());
+  // Running R iterations then truncating must match running R-1 directly:
+  // the analysis is causal (later iterations cannot change earlier ones).
+  std::vector<OperandClasses> iters;
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    iters.push_back(randomClasses(s, 0.6, GetParam() * 10 + k));
+  }
+  StreamingResult full = streamingMakespan(s, iters);
+  for (std::size_t r = 1; r < iters.size(); ++r) {
+    std::vector<OperandClasses> prefix(iters.begin(),
+                                       iters.begin() + static_cast<long>(r));
+    StreamingResult part = streamingMakespan(s, prefix);
+    ASSERT_EQ(part.iterationFinish.size(), r);
+    for (std::size_t k = 0; k < r; ++k) {
+      EXPECT_EQ(part.iterationFinish[k], full.iterationFinish[k]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace tauhls::sim

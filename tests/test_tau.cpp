@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "tau/clocking.hpp"
+#include "tau/library.hpp"
+#include "tau/unit.hpp"
+
+namespace tauhls::tau {
+namespace {
+
+using dfg::ResourceClass;
+
+TEST(UnitType, FixedUnitInvariants) {
+  UnitType t = fixedUnit("adder", ResourceClass::Adder, 15.0);
+  EXPECT_FALSE(t.telescopic);
+  EXPECT_EQ(t.shortDelayNs, 15.0);
+  EXPECT_EQ(t.longDelayNs, 15.0);
+  EXPECT_EQ(t.sdProbability, 1.0);
+  EXPECT_EQ(t.worstDelayNs(), 15.0);
+}
+
+TEST(UnitType, TelescopicUnitInvariants) {
+  UnitType t = telescopicUnit("tm", ResourceClass::Multiplier, 15.0, 20.0, 0.7);
+  EXPECT_TRUE(t.telescopic);
+  EXPECT_EQ(t.worstDelayNs(), 20.0);
+  EXPECT_EQ(t.sdProbability, 0.7);
+}
+
+TEST(UnitType, RejectsBadParameters) {
+  EXPECT_THROW(fixedUnit("", ResourceClass::Adder, 15.0), Error);
+  EXPECT_THROW(fixedUnit("a", ResourceClass::None, 15.0), Error);
+  EXPECT_THROW(fixedUnit("a", ResourceClass::Adder, 0.0), Error);
+  EXPECT_THROW(telescopicUnit("t", ResourceClass::Multiplier, 20.0, 15.0, 0.5),
+               Error);
+  EXPECT_THROW(telescopicUnit("t", ResourceClass::Multiplier, 15.0, 20.0, 1.5),
+               Error);
+  EXPECT_THROW(telescopicUnit("t", ResourceClass::Multiplier, 15.0, 20.0, -0.1),
+               Error);
+}
+
+TEST(Library, RegistersAndLooksUp) {
+  ResourceLibrary lib;
+  EXPECT_FALSE(lib.has(ResourceClass::Adder));
+  lib.registerType(fixedUnit("adder", ResourceClass::Adder, 10.0));
+  EXPECT_TRUE(lib.has(ResourceClass::Adder));
+  EXPECT_EQ(lib.typeFor(ResourceClass::Adder).name, "adder");
+  EXPECT_THROW(lib.typeFor(ResourceClass::Multiplier), Error);
+  EXPECT_FALSE(lib.hasTelescopicTypes());
+  lib.registerType(
+      telescopicUnit("tm", ResourceClass::Multiplier, 10.0, 14.0, 0.5));
+  EXPECT_TRUE(lib.hasTelescopicTypes());
+  EXPECT_EQ(lib.classes().size(), 2u);
+}
+
+TEST(Library, PaperLibraryMatchesTable2Footnote) {
+  ResourceLibrary lib = paperLibrary(0.9);
+  const UnitType& mult = lib.typeFor(ResourceClass::Multiplier);
+  EXPECT_TRUE(mult.telescopic);
+  EXPECT_EQ(mult.shortDelayNs, 15.0);
+  EXPECT_EQ(mult.longDelayNs, 20.0);
+  EXPECT_EQ(mult.sdProbability, 0.9);
+  EXPECT_EQ(lib.typeFor(ResourceClass::Adder).shortDelayNs, 15.0);
+  EXPECT_EQ(lib.typeFor(ResourceClass::Subtractor).shortDelayNs, 15.0);
+}
+
+TEST(Clocking, PaperClocks) {
+  ResourceLibrary lib = paperLibrary();
+  // CC_TAU = max(SD=15, FD=15) = 15; conventional CC = max(LD=20, FD=15) = 20.
+  EXPECT_DOUBLE_EQ(tauClockNs(lib), 15.0);
+  EXPECT_DOUBLE_EQ(conventionalClockNs(lib), 20.0);
+}
+
+TEST(Clocking, CyclesForTauOp) {
+  ResourceLibrary lib = paperLibrary();
+  const UnitType& mult = lib.typeFor(ResourceClass::Multiplier);
+  const UnitType& add = lib.typeFor(ResourceClass::Adder);
+  EXPECT_EQ(cyclesFor(mult, true, 15.0), 1);   // SD class: one cycle
+  EXPECT_EQ(cyclesFor(mult, false, 15.0), 2);  // LD class: two cycles
+  EXPECT_EQ(cyclesFor(add, true, 15.0), 1);
+  EXPECT_EQ(cyclesFor(add, false, 15.0), 1);
+}
+
+TEST(Clocking, CeilingBehaviour) {
+  UnitType slow = fixedUnit("slow", ResourceClass::Divider, 31.0);
+  EXPECT_EQ(cyclesFor(slow, true, 15.0), 3);  // ceil(31/15)
+  UnitType exact = fixedUnit("exact", ResourceClass::Divider, 30.0);
+  EXPECT_EQ(cyclesFor(exact, true, 15.0), 2);  // exact multiple, no round-up
+}
+
+TEST(Clocking, EmptyLibraryRejected) {
+  ResourceLibrary lib;
+  EXPECT_THROW(tauClockNs(lib), Error);
+  EXPECT_THROW(conventionalClockNs(lib), Error);
+}
+
+}  // namespace
+}  // namespace tauhls::tau

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "datapath/value.hpp"
+#include "dfg/analysis.hpp"
+#include "dfg/benchmarks.hpp"
+#include "dfg/random.hpp"
+#include "dfg/transform.hpp"
+#include "testutil.hpp"
+
+namespace tauhls::dfg {
+namespace {
+
+TEST(Cse, MergesDuplicateOps) {
+  // The HAL Diff. graph computes u*dx twice (m2 and m6).
+  Dfg g = diffeq();
+  TransformReport report;
+  Dfg opt = commonSubexpressionElimination(g, &report);
+  EXPECT_EQ(report.mergedOps, 1);
+  EXPECT_EQ(opt.numOps(), g.numOps() - 1);
+  EXPECT_EQ(opt.opsOfClass(ResourceClass::Multiplier).size(), 5u);
+  EXPECT_NO_THROW(opt.validate());
+}
+
+TEST(Cse, CommutativeMatching) {
+  Dfg g("comm");
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId m1 = g.addOp(OpKind::Mul, {a, b}, "m1");
+  NodeId m2 = g.addOp(OpKind::Mul, {b, a}, "m2");  // same product, swapped
+  NodeId s1 = g.addOp(OpKind::Sub, {a, b}, "s1");
+  NodeId s2 = g.addOp(OpKind::Sub, {b, a}, "s2");  // NOT the same difference
+  g.markOutput(g.addOp(OpKind::Add, {m1, m2}, "t1"));
+  g.markOutput(g.addOp(OpKind::Add, {s1, s2}, "t2"));
+  TransformReport report;
+  Dfg opt = commonSubexpressionElimination(g, &report);
+  EXPECT_EQ(report.mergedOps, 1);  // only the multiplication pair
+  EXPECT_EQ(opt.opsOfClass(ResourceClass::Multiplier).size(), 1u);
+  EXPECT_EQ(opt.opsOfClass(ResourceClass::Subtractor).size(), 2u);
+}
+
+TEST(Cse, ChainsOfDuplicatesCollapse) {
+  // Duplicates of duplicates: c1 = a*b, c2 = a*b, d1 = c1+x, d2 = c2+x.
+  Dfg g("chain");
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId x = g.addInput("x");
+  NodeId c1 = g.addOp(OpKind::Mul, {a, b}, "c1");
+  NodeId c2 = g.addOp(OpKind::Mul, {a, b}, "c2");
+  NodeId d1 = g.addOp(OpKind::Add, {c1, x}, "d1");
+  NodeId d2 = g.addOp(OpKind::Add, {c2, x}, "d2");
+  g.markOutput(g.addOp(OpKind::Add, {d1, d2}, "out"));
+  TransformReport report;
+  Dfg opt = commonSubexpressionElimination(g, &report);
+  EXPECT_EQ(report.mergedOps, 2);  // c2 merges, then d2 matches d1
+  EXPECT_EQ(opt.numOps(), 3u);
+}
+
+TEST(Dce, RemovesUnreachableOps) {
+  Dfg g("dead");
+  NodeId a = g.addInput("a");
+  NodeId b = g.addInput("b");
+  NodeId used = g.addOp(OpKind::Mul, {a, b}, "used");
+  g.addOp(OpKind::Add, {a, b}, "dead1");
+  NodeId dead2 = g.addOp(OpKind::Sub, {a, b}, "dead2");
+  g.addOp(OpKind::Mul, {dead2, b}, "dead3");  // dead chain
+  g.markOutput(used);
+  TransformReport report;
+  Dfg opt = eliminateDeadOps(g, &report);
+  EXPECT_EQ(report.removedDead, 3);
+  EXPECT_EQ(opt.numOps(), 1u);
+  EXPECT_EQ(opt.findByName("dead3"), kNoNode);
+}
+
+TEST(Dce, NoOutputsMeansEverythingLive) {
+  Dfg g = test::parallelMuls(3);
+  Dfg stripped("no_out");
+  NodeId a = stripped.addInput("a");
+  NodeId b = stripped.addInput("b");
+  stripped.addOp(OpKind::Mul, {a, b}, "m");
+  Dfg opt = eliminateDeadOps(stripped);
+  EXPECT_EQ(opt.numOps(), 1u);
+  (void)g;
+}
+
+TEST(Tidy, FunctionalEquivalenceOnDiffeq) {
+  Dfg g = diffeq();
+  TransformReport report;
+  Dfg opt = tidy(g, &report);
+  EXPECT_GE(report.mergedOps, 1);
+  // The optimized graph must compute the same output values.
+  std::vector<datapath::Value> in(g.numNodes(), 0);
+  std::vector<datapath::Value> inOpt(opt.numNodes(), 0);
+  for (NodeId v : g.inputIds()) {
+    const datapath::Value value = 7 * static_cast<datapath::Value>(v) + 3;
+    in[v] = value & 0xFFFF;
+    const NodeId w = opt.findByName(g.node(v).name);
+    ASSERT_NE(w, kNoNode);
+    inOpt[w] = in[v];
+  }
+  const auto golden = datapath::evaluateDfg(g, in, 16);
+  const auto values = datapath::evaluateDfg(opt, inOpt, 16);
+  for (NodeId o : g.outputs()) {
+    const NodeId mapped = opt.findByName(g.node(o).name);
+    if (mapped != kNoNode) {
+      EXPECT_EQ(values[mapped], golden[o]) << g.node(o).name;
+    }
+  }
+}
+
+class TransformProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransformProperty, TidyPreservesOutputsOnRandomGraphs) {
+  RandomDfgSpec spec;
+  spec.seed = GetParam() * 449;
+  spec.numOps = 10 + static_cast<int>(GetParam() % 15);
+  Dfg g = randomDfg(spec);
+  TransformReport report;
+  Dfg opt = tidy(g, &report);
+  EXPECT_LE(opt.numOps(), g.numOps());
+  EXPECT_NO_THROW(opt.validate());
+  // Same output values under a fixed input assignment.
+  std::vector<datapath::Value> in(g.numNodes(), 0);
+  std::vector<datapath::Value> inOpt(opt.numNodes(), 0);
+  for (NodeId v : g.inputIds()) {
+    const datapath::Value value = (0x9E37 * (v + 1)) & 0xFFFF;
+    in[v] = value;
+    const NodeId w = opt.findByName(g.node(v).name);
+    ASSERT_NE(w, kNoNode);
+    inOpt[w] = value;
+  }
+  const auto golden = datapath::evaluateDfg(g, in, 16);
+  const auto values = datapath::evaluateDfg(opt, inOpt, 16);
+  for (NodeId o : g.outputs()) {
+    const NodeId mapped = opt.findByName(g.node(o).name);
+    // An output merged into its duplicate keeps the surviving node's name;
+    // in that case compare through the survivor.
+    if (mapped != kNoNode) {
+      EXPECT_EQ(values[mapped], golden[o]);
+    }
+  }
+  // Every output id in the optimized graph is valid and value-defined.
+  EXPECT_FALSE(opt.outputs().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace tauhls::dfg

@@ -1,0 +1,78 @@
+// FSM DOT export and the text Gantt renderer.
+#include <gtest/gtest.h>
+
+#include "dfg/benchmarks.hpp"
+#include "fsm/distributed.hpp"
+#include "fsm/dot.hpp"
+#include "sim/gantt.hpp"
+#include "testutil.hpp"
+
+namespace tauhls {
+namespace {
+
+using dfg::ResourceClass;
+using sched::Allocation;
+
+TEST(FsmDot, RendersStatesAndGuards) {
+  auto s = sched::scheduleAndBind(
+      dfg::paperFig2(),
+      Allocation{{ResourceClass::Multiplier, 2}, {ResourceClass::Adder, 1}},
+      tau::paperLibrary());
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+  const fsm::Fsm& f = dcu.controllers[0].fsm;
+  std::string dot = fsm::toDot(f);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // initial state
+  for (std::size_t st = 0; st < f.numStates(); ++st) {
+    EXPECT_NE(dot.find("\"" + f.stateName(static_cast<int>(st)) + "\""),
+              std::string::npos);
+  }
+  // Guard labels appear.
+  EXPECT_NE(dot.find(" / "), std::string::npos);
+}
+
+TEST(Gantt, DiamondLayout) {
+  dfg::Dfg g = test::diamond();
+  auto s = sched::scheduleAndBind(
+      g,
+      Allocation{{ResourceClass::Multiplier, 2}, {ResourceClass::Adder, 1}},
+      tau::paperLibrary());
+  std::string chart = sim::renderGantt(s, sim::allShort(s));
+  // One header + three unit rows.
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 4);
+  EXPECT_NE(chart.find("mult1"), std::string::npos);
+  EXPECT_NE(chart.find("adder1"), std::string::npos);
+  EXPECT_NE(chart.find("m1"), std::string::npos);
+  EXPECT_NE(chart.find("s"), std::string::npos);
+}
+
+TEST(Gantt, LdCyclesMarked) {
+  dfg::Dfg g = test::parallelMuls(1);
+  auto s = sched::scheduleAndBind(g, Allocation{{ResourceClass::Multiplier, 1}},
+                                  tau::paperLibrary());
+  std::string slow = sim::renderGantt(s, sim::allLong(s));
+  EXPECT_NE(slow.find("+m0"), std::string::npos);  // second LD cycle marked
+  std::string fast = sim::renderGantt(s, sim::allShort(s));
+  EXPECT_EQ(fast.find("+m0"), std::string::npos);
+}
+
+TEST(Gantt, WidthMatchesMakespan) {
+  auto s = sched::scheduleAndBind(dfg::diffeq(),
+                                  Allocation{{ResourceClass::Multiplier, 2},
+                                             {ResourceClass::Adder, 1},
+                                             {ResourceClass::Subtractor, 1}},
+                                  tau::paperLibrary());
+  for (auto classes : {sim::allShort(s), sim::allLong(s)}) {
+    std::string chart = sim::renderGantt(s, classes);
+    const int cycles = sim::distributedMakespanCycles(s, classes);
+    // Header row lists exactly `cycles` column indices.
+    std::istringstream in(chart);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_NE(header.find(std::to_string(cycles - 1)), std::string::npos);
+    EXPECT_EQ(header.find(std::to_string(cycles) + " "), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tauhls

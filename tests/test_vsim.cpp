@@ -1,0 +1,291 @@
+// The in-repo Verilog simulator (vsim) and the RTL co-simulation loop:
+// emitted Verilog, parsed back and cycle-simulated, must match the FSM
+// interpreter signal-for-signal.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "common/error.hpp"
+#include "dfg/benchmarks.hpp"
+#include "fsm/distributed.hpp"
+#include "fsm/signal_opt.hpp"
+#include "netlist/build.hpp"
+#include "netlist/emit.hpp"
+#include "rtl/verilog.hpp"
+#include "sim/interp.hpp"
+#include "vsim/lexer.hpp"
+#include "vsim/simulate.hpp"
+
+namespace tauhls::vsim {
+namespace {
+
+using dfg::ResourceClass;
+using sched::Allocation;
+
+TEST(Lexer, TokensAndLiterals) {
+  auto toks = tokenize("module m; wire [2:0] x = 3'd5; // comment\nassign y = 1'b1 & 8'hFF;");
+  ASSERT_GT(toks.size(), 5u);
+  bool saw5 = false;
+  bool saw255 = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::Number && t.value == 5) saw5 = true;
+    if (t.kind == TokKind::Number && t.value == 255) saw255 = true;
+  }
+  EXPECT_TRUE(saw5);
+  EXPECT_TRUE(saw255);
+  EXPECT_THROW(tokenize("wire x = 3'q5;"), Error);
+}
+
+TEST(Parser, SmallModule) {
+  const std::string src =
+      "module toy (\n"
+      "  input  wire clk,\n"
+      "  input  wire a,\n"
+      "  output reg  q\n"
+      ");\n"
+      "  localparam [0:0] ST = 1'd0;\n"
+      "  reg [1:0] s, s_next;\n"
+      "  wire w;\n"
+      "  assign w = a | q;\n"
+      "  always @(posedge clk) begin\n"
+      "    s <= s_next;\n"
+      "  end\n"
+      "  always @* begin\n"
+      "    q = 1'b0;\n"
+      "    if (a && !w) q = 1'b1; else q = 1'b0;\n"
+      "    case (s)\n"
+      "      ST: s_next = 2'd1;\n"
+      "      default: s_next = 2'd0;\n"
+      "    endcase\n"
+      "  end\n"
+      "endmodule\n";
+  Design d = parseDesign(src);
+  ASSERT_EQ(d.modules.size(), 1u);
+  const Module& m = d.modules[0];
+  EXPECT_EQ(m.name, "toy");
+  EXPECT_EQ(m.ports.size(), 3u);
+  EXPECT_EQ(m.localparams.at("ST"), 0u);
+  EXPECT_EQ(m.nets.size(), 3u);
+  EXPECT_EQ(m.always.size(), 2u);
+  EXPECT_TRUE(m.always[0].sequential);
+  EXPECT_FALSE(m.always[1].sequential);
+}
+
+TEST(Parser, RejectsOutOfSubset) {
+  EXPECT_THROW(parseDesign("module m (; endmodule"), Error);
+  EXPECT_THROW(parseDesign("module m (input wire a); frobnicate; endmodule"),
+               Error);
+}
+
+TEST(Simulate, CounterModule) {
+  const std::string src =
+      "module counter (\n"
+      "  input  wire clk,\n"
+      "  input  wire rst,\n"
+      "  output reg  tick\n"
+      ");\n"
+      "  reg [1:0] n, n_next;\n"
+      "  always @(posedge clk) begin\n"
+      "    if (rst) n <= 2'd0; else n <= n_next;\n"
+      "  end\n"
+      "  always @* begin\n"
+      "    tick = 1'b0;\n"
+      "    case (n)\n"
+      "      2'd3: begin n_next = 2'd0; tick = 1'b1; end\n"
+      "      default: n_next = n + 1'b1;\n"
+      "    endcase\n"
+      "  end\n"
+      "endmodule\n";
+  // NOTE: '+' is outside the subset -- rewrite with explicit cases instead.
+  (void)src;
+  const std::string src2 =
+      "module counter (\n"
+      "  input  wire clk,\n"
+      "  input  wire rst,\n"
+      "  output reg  tick\n"
+      ");\n"
+      "  reg [1:0] n, n_next;\n"
+      "  always @(posedge clk) begin\n"
+      "    if (rst) n <= 2'd0; else n <= n_next;\n"
+      "  end\n"
+      "  always @* begin\n"
+      "    tick = 1'b0;\n"
+      "    case (n)\n"
+      "      2'd0: n_next = 2'd1;\n"
+      "      2'd1: n_next = 2'd2;\n"
+      "      2'd2: n_next = 2'd3;\n"
+      "      default: begin n_next = 2'd0; tick = 1'b1; end\n"
+      "    endcase\n"
+      "  end\n"
+      "endmodule\n";
+  Simulator sim(src2, "counter");
+  sim.setInput("rst", 1);
+  sim.clockEdge();
+  sim.setInput("rst", 0);
+  std::vector<std::uint64_t> ticks;
+  for (int cyc = 0; cyc < 8; ++cyc) {
+    sim.settle();
+    ticks.push_back(sim.top("tick"));
+    sim.clockEdge();
+  }
+  EXPECT_EQ(ticks, (std::vector<std::uint64_t>{0, 0, 0, 1, 0, 0, 0, 1}));
+}
+
+TEST(Simulate, CompletionLatchModule) {
+  Simulator sim(rtl::emitCompletionLatchModule(), "tauhls_completion_latch");
+  sim.setInput("rst", 0);
+  sim.setInput("restart", 0);
+  sim.setInput("pulse", 0);
+  sim.settle();
+  EXPECT_EQ(sim.top("level"), 0u);
+  // Pulse passes through combinationally and is held afterwards.
+  sim.setInput("pulse", 1);
+  sim.settle();
+  EXPECT_EQ(sim.top("level"), 1u);
+  sim.clockEdge();
+  sim.setInput("pulse", 0);
+  sim.settle();
+  EXPECT_EQ(sim.top("level"), 1u);  // held
+  // Restart clears.
+  sim.setInput("restart", 1);
+  sim.clockEdge();
+  sim.setInput("restart", 0);
+  sim.settle();
+  EXPECT_EQ(sim.top("level"), 0u);
+}
+
+TEST(Simulate, StructuralNetlistMatchesTruth) {
+  netlist::Netlist n("xor");
+  auto a = n.addInput("a");
+  auto b = n.addInput("b");
+  auto na = n.addInv(a);
+  auto nb = n.addInv(b);
+  n.markOutput("y", n.addOr({n.addAnd({a, nb}), n.addAnd({na, b})}));
+  Simulator sim(netlist::emitStructuralVerilog(n, "xor2"), "xor2");
+  for (int av = 0; av < 2; ++av) {
+    for (int bv = 0; bv < 2; ++bv) {
+      sim.setInput("a", static_cast<std::uint64_t>(av));
+      sim.setInput("b", static_cast<std::uint64_t>(bv));
+      sim.settle();
+      EXPECT_EQ(sim.top("y"), static_cast<std::uint64_t>(av ^ bv));
+    }
+  }
+}
+
+// --- the headline co-simulation: emitted RTL == FSM interpreter -----------
+
+void cosimCheck(const dfg::Dfg& g, const Allocation& alloc,
+                bool allShortClasses) {
+  auto s = sched::scheduleAndBind(g, alloc, tau::paperLibrary());
+  fsm::DistributedControlUnit dcu =
+      fsm::optimizeSignals(fsm::buildDistributed(s));
+  const sim::OperandClasses classes =
+      allShortClasses ? sim::allShort(s) : sim::allLong(s);
+  const sim::SimTrace trace = sim::runDistributed(dcu, s, classes);
+
+  const std::string pkg = rtl::emitPackage(dcu, "dcu_top");
+  Simulator vsim(pkg, "dcu_top");
+  vsim.setInput("rst", 1);
+  vsim.setInput("restart", 0);
+  for (const std::string& in : dcu.externalInputs) vsim.setInput(in, 0);
+  vsim.clockEdge();
+  vsim.setInput("rst", 0);
+
+  // Visible (non-CCO) controller outputs exposed on the top module.
+  std::vector<std::string> visible;
+  for (const fsm::UnitController& c : dcu.controllers) {
+    for (const std::string& o : c.fsm.outputs()) {
+      if (!o.starts_with("CCO_")) visible.push_back(o);
+    }
+  }
+
+  for (std::size_t cyc = 0; cyc < trace.outputsPerCycle.size(); ++cyc) {
+    for (const std::string& in : dcu.externalInputs) {
+      const auto& ext = trace.externalsPerCycle[cyc];
+      vsim.setInput(in, std::find(ext.begin(), ext.end(), in) != ext.end());
+    }
+    vsim.settle();
+    for (const std::string& sig : visible) {
+      const bool expected = trace.asserted(static_cast<int>(cyc), sig);
+      EXPECT_EQ(vsim.top(sig), static_cast<std::uint64_t>(expected))
+          << sig << " at cycle " << cyc;
+    }
+    vsim.clockEdge();
+  }
+}
+
+TEST(Cosim, DiffeqAllShort) {
+  cosimCheck(dfg::diffeq(),
+             Allocation{{ResourceClass::Multiplier, 2},
+                        {ResourceClass::Adder, 1},
+                        {ResourceClass::Subtractor, 1}},
+             true);
+}
+
+TEST(Cosim, DiffeqAllLong) {
+  cosimCheck(dfg::diffeq(),
+             Allocation{{ResourceClass::Multiplier, 2},
+                        {ResourceClass::Adder, 1},
+                        {ResourceClass::Subtractor, 1}},
+             false);
+}
+
+TEST(Cosim, Fig3AllShort) {
+  cosimCheck(dfg::paperFig3(),
+             Allocation{{ResourceClass::Multiplier, 2}, {ResourceClass::Adder, 2}},
+             true);
+}
+
+class RtlEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RtlEquivalence, EmittedControllerMatchesFsmOnRandomInputs) {
+  // Single-FSM equivalence through the RTL loop: emitFsm -> parse -> vsim,
+  // driven with random inputs, must match fsm::step exactly.
+  auto s = sched::scheduleAndBind(dfg::diffeq(),
+                                  Allocation{{ResourceClass::Multiplier, 2},
+                                             {ResourceClass::Adder, 1},
+                                             {ResourceClass::Subtractor, 1}},
+                                  tau::paperLibrary());
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+  const fsm::Fsm& f =
+      dcu.controllers[GetParam() % dcu.controllers.size()].fsm;
+
+  Simulator sim(rtl::emitFsm(f, "ctrl"), "ctrl");
+  sim.setInput("rst", 1);
+  sim.clockEdge();
+  sim.setInput("rst", 0);
+
+  std::mt19937_64 rng(GetParam() * 1013);
+  int state = f.initial();
+  for (int cycle = 0; cycle < 60; ++cycle) {
+    std::unordered_set<std::string> asserted;
+    for (const std::string& in : f.inputs()) {
+      const bool on = std::uniform_int_distribution<int>(0, 1)(rng) != 0;
+      sim.setInput(in, on);
+      if (on) asserted.insert(in);
+    }
+    sim.settle();
+    const auto ref = f.step(state, asserted);
+    for (const std::string& out : f.outputs()) {
+      const bool expected = std::find(ref.outputs.begin(), ref.outputs.end(),
+                                      out) != ref.outputs.end();
+      EXPECT_EQ(sim.top(out), static_cast<std::uint64_t>(expected))
+          << out << " at cycle " << cycle;
+    }
+    sim.clockEdge();
+    state = ref.nextState;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtlEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Cosim, ArLatticeAllLong) {
+  cosimCheck(dfg::arLattice(),
+             Allocation{{ResourceClass::Multiplier, 4}, {ResourceClass::Adder, 2}},
+             false);
+}
+
+}  // namespace
+}  // namespace tauhls::vsim

@@ -1,0 +1,18 @@
+// tauhlsc -- the command-line driver of the tauhls flow.  All logic lives in
+// core/cli.{hpp,cpp}; this main only marshals argv and streams.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  const auto options = tauhls::core::parseCli(args, error);
+  if (!options) {
+    std::cerr << "tauhlsc: " << error << "\n";
+    return 2;
+  }
+  return tauhls::core::runCli(*options, std::cout, std::cerr);
+}
