@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_binding"
+  "../bench/ablation_binding.pdb"
+  "CMakeFiles/ablation_binding.dir/ablation_binding.cpp.o"
+  "CMakeFiles/ablation_binding.dir/ablation_binding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

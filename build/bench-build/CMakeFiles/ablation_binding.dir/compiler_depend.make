@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_binding.
+# This may be replaced when dependencies are built.

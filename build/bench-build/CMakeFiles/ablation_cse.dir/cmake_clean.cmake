@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cse"
+  "../bench/ablation_cse.pdb"
+  "CMakeFiles/ablation_cse.dir/ablation_cse.cpp.o"
+  "CMakeFiles/ablation_cse.dir/ablation_cse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_encoding"
+  "../bench/ablation_encoding.pdb"
+  "CMakeFiles/ablation_encoding.dir/ablation_encoding.cpp.o"
+  "CMakeFiles/ablation_encoding.dir/ablation_encoding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gate_level"
+  "../bench/ablation_gate_level.pdb"
+  "CMakeFiles/ablation_gate_level.dir/ablation_gate_level.cpp.o"
+  "CMakeFiles/ablation_gate_level.dir/ablation_gate_level.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gate_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_operand_model"
+  "../bench/ablation_operand_model.pdb"
+  "CMakeFiles/ablation_operand_model.dir/ablation_operand_model.cpp.o"
+  "CMakeFiles/ablation_operand_model.dir/ablation_operand_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_operand_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_p_sweep"
+  "../bench/ablation_p_sweep.pdb"
+  "CMakeFiles/ablation_p_sweep.dir/ablation_p_sweep.cpp.o"
+  "CMakeFiles/ablation_p_sweep.dir/ablation_p_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_p_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

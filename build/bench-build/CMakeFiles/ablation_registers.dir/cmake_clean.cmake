@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_registers"
+  "../bench/ablation_registers.pdb"
+  "CMakeFiles/ablation_registers.dir/ablation_registers.cpp.o"
+  "CMakeFiles/ablation_registers.dir/ablation_registers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_signal_opt"
+  "../bench/ablation_signal_opt.pdb"
+  "CMakeFiles/ablation_signal_opt.dir/ablation_signal_opt.cpp.o"
+  "CMakeFiles/ablation_signal_opt.dir/ablation_signal_opt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_signal_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

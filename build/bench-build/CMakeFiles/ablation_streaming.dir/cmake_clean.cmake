@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_streaming"
+  "../bench/ablation_streaming.pdb"
+  "CMakeFiles/ablation_streaming.dir/ablation_streaming.cpp.o"
+  "CMakeFiles/ablation_streaming.dir/ablation_streaming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

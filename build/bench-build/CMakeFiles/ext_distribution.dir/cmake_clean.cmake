@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_distribution"
+  "../bench/ext_distribution.pdb"
+  "CMakeFiles/ext_distribution.dir/ext_distribution.cpp.o"
+  "CMakeFiles/ext_distribution.dir/ext_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

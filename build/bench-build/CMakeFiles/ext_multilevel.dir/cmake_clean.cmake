@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multilevel"
+  "../bench/ext_multilevel.pdb"
+  "CMakeFiles/ext_multilevel.dir/ext_multilevel.cpp.o"
+  "CMakeFiles/ext_multilevel.dir/ext_multilevel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_pareto"
+  "../bench/ext_pareto.pdb"
+  "CMakeFiles/ext_pareto.dir/ext_pareto.cpp.o"
+  "CMakeFiles/ext_pareto.dir/ext_pareto.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_scaling"
+  "../bench/ext_scaling.pdb"
+  "CMakeFiles/ext_scaling.dir/ext_scaling.cpp.o"
+  "CMakeFiles/ext_scaling.dir/ext_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

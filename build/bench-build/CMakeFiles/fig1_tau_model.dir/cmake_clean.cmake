@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_tau_model"
+  "../bench/fig1_tau_model.pdb"
+  "CMakeFiles/fig1_tau_model.dir/fig1_tau_model.cpp.o"
+  "CMakeFiles/fig1_tau_model.dir/fig1_tau_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tau_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

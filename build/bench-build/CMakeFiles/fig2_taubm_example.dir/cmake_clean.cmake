@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_taubm_example"
+  "../bench/fig2_taubm_example.pdb"
+  "CMakeFiles/fig2_taubm_example.dir/fig2_taubm_example.cpp.o"
+  "CMakeFiles/fig2_taubm_example.dir/fig2_taubm_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_taubm_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_scheduling"
+  "../bench/fig3_scheduling.pdb"
+  "CMakeFiles/fig3_scheduling.dir/fig3_scheduling.cpp.o"
+  "CMakeFiles/fig3_scheduling.dir/fig3_scheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

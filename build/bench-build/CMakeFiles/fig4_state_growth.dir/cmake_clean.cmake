@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_state_growth"
+  "../bench/fig4_state_growth.pdb"
+  "CMakeFiles/fig4_state_growth.dir/fig4_state_growth.cpp.o"
+  "CMakeFiles/fig4_state_growth.dir/fig4_state_growth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_state_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

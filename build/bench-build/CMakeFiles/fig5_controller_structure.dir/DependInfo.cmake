@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_controller_structure.cpp" "bench-build/CMakeFiles/fig5_controller_structure.dir/fig5_controller_structure.cpp.o" "gcc" "bench-build/CMakeFiles/fig5_controller_structure.dir/fig5_controller_structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tauhls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitlevel/CMakeFiles/tauhls_bitlevel.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/tauhls_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/tauhls_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/tauhls_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tauhls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/tauhls_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tauhls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/tau/CMakeFiles/tauhls_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/tauhls_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tauhls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_controller_structure"
+  "../bench/fig5_controller_structure.pdb"
+  "CMakeFiles/fig5_controller_structure.dir/fig5_controller_structure.cpp.o"
+  "CMakeFiles/fig5_controller_structure.dir/fig5_controller_structure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_controller_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

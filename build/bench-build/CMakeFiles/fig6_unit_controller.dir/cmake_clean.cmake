@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_unit_controller"
+  "../bench/fig6_unit_controller.pdb"
+  "CMakeFiles/fig6_unit_controller.dir/fig6_unit_controller.cpp.o"
+  "CMakeFiles/fig6_unit_controller.dir/fig6_unit_controller.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_unit_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

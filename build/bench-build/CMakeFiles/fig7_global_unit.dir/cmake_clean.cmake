@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_global_unit"
+  "../bench/fig7_global_unit.pdb"
+  "CMakeFiles/fig7_global_unit.dir/fig7_global_unit.cpp.o"
+  "CMakeFiles/fig7_global_unit.dir/fig7_global_unit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_global_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

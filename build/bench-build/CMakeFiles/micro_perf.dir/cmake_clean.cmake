@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_perf"
+  "../bench/micro_perf.pdb"
+  "CMakeFiles/micro_perf.dir/micro_perf.cpp.o"
+  "CMakeFiles/micro_perf.dir/micro_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

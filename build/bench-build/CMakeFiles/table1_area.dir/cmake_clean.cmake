@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_area"
+  "../bench/table1_area.pdb"
+  "CMakeFiles/table1_area.dir/table1_area.cpp.o"
+  "CMakeFiles/table1_area.dir/table1_area.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

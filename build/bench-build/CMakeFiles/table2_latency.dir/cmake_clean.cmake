@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_latency"
+  "../bench/table2_latency.pdb"
+  "CMakeFiles/table2_latency.dir/table2_latency.cpp.o"
+  "CMakeFiles/table2_latency.dir/table2_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

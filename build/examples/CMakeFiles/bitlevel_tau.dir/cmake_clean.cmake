@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitlevel_tau.dir/bitlevel_tau.cpp.o"
+  "CMakeFiles/bitlevel_tau.dir/bitlevel_tau.cpp.o.d"
+  "bitlevel_tau"
+  "bitlevel_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitlevel_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

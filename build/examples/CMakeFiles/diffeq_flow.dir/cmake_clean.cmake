@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffeq_flow.dir/diffeq_flow.cpp.o"
+  "CMakeFiles/diffeq_flow.dir/diffeq_flow.cpp.o.d"
+  "diffeq_flow"
+  "diffeq_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffeq_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

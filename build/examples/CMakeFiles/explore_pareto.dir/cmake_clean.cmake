@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_pareto.dir/explore_pareto.cpp.o"
+  "CMakeFiles/explore_pareto.dir/explore_pareto.cpp.o.d"
+  "explore_pareto"
+  "explore_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

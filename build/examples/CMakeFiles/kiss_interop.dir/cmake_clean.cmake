@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_interop.dir/kiss_interop.cpp.o"
+  "CMakeFiles/kiss_interop.dir/kiss_interop.cpp.o.d"
+  "kiss_interop"
+  "kiss_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

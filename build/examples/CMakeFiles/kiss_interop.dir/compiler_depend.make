@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kiss_interop.
+# This may be replaced when dependencies are built.

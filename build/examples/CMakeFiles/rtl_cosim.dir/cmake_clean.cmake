@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_cosim.dir/rtl_cosim.cpp.o"
+  "CMakeFiles/rtl_cosim.dir/rtl_cosim.cpp.o.d"
+  "rtl_cosim"
+  "rtl_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rtl_cosim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_export.dir/verilog_export.cpp.o"
+  "CMakeFiles/verilog_export.dir/verilog_export.cpp.o.d"
+  "verilog_export"
+  "verilog_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dfg")
+subdirs("logic")
+subdirs("tau")
+subdirs("sched")
+subdirs("fsm")
+subdirs("sim")
+subdirs("bitlevel")
+subdirs("datapath")
+subdirs("synth")
+subdirs("netlist")
+subdirs("regalloc")
+subdirs("vcau")
+subdirs("vsim")
+subdirs("explore")
+subdirs("rtl")
+subdirs("core")

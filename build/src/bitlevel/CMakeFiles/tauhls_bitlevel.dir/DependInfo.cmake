@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitlevel/adder.cpp" "src/bitlevel/CMakeFiles/tauhls_bitlevel.dir/adder.cpp.o" "gcc" "src/bitlevel/CMakeFiles/tauhls_bitlevel.dir/adder.cpp.o.d"
+  "/root/repo/src/bitlevel/completion.cpp" "src/bitlevel/CMakeFiles/tauhls_bitlevel.dir/completion.cpp.o" "gcc" "src/bitlevel/CMakeFiles/tauhls_bitlevel.dir/completion.cpp.o.d"
+  "/root/repo/src/bitlevel/measure.cpp" "src/bitlevel/CMakeFiles/tauhls_bitlevel.dir/measure.cpp.o" "gcc" "src/bitlevel/CMakeFiles/tauhls_bitlevel.dir/measure.cpp.o.d"
+  "/root/repo/src/bitlevel/multiplier.cpp" "src/bitlevel/CMakeFiles/tauhls_bitlevel.dir/multiplier.cpp.o" "gcc" "src/bitlevel/CMakeFiles/tauhls_bitlevel.dir/multiplier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tau/CMakeFiles/tauhls_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/tauhls_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tauhls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

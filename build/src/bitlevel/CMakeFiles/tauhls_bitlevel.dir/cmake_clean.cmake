@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_bitlevel.dir/adder.cpp.o"
+  "CMakeFiles/tauhls_bitlevel.dir/adder.cpp.o.d"
+  "CMakeFiles/tauhls_bitlevel.dir/completion.cpp.o"
+  "CMakeFiles/tauhls_bitlevel.dir/completion.cpp.o.d"
+  "CMakeFiles/tauhls_bitlevel.dir/measure.cpp.o"
+  "CMakeFiles/tauhls_bitlevel.dir/measure.cpp.o.d"
+  "CMakeFiles/tauhls_bitlevel.dir/multiplier.cpp.o"
+  "CMakeFiles/tauhls_bitlevel.dir/multiplier.cpp.o.d"
+  "libtauhls_bitlevel.a"
+  "libtauhls_bitlevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_bitlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtauhls_bitlevel.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_common.dir/error.cpp.o"
+  "CMakeFiles/tauhls_common.dir/error.cpp.o.d"
+  "CMakeFiles/tauhls_common.dir/strings.cpp.o"
+  "CMakeFiles/tauhls_common.dir/strings.cpp.o.d"
+  "libtauhls_common.a"
+  "libtauhls_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_core.dir/cli.cpp.o"
+  "CMakeFiles/tauhls_core.dir/cli.cpp.o.d"
+  "CMakeFiles/tauhls_core.dir/flow.cpp.o"
+  "CMakeFiles/tauhls_core.dir/flow.cpp.o.d"
+  "CMakeFiles/tauhls_core.dir/json.cpp.o"
+  "CMakeFiles/tauhls_core.dir/json.cpp.o.d"
+  "CMakeFiles/tauhls_core.dir/report.cpp.o"
+  "CMakeFiles/tauhls_core.dir/report.cpp.o.d"
+  "libtauhls_core.a"
+  "libtauhls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_datapath.dir/engine.cpp.o"
+  "CMakeFiles/tauhls_datapath.dir/engine.cpp.o.d"
+  "CMakeFiles/tauhls_datapath.dir/units.cpp.o"
+  "CMakeFiles/tauhls_datapath.dir/units.cpp.o.d"
+  "CMakeFiles/tauhls_datapath.dir/value.cpp.o"
+  "CMakeFiles/tauhls_datapath.dir/value.cpp.o.d"
+  "libtauhls_datapath.a"
+  "libtauhls_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

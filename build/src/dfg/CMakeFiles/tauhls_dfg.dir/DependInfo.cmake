@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfg/analysis.cpp" "src/dfg/CMakeFiles/tauhls_dfg.dir/analysis.cpp.o" "gcc" "src/dfg/CMakeFiles/tauhls_dfg.dir/analysis.cpp.o.d"
+  "/root/repo/src/dfg/benchmarks.cpp" "src/dfg/CMakeFiles/tauhls_dfg.dir/benchmarks.cpp.o" "gcc" "src/dfg/CMakeFiles/tauhls_dfg.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/dfg/dot.cpp" "src/dfg/CMakeFiles/tauhls_dfg.dir/dot.cpp.o" "gcc" "src/dfg/CMakeFiles/tauhls_dfg.dir/dot.cpp.o.d"
+  "/root/repo/src/dfg/graph.cpp" "src/dfg/CMakeFiles/tauhls_dfg.dir/graph.cpp.o" "gcc" "src/dfg/CMakeFiles/tauhls_dfg.dir/graph.cpp.o.d"
+  "/root/repo/src/dfg/op.cpp" "src/dfg/CMakeFiles/tauhls_dfg.dir/op.cpp.o" "gcc" "src/dfg/CMakeFiles/tauhls_dfg.dir/op.cpp.o.d"
+  "/root/repo/src/dfg/random.cpp" "src/dfg/CMakeFiles/tauhls_dfg.dir/random.cpp.o" "gcc" "src/dfg/CMakeFiles/tauhls_dfg.dir/random.cpp.o.d"
+  "/root/repo/src/dfg/textio.cpp" "src/dfg/CMakeFiles/tauhls_dfg.dir/textio.cpp.o" "gcc" "src/dfg/CMakeFiles/tauhls_dfg.dir/textio.cpp.o.d"
+  "/root/repo/src/dfg/transform.cpp" "src/dfg/CMakeFiles/tauhls_dfg.dir/transform.cpp.o" "gcc" "src/dfg/CMakeFiles/tauhls_dfg.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tauhls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

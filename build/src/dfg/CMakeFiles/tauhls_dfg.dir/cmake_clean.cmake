@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_dfg.dir/analysis.cpp.o"
+  "CMakeFiles/tauhls_dfg.dir/analysis.cpp.o.d"
+  "CMakeFiles/tauhls_dfg.dir/benchmarks.cpp.o"
+  "CMakeFiles/tauhls_dfg.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/tauhls_dfg.dir/dot.cpp.o"
+  "CMakeFiles/tauhls_dfg.dir/dot.cpp.o.d"
+  "CMakeFiles/tauhls_dfg.dir/graph.cpp.o"
+  "CMakeFiles/tauhls_dfg.dir/graph.cpp.o.d"
+  "CMakeFiles/tauhls_dfg.dir/op.cpp.o"
+  "CMakeFiles/tauhls_dfg.dir/op.cpp.o.d"
+  "CMakeFiles/tauhls_dfg.dir/random.cpp.o"
+  "CMakeFiles/tauhls_dfg.dir/random.cpp.o.d"
+  "CMakeFiles/tauhls_dfg.dir/textio.cpp.o"
+  "CMakeFiles/tauhls_dfg.dir/textio.cpp.o.d"
+  "CMakeFiles/tauhls_dfg.dir/transform.cpp.o"
+  "CMakeFiles/tauhls_dfg.dir/transform.cpp.o.d"
+  "libtauhls_dfg.a"
+  "libtauhls_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

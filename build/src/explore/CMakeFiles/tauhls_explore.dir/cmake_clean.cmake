@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_explore.dir/pareto.cpp.o"
+  "CMakeFiles/tauhls_explore.dir/pareto.cpp.o.d"
+  "libtauhls_explore.a"
+  "libtauhls_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

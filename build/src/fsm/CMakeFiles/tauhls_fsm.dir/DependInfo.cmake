@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsm/cent_sync.cpp" "src/fsm/CMakeFiles/tauhls_fsm.dir/cent_sync.cpp.o" "gcc" "src/fsm/CMakeFiles/tauhls_fsm.dir/cent_sync.cpp.o.d"
+  "/root/repo/src/fsm/distributed.cpp" "src/fsm/CMakeFiles/tauhls_fsm.dir/distributed.cpp.o" "gcc" "src/fsm/CMakeFiles/tauhls_fsm.dir/distributed.cpp.o.d"
+  "/root/repo/src/fsm/dot.cpp" "src/fsm/CMakeFiles/tauhls_fsm.dir/dot.cpp.o" "gcc" "src/fsm/CMakeFiles/tauhls_fsm.dir/dot.cpp.o.d"
+  "/root/repo/src/fsm/guard.cpp" "src/fsm/CMakeFiles/tauhls_fsm.dir/guard.cpp.o" "gcc" "src/fsm/CMakeFiles/tauhls_fsm.dir/guard.cpp.o.d"
+  "/root/repo/src/fsm/kiss.cpp" "src/fsm/CMakeFiles/tauhls_fsm.dir/kiss.cpp.o" "gcc" "src/fsm/CMakeFiles/tauhls_fsm.dir/kiss.cpp.o.d"
+  "/root/repo/src/fsm/machine.cpp" "src/fsm/CMakeFiles/tauhls_fsm.dir/machine.cpp.o" "gcc" "src/fsm/CMakeFiles/tauhls_fsm.dir/machine.cpp.o.d"
+  "/root/repo/src/fsm/minimize.cpp" "src/fsm/CMakeFiles/tauhls_fsm.dir/minimize.cpp.o" "gcc" "src/fsm/CMakeFiles/tauhls_fsm.dir/minimize.cpp.o.d"
+  "/root/repo/src/fsm/product.cpp" "src/fsm/CMakeFiles/tauhls_fsm.dir/product.cpp.o" "gcc" "src/fsm/CMakeFiles/tauhls_fsm.dir/product.cpp.o.d"
+  "/root/repo/src/fsm/signal.cpp" "src/fsm/CMakeFiles/tauhls_fsm.dir/signal.cpp.o" "gcc" "src/fsm/CMakeFiles/tauhls_fsm.dir/signal.cpp.o.d"
+  "/root/repo/src/fsm/signal_opt.cpp" "src/fsm/CMakeFiles/tauhls_fsm.dir/signal_opt.cpp.o" "gcc" "src/fsm/CMakeFiles/tauhls_fsm.dir/signal_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/tauhls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/tau/CMakeFiles/tauhls_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/tauhls_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tauhls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_fsm.dir/cent_sync.cpp.o"
+  "CMakeFiles/tauhls_fsm.dir/cent_sync.cpp.o.d"
+  "CMakeFiles/tauhls_fsm.dir/distributed.cpp.o"
+  "CMakeFiles/tauhls_fsm.dir/distributed.cpp.o.d"
+  "CMakeFiles/tauhls_fsm.dir/dot.cpp.o"
+  "CMakeFiles/tauhls_fsm.dir/dot.cpp.o.d"
+  "CMakeFiles/tauhls_fsm.dir/guard.cpp.o"
+  "CMakeFiles/tauhls_fsm.dir/guard.cpp.o.d"
+  "CMakeFiles/tauhls_fsm.dir/kiss.cpp.o"
+  "CMakeFiles/tauhls_fsm.dir/kiss.cpp.o.d"
+  "CMakeFiles/tauhls_fsm.dir/machine.cpp.o"
+  "CMakeFiles/tauhls_fsm.dir/machine.cpp.o.d"
+  "CMakeFiles/tauhls_fsm.dir/minimize.cpp.o"
+  "CMakeFiles/tauhls_fsm.dir/minimize.cpp.o.d"
+  "CMakeFiles/tauhls_fsm.dir/product.cpp.o"
+  "CMakeFiles/tauhls_fsm.dir/product.cpp.o.d"
+  "CMakeFiles/tauhls_fsm.dir/signal.cpp.o"
+  "CMakeFiles/tauhls_fsm.dir/signal.cpp.o.d"
+  "CMakeFiles/tauhls_fsm.dir/signal_opt.cpp.o"
+  "CMakeFiles/tauhls_fsm.dir/signal_opt.cpp.o.d"
+  "libtauhls_fsm.a"
+  "libtauhls_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

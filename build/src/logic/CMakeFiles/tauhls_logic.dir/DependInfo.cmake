@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/cover.cpp" "src/logic/CMakeFiles/tauhls_logic.dir/cover.cpp.o" "gcc" "src/logic/CMakeFiles/tauhls_logic.dir/cover.cpp.o.d"
+  "/root/repo/src/logic/cube.cpp" "src/logic/CMakeFiles/tauhls_logic.dir/cube.cpp.o" "gcc" "src/logic/CMakeFiles/tauhls_logic.dir/cube.cpp.o.d"
+  "/root/repo/src/logic/minimize.cpp" "src/logic/CMakeFiles/tauhls_logic.dir/minimize.cpp.o" "gcc" "src/logic/CMakeFiles/tauhls_logic.dir/minimize.cpp.o.d"
+  "/root/repo/src/logic/truth_table.cpp" "src/logic/CMakeFiles/tauhls_logic.dir/truth_table.cpp.o" "gcc" "src/logic/CMakeFiles/tauhls_logic.dir/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tauhls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_logic.dir/cover.cpp.o"
+  "CMakeFiles/tauhls_logic.dir/cover.cpp.o.d"
+  "CMakeFiles/tauhls_logic.dir/cube.cpp.o"
+  "CMakeFiles/tauhls_logic.dir/cube.cpp.o.d"
+  "CMakeFiles/tauhls_logic.dir/minimize.cpp.o"
+  "CMakeFiles/tauhls_logic.dir/minimize.cpp.o.d"
+  "CMakeFiles/tauhls_logic.dir/truth_table.cpp.o"
+  "CMakeFiles/tauhls_logic.dir/truth_table.cpp.o.d"
+  "libtauhls_logic.a"
+  "libtauhls_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

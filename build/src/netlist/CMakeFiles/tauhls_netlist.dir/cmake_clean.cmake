@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_netlist.dir/analyze.cpp.o"
+  "CMakeFiles/tauhls_netlist.dir/analyze.cpp.o.d"
+  "CMakeFiles/tauhls_netlist.dir/build.cpp.o"
+  "CMakeFiles/tauhls_netlist.dir/build.cpp.o.d"
+  "CMakeFiles/tauhls_netlist.dir/emit.cpp.o"
+  "CMakeFiles/tauhls_netlist.dir/emit.cpp.o.d"
+  "CMakeFiles/tauhls_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/tauhls_netlist.dir/netlist.cpp.o.d"
+  "libtauhls_netlist.a"
+  "libtauhls_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

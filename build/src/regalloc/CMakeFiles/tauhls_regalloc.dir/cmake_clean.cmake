@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_regalloc.dir/leftedge.cpp.o"
+  "CMakeFiles/tauhls_regalloc.dir/leftedge.cpp.o.d"
+  "CMakeFiles/tauhls_regalloc.dir/lifetime.cpp.o"
+  "CMakeFiles/tauhls_regalloc.dir/lifetime.cpp.o.d"
+  "libtauhls_regalloc.a"
+  "libtauhls_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_rtl.dir/testbench.cpp.o"
+  "CMakeFiles/tauhls_rtl.dir/testbench.cpp.o.d"
+  "CMakeFiles/tauhls_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/tauhls_rtl.dir/verilog.cpp.o.d"
+  "libtauhls_rtl.a"
+  "libtauhls_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

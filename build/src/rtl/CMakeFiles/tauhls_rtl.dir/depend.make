@@ -1,0 +1,2 @@
+# Empty dependencies file for tauhls_rtl.
+# This may be replaced when dependencies are built.

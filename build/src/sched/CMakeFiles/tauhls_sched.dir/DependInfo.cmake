@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/allocation.cpp" "src/sched/CMakeFiles/tauhls_sched.dir/allocation.cpp.o" "gcc" "src/sched/CMakeFiles/tauhls_sched.dir/allocation.cpp.o.d"
+  "/root/repo/src/sched/binding.cpp" "src/sched/CMakeFiles/tauhls_sched.dir/binding.cpp.o" "gcc" "src/sched/CMakeFiles/tauhls_sched.dir/binding.cpp.o.d"
+  "/root/repo/src/sched/clique.cpp" "src/sched/CMakeFiles/tauhls_sched.dir/clique.cpp.o" "gcc" "src/sched/CMakeFiles/tauhls_sched.dir/clique.cpp.o.d"
+  "/root/repo/src/sched/scheduled_dfg.cpp" "src/sched/CMakeFiles/tauhls_sched.dir/scheduled_dfg.cpp.o" "gcc" "src/sched/CMakeFiles/tauhls_sched.dir/scheduled_dfg.cpp.o.d"
+  "/root/repo/src/sched/steps.cpp" "src/sched/CMakeFiles/tauhls_sched.dir/steps.cpp.o" "gcc" "src/sched/CMakeFiles/tauhls_sched.dir/steps.cpp.o.d"
+  "/root/repo/src/sched/taubm_dfg.cpp" "src/sched/CMakeFiles/tauhls_sched.dir/taubm_dfg.cpp.o" "gcc" "src/sched/CMakeFiles/tauhls_sched.dir/taubm_dfg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/tauhls_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tau/CMakeFiles/tauhls_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tauhls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_sched.dir/allocation.cpp.o"
+  "CMakeFiles/tauhls_sched.dir/allocation.cpp.o.d"
+  "CMakeFiles/tauhls_sched.dir/binding.cpp.o"
+  "CMakeFiles/tauhls_sched.dir/binding.cpp.o.d"
+  "CMakeFiles/tauhls_sched.dir/clique.cpp.o"
+  "CMakeFiles/tauhls_sched.dir/clique.cpp.o.d"
+  "CMakeFiles/tauhls_sched.dir/scheduled_dfg.cpp.o"
+  "CMakeFiles/tauhls_sched.dir/scheduled_dfg.cpp.o.d"
+  "CMakeFiles/tauhls_sched.dir/steps.cpp.o"
+  "CMakeFiles/tauhls_sched.dir/steps.cpp.o.d"
+  "CMakeFiles/tauhls_sched.dir/taubm_dfg.cpp.o"
+  "CMakeFiles/tauhls_sched.dir/taubm_dfg.cpp.o.d"
+  "libtauhls_sched.a"
+  "libtauhls_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/classes.cpp" "src/sim/CMakeFiles/tauhls_sim.dir/classes.cpp.o" "gcc" "src/sim/CMakeFiles/tauhls_sim.dir/classes.cpp.o.d"
+  "/root/repo/src/sim/distribution.cpp" "src/sim/CMakeFiles/tauhls_sim.dir/distribution.cpp.o" "gcc" "src/sim/CMakeFiles/tauhls_sim.dir/distribution.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/tauhls_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/tauhls_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sim/interp.cpp" "src/sim/CMakeFiles/tauhls_sim.dir/interp.cpp.o" "gcc" "src/sim/CMakeFiles/tauhls_sim.dir/interp.cpp.o.d"
+  "/root/repo/src/sim/makespan.cpp" "src/sim/CMakeFiles/tauhls_sim.dir/makespan.cpp.o" "gcc" "src/sim/CMakeFiles/tauhls_sim.dir/makespan.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/tauhls_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/tauhls_sim.dir/stats.cpp.o.d"
+  "/root/repo/src/sim/streaming.cpp" "src/sim/CMakeFiles/tauhls_sim.dir/streaming.cpp.o" "gcc" "src/sim/CMakeFiles/tauhls_sim.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/tauhls_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tauhls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/tau/CMakeFiles/tauhls_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/tauhls_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tauhls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_sim.dir/classes.cpp.o"
+  "CMakeFiles/tauhls_sim.dir/classes.cpp.o.d"
+  "CMakeFiles/tauhls_sim.dir/distribution.cpp.o"
+  "CMakeFiles/tauhls_sim.dir/distribution.cpp.o.d"
+  "CMakeFiles/tauhls_sim.dir/gantt.cpp.o"
+  "CMakeFiles/tauhls_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/tauhls_sim.dir/interp.cpp.o"
+  "CMakeFiles/tauhls_sim.dir/interp.cpp.o.d"
+  "CMakeFiles/tauhls_sim.dir/makespan.cpp.o"
+  "CMakeFiles/tauhls_sim.dir/makespan.cpp.o.d"
+  "CMakeFiles/tauhls_sim.dir/stats.cpp.o"
+  "CMakeFiles/tauhls_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/tauhls_sim.dir/streaming.cpp.o"
+  "CMakeFiles/tauhls_sim.dir/streaming.cpp.o.d"
+  "libtauhls_sim.a"
+  "libtauhls_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_synth.dir/area.cpp.o"
+  "CMakeFiles/tauhls_synth.dir/area.cpp.o.d"
+  "CMakeFiles/tauhls_synth.dir/encoding.cpp.o"
+  "CMakeFiles/tauhls_synth.dir/encoding.cpp.o.d"
+  "CMakeFiles/tauhls_synth.dir/extract.cpp.o"
+  "CMakeFiles/tauhls_synth.dir/extract.cpp.o.d"
+  "libtauhls_synth.a"
+  "libtauhls_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tau/clocking.cpp" "src/tau/CMakeFiles/tauhls_tau.dir/clocking.cpp.o" "gcc" "src/tau/CMakeFiles/tauhls_tau.dir/clocking.cpp.o.d"
+  "/root/repo/src/tau/library.cpp" "src/tau/CMakeFiles/tauhls_tau.dir/library.cpp.o" "gcc" "src/tau/CMakeFiles/tauhls_tau.dir/library.cpp.o.d"
+  "/root/repo/src/tau/unit.cpp" "src/tau/CMakeFiles/tauhls_tau.dir/unit.cpp.o" "gcc" "src/tau/CMakeFiles/tauhls_tau.dir/unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/tauhls_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tauhls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

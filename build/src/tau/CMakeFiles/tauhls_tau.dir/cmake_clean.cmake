@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_tau.dir/clocking.cpp.o"
+  "CMakeFiles/tauhls_tau.dir/clocking.cpp.o.d"
+  "CMakeFiles/tauhls_tau.dir/library.cpp.o"
+  "CMakeFiles/tauhls_tau.dir/library.cpp.o.d"
+  "CMakeFiles/tauhls_tau.dir/unit.cpp.o"
+  "CMakeFiles/tauhls_tau.dir/unit.cpp.o.d"
+  "libtauhls_tau.a"
+  "libtauhls_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

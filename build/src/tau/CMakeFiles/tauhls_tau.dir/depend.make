@@ -1,0 +1,2 @@
+# Empty dependencies file for tauhls_tau.
+# This may be replaced when dependencies are built.

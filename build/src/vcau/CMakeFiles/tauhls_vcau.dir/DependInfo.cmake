@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vcau/controller.cpp" "src/vcau/CMakeFiles/tauhls_vcau.dir/controller.cpp.o" "gcc" "src/vcau/CMakeFiles/tauhls_vcau.dir/controller.cpp.o.d"
+  "/root/repo/src/vcau/interp.cpp" "src/vcau/CMakeFiles/tauhls_vcau.dir/interp.cpp.o" "gcc" "src/vcau/CMakeFiles/tauhls_vcau.dir/interp.cpp.o.d"
+  "/root/repo/src/vcau/makespan.cpp" "src/vcau/CMakeFiles/tauhls_vcau.dir/makespan.cpp.o" "gcc" "src/vcau/CMakeFiles/tauhls_vcau.dir/makespan.cpp.o.d"
+  "/root/repo/src/vcau/stats.cpp" "src/vcau/CMakeFiles/tauhls_vcau.dir/stats.cpp.o" "gcc" "src/vcau/CMakeFiles/tauhls_vcau.dir/stats.cpp.o.d"
+  "/root/repo/src/vcau/unit.cpp" "src/vcau/CMakeFiles/tauhls_vcau.dir/unit.cpp.o" "gcc" "src/vcau/CMakeFiles/tauhls_vcau.dir/unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/tauhls_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tauhls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tauhls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/tau/CMakeFiles/tauhls_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/tauhls_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tauhls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_vcau.dir/controller.cpp.o"
+  "CMakeFiles/tauhls_vcau.dir/controller.cpp.o.d"
+  "CMakeFiles/tauhls_vcau.dir/interp.cpp.o"
+  "CMakeFiles/tauhls_vcau.dir/interp.cpp.o.d"
+  "CMakeFiles/tauhls_vcau.dir/makespan.cpp.o"
+  "CMakeFiles/tauhls_vcau.dir/makespan.cpp.o.d"
+  "CMakeFiles/tauhls_vcau.dir/stats.cpp.o"
+  "CMakeFiles/tauhls_vcau.dir/stats.cpp.o.d"
+  "CMakeFiles/tauhls_vcau.dir/unit.cpp.o"
+  "CMakeFiles/tauhls_vcau.dir/unit.cpp.o.d"
+  "libtauhls_vcau.a"
+  "libtauhls_vcau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_vcau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tauhls_vcau.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vsim/elaborate.cpp" "src/vsim/CMakeFiles/tauhls_vsim.dir/elaborate.cpp.o" "gcc" "src/vsim/CMakeFiles/tauhls_vsim.dir/elaborate.cpp.o.d"
+  "/root/repo/src/vsim/lexer.cpp" "src/vsim/CMakeFiles/tauhls_vsim.dir/lexer.cpp.o" "gcc" "src/vsim/CMakeFiles/tauhls_vsim.dir/lexer.cpp.o.d"
+  "/root/repo/src/vsim/parser.cpp" "src/vsim/CMakeFiles/tauhls_vsim.dir/parser.cpp.o" "gcc" "src/vsim/CMakeFiles/tauhls_vsim.dir/parser.cpp.o.d"
+  "/root/repo/src/vsim/simulate.cpp" "src/vsim/CMakeFiles/tauhls_vsim.dir/simulate.cpp.o" "gcc" "src/vsim/CMakeFiles/tauhls_vsim.dir/simulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tauhls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_vsim.dir/elaborate.cpp.o"
+  "CMakeFiles/tauhls_vsim.dir/elaborate.cpp.o.d"
+  "CMakeFiles/tauhls_vsim.dir/lexer.cpp.o"
+  "CMakeFiles/tauhls_vsim.dir/lexer.cpp.o.d"
+  "CMakeFiles/tauhls_vsim.dir/parser.cpp.o"
+  "CMakeFiles/tauhls_vsim.dir/parser.cpp.o.d"
+  "CMakeFiles/tauhls_vsim.dir/simulate.cpp.o"
+  "CMakeFiles/tauhls_vsim.dir/simulate.cpp.o.d"
+  "libtauhls_vsim.a"
+  "libtauhls_vsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_vsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

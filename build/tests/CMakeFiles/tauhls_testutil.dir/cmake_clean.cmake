@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhls_testutil.dir/testutil.cpp.o"
+  "CMakeFiles/tauhls_testutil.dir/testutil.cpp.o.d"
+  "libtauhls_testutil.a"
+  "libtauhls_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhls_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitlevel.dir/test_bitlevel.cpp.o"
+  "CMakeFiles/test_bitlevel.dir/test_bitlevel.cpp.o.d"
+  "test_bitlevel"
+  "test_bitlevel.pdb"
+  "test_bitlevel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

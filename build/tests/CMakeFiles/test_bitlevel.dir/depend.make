@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bitlevel.
+# This may be replaced when dependencies are built.

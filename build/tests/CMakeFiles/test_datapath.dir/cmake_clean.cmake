@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datapath.dir/test_datapath.cpp.o"
+  "CMakeFiles/test_datapath.dir/test_datapath.cpp.o.d"
+  "test_datapath"
+  "test_datapath.pdb"
+  "test_datapath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

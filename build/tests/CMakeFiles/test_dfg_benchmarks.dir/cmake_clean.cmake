@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfg_benchmarks.dir/test_dfg_benchmarks.cpp.o"
+  "CMakeFiles/test_dfg_benchmarks.dir/test_dfg_benchmarks.cpp.o.d"
+  "test_dfg_benchmarks"
+  "test_dfg_benchmarks.pdb"
+  "test_dfg_benchmarks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfg_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

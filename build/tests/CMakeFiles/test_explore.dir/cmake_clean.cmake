@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explore.dir/test_explore.cpp.o"
+  "CMakeFiles/test_explore.dir/test_explore.cpp.o.d"
+  "test_explore"
+  "test_explore.pdb"
+  "test_explore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fsm_generators.cpp" "tests/CMakeFiles/test_fsm_generators.dir/test_fsm_generators.cpp.o" "gcc" "tests/CMakeFiles/test_fsm_generators.dir/test_fsm_generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/tauhls_testutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/tauhls_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tauhls_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/tau/CMakeFiles/tauhls_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/tauhls_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tauhls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsm_kiss.dir/test_fsm_kiss.cpp.o"
+  "CMakeFiles/test_fsm_kiss.dir/test_fsm_kiss.cpp.o.d"
+  "test_fsm_kiss"
+  "test_fsm_kiss.pdb"
+  "test_fsm_kiss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsm_kiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsm_minimize.dir/test_fsm_minimize.cpp.o"
+  "CMakeFiles/test_fsm_minimize.dir/test_fsm_minimize.cpp.o.d"
+  "test_fsm_minimize"
+  "test_fsm_minimize.pdb"
+  "test_fsm_minimize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsm_minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

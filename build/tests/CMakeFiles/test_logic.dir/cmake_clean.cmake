@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logic.dir/test_logic.cpp.o"
+  "CMakeFiles/test_logic.dir/test_logic.cpp.o.d"
+  "test_logic"
+  "test_logic.pdb"
+  "test_logic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mutation.dir/test_mutation.cpp.o"
+  "CMakeFiles/test_mutation.dir/test_mutation.cpp.o.d"
+  "test_mutation"
+  "test_mutation.pdb"
+  "test_mutation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

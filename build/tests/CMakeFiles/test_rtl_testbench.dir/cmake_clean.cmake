@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_testbench.dir/test_rtl_testbench.cpp.o"
+  "CMakeFiles/test_rtl_testbench.dir/test_rtl_testbench.cpp.o.d"
+  "test_rtl_testbench"
+  "test_rtl_testbench.pdb"
+  "test_rtl_testbench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_testbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streaming.dir/test_streaming.cpp.o"
+  "CMakeFiles/test_streaming.dir/test_streaming.cpp.o.d"
+  "test_streaming"
+  "test_streaming.pdb"
+  "test_streaming[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

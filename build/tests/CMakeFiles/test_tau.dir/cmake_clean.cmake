@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tau.dir/test_tau.cpp.o"
+  "CMakeFiles/test_tau.dir/test_tau.cpp.o.d"
+  "test_tau"
+  "test_tau.pdb"
+  "test_tau[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcau.dir/test_vcau.cpp.o"
+  "CMakeFiles/test_vcau.dir/test_vcau.cpp.o.d"
+  "test_vcau"
+  "test_vcau.pdb"
+  "test_vcau[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

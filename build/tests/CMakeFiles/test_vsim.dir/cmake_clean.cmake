@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vsim.dir/test_vsim.cpp.o"
+  "CMakeFiles/test_vsim.dir/test_vsim.cpp.o.d"
+  "test_vsim"
+  "test_vsim.pdb"
+  "test_vsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tauhlsc.dir/tauhlsc.cpp.o"
+  "CMakeFiles/tauhlsc.dir/tauhlsc.cpp.o.d"
+  "tauhlsc"
+  "tauhlsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tauhlsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
