@@ -4,6 +4,7 @@
 // visible alongside the paper-table benches.
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.hpp"
 #include "dfg/benchmarks.hpp"
 #include "fsm/cent_sync.hpp"
 #include "fsm/distributed.hpp"
@@ -55,6 +56,32 @@ void BM_ExactAverageArLattice(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactAverageArLattice)->Unit(benchmark::kMillisecond);
+
+// The parallel experiment engine on the exact-enumeration hot path: the same
+// AR-lattice sweep as BM_ExactAverageArLattice, at 1/2/4/8 worker threads
+// (Arg).  Thread-count-independent bit-identical results are asserted by
+// tests/test_parallel.cpp; this measures the speedup.
+void BM_ParallelExactAverage(benchmark::State& state) {
+  const auto s = sched::scheduleAndBind(dfg::arLattice(),
+                                        {{dfg::ResourceClass::Multiplier, 4},
+                                         {dfg::ResourceClass::Adder, 2}},
+                                        tau::paperLibrary());
+  const sim::MakespanEngine engine(s);
+  common::setGlobalThreadCount(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::averageCyclesExact(s, engine, sim::ControlStyle::Distributed, 0.5));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " threads");
+  common::setGlobalThreadCount(common::configuredThreadCount());
+}
+BENCHMARK(BM_ParallelExactAverage)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_BuildDistributed(benchmark::State& state) {
   const auto s = diffeqScheduled();

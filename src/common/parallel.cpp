@@ -1,0 +1,174 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace tauhls::common {
+
+namespace {
+thread_local bool tInsideWorker = false;
+
+struct WorkerScope {
+  bool previous;
+  WorkerScope() : previous(tInsideWorker) { tInsideWorker = true; }
+  ~WorkerScope() { tInsideWorker = previous; }
+};
+}  // namespace
+
+int configuredThreadCount() {
+  if (const char* env = std::getenv("TAUHLS_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<int>(v > 256 ? 256 : v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable available;
+  std::deque<std::function<void()>> tasks;
+  std::vector<std::thread> workers;
+  bool stopping = false;
+
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        available.wait(lock, [&] { return stopping || !tasks.empty(); });
+        if (tasks.empty()) return;  // stopping and drained
+        task = std::move(tasks.front());
+        tasks.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threadCount)
+    : impl_(std::make_unique<Impl>()),
+      threadCount_(threadCount < 1 ? 1 : threadCount) {
+  // The forEach caller is one lane; spawn the rest.
+  for (int i = 1; i < threadCount_; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->available.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+}
+
+bool ThreadPool::insideWorker() { return tInsideWorker; }
+
+namespace {
+// Shared state of one forEach region.  Helpers and the caller pull indices
+// from `next` until the range is exhausted or a task failed.
+struct Region {
+  std::size_t numTasks = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex mutex;
+  std::condition_variable done;
+  int helpersOutstanding = 0;
+
+  void drain() {
+    WorkerScope scope;
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= numTasks) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+}  // namespace
+
+void ThreadPool::forEach(std::size_t numTasks,
+                         const std::function<void(std::size_t)>& fn) {
+  if (numTasks == 0) return;
+  if (threadCount_ <= 1 || numTasks == 1 || insideWorker()) {
+    WorkerScope scope;  // nested regions inside this one also run inline
+    for (std::size_t i = 0; i < numTasks; ++i) fn(i);
+    return;
+  }
+
+  auto region = std::make_shared<Region>();
+  region->numTasks = numTasks;
+  region->fn = &fn;
+  const std::size_t maxHelpers = static_cast<std::size_t>(threadCount_) - 1;
+  const int helpers = static_cast<int>(
+      numTasks - 1 < maxHelpers ? numTasks - 1 : maxHelpers);
+  region->helpersOutstanding = helpers;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (int i = 0; i < helpers; ++i) {
+      impl_->tasks.emplace_back([region] {
+        region->drain();
+        std::lock_guard<std::mutex> regionLock(region->mutex);
+        if (--region->helpersOutstanding == 0) region->done.notify_all();
+      });
+    }
+  }
+  impl_->available.notify_all();
+
+  region->drain();  // the calling thread is a lane too
+  {
+    std::unique_lock<std::mutex> lock(region->mutex);
+    region->done.wait(lock, [&] { return region->helpersOutstanding == 0; });
+  }
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+namespace {
+std::mutex gPoolMutex;
+std::unique_ptr<ThreadPool> gPool;
+}  // namespace
+
+ThreadPool& globalThreadPool() {
+  std::lock_guard<std::mutex> lock(gPoolMutex);
+  if (!gPool) gPool = std::make_unique<ThreadPool>(configuredThreadCount());
+  return *gPool;
+}
+
+void setGlobalThreadCount(int threadCount) {
+  TAUHLS_CHECK(threadCount >= 1, "thread count must be >= 1");
+  std::lock_guard<std::mutex> lock(gPoolMutex);
+  gPool = std::make_unique<ThreadPool>(threadCount);
+}
+
+void parallelFor(std::size_t numTasks,
+                 const std::function<void(std::size_t)>& fn) {
+  globalThreadPool().forEach(numTasks, fn);
+}
+
+std::uint64_t chunkCountFor(std::uint64_t totalItems,
+                            std::uint64_t targetChunks) {
+  if (totalItems == 0) return 0;
+  return totalItems < targetChunks ? totalItems : targetChunks;
+}
+
+}  // namespace tauhls::common

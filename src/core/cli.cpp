@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "core/flow.hpp"
 #include "core/report.hpp"
@@ -38,6 +39,9 @@ std::string cliHelp() {
       "  --json FILE       write the full report as JSON\n"
       "  --kiss PREFIX     write PREFIX_<controller>.kiss2 per controller\n"
       "  --dot FILE        write the scheduled DFG in Graphviz DOT\n"
+      "  --threads N       worker threads for the latency sweeps (default:\n"
+      "                    TAUHLS_THREADS env var, else all hardware threads;\n"
+      "                    results are identical for every N)\n"
       "  --help            this text\n";
 }
 
@@ -143,6 +147,20 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
       auto v = needValue(i);
       if (!v) return std::nullopt;
       o.dotPath = *v;
+    } else if (a == "--threads") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      int n = 0;
+      try {
+        n = std::stoi(*v);
+      } catch (const std::exception&) {
+        n = 0;
+      }
+      if (n < 1) {
+        error = "invalid thread count '" + *v + "'";
+        return std::nullopt;
+      }
+      o.threads = n;
     } else if (!a.empty() && a[0] == '-') {
       error = "unknown option " + a;
       return std::nullopt;
@@ -165,6 +183,7 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     out << cliHelp();
     return 0;
   }
+  if (options.threads > 0) common::setGlobalThreadCount(options.threads);
   std::ifstream in(options.inputPath);
   if (!in) {
     err << "tauhlsc: cannot open " << options.inputPath << "\n";

@@ -27,6 +27,7 @@ struct CliOptions {
   std::string jsonPath;       ///< empty = don't emit (full JSON report)
   std::string kissPrefix;     ///< empty = don't emit; else PREFIX_<ctrl>.kiss2
   std::string dotPath;        ///< empty = don't emit
+  int threads = 0;            ///< 0 = TAUHLS_THREADS / hardware default
   bool showHelp = false;
 };
 

@@ -1,6 +1,7 @@
 #include "core/flow.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "rtl/verilog.hpp"
 
 namespace tauhls::core {
@@ -11,27 +12,54 @@ FlowResult runFlow(const dfg::Dfg& graph, const FlowConfig& config) {
       sched::scheduleAndBind(graph, config.allocation, config.library,
                              config.strategy);
 
-  fsm::DistributedControlUnit dcu = fsm::buildDistributed(r.scheduled);
-  if (config.optimizeSignals) {
-    r.distributed = fsm::optimizeSignals(dcu, &r.signalStats);
-  } else {
-    r.distributed = std::move(dcu);
-  }
-  r.centSync = fsm::buildCentSync(r.scheduled);
+  // The three derivations below only read the schedule and are independent
+  // of each other, so a sweep's worth of flow invocations can overlap them.
+  // Each branch is deterministic on its own; fanning out cannot change any
+  // result.
+  common::parallelFor(3, [&](std::size_t task) {
+    switch (task) {
+      case 0: {
+        fsm::DistributedControlUnit dcu = fsm::buildDistributed(r.scheduled);
+        if (config.optimizeSignals) {
+          r.distributed = fsm::optimizeSignals(dcu, &r.signalStats);
+        } else {
+          r.distributed = std::move(dcu);
+        }
+        break;
+      }
+      case 1:
+        r.centSync = fsm::buildCentSync(r.scheduled);
+        break;
+      case 2:
+        r.latency =
+            sim::compareLatencies(r.scheduled, config.ps, config.mcSamples);
+        break;
+    }
+  });
+
   if (config.buildCentFsm) {
     fsm::ProductOptions opt;
     opt.maxStates = config.centFsmMaxStates;
     r.centFsm = fsm::buildProduct(r.distributed, opt);
   }
 
-  r.latency = sim::compareLatencies(r.scheduled, config.ps, config.mcSamples);
-
   if (config.synthesizeArea) {
-    r.distArea = synth::distributedArea(r.distributed, config.encoding);
-    r.centSyncArea = synth::areaRow("CENT-SYNC-FSM", r.centSync, config.encoding);
-    if (r.centFsm) {
-      r.centFsmArea = synth::areaRow("CENT-FSM", *r.centFsm, config.encoding);
-    }
+    const std::size_t rows = r.centFsm ? 3 : 2;
+    common::parallelFor(rows, [&](std::size_t row) {
+      switch (row) {
+        case 0:
+          r.distArea = synth::distributedArea(r.distributed, config.encoding);
+          break;
+        case 1:
+          r.centSyncArea =
+              synth::areaRow("CENT-SYNC-FSM", r.centSync, config.encoding);
+          break;
+        case 2:
+          r.centFsmArea =
+              synth::areaRow("CENT-FSM", *r.centFsm, config.encoding);
+          break;
+      }
+    });
   }
   return r;
 }

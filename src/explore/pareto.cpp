@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "regalloc/leftedge.hpp"
 #include "sched/clique.hpp"
 
@@ -32,13 +33,32 @@ std::vector<DesignPoint> explore(const dfg::Dfg& g,
   }
   TAUHLS_CHECK(!classes.empty(), "graph has no operations to allocate for");
 
-  std::vector<DesignPoint> points;
+  // Enumerate the allocation grid first (odometer order), then fan the
+  // independent design points out over the pool; each slot is written by
+  // exactly one task, so the resulting order matches the serial sweep.
+  std::vector<sched::Allocation> grid;
   std::vector<int> counts(classes.size(), 1);
   while (true) {
-    DesignPoint point;
+    sched::Allocation alloc;
     for (std::size_t i = 0; i < classes.size(); ++i) {
-      point.allocation[classes[i]] = counts[i];
+      alloc[classes[i]] = counts[i];
     }
+    grid.push_back(std::move(alloc));
+
+    // Odometer.
+    std::size_t pos = 0;
+    while (pos < counts.size()) {
+      if (++counts[pos] <= maxOf[pos]) break;
+      counts[pos] = 1;
+      ++pos;
+    }
+    if (pos == counts.size()) break;
+  }
+
+  std::vector<DesignPoint> points(grid.size());
+  common::parallelFor(grid.size(), [&](std::size_t i) {
+    DesignPoint point;
+    point.allocation = grid[i];
 
     core::FlowConfig cfg;
     cfg.allocation = point.allocation;
@@ -52,17 +72,8 @@ std::vector<DesignPoint> explore(const dfg::Dfg& g,
         regalloc::leftEdgeRegisters(regalloc::distributedLifetimes(r.scheduled),
                                     r.scheduled.graph.numNodes())
             .numRegisters;
-    points.push_back(std::move(point));
-
-    // Odometer.
-    std::size_t pos = 0;
-    while (pos < counts.size()) {
-      if (++counts[pos] <= maxOf[pos]) break;
-      counts[pos] = 1;
-      ++pos;
-    }
-    if (pos == counts.size()) break;
-  }
+    points[i] = std::move(point);
+  });
   const std::vector<DesignPoint> front =
       paretoFront(points, options.unitWeightArea);
   for (DesignPoint& p : points) {

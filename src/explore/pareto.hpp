@@ -6,6 +6,10 @@
 // sequential incl. completion latches) + datapath registers (left-edge count
 // x one FF-equivalent each) + unit count weights.  The §6 "resource
 // allocation" piece of the envisioned HLS tool.
+//
+// Design points are evaluated concurrently on the global thread pool
+// (TAUHLS_THREADS); the returned vector keeps the serial odometer order and
+// every value is independent of the thread count.
 #pragma once
 
 #include <vector>

@@ -4,8 +4,32 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace tauhls::sim {
+
+namespace {
+
+// fromMask() re-derives the TAU list on every call; the enumeration loops
+// below evaluate up to 2^20 masks, so they expand masks against a TAU list
+// computed once per sweep instead.
+OperandClasses classesFromMask(const sched::ScheduledDfg& s,
+                               const std::vector<dfg::NodeId>& taus,
+                               std::uint64_t mask) {
+  OperandClasses c = allShort(s);
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    c.shortClass[taus[i]] = (mask >> i) & 1;
+  }
+  return c;
+}
+
+int engineCycles(const MakespanEngine& engine, ControlStyle style,
+                 const OperandClasses& classes) {
+  return style == ControlStyle::Distributed ? engine.distributedCycles(classes)
+                                            : engine.syncCycles(classes);
+}
+
+}  // namespace
 
 int makespanCycles(const sched::ScheduledDfg& s, ControlStyle style,
                    const OperandClasses& classes) {
@@ -24,38 +48,71 @@ int worstCaseCycles(const sched::ScheduledDfg& s, ControlStyle style) {
 
 double averageCyclesExact(const sched::ScheduledDfg& s, ControlStyle style,
                           double p) {
+  return averageCyclesExact(s, MakespanEngine(s), style, p);
+}
+
+double averageCyclesExact(const sched::ScheduledDfg& s,
+                          const MakespanEngine& engine, ControlStyle style,
+                          double p) {
   TAUHLS_CHECK(p >= 0.0 && p <= 1.0, "P must lie in [0,1]");
   const std::vector<dfg::NodeId> taus = tauOps(s);
   const int n = static_cast<int>(taus.size());
   TAUHLS_CHECK(n <= 20, "exact enumeration limited to 20 TAU ops; use "
                         "averageCyclesMonteCarlo");
-  const MakespanEngine engine(s);
-  double expectation = 0.0;
-  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
-    const int shortCount = std::popcount(mask);
-    const double weight = std::pow(p, shortCount) *
-                          std::pow(1.0 - p, n - shortCount);
-    if (weight == 0.0) continue;
-    const OperandClasses classes = fromMask(s, mask);
-    const int cycles = style == ControlStyle::Distributed
-                           ? engine.distributedCycles(classes)
-                           : engine.syncCycles(classes);
-    expectation += weight * cycles;
-  }
-  return expectation;
+  const std::uint64_t total = std::uint64_t{1} << n;
+  // Fixed chunk grid (function of n only): contiguous mask ranges whose
+  // partial expectations are folded in index order, so the result is
+  // bit-identical for every thread count.
+  const std::uint64_t numChunks = common::chunkCountFor(total);
+  const std::uint64_t chunkSize = total / numChunks;  // both are powers of 2
+  return common::parallelReduce<double>(
+      static_cast<std::size_t>(numChunks), 0.0,
+      [&](std::size_t chunk) {
+        const std::uint64_t begin = chunk * chunkSize;
+        const std::uint64_t end = begin + chunkSize;
+        double partial = 0.0;
+        for (std::uint64_t mask = begin; mask < end; ++mask) {
+          const int shortCount = std::popcount(mask);
+          const double weight = std::pow(p, shortCount) *
+                                std::pow(1.0 - p, n - shortCount);
+          if (weight == 0.0) continue;
+          const OperandClasses classes = classesFromMask(s, taus, mask);
+          partial += weight * engineCycles(engine, style, classes);
+        }
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
 }
 
 double averageCyclesMonteCarlo(const sched::ScheduledDfg& s, ControlStyle style,
                                double p, int samples, std::uint64_t seed) {
+  return averageCyclesMonteCarlo(s, MakespanEngine(s), style, p, samples, seed);
+}
+
+double averageCyclesMonteCarlo(const sched::ScheduledDfg& s,
+                               const MakespanEngine& engine, ControlStyle style,
+                               double p, int samples, std::uint64_t seed) {
   TAUHLS_CHECK(samples > 0, "need at least one sample");
-  const MakespanEngine engine(s);
-  double sum = 0.0;
-  for (int i = 0; i < samples; ++i) {
-    const OperandClasses classes =
-        randomClasses(s, p, seed + static_cast<std::uint64_t>(i));
-    sum += style == ControlStyle::Distributed ? engine.distributedCycles(classes)
-                                              : engine.syncCycles(classes);
-  }
+  // Sample i always draws from counter seed `seed + i` and the sample range
+  // is cut into a fixed chunk grid, so the estimate does not depend on how
+  // many threads computed it.
+  const std::uint64_t total = static_cast<std::uint64_t>(samples);
+  const std::uint64_t numChunks = common::chunkCountFor(total);
+  const std::uint64_t chunkSize = (total + numChunks - 1) / numChunks;
+  const double sum = common::parallelReduce<double>(
+      static_cast<std::size_t>(numChunks), 0.0,
+      [&](std::size_t chunk) {
+        const std::uint64_t begin = chunk * chunkSize;
+        const std::uint64_t end =
+            begin + chunkSize < total ? begin + chunkSize : total;
+        double partial = 0.0;
+        for (std::uint64_t i = begin; i < end; ++i) {
+          const OperandClasses classes = randomClasses(s, p, seed + i);
+          partial += engineCycles(engine, style, classes);
+        }
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
   return sum / samples;
 }
 
@@ -63,22 +120,29 @@ LatencyComparison compareLatencies(const sched::ScheduledDfg& s,
                                    const std::vector<double>& ps,
                                    int mcSamples) {
   const bool exact = tauOps(s).size() <= 20;
+  // One engine serves every (style, P) cell of the sweep -- the schedule,
+  // binding and topological bookkeeping are built once, not per point.
+  const MakespanEngine engine(s);
   LatencyComparison out;
   out.ps = ps;
-  auto row = [&](ControlStyle style) {
-    LatencyRow r;
-    r.bestNs = bestCaseCycles(s, style) * s.clockNs;
-    r.worstNs = worstCaseCycles(s, style) * s.clockNs;
-    for (double p : ps) {
-      const double cycles =
-          exact ? averageCyclesExact(s, style, p)
-                : averageCyclesMonteCarlo(s, style, p, mcSamples);
-      r.averageNs.push_back(cycles * s.clockNs);
-    }
-    return r;
-  };
-  out.tau = row(ControlStyle::CentSync);
-  out.dist = row(ControlStyle::Distributed);
+  out.tau.bestNs = engine.syncCycles(allShort(s)) * s.clockNs;
+  out.tau.worstNs = engine.syncCycles(allLong(s)) * s.clockNs;
+  out.dist.bestNs = engine.distributedCycles(allShort(s)) * s.clockNs;
+  out.dist.worstNs = engine.distributedCycles(allLong(s)) * s.clockNs;
+  out.tau.averageNs.resize(ps.size());
+  out.dist.averageNs.resize(ps.size());
+  // The P-grid x {LT_TAU, LT_DIST} cells are independent; fan them out.
+  // (Inside a cell the estimators' own parallel regions run inline.)
+  common::parallelFor(ps.size() * 2, [&](std::size_t cell) {
+    const ControlStyle style =
+        cell < ps.size() ? ControlStyle::CentSync : ControlStyle::Distributed;
+    const std::size_t pi = cell % ps.size();
+    const double cycles =
+        exact ? averageCyclesExact(s, engine, style, ps[pi])
+              : averageCyclesMonteCarlo(s, engine, style, ps[pi], mcSamples);
+    LatencyRow& row = style == ControlStyle::CentSync ? out.tau : out.dist;
+    row.averageNs[pi] = cycles * s.clockNs;
+  });
   for (std::size_t i = 0; i < ps.size(); ++i) {
     const double tau = out.tau.averageNs[i];
     const double dist = out.dist.averageNs[i];

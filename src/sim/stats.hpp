@@ -4,6 +4,13 @@
 // TAU-bound ops (noise-free; used whenever n <= 20 -- every paper benchmark
 // qualifies), and seeded Monte-Carlo sampling for larger designs.  Both are
 // available for both control styles; tests cross-validate them.
+//
+// Both estimators are parallel (common/parallel.hpp; TAUHLS_THREADS lanes)
+// and deterministic: the enumeration/sample space is cut into a fixed chunk
+// grid that depends only on the problem size, per-chunk partial sums are
+// folded in chunk-index order, and Monte-Carlo sample i always draws from
+// counter seed `seed + i` -- so every statistic is bit-identical for any
+// thread count.
 #pragma once
 
 #include <cstdint>
@@ -31,8 +38,19 @@ int worstCaseCycles(const sched::ScheduledDfg& s, ControlStyle style);
 double averageCyclesExact(const sched::ScheduledDfg& s, ControlStyle style,
                           double p);
 
+/// As above, reusing a prebuilt engine (sweeps evaluate many P values per
+/// schedule; building the engine once is the memoized fast path).
+double averageCyclesExact(const sched::ScheduledDfg& s,
+                          const MakespanEngine& engine, ControlStyle style,
+                          double p);
+
 /// Expected makespan (cycles) by Monte-Carlo sampling.
 double averageCyclesMonteCarlo(const sched::ScheduledDfg& s, ControlStyle style,
+                               double p, int samples, std::uint64_t seed = 1);
+
+/// As above, reusing a prebuilt engine.
+double averageCyclesMonteCarlo(const sched::ScheduledDfg& s,
+                               const MakespanEngine& engine, ControlStyle style,
                                double p, int samples, std::uint64_t seed = 1);
 
 /// One Table 2 row for one control style.

@@ -54,6 +54,18 @@ TEST(CliParse, Defaults) {
   EXPECT_TRUE(o->signalOpt);
   EXPECT_FALSE(o->table1);
   EXPECT_TRUE(o->table2);
+  EXPECT_EQ(o->threads, 0);  // 0 = TAUHLS_THREADS / hardware default
+}
+
+TEST(CliParse, Threads) {
+  std::string error;
+  auto o = parseCli({"x.dfg", "--threads", "8"}, error);
+  ASSERT_TRUE(o.has_value()) << error;
+  EXPECT_EQ(o->threads, 8);
+  EXPECT_FALSE(parseCli({"x.dfg", "--threads", "0"}, error).has_value());
+  EXPECT_FALSE(parseCli({"x.dfg", "--threads", "-2"}, error).has_value());
+  EXPECT_FALSE(parseCli({"x.dfg", "--threads", "lots"}, error).has_value());
+  EXPECT_FALSE(parseCli({"x.dfg", "--threads"}, error).has_value());
 }
 
 TEST(CliParse, Errors) {

@@ -1,0 +1,210 @@
+// The parallel experiment engine: thread-pool semantics (coverage, exception
+// propagation, nesting) and the determinism contract -- every latency
+// statistic is bit-identical for TAUHLS_THREADS in {1, 2, 8}, on the paper's
+// Diff. and 5th-order-FIR benchmarks, and the parallel exact and Monte-Carlo
+// estimators still cross-validate like the serial paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "dfg/benchmarks.hpp"
+#include "sim/stats.hpp"
+
+namespace tauhls {
+namespace {
+
+using dfg::ResourceClass;
+using sched::Allocation;
+using sched::ScheduledDfg;
+
+class GlobalThreadCountGuard {
+ public:
+  ~GlobalThreadCountGuard() {
+    common::setGlobalThreadCount(common::configuredThreadCount());
+  }
+};
+
+TEST(ThreadPool, ForEachCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    common::ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.forEach(hits.size(), [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingleRegionsRunInline) {
+  common::ThreadPool pool(4);
+  int calls = 0;
+  pool.forEach(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.forEach(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  common::ThreadPool pool(4);
+  EXPECT_THROW(pool.forEach(100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedRegionsRunInlineWithoutDeadlock) {
+  GlobalThreadCountGuard guard;
+  common::setGlobalThreadCount(4);
+  std::atomic<int> count{0};
+  common::parallelFor(8, [&](std::size_t) {
+    EXPECT_TRUE(common::ThreadPool::insideWorker());
+    common::parallelFor(8, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ChunkGridIsAFunctionOfProblemSizeOnly) {
+  EXPECT_EQ(common::chunkCountFor(0), 0u);
+  EXPECT_EQ(common::chunkCountFor(1), 1u);
+  EXPECT_EQ(common::chunkCountFor(200), 200u);
+  EXPECT_EQ(common::chunkCountFor(256), 256u);
+  EXPECT_EQ(common::chunkCountFor(1u << 20), 256u);
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+  GlobalThreadCountGuard guard;
+  auto run = [] {
+    return common::parallelReduce<double>(
+        64, 0.0,
+        [](std::size_t chunk) {
+          double partial = 0.0;
+          for (int i = 0; i < 100; ++i) {
+            partial += std::sqrt(static_cast<double>(chunk * 100 + i) + 0.1);
+          }
+          return partial;
+        },
+        [](double acc, double partial) { return acc + partial; });
+  };
+  common::setGlobalThreadCount(1);
+  const double serial = run();
+  for (int threads : {2, 8}) {
+    common::setGlobalThreadCount(threads);
+    EXPECT_EQ(run(), serial) << threads << " threads";
+  }
+}
+
+// -- determinism regressions on the paper benchmarks ------------------------
+
+ScheduledDfg scheduledDiffeq() {
+  return sched::scheduleAndBind(dfg::diffeq(),
+                                Allocation{{ResourceClass::Multiplier, 2},
+                                           {ResourceClass::Adder, 1},
+                                           {ResourceClass::Subtractor, 1}},
+                                tau::paperLibrary());
+}
+
+ScheduledDfg scheduledFir5() {
+  return sched::scheduleAndBind(dfg::fir(5),
+                                Allocation{{ResourceClass::Multiplier, 2},
+                                           {ResourceClass::Adder, 1}},
+                                tau::paperLibrary());
+}
+
+TEST(StatsDeterminism, ExactAverageBitIdenticalAcrossThreadCounts) {
+  GlobalThreadCountGuard guard;
+  for (const ScheduledDfg& s : {scheduledDiffeq(), scheduledFir5()}) {
+    for (sim::ControlStyle style :
+         {sim::ControlStyle::Distributed, sim::ControlStyle::CentSync}) {
+      for (double p : {0.9, 0.5}) {
+        common::setGlobalThreadCount(1);
+        const double serial = sim::averageCyclesExact(s, style, p);
+        for (int threads : {2, 8}) {
+          common::setGlobalThreadCount(threads);
+          // EXPECT_EQ on doubles is exact: any drift in summation order or
+          // work partitioning fails here.
+          EXPECT_EQ(sim::averageCyclesExact(s, style, p), serial)
+              << s.graph.name() << " p=" << p << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(StatsDeterminism, MonteCarloBitIdenticalAcrossThreadCounts) {
+  GlobalThreadCountGuard guard;
+  for (const ScheduledDfg& s : {scheduledDiffeq(), scheduledFir5()}) {
+    for (double p : {0.9, 0.5}) {
+      common::setGlobalThreadCount(1);
+      const double serial = sim::averageCyclesMonteCarlo(
+          s, sim::ControlStyle::Distributed, p, 5000, 42);
+      for (int threads : {2, 8}) {
+        common::setGlobalThreadCount(threads);
+        EXPECT_EQ(sim::averageCyclesMonteCarlo(s, sim::ControlStyle::Distributed,
+                                               p, 5000, 42),
+                  serial)
+            << s.graph.name() << " p=" << p << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(StatsDeterminism, CompareLatenciesBitIdenticalAcrossThreadCounts) {
+  GlobalThreadCountGuard guard;
+  const ScheduledDfg s = scheduledDiffeq();
+  common::setGlobalThreadCount(1);
+  const sim::LatencyComparison serial = sim::compareLatencies(s, {0.9, 0.7, 0.5});
+  for (int threads : {2, 8}) {
+    common::setGlobalThreadCount(threads);
+    const sim::LatencyComparison parallel =
+        sim::compareLatencies(s, {0.9, 0.7, 0.5});
+    EXPECT_EQ(parallel.tau.bestNs, serial.tau.bestNs);
+    EXPECT_EQ(parallel.tau.worstNs, serial.tau.worstNs);
+    for (std::size_t i = 0; i < serial.ps.size(); ++i) {
+      EXPECT_EQ(parallel.tau.averageNs[i], serial.tau.averageNs[i]) << i;
+      EXPECT_EQ(parallel.dist.averageNs[i], serial.dist.averageNs[i]) << i;
+      EXPECT_EQ(parallel.enhancementPercent[i], serial.enhancementPercent[i]);
+    }
+  }
+}
+
+TEST(StatsDeterminism, ParallelExactCrossValidatesMonteCarlo) {
+  GlobalThreadCountGuard guard;
+  common::setGlobalThreadCount(8);
+  for (const ScheduledDfg& s : {scheduledDiffeq(), scheduledFir5()}) {
+    for (double p : {0.9, 0.5}) {
+      const double exact =
+          sim::averageCyclesExact(s, sim::ControlStyle::Distributed, p);
+      const double mc = sim::averageCyclesMonteCarlo(
+          s, sim::ControlStyle::Distributed, p, 20000, 42);
+      EXPECT_NEAR(mc, exact, 0.05) << s.graph.name() << " p=" << p;
+    }
+  }
+}
+
+TEST(StatsDeterminism, EngineOverloadsMatchRebuildPath) {
+  const ScheduledDfg s = scheduledDiffeq();
+  const sim::MakespanEngine engine(s);
+  for (sim::ControlStyle style :
+       {sim::ControlStyle::Distributed, sim::ControlStyle::CentSync}) {
+    EXPECT_EQ(sim::averageCyclesExact(s, engine, style, 0.7),
+              sim::averageCyclesExact(s, style, 0.7));
+    EXPECT_EQ(sim::averageCyclesMonteCarlo(s, engine, style, 0.7, 1000, 9),
+              sim::averageCyclesMonteCarlo(s, style, 0.7, 1000, 9));
+  }
+}
+
+}  // namespace
+}  // namespace tauhls

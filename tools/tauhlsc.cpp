@@ -1,5 +1,7 @@
 // tauhlsc -- the command-line driver of the tauhls flow.  All logic lives in
-// core/cli.{hpp,cpp}; this main only marshals argv and streams.
+// core/cli.{hpp,cpp}; this main only marshals argv and streams.  Sweep
+// parallelism is controlled by `--threads N` (or the TAUHLS_THREADS env var);
+// every reported number is bit-identical regardless of the thread count.
 #include <iostream>
 #include <string>
 #include <vector>
