@@ -83,6 +83,94 @@ BENCHMARK(BM_ParallelExactAverage)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+sched::ScheduledDfg fir5Scheduled() {
+  return sched::scheduleAndBind(dfg::fir(5),
+                                {{dfg::ResourceClass::Multiplier, 2},
+                                 {dfg::ResourceClass::Adder, 1}},
+                                tau::paperLibrary());
+}
+
+// Naive-vs-incremental pair on the 5th-order FIR exact sweep over Table 2's
+// P column {0.9, 0.7, 0.5}, single thread: the brute-force reference
+// re-evaluates every mask from scratch per P with per-mask pow() weights and
+// a heap-allocated class vector; the production path enumerates the masks
+// once by Gray-code delta propagation and reweights the shared buffer per P
+// from the popcount weight table.  The ratio of these two is the
+// single-thread algorithmic speedup of this kernel.
+void BM_NaiveExactAverageFir5(benchmark::State& state) {
+  const auto s = fir5Scheduled();
+  const sim::MakespanEngine engine(s);
+  common::setGlobalThreadCount(1);
+  for (auto _ : state) {
+    for (double p : {0.9, 0.7, 0.5}) {
+      benchmark::DoNotOptimize(sim::averageCyclesExactReference(
+          s, engine, sim::ControlStyle::Distributed, p));
+    }
+  }
+  common::setGlobalThreadCount(common::configuredThreadCount());
+}
+BENCHMARK(BM_NaiveExactAverageFir5);
+
+void BM_IncrementalExactAverageFir5(benchmark::State& state) {
+  const auto s = fir5Scheduled();
+  const sim::MakespanEngine engine(s);
+  const std::vector<double> ps = {0.9, 0.7, 0.5};
+  common::setGlobalThreadCount(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::averageCyclesExactSweep(
+        s, engine, sim::ControlStyle::Distributed, ps));
+  }
+  common::setGlobalThreadCount(common::configuredThreadCount());
+}
+BENCHMARK(BM_IncrementalExactAverageFir5);
+
+// The same pair on the AR lattice (16 TAU ops, the heaviest Table 2 entry);
+// BM_IncrementalExactAverage is the headline number EXPERIMENTS.md tracks.
+void BM_NaiveExactAverage(benchmark::State& state) {
+  const auto s = sched::scheduleAndBind(dfg::arLattice(),
+                                        {{dfg::ResourceClass::Multiplier, 4},
+                                         {dfg::ResourceClass::Adder, 2}},
+                                        tau::paperLibrary());
+  const sim::MakespanEngine engine(s);
+  common::setGlobalThreadCount(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::averageCyclesExactReference(
+        s, engine, sim::ControlStyle::Distributed, 0.5));
+  }
+  common::setGlobalThreadCount(common::configuredThreadCount());
+}
+BENCHMARK(BM_NaiveExactAverage)->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalExactAverage(benchmark::State& state) {
+  const auto s = sched::scheduleAndBind(dfg::arLattice(),
+                                        {{dfg::ResourceClass::Multiplier, 4},
+                                         {dfg::ResourceClass::Adder, 2}},
+                                        tau::paperLibrary());
+  const sim::MakespanEngine engine(s);
+  common::setGlobalThreadCount(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::averageCyclesExact(
+        s, engine, sim::ControlStyle::Distributed, 0.5));
+  }
+  common::setGlobalThreadCount(common::configuredThreadCount());
+}
+BENCHMARK(BM_IncrementalExactAverage)->Unit(benchmark::kMillisecond);
+
+// Closed-form CentSync expectation: O(steps), so this stays flat no matter
+// how many TAU ops the design has (the enumerated version was O(2^n)).
+void BM_ClosedFormSyncAverage(benchmark::State& state) {
+  const auto s = sched::scheduleAndBind(dfg::arLattice(),
+                                        {{dfg::ResourceClass::Multiplier, 4},
+                                         {dfg::ResourceClass::Adder, 2}},
+                                        tau::paperLibrary());
+  const sim::MakespanEngine engine(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::averageCyclesExact(s, engine, sim::ControlStyle::CentSync, 0.5));
+  }
+}
+BENCHMARK(BM_ClosedFormSyncAverage);
+
 void BM_BuildDistributed(benchmark::State& state) {
   const auto s = diffeqScheduled();
   for (auto _ : state) {

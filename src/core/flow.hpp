@@ -37,7 +37,7 @@ struct FlowConfig {
   std::size_t centFsmMaxStates = 200000;
   synth::EncodingStyle encoding = synth::EncodingStyle::Binary;
   bool synthesizeArea = true;                       ///< run the area model
-  int mcSamples = 20000;                            ///< MC fallback (>20 TAU ops)
+  int mcSamples = 20000;                            ///< MC fallback (>24 TAU ops)
 };
 
 struct FlowResult {

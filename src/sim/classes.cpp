@@ -40,12 +40,32 @@ OperandClasses fromMask(const sched::ScheduledDfg& s, std::uint64_t mask) {
 
 OperandClasses randomClasses(const sched::ScheduledDfg& s, double p,
                              std::uint64_t seed) {
+  OperandClasses c;
+  randomClasses(s, tauOps(s), p, seed, c);
+  return c;
+}
+
+void randomClasses(const sched::ScheduledDfg& s,
+                   const std::vector<dfg::NodeId>& taus, double p,
+                   std::uint64_t seed, OperandClasses& out) {
   TAUHLS_CHECK(p >= 0.0 && p <= 1.0, "P must lie in [0,1]");
   std::mt19937_64 rng(seed);
   std::bernoulli_distribution sd(p);
-  OperandClasses c = allShort(s);
-  for (dfg::NodeId v : tauOps(s)) c.shortClass[v] = sd(rng);
-  return c;
+  // Reset to all-SD in place; assign() only reallocates on a size change.
+  out.shortClass.assign(s.graph.numNodes(), true);
+  for (dfg::NodeId v : taus) out.shortClass[v] = sd(rng);
+}
+
+std::uint64_t randomClassMask(int n, double p, std::uint64_t seed) {
+  TAUHLS_CHECK(p >= 0.0 && p <= 1.0, "P must lie in [0,1]");
+  TAUHLS_CHECK(n >= 0 && n <= 64, "mask sampling limited to 64 TAU ops");
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution sd(p);
+  std::uint64_t mask = 0;
+  for (int i = 0; i < n; ++i) {
+    if (sd(rng)) mask |= std::uint64_t{1} << i;
+  }
+  return mask;
 }
 
 }  // namespace tauhls::sim

@@ -34,4 +34,16 @@ OperandClasses fromMask(const sched::ScheduledDfg& s, std::uint64_t mask);
 OperandClasses randomClasses(const sched::ScheduledDfg& s, double p,
                              std::uint64_t seed);
 
+/// As above, writing into a caller-provided buffer so sampling loops reuse
+/// one allocation.  `taus` must be tauOps(s) (precomputed once by the caller);
+/// the draw sequence is identical to the allocating overload bit-for-bit.
+void randomClasses(const sched::ScheduledDfg& s,
+                   const std::vector<dfg::NodeId>& taus, double p,
+                   std::uint64_t seed, OperandClasses& out);
+
+/// Seeded Bernoulli(p) sample as a bitmask over n TAU ops (bit i set => TAU
+/// op i is SD).  Draws the same mt19937_64(seed) Bernoulli sequence as
+/// randomClasses, so mask-native Monte-Carlo estimates match it bit-for-bit.
+std::uint64_t randomClassMask(int n, double p, std::uint64_t seed);
+
 }  // namespace tauhls::sim

@@ -1,9 +1,10 @@
 // Exact latency distributions.
 //
 // Table 2 reports only expected latencies; for real-time budgeting the full
-// probability mass function matters.  With <= 20 TAU ops the pmf over
+// probability mass function matters.  With <= 24 TAU ops the pmf over
 // makespan cycles is computed exactly by enumerating the 2^n operand-class
-// assignments with their Bernoulli(P) weights.
+// assignments with their Bernoulli(P) weights (Gray-code incremental sweep
+// for the Distributed style; per-step masks for CentSync).
 #pragma once
 
 #include <map>
@@ -23,7 +24,7 @@ struct LatencyDistribution {
   int maxCycles() const;
 };
 
-/// Exact pmf under `style` at SD-ratio `p`; requires <= 20 TAU ops.
+/// Exact pmf under `style` at SD-ratio `p`; requires <= 24 TAU ops.
 LatencyDistribution latencyDistribution(const sched::ScheduledDfg& s,
                                         ControlStyle style, double p);
 

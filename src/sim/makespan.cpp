@@ -1,6 +1,9 @@
 #include "sim/makespan.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "dfg/analysis.hpp"
@@ -72,57 +75,317 @@ MakespanEngine::MakespanEngine(const sched::ScheduledDfg& s) {
     for (std::size_t i = 1; i < seq.size(); ++i) prevOnUnit[seq[i]] = seq[i - 1];
   }
 
-  slotOf_.assign(numNodes_, 0);
+  std::vector<std::uint32_t> slotOf(numNodes_, 0);
+  predOffsets_.push_back(0);
   for (NodeId v : order) {
     if (!s.graph.isOp(v)) continue;
-    OpInfo info;
-    info.id = v;
-    info.shortCycles = s.opCycles(v, true);
-    info.longCycles = s.opCycles(v, false);
+    const auto slot = static_cast<std::uint32_t>(idOfSlot_.size());
+    slotOf[v] = slot;
+    idOfSlot_.push_back(v);
+    shortCycles_.push_back(s.opCycles(v, true));
+    longCycles_.push_back(s.opCycles(v, false));
     for (NodeId p : s.graph.dataPredecessors(v)) {
-      if (s.graph.isOp(p)) info.predSlots.push_back(slotOf_[p]);
+      if (s.graph.isOp(p)) preds_.push_back(slotOf[p]);
     }
-    if (prevOnUnit[v] != dfg::kNoNode) {
-      info.prevOnUnitSlot = static_cast<int>(slotOf_[prevOnUnit[v]]);
-    }
-    slotOf_[v] = static_cast<std::uint32_t>(ops_.size());
-    ops_.push_back(std::move(info));
+    if (prevOnUnit[v] != dfg::kNoNode) preds_.push_back(slotOf[prevOnUnit[v]]);
+    predOffsets_.push_back(static_cast<std::uint32_t>(preds_.size()));
   }
+
+  // Reverse the predecessor index into the CSR successor index.
+  const std::size_t numOps = idOfSlot_.size();
+  std::vector<std::uint32_t> succCount(numOps, 0);
+  for (std::uint32_t p : preds_) ++succCount[p];
+  succOffsets_.assign(numOps + 1, 0);
+  for (std::size_t i = 0; i < numOps; ++i) {
+    succOffsets_[i + 1] = succOffsets_[i] + succCount[i];
+  }
+  succs_.resize(preds_.size());
+  std::vector<std::uint32_t> cursor(succOffsets_.begin(),
+                                    succOffsets_.end() - 1);
+  for (std::size_t i = 0; i < numOps; ++i) {
+    for (std::uint32_t k = predOffsets_[i]; k < predOffsets_[i + 1]; ++k) {
+      succs_[cursor[preds_[k]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  for (std::size_t i = 0; i < numOps; ++i) {
+    if (succOffsets_[i] == succOffsets_[i + 1]) {
+      terminals_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // TAU-bound ops in ascending NodeId order (== tauOps(s)).
+  tauIndexOfSlot_.assign(numOps, -1);
+  for (NodeId v : s.graph.opIds()) {
+    const int u = s.binding.unitOf(v);
+    TAUHLS_ASSERT(u >= 0, "unbound op in scheduled DFG");
+    if (s.unitIsTelescopic(u)) {
+      tauIndexOfSlot_[slotOf[v]] = static_cast<int>(tauIds_.size());
+      tauIds_.push_back(v);
+      tauSlots_.push_back(slotOf[v]);
+    }
+  }
+
+  // Successor-cone size per TAU op (the slots one flipTau can touch).
+  tauConeSize_.reserve(tauSlots_.size());
+  std::vector<int> stamp(numOps, -1);
+  std::vector<std::uint32_t> stack;
+  for (std::size_t t = 0; t < tauSlots_.size(); ++t) {
+    int cone = 0;
+    stamp[tauSlots_[t]] = static_cast<int>(t);
+    stack.push_back(tauSlots_[t]);
+    while (!stack.empty()) {
+      const std::uint32_t slot = stack.back();
+      stack.pop_back();
+      ++cone;
+      for (std::uint32_t k = succOffsets_[slot]; k < succOffsets_[slot + 1];
+           ++k) {
+        const std::uint32_t succ = succs_[k];
+        if (stamp[succ] != static_cast<int>(t)) {
+          stamp[succ] = static_cast<int>(t);
+          stack.push_back(succ);
+        }
+      }
+    }
+    tauConeSize_.push_back(cone);
+  }
+
+  stepTauOffsets_.push_back(0);
   for (const sched::TaubmStep& step : s.taubm.steps) {
-    steps_.push_back(StepInfo{step.tauOps});
+    for (NodeId v : step.tauOps) stepTauIds_.push_back(v);
+    stepTauOffsets_.push_back(static_cast<std::uint32_t>(stepTauIds_.size()));
   }
+  if (supportsMasks()) {
+    stepMasks_.reserve(s.taubm.steps.size());
+    for (const sched::TaubmStep& step : s.taubm.steps) {
+      std::uint64_t m = 0;
+      for (NodeId v : step.tauOps) {
+        const int ti = tauIndexOfSlot_[slotOf[v]];
+        TAUHLS_ASSERT(ti >= 0, "TAUBM step lists a non-TAU op");
+        m |= std::uint64_t{1} << ti;
+      }
+      stepMasks_.push_back(m);
+    }
+  }
+}
+
+template <typename DurFn>
+int MakespanEngine::evaluate(DurFn&& dur) const {
+  const std::size_t numOps = idOfSlot_.size();
+  if (numOps == 0) return 0;
+  int last = 0;
+  std::vector<int> finish(numOps, 0);
+  for (std::size_t i = 0; i < numOps; ++i) {
+    int start = 0;
+    for (std::uint32_t k = predOffsets_[i]; k < predOffsets_[i + 1]; ++k) {
+      start = std::max(start, finish[preds_[k]] + 1);
+    }
+    finish[i] = start + dur(i) - 1;
+    last = std::max(last, finish[i]);
+  }
+  return last + 1;
+}
+
+template <typename IsShortFn>
+int MakespanEngine::syncCyclesWith(IsShortFn&& isShort) const {
+  int cycles = 0;
+  const std::size_t numSteps = stepTauOffsets_.size() - 1;
+  for (std::size_t i = 0; i < numSteps; ++i) {
+    bool anyLong = false;
+    for (std::uint32_t k = stepTauOffsets_[i]; k < stepTauOffsets_[i + 1]; ++k) {
+      anyLong |= !isShort(stepTauIds_[k]);
+    }
+    cycles += anyLong ? 2 : 1;
+  }
+  return cycles;
 }
 
 int MakespanEngine::distributedCycles(const OperandClasses& classes) const {
   TAUHLS_CHECK(classes.shortClass.size() == numNodes_,
                "operand-class vector size mismatch");
-  int last = 0;
-  // finish[slot]; stack-friendly local buffer.
-  std::vector<int> finish(ops_.size(), 0);
-  for (std::size_t i = 0; i < ops_.size(); ++i) {
-    const OpInfo& op = ops_[i];
-    int start = 0;
-    for (std::uint32_t p : op.predSlots) start = std::max(start, finish[p] + 1);
-    if (op.prevOnUnitSlot >= 0) {
-      start = std::max(start, finish[op.prevOnUnitSlot] + 1);
-    }
-    const int dur = classes.isShort(op.id) ? op.shortCycles : op.longCycles;
-    finish[i] = start + dur - 1;
-    last = std::max(last, finish[i]);
-  }
-  return ops_.empty() ? 0 : last + 1;
+  return evaluate([&](std::size_t i) {
+    return classes.isShort(idOfSlot_[i]) ? shortCycles_[i] : longCycles_[i];
+  });
 }
 
 int MakespanEngine::syncCycles(const OperandClasses& classes) const {
   TAUHLS_CHECK(classes.shortClass.size() == numNodes_,
                "operand-class vector size mismatch");
+  return syncCyclesWith([&](NodeId v) { return classes.isShort(v); });
+}
+
+std::uint64_t MakespanEngine::maskOf(const OperandClasses& classes) const {
+  TAUHLS_CHECK(supportsMasks(), "mask interface limited to 64 TAU ops");
+  TAUHLS_CHECK(classes.shortClass.size() == numNodes_,
+               "operand-class vector size mismatch");
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < tauIds_.size(); ++i) {
+    mask |= std::uint64_t{classes.isShort(tauIds_[i])} << i;
+  }
+  return mask;
+}
+
+int MakespanEngine::distributedCycles(std::uint64_t mask) const {
+  TAUHLS_CHECK(supportsMasks(), "mask interface limited to 64 TAU ops");
+  return evaluate([&](std::size_t i) {
+    const int ti = tauIndexOfSlot_[i];
+    return ti >= 0 && !((mask >> ti) & 1) ? longCycles_[i] : shortCycles_[i];
+  });
+}
+
+int MakespanEngine::syncCycles(std::uint64_t mask) const {
+  TAUHLS_CHECK(supportsMasks(), "mask interface limited to 64 TAU ops");
   int cycles = 0;
-  for (const StepInfo& step : steps_) {
-    bool anyLong = false;
-    for (NodeId v : step.tauOps) anyLong |= !classes.isShort(v);
-    cycles += anyLong ? 2 : 1;
+  for (std::uint64_t stepMask : stepMasks_) {
+    cycles += (stepMask & ~mask) != 0 ? 2 : 1;
   }
   return cycles;
+}
+
+int MakespanEngine::bestDistributedCycles() const {
+  return evaluate([&](std::size_t i) { return shortCycles_[i]; });
+}
+
+int MakespanEngine::worstDistributedCycles() const {
+  return evaluate([&](std::size_t i) { return longCycles_[i]; });
+}
+
+int MakespanEngine::bestSyncCycles() const {
+  // All-SD: every step costs one cycle.
+  return static_cast<int>(stepTauOffsets_.size()) - 1;
+}
+
+int MakespanEngine::worstSyncCycles() const {
+  // All-LD: every step with at least one TAU op spends its second half.
+  int cycles = 0;
+  const std::size_t numSteps = stepTauOffsets_.size() - 1;
+  for (std::size_t i = 0; i < numSteps; ++i) {
+    cycles += stepTauOffsets_[i + 1] > stepTauOffsets_[i] ? 2 : 1;
+  }
+  return cycles;
+}
+
+double MakespanEngine::syncExpectedCycles(double p) const {
+  TAUHLS_CHECK(p >= 0.0 && p <= 1.0, "P must lie in [0,1]");
+  // A step with k TAU ops costs 1 cycle iff all k hit SD (probability p^k),
+  // 2 otherwise: E[step] = p^k + 2 (1 - p^k) = 2 - p^k.
+  double expectation = 0.0;
+  const std::size_t numSteps = stepTauOffsets_.size() - 1;
+  for (std::size_t i = 0; i < numSteps; ++i) {
+    const int k = static_cast<int>(stepTauOffsets_[i + 1] - stepTauOffsets_[i]);
+    expectation += 2.0 - std::pow(p, k);
+  }
+  return expectation;
+}
+
+MakespanEngine::DistributedSweep::DistributedSweep(const MakespanEngine& engine)
+    : e_(&engine),
+      dur_(engine.shortCycles_),
+      finish_(engine.idOfSlot_.size(), 0),
+      dirtyWords_((engine.idOfSlot_.size() + 63) / 64, 0) {
+  TAUHLS_CHECK(engine.supportsMasks(), "mask interface limited to 64 TAU ops");
+  mask_ = engine.tauIds_.empty()
+              ? 0
+              : ~std::uint64_t{0} >> (64 - engine.tauIds_.size());
+  if (!engine.idOfSlot_.empty()) evalFull(mask_);
+}
+
+int MakespanEngine::DistributedSweep::makespan() const {
+  if (e_->idOfSlot_.empty()) return 0;
+  int last = 0;
+  for (std::uint32_t t : e_->terminals_) last = std::max(last, finish_[t]);
+  return last + 1;
+}
+
+int MakespanEngine::DistributedSweep::evalFull(std::uint64_t mask) {
+  mask_ = mask;
+  for (std::size_t i = 0; i < e_->tauSlots_.size(); ++i) {
+    const std::uint32_t slot = e_->tauSlots_[i];
+    dur_[slot] = (mask >> i) & 1 ? e_->shortCycles_[slot]
+                                 : e_->longCycles_[slot];
+  }
+  const std::size_t numOps = e_->idOfSlot_.size();
+  for (std::size_t i = 0; i < numOps; ++i) {
+    int start = 0;
+    for (std::uint32_t k = e_->predOffsets_[i]; k < e_->predOffsets_[i + 1];
+         ++k) {
+      start = std::max(start, finish_[e_->preds_[k]] + 1);
+    }
+    finish_[i] = start + dur_[i] - 1;
+  }
+  return makespan();
+}
+
+int MakespanEngine::DistributedSweep::flipTau(int tauIndex) {
+  mask_ ^= std::uint64_t{1} << tauIndex;
+  const std::uint32_t flipped = e_->tauSlots_[static_cast<std::size_t>(tauIndex)];
+  dur_[flipped] = (mask_ >> tauIndex) & 1 ? e_->shortCycles_[flipped]
+                                          : e_->longCycles_[flipped];
+  dirtyWords_[flipped >> 6] |= std::uint64_t{1} << (flipped & 63);
+  // Consume dirty slots in ascending order: every successor has a higher
+  // slot number, so a marked successor's bit is always still ahead of the
+  // scan and each affected slot is recomputed exactly once per flip.
+  for (std::size_t wi = flipped >> 6; wi < dirtyWords_.size(); ++wi) {
+    while (dirtyWords_[wi] != 0) {
+      const std::uint32_t slot =
+          static_cast<std::uint32_t>((wi << 6) |
+                                     std::countr_zero(dirtyWords_[wi]));
+      dirtyWords_[wi] &= dirtyWords_[wi] - 1;  // clear lowest set bit
+      int start = 0;
+      for (std::uint32_t k = e_->predOffsets_[slot];
+           k < e_->predOffsets_[slot + 1]; ++k) {
+        start = std::max(start, finish_[e_->preds_[k]] + 1);
+      }
+      const int newFinish = start + dur_[slot] - 1;
+      if (newFinish == finish_[slot]) continue;
+      finish_[slot] = newFinish;
+      for (std::uint32_t k = e_->succOffsets_[slot];
+           k < e_->succOffsets_[slot + 1]; ++k) {
+        const std::uint32_t succ = e_->succs_[k];
+        dirtyWords_[succ >> 6] |= std::uint64_t{1} << (succ & 63);
+      }
+    }
+  }
+  return makespan();
+}
+
+void MakespanEngine::DistributedSweep::evalChunk(std::uint64_t base,
+                                                 std::uint64_t count,
+                                                 int* cycles) {
+  TAUHLS_ASSERT(std::has_single_bit(count) && base % count == 0,
+                "chunk must be an aligned power-of-two mask range");
+  cycles[0] = evalFull(base);
+  if (count <= 1) return;
+  // Gray-code enumeration: step o flips exactly one TAU op, so every mask of
+  // the chunk is reached by a single delta propagation.  Gray position j is
+  // flipped 2^(width-1-j) times; any bijection of positions onto the chunk's
+  // TAU ops still visits each mask exactly once (at offset = xor of the
+  // flipped bits), so positions are assigned to ops by ascending successor-
+  // cone size: the op whose flip recomputes the fewest slots flips the most
+  // often.  The permutation depends only on the engine and `count`, and the
+  // output buffer is indexed by mask offset, so downstream accumulation
+  // order -- and with it bit-level determinism -- is unaffected.
+  const int width = std::countr_zero(count);
+  std::array<int, 64> order;
+  for (int j = 0; j < width; ++j) order[static_cast<std::size_t>(j)] = j;
+  // Stable insertion sort by cone size (width <= 64, no temp allocation).
+  for (int j = 1; j < width; ++j) {
+    const int key = order[static_cast<std::size_t>(j)];
+    const int cone = e_->tauConeSize_[static_cast<std::size_t>(key)];
+    int k = j;
+    while (k > 0 &&
+           e_->tauConeSize_[static_cast<std::size_t>(
+               order[static_cast<std::size_t>(k - 1)])] > cone) {
+      order[static_cast<std::size_t>(k)] = order[static_cast<std::size_t>(k - 1)];
+      --k;
+    }
+    order[static_cast<std::size_t>(k)] = key;
+  }
+  std::uint64_t offset = 0;
+  for (std::uint64_t o = 1; o < count; ++o) {
+    const int tau = order[static_cast<std::size_t>(std::countr_zero(o))];
+    offset ^= std::uint64_t{1} << tau;
+    cycles[offset] = flipTau(tau);
+  }
 }
 
 }  // namespace tauhls::sim

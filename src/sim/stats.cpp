@@ -2,6 +2,9 @@
 
 #include <bit>
 #include <cmath>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
@@ -10,23 +13,119 @@ namespace tauhls::sim {
 
 namespace {
 
-// fromMask() re-derives the TAU list on every call; the enumeration loops
-// below evaluate up to 2^20 masks, so they expand masks against a TAU list
-// computed once per sweep instead.
-OperandClasses classesFromMask(const sched::ScheduledDfg& s,
-                               const std::vector<dfg::NodeId>& taus,
-                               std::uint64_t mask) {
-  OperandClasses c = allShort(s);
-  for (std::size_t i = 0; i < taus.size(); ++i) {
-    c.shortClass[taus[i]] = (mask >> i) & 1;
-  }
-  return c;
+// std::pow with the IEEE-exact trivial exponents short-circuited: pow(x,0)
+// is exactly 1 and pow(x,1) is exactly x, so the result is bit-identical to
+// the library call while skipping it for the two most common exponents.
+double powInt(double base, int exponent) {
+  if (exponent == 0) return 1.0;
+  if (exponent == 1) return base;
+  return std::pow(base, exponent);
 }
 
-int engineCycles(const MakespanEngine& engine, ControlStyle style,
-                 const OperandClasses& classes) {
-  return style == ControlStyle::Distributed ? engine.distributedCycles(classes)
-                                            : engine.syncCycles(classes);
+// weights[c] is the probability of any specific mask with popcount c:
+// p^c * (1-p)^(n-c).  Computed once per sweep (the brute-force predecessor
+// paid two pow() calls per mask); the values match it bit-for-bit so
+// weighted sums stay bit-identical.
+void popcountWeights(int n, double p, std::vector<double>& weights) {
+  weights.resize(static_cast<std::size_t>(n) + 1);
+  for (int c = 0; c <= n; ++c) {
+    weights[static_cast<std::size_t>(c)] =
+        powInt(p, c) * powInt(1.0 - p, n - c);
+  }
+}
+
+// Per-worker scratch, handed out through a small freelist so buffers are
+// reused across chunks (and across masks / Monte-Carlo samples within a
+// chunk) instead of being reallocated: the enumeration hot loop never
+// allocates after warm-up.
+struct SweepScratch {
+  explicit SweepScratch(const MakespanEngine& engine) : sweep(engine) {}
+  MakespanEngine::DistributedSweep sweep;
+  std::vector<int> cycles;
+};
+
+class ScratchPool {
+ public:
+  explicit ScratchPool(const MakespanEngine& engine) : engine_(engine) {}
+
+  std::unique_ptr<SweepScratch> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        std::unique_ptr<SweepScratch> scratch = std::move(free_.back());
+        free_.pop_back();
+        return scratch;
+      }
+    }
+    return std::make_unique<SweepScratch>(engine_);
+  }
+
+  void release(std::unique_ptr<SweepScratch> scratch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(scratch));
+  }
+
+ private:
+  const MakespanEngine& engine_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<SweepScratch>> free_;
+};
+
+// Weighted partial sum of one contiguous mask range, accumulated in
+// ascending mask order (the fold order every estimator in this file commits
+// to; see the header's determinism contract).
+double weightedRangeSum(const int* cycles, std::uint64_t base,
+                        std::uint64_t count, const std::vector<double>& weights) {
+  double partial = 0.0;
+  for (std::uint64_t off = 0; off < count; ++off) {
+    const double weight =
+        weights[static_cast<std::size_t>(std::popcount(base + off))];
+    if (weight == 0.0) continue;
+    partial += weight * cycles[off];
+  }
+  return partial;
+}
+
+double distributedAverageExact(const MakespanEngine& engine, double p) {
+  const int n = engine.numTauOps();
+  TAUHLS_CHECK(n <= kMaxExactTauOps,
+               "exact enumeration limited to 24 TAU ops; use "
+               "averageCyclesMonteCarlo");
+  // Degenerate P: a single mask carries all the weight.
+  if (p == 1.0) return engine.bestDistributedCycles();
+  if (p == 0.0) return engine.worstDistributedCycles();
+
+  const std::uint64_t total = std::uint64_t{1} << n;
+  std::vector<double> weights;
+  popcountWeights(n, p, weights);
+  if (total <= 256) {
+    // Small designs fit one Gray-code walk; ascending-order accumulation of
+    // single-mask terms matches the reference's one-mask-per-chunk fold
+    // exactly (every term is a single rounded product).
+    MakespanEngine::DistributedSweep sweep(engine);
+    int cycles[256];
+    sweep.evalChunk(0, total, cycles);
+    return weightedRangeSum(cycles, 0, total, weights);
+  }
+  // Fixed chunk grid (function of n only): contiguous mask ranges whose
+  // partial expectations are folded in index order, so the result is
+  // bit-identical for every thread count.
+  const std::uint64_t numChunks = common::chunkCountFor(total);
+  const std::uint64_t chunkSize = total / numChunks;  // both are powers of 2
+  ScratchPool pool(engine);
+  return common::parallelReduce<double>(
+      static_cast<std::size_t>(numChunks), 0.0,
+      [&](std::size_t chunk) {
+        std::unique_ptr<SweepScratch> scratch = pool.acquire();
+        scratch->cycles.resize(chunkSize);
+        const std::uint64_t begin = chunk * chunkSize;
+        scratch->sweep.evalChunk(begin, chunkSize, scratch->cycles.data());
+        const double partial =
+            weightedRangeSum(scratch->cycles.data(), begin, chunkSize, weights);
+        pool.release(std::move(scratch));
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
 }
 
 }  // namespace
@@ -38,12 +137,22 @@ int makespanCycles(const sched::ScheduledDfg& s, ControlStyle style,
              : syncMakespanCycles(s, classes);
 }
 
+int bestCaseCycles(const MakespanEngine& engine, ControlStyle style) {
+  return style == ControlStyle::Distributed ? engine.bestDistributedCycles()
+                                            : engine.bestSyncCycles();
+}
+
+int worstCaseCycles(const MakespanEngine& engine, ControlStyle style) {
+  return style == ControlStyle::Distributed ? engine.worstDistributedCycles()
+                                            : engine.worstSyncCycles();
+}
+
 int bestCaseCycles(const sched::ScheduledDfg& s, ControlStyle style) {
-  return makespanCycles(s, style, allShort(s));
+  return bestCaseCycles(MakespanEngine(s), style);
 }
 
 int worstCaseCycles(const sched::ScheduledDfg& s, ControlStyle style) {
-  return makespanCycles(s, style, allLong(s));
+  return worstCaseCycles(MakespanEngine(s), style);
 }
 
 double averageCyclesExact(const sched::ScheduledDfg& s, ControlStyle style,
@@ -54,17 +163,97 @@ double averageCyclesExact(const sched::ScheduledDfg& s, ControlStyle style,
 double averageCyclesExact(const sched::ScheduledDfg& s,
                           const MakespanEngine& engine, ControlStyle style,
                           double p) {
+  (void)s;
+  TAUHLS_CHECK(p >= 0.0 && p <= 1.0, "P must lie in [0,1]");
+  if (style == ControlStyle::CentSync) return engine.syncExpectedCycles(p);
+  return distributedAverageExact(engine, p);
+}
+
+std::vector<double> averageCyclesExactSweep(const sched::ScheduledDfg& s,
+                                            const MakespanEngine& engine,
+                                            ControlStyle style,
+                                            const std::vector<double>& ps) {
+  std::vector<double> out(ps.size());
+  if (style == ControlStyle::CentSync) {
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      out[i] = engine.syncExpectedCycles(ps[i]);
+    }
+    return out;
+  }
+  const int n = engine.numTauOps();
+  TAUHLS_CHECK(n <= kMaxExactTauOps,
+               "exact enumeration limited to 24 TAU ops; use "
+               "averageCyclesMonteCarlo");
+  const std::uint64_t total = std::uint64_t{1} << n;
+  if (total > (std::uint64_t{1} << 20)) {
+    // Buffering 2^n makespans would cost tens of MB; enumerate per P.
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      out[i] = averageCyclesExact(s, engine, style, ps[i]);
+    }
+    return out;
+  }
+  // Distributed makespans do not depend on P: enumerate them once, then
+  // reweight the same buffer for every requested P.  Accumulation reuses the
+  // per-P chunk grid and fold order, so each entry is bit-identical to a
+  // standalone averageCyclesExact call.
+  std::vector<int> cycles(static_cast<std::size_t>(total));
+  const std::uint64_t numChunks = common::chunkCountFor(total);
+  const std::uint64_t chunkSize = total / numChunks;
+  if (total <= 256) {
+    MakespanEngine::DistributedSweep sweep(engine);
+    sweep.evalChunk(0, total, cycles.data());
+  } else {
+    ScratchPool pool(engine);
+    common::parallelFor(static_cast<std::size_t>(numChunks),
+                        [&](std::size_t chunk) {
+                          std::unique_ptr<SweepScratch> scratch = pool.acquire();
+                          const std::uint64_t begin = chunk * chunkSize;
+                          scratch->sweep.evalChunk(begin, chunkSize,
+                                                   cycles.data() + begin);
+                          pool.release(std::move(scratch));
+                        });
+  }
+  std::vector<double> weights;  // reused across the P entries
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double p = ps[i];
+    TAUHLS_CHECK(p >= 0.0 && p <= 1.0, "P must lie in [0,1]");
+    if (p == 1.0) {
+      out[i] = engine.bestDistributedCycles();
+      continue;
+    }
+    if (p == 0.0) {
+      out[i] = engine.worstDistributedCycles();
+      continue;
+    }
+    popcountWeights(n, p, weights);
+    if (total <= 256) {
+      out[i] = weightedRangeSum(cycles.data(), 0, total, weights);
+    } else {
+      out[i] = common::parallelReduce<double>(
+          static_cast<std::size_t>(numChunks), 0.0,
+          [&](std::size_t chunk) {
+            const std::uint64_t begin = chunk * chunkSize;
+            return weightedRangeSum(cycles.data() + begin, begin, chunkSize,
+                                    weights);
+          },
+          [](double acc, double partial) { return acc + partial; });
+    }
+  }
+  return out;
+}
+
+double averageCyclesExactReference(const sched::ScheduledDfg& s,
+                                   const MakespanEngine& engine,
+                                   ControlStyle style, double p) {
   TAUHLS_CHECK(p >= 0.0 && p <= 1.0, "P must lie in [0,1]");
   const std::vector<dfg::NodeId> taus = tauOps(s);
   const int n = static_cast<int>(taus.size());
-  TAUHLS_CHECK(n <= 20, "exact enumeration limited to 20 TAU ops; use "
-                        "averageCyclesMonteCarlo");
+  TAUHLS_CHECK(n <= kMaxExactTauOps,
+               "exact enumeration limited to 24 TAU ops; use "
+               "averageCyclesMonteCarlo");
   const std::uint64_t total = std::uint64_t{1} << n;
-  // Fixed chunk grid (function of n only): contiguous mask ranges whose
-  // partial expectations are folded in index order, so the result is
-  // bit-identical for every thread count.
   const std::uint64_t numChunks = common::chunkCountFor(total);
-  const std::uint64_t chunkSize = total / numChunks;  // both are powers of 2
+  const std::uint64_t chunkSize = total / numChunks;
   return common::parallelReduce<double>(
       static_cast<std::size_t>(numChunks), 0.0,
       [&](std::size_t chunk) {
@@ -76,8 +265,14 @@ double averageCyclesExact(const sched::ScheduledDfg& s,
           const double weight = std::pow(p, shortCount) *
                                 std::pow(1.0 - p, n - shortCount);
           if (weight == 0.0) continue;
-          const OperandClasses classes = classesFromMask(s, taus, mask);
-          partial += weight * engineCycles(engine, style, classes);
+          OperandClasses classes = allShort(s);
+          for (std::size_t i = 0; i < taus.size(); ++i) {
+            classes.shortClass[taus[i]] = (mask >> i) & 1;
+          }
+          const int cycles = style == ControlStyle::Distributed
+                                 ? engine.distributedCycles(classes)
+                                 : engine.syncCycles(classes);
+          partial += weight * cycles;
         }
         return partial;
       },
@@ -93,12 +288,18 @@ double averageCyclesMonteCarlo(const sched::ScheduledDfg& s,
                                const MakespanEngine& engine, ControlStyle style,
                                double p, int samples, std::uint64_t seed) {
   TAUHLS_CHECK(samples > 0, "need at least one sample");
+  TAUHLS_CHECK(p >= 0.0 && p <= 1.0, "P must lie in [0,1]");
+  const int n = engine.numTauOps();
+  const bool maskable = engine.supportsMasks();
+  const std::vector<dfg::NodeId> taus = maskable ? std::vector<dfg::NodeId>{}
+                                                 : tauOps(s);
   // Sample i always draws from counter seed `seed + i` and the sample range
   // is cut into a fixed chunk grid, so the estimate does not depend on how
   // many threads computed it.
   const std::uint64_t total = static_cast<std::uint64_t>(samples);
   const std::uint64_t numChunks = common::chunkCountFor(total);
   const std::uint64_t chunkSize = (total + numChunks - 1) / numChunks;
+  ScratchPool pool(engine);
   const double sum = common::parallelReduce<double>(
       static_cast<std::size_t>(numChunks), 0.0,
       [&](std::size_t chunk) {
@@ -106,9 +307,25 @@ double averageCyclesMonteCarlo(const sched::ScheduledDfg& s,
         const std::uint64_t end =
             begin + chunkSize < total ? begin + chunkSize : total;
         double partial = 0.0;
-        for (std::uint64_t i = begin; i < end; ++i) {
-          const OperandClasses classes = randomClasses(s, p, seed + i);
-          partial += engineCycles(engine, style, classes);
+        if (maskable) {
+          // Mask-native sampling: no OperandClasses vector, one reused sweep.
+          std::unique_ptr<SweepScratch> scratch =
+              style == ControlStyle::Distributed ? pool.acquire() : nullptr;
+          for (std::uint64_t i = begin; i < end; ++i) {
+            const std::uint64_t mask = randomClassMask(n, p, seed + i);
+            partial += style == ControlStyle::Distributed
+                           ? scratch->sweep.evalFull(mask)
+                           : engine.syncCycles(mask);
+          }
+          if (scratch) pool.release(std::move(scratch));
+        } else {
+          OperandClasses classes;
+          for (std::uint64_t i = begin; i < end; ++i) {
+            randomClasses(s, taus, p, seed + i, classes);
+            partial += style == ControlStyle::Distributed
+                           ? engine.distributedCycles(classes)
+                           : engine.syncCycles(classes);
+          }
         }
         return partial;
       },
@@ -119,30 +336,40 @@ double averageCyclesMonteCarlo(const sched::ScheduledDfg& s,
 LatencyComparison compareLatencies(const sched::ScheduledDfg& s,
                                    const std::vector<double>& ps,
                                    int mcSamples) {
-  const bool exact = tauOps(s).size() <= 20;
   // One engine serves every (style, P) cell of the sweep -- the schedule,
   // binding and topological bookkeeping are built once, not per point.
   const MakespanEngine engine(s);
+  // Exact-vs-MC is picked per style: CentSync is closed-form (always exact);
+  // Distributed enumerates up to the 24-TAU-op cap.
+  const bool exactDist = engine.numTauOps() <= kMaxExactTauOps;
   LatencyComparison out;
   out.ps = ps;
-  out.tau.bestNs = engine.syncCycles(allShort(s)) * s.clockNs;
-  out.tau.worstNs = engine.syncCycles(allLong(s)) * s.clockNs;
-  out.dist.bestNs = engine.distributedCycles(allShort(s)) * s.clockNs;
-  out.dist.worstNs = engine.distributedCycles(allLong(s)) * s.clockNs;
+  out.tau.bestNs = engine.bestSyncCycles() * s.clockNs;
+  out.tau.worstNs = engine.worstSyncCycles() * s.clockNs;
+  out.dist.bestNs = engine.bestDistributedCycles() * s.clockNs;
+  out.dist.worstNs = engine.worstDistributedCycles() * s.clockNs;
   out.tau.averageNs.resize(ps.size());
   out.dist.averageNs.resize(ps.size());
-  // The P-grid x {LT_TAU, LT_DIST} cells are independent; fan them out.
-  // (Inside a cell the estimators' own parallel regions run inline.)
-  common::parallelFor(ps.size() * 2, [&](std::size_t cell) {
-    const ControlStyle style =
-        cell < ps.size() ? ControlStyle::CentSync : ControlStyle::Distributed;
-    const std::size_t pi = cell % ps.size();
-    const double cycles =
-        exact ? averageCyclesExact(s, engine, style, ps[pi])
-              : averageCyclesMonteCarlo(s, engine, style, ps[pi], mcSamples);
-    LatencyRow& row = style == ControlStyle::CentSync ? out.tau : out.dist;
-    row.averageNs[pi] = cycles * s.clockNs;
-  });
+  // LT_TAU column: closed form, O(steps) per P.
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    out.tau.averageNs[i] = engine.syncExpectedCycles(ps[i]) * s.clockNs;
+  }
+  // LT_DIST column: one shared enumeration reweighted per P when exact;
+  // independent Monte-Carlo cells fanned out otherwise.
+  if (exactDist) {
+    const std::vector<double> cycles =
+        averageCyclesExactSweep(s, engine, ControlStyle::Distributed, ps);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      out.dist.averageNs[i] = cycles[i] * s.clockNs;
+    }
+  } else {
+    common::parallelFor(ps.size(), [&](std::size_t i) {
+      out.dist.averageNs[i] =
+          averageCyclesMonteCarlo(s, engine, ControlStyle::Distributed, ps[i],
+                                  mcSamples) *
+          s.clockNs;
+    });
+  }
   for (std::size_t i = 0; i < ps.size(); ++i) {
     const double tau = out.tau.averageNs[i];
     const double dist = out.dist.averageNs[i];

@@ -1,16 +1,28 @@
 // Latency statistics over the Bernoulli(P) operand-class model (Table 2).
 //
-// Two estimators: exact enumeration of all 2^n SD/LD assignments of the n
-// TAU-bound ops (noise-free; used whenever n <= 20 -- every paper benchmark
-// qualifies), and seeded Monte-Carlo sampling for larger designs.  Both are
-// available for both control styles; tests cross-validate them.
+// Three estimators:
+//  * CentSync averages are closed-form: each TAUBM step costs 2 cycles unless
+//    all of its k TAU ops hit SD, so E[cycles] = sum over steps of (2 - p^k).
+//    O(steps) regardless of the TAU count -- the sync column of every sweep
+//    is always exact, with no enumeration cap.
+//  * Distributed averages enumerate all 2^n SD/LD assignments of the n
+//    TAU-bound ops whenever n <= 24.  The enumeration walks each chunk in
+//    Gray-code order so consecutive masks differ in a single TAU op, which a
+//    MakespanEngine::DistributedSweep re-evaluates incrementally (worklist
+//    delta propagation over a CSR successor index); per-mask weights come
+//    from a precomputed popcount table and per-worker scratch buffers are
+//    reused across all masks, so the hot loop performs no allocation.
+//  * Seeded Monte-Carlo sampling for larger designs (samples are drawn as
+//    masks and evaluated through the same scratch engine).
 //
-// Both estimators are parallel (common/parallel.hpp; TAUHLS_THREADS lanes)
+// All estimators are parallel (common/parallel.hpp; TAUHLS_THREADS lanes)
 // and deterministic: the enumeration/sample space is cut into a fixed chunk
 // grid that depends only on the problem size, per-chunk partial sums are
-// folded in chunk-index order, and Monte-Carlo sample i always draws from
-// counter seed `seed + i` -- so every statistic is bit-identical for any
-// thread count.
+// folded in chunk-index order (the Gray-code walk only reorders *evaluation*;
+// the weighted accumulation stays in ascending mask order), and Monte-Carlo
+// sample i always draws from counter seed `seed + i` -- so every statistic is
+// bit-identical for any thread count, and the enumeration result is
+// bit-identical to the brute-force reference implementation.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +37,10 @@ enum class ControlStyle {
   CentSync,     ///< synchronized TAUBM expansion (LT_TAU)
 };
 
+/// Exact-enumeration cap for the Distributed style (CentSync is closed-form
+/// and uncapped).
+inline constexpr int kMaxExactTauOps = 24;
+
 /// Makespan in cycles under `style` for a specific class assignment.
 int makespanCycles(const sched::ScheduledDfg& s, ControlStyle style,
                    const OperandClasses& classes);
@@ -33,8 +49,12 @@ int makespanCycles(const sched::ScheduledDfg& s, ControlStyle style,
 int bestCaseCycles(const sched::ScheduledDfg& s, ControlStyle style);
 /// Worst case: every TAU op in the LD class.
 int worstCaseCycles(const sched::ScheduledDfg& s, ControlStyle style);
+/// As above, reusing a prebuilt engine (no schedule bookkeeping rebuild).
+int bestCaseCycles(const MakespanEngine& engine, ControlStyle style);
+int worstCaseCycles(const MakespanEngine& engine, ControlStyle style);
 
-/// Expected makespan (cycles) by exact enumeration; requires <= 20 TAU ops.
+/// Expected makespan (cycles): closed form for CentSync (any TAU count),
+/// exact enumeration for Distributed (requires <= 24 TAU ops).
 double averageCyclesExact(const sched::ScheduledDfg& s, ControlStyle style,
                           double p);
 
@@ -43,6 +63,24 @@ double averageCyclesExact(const sched::ScheduledDfg& s, ControlStyle style,
 double averageCyclesExact(const sched::ScheduledDfg& s,
                           const MakespanEngine& engine, ControlStyle style,
                           double p);
+
+/// Expected makespan for every P in `ps` at once.  The Distributed makespan
+/// of a mask does not depend on P, so the 2^n assignments are enumerated a
+/// single time and reweighted per P -- each entry is bit-identical to the
+/// corresponding averageCyclesExact(s, engine, style, ps[i]) call.  This is
+/// the Table 2 fast path: one Gray-code sweep serves the whole P column.
+std::vector<double> averageCyclesExactSweep(const sched::ScheduledDfg& s,
+                                            const MakespanEngine& engine,
+                                            ControlStyle style,
+                                            const std::vector<double>& ps);
+
+/// Brute-force reference enumerator (the pre-Gray-code algorithm: one full
+/// makespan sweep and two pow() calls per mask).  Kept for cross-validation
+/// and benchmarking; averageCyclesExact is bit-identical to it for the
+/// Distributed style and agrees to rounding for CentSync.
+double averageCyclesExactReference(const sched::ScheduledDfg& s,
+                                   const MakespanEngine& engine,
+                                   ControlStyle style, double p);
 
 /// Expected makespan (cycles) by Monte-Carlo sampling.
 double averageCyclesMonteCarlo(const sched::ScheduledDfg& s, ControlStyle style,
@@ -69,8 +107,9 @@ struct LatencyComparison {
   std::vector<double> enhancementPercent;  ///< (tau - dist) / tau * 100, per P
 };
 
-/// Compute the comparison with exact averages (Monte-Carlo fallback with
-/// `mcSamples` samples when the design has more than 20 TAU ops).
+/// Compute the comparison.  The CentSync row is always closed-form exact;
+/// the Distributed row uses exact enumeration up to 24 TAU ops and falls
+/// back to Monte-Carlo with `mcSamples` samples beyond.
 LatencyComparison compareLatencies(const sched::ScheduledDfg& s,
                                    const std::vector<double>& ps,
                                    int mcSamples = 20000);

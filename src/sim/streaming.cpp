@@ -72,11 +72,11 @@ StreamingResult streamingMakespan(
 StreamingResult streamingMakespanRandom(const sched::ScheduledDfg& s, int R,
                                         double p, std::uint64_t seed) {
   TAUHLS_CHECK(R >= 1, "need at least one iteration");
-  std::vector<OperandClasses> perIteration;
-  perIteration.reserve(static_cast<std::size_t>(R));
+  const std::vector<NodeId> taus = tauOps(s);
+  std::vector<OperandClasses> perIteration(static_cast<std::size_t>(R));
   for (int k = 0; k < R; ++k) {
-    perIteration.push_back(
-        randomClasses(s, p, seed + static_cast<std::uint64_t>(k)));
+    randomClasses(s, taus, p, seed + static_cast<std::uint64_t>(k),
+                  perIteration[static_cast<std::size_t>(k)]);
   }
   return streamingMakespan(s, perIteration);
 }

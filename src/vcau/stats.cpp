@@ -1,6 +1,7 @@
 #include "vcau/stats.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace tauhls::vcau {
 
@@ -44,36 +45,72 @@ double averageCyclesExact(const sched::ScheduledDfg& s,
                           const MultiLevelLibrary& overrides,
                           ControlStyle style) {
   const std::vector<VariableOp> vars = variableOps(s, overrides);
-  double total = 1.0;
-  for (const VariableOp& v : vars) total *= static_cast<double>(v.probs.size());
-  TAUHLS_CHECK(total <= (1 << 20),
+  double space = 1.0;
+  for (const VariableOp& v : vars) space *= static_cast<double>(v.probs.size());
+  TAUHLS_CHECK(space <= (1 << 20),
                "exact enumeration space too large; use Monte-Carlo");
+  const std::uint64_t total = static_cast<std::uint64_t>(space);
 
-  LevelClasses classes;
-  classes.levelOf.assign(s.graph.numNodes(), 0);
-  double expectation = 0.0;
+  // The mixed-radix odometer (digit 0 fastest) is a bijection between linear
+  // indices [0, total) and level assignments, so the space splits into a
+  // fixed chunk grid of contiguous index ranges whose partial expectations
+  // fold in chunk order -- deterministic for any thread count.  Within a
+  // chunk the assignment weight is maintained incrementally via suffix
+  // products (weight = suffix[0]; an increment at digit `pos` only refreshes
+  // suffix[pos..0]), amortized O(1) per step instead of a full product, and
+  // the LevelClasses scratch only rewrites the digits the increment touched.
+  const std::uint64_t numChunks = common::chunkCountFor(total);
+  const std::uint64_t chunkSize = (total + numChunks - 1) / numChunks;
+  return common::parallelReduce<double>(
+      static_cast<std::size_t>(numChunks), 0.0,
+      [&](std::size_t chunk) {
+        const std::uint64_t begin = chunk * chunkSize;
+        const std::uint64_t end =
+            begin + chunkSize < total ? begin + chunkSize : total;
+        if (begin >= end) return 0.0;
 
-  // Odometer over the per-op level choices.
-  std::vector<std::size_t> choice(vars.size(), 0);
-  while (true) {
-    double weight = 1.0;
-    for (std::size_t i = 0; i < vars.size(); ++i) {
-      classes.levelOf[vars[i].op] = static_cast<int>(choice[i]);
-      weight *= vars[i].probs[choice[i]];
-    }
-    if (weight > 0.0) {
-      expectation += weight * makespan(s, overrides, style, classes);
-    }
-    // Increment.
-    std::size_t pos = 0;
-    while (pos < vars.size()) {
-      if (++choice[pos] < vars[pos].probs.size()) break;
-      choice[pos] = 0;
-      ++pos;
-    }
-    if (pos == vars.size()) break;
-  }
-  return expectation;
+        LevelClasses classes;
+        classes.levelOf.assign(s.graph.numNodes(), 0);
+        std::vector<std::size_t> choice(vars.size(), 0);
+        // Decode the chunk's first linear index into odometer digits.
+        std::uint64_t rem = begin;
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+          const std::uint64_t radix = vars[i].probs.size();
+          choice[i] = static_cast<std::size_t>(rem % radix);
+          rem /= radix;
+          classes.levelOf[vars[i].op] = static_cast<int>(choice[i]);
+        }
+        // suffix[i] = product of probs[j][choice[j]] for j >= i.
+        std::vector<double> suffix(vars.size() + 1, 1.0);
+        for (std::size_t i = vars.size(); i-- > 0;) {
+          suffix[i] = vars[i].probs[choice[i]] * suffix[i + 1];
+        }
+
+        double partial = 0.0;
+        for (std::uint64_t idx = begin; idx < end; ++idx) {
+          const double weight = suffix.front();
+          if (weight > 0.0) {
+            partial += weight * makespan(s, overrides, style, classes);
+          }
+          // Increment digit 0, carrying into higher digits on wrap.
+          std::size_t pos = 0;
+          while (pos < vars.size()) {
+            if (++choice[pos] < vars[pos].probs.size()) break;
+            choice[pos] = 0;
+            ++pos;
+          }
+          if (pos == vars.size()) break;
+          classes.levelOf[vars[pos].op] = static_cast<int>(choice[pos]);
+          for (std::size_t i = 0; i < pos; ++i) {
+            classes.levelOf[vars[i].op] = 0;
+          }
+          for (std::size_t i = pos + 1; i-- > 0;) {
+            suffix[i] = vars[i].probs[choice[i]] * suffix[i + 1];
+          }
+        }
+        return partial;
+      },
+      [](double acc, double p) { return acc + p; });
 }
 
 double averageCycles(const sched::ScheduledDfg& s,

@@ -1,6 +1,10 @@
 // Latency statistics for multi-level VCAUs: exact expectation over all
 // level assignments (product of per-op level distributions) for small
-// designs, Monte-Carlo beyond.
+// designs, Monte-Carlo beyond.  The exact enumeration runs the mixed-radix
+// odometer in parallel over a fixed chunk grid (common/parallel.hpp) with
+// partials folded in chunk order, so results are bit-identical for any
+// thread count; assignment weights are maintained incrementally via suffix
+// products rather than recomputed per assignment.
 #pragma once
 
 #include "vcau/makespan.hpp"

@@ -1,0 +1,227 @@
+// Property tests for the rebuilt latency-statistics kernel: the closed-form
+// CentSync expectation against full enumeration, the Gray-code incremental
+// distributed sweep against the brute-force reference (bit-identical, at any
+// thread count), the mask-native engine API against the OperandClasses path,
+// and the raised 24-TAU-op exact-enumeration cap.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "dfg/benchmarks.hpp"
+#include "sim/stats.hpp"
+#include "tau/library.hpp"
+#include "testutil.hpp"
+
+namespace tauhls {
+namespace {
+
+using dfg::ResourceClass;
+using sched::Allocation;
+using sched::ScheduledDfg;
+
+class GlobalThreadCountGuard {
+ public:
+  ~GlobalThreadCountGuard() {
+    common::setGlobalThreadCount(common::configuredThreadCount());
+  }
+};
+
+std::vector<ScheduledDfg> paperBenchmarks() {
+  std::vector<ScheduledDfg> out;
+  out.push_back(sched::scheduleAndBind(
+      dfg::diffeq(),
+      Allocation{{ResourceClass::Multiplier, 2},
+                 {ResourceClass::Adder, 1},
+                 {ResourceClass::Subtractor, 1}},
+      tau::paperLibrary()));
+  out.push_back(sched::scheduleAndBind(
+      dfg::fir(3),
+      Allocation{{ResourceClass::Multiplier, 2}, {ResourceClass::Adder, 1}},
+      tau::paperLibrary()));
+  out.push_back(sched::scheduleAndBind(
+      dfg::fir(5),
+      Allocation{{ResourceClass::Multiplier, 2}, {ResourceClass::Adder, 1}},
+      tau::paperLibrary()));
+  out.push_back(sched::scheduleAndBind(
+      dfg::arLattice(),
+      Allocation{{ResourceClass::Multiplier, 4}, {ResourceClass::Adder, 2}},
+      tau::paperLibrary()));
+  return out;
+}
+
+/// A schedule with `n` TAU ops (independent multiplications on 3 units).
+ScheduledDfg manyTauSchedule(int n) {
+  return sched::scheduleAndBind(test::parallelMuls(n),
+                                Allocation{{ResourceClass::Multiplier, 3}},
+                                tau::paperLibrary());
+}
+
+// (a) Closed-form sync expectation equals the enumerated expectation on every
+// paper benchmark, across the whole P range including both degenerate ends.
+TEST(StatsKernel, ClosedFormSyncMatchesEnumeration) {
+  for (const ScheduledDfg& s : paperBenchmarks()) {
+    const sim::MakespanEngine engine(s);
+    for (double p : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+      const double closed =
+          sim::averageCyclesExact(s, engine, sim::ControlStyle::CentSync, p);
+      const double enumerated = sim::averageCyclesExactReference(
+          s, engine, sim::ControlStyle::CentSync, p);
+      EXPECT_NEAR(closed, enumerated, 1e-9)
+          << s.graph.name() << " p=" << p;
+    }
+  }
+}
+
+// (b) The Gray-code incremental sweep reproduces the naive full-sweep result
+// EXACTLY (same accumulation order, same weights), at every thread count.
+TEST(StatsKernel, GrayCodeSweepBitIdenticalToReference) {
+  GlobalThreadCountGuard guard;
+  for (const ScheduledDfg& s : paperBenchmarks()) {
+    const sim::MakespanEngine engine(s);
+    for (double p : {0.25, 0.7}) {
+      for (int threads : {1, 2, 8}) {
+        common::setGlobalThreadCount(threads);
+        EXPECT_EQ(
+            sim::averageCyclesExact(s, engine, sim::ControlStyle::Distributed,
+                                    p),
+            sim::averageCyclesExactReference(
+                s, engine, sim::ControlStyle::Distributed, p))
+            << s.graph.name() << " p=" << p << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// The shared-enumeration P-sweep returns, entry for entry, exactly what the
+// standalone per-P calls return -- for both styles, at every thread count.
+TEST(StatsKernel, SweepMatchesPerPointCallsBitForBit) {
+  GlobalThreadCountGuard guard;
+  const std::vector<double> ps = {1.0, 0.9, 0.7, 0.5, 0.25, 0.0};
+  for (const ScheduledDfg& s : paperBenchmarks()) {
+    const sim::MakespanEngine engine(s);
+    for (sim::ControlStyle style :
+         {sim::ControlStyle::Distributed, sim::ControlStyle::CentSync}) {
+      for (int threads : {1, 2, 8}) {
+        common::setGlobalThreadCount(threads);
+        const std::vector<double> swept =
+            sim::averageCyclesExactSweep(s, engine, style, ps);
+        ASSERT_EQ(swept.size(), ps.size());
+        for (std::size_t i = 0; i < ps.size(); ++i) {
+          EXPECT_EQ(swept[i],
+                    sim::averageCyclesExact(s, engine, style, ps[i]))
+              << s.graph.name() << " p=" << ps[i] << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+// The mask-native evaluation path agrees with the OperandClasses path on
+// every assignment, and maskOf inverts fromMask.
+TEST(StatsKernel, MaskApiMatchesClassesApi) {
+  for (const ScheduledDfg& s : paperBenchmarks()) {
+    const sim::MakespanEngine engine(s);
+    const int n = engine.numTauOps();
+    if (n > 12) continue;  // exhaustive check only for small designs
+    for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+      const sim::OperandClasses classes = sim::fromMask(s, mask);
+      EXPECT_EQ(engine.maskOf(classes), mask);
+      EXPECT_EQ(engine.distributedCycles(mask),
+                engine.distributedCycles(classes))
+          << s.graph.name() << " mask=" << mask;
+      EXPECT_EQ(engine.syncCycles(mask), engine.syncCycles(classes))
+          << s.graph.name() << " mask=" << mask;
+    }
+  }
+}
+
+// Incremental flipTau delta propagation never drifts from a from-scratch
+// evaluation, across a full Gray-code tour of the diffeq mask space.
+TEST(StatsKernel, IncrementalFlipMatchesFullEvaluation) {
+  const ScheduledDfg s = paperBenchmarks().front();
+  const sim::MakespanEngine engine(s);
+  const int n = engine.numTauOps();
+  sim::MakespanEngine::DistributedSweep sweep(engine);
+  sweep.evalFull(0);
+  for (std::uint64_t o = 1; o < (std::uint64_t{1} << n); ++o) {
+    const int incremental = sweep.flipTau(std::countr_zero(o));
+    EXPECT_EQ(incremental, engine.distributedCycles(sweep.mask()))
+        << "mask=" << sweep.mask();
+  }
+}
+
+// (c) The raised cap: a 22-TAU-op design enumerates exactly (the old 20-op
+// cap rejected it), degenerate P hits the extremes exactly, and Monte-Carlo
+// cross-validates the enumerated expectation.
+TEST(StatsKernel, ExactEnumerationHandles22TauOps) {
+  const ScheduledDfg s = manyTauSchedule(22);
+  const sim::MakespanEngine engine(s);
+  ASSERT_EQ(engine.numTauOps(), 22);
+  ASSERT_GT(engine.numTauOps(), 20);  // beyond the old cap
+
+  const int best = sim::bestCaseCycles(engine, sim::ControlStyle::Distributed);
+  const int worst =
+      sim::worstCaseCycles(engine, sim::ControlStyle::Distributed);
+  EXPECT_EQ(sim::averageCyclesExact(s, engine, sim::ControlStyle::Distributed,
+                                    1.0),
+            best);
+  EXPECT_EQ(sim::averageCyclesExact(s, engine, sim::ControlStyle::Distributed,
+                                    0.0),
+            worst);
+
+  const double avg =
+      sim::averageCyclesExact(s, engine, sim::ControlStyle::Distributed, 0.7);
+  EXPECT_GE(avg, best);
+  EXPECT_LE(avg, worst);
+  const double mc = sim::averageCyclesMonteCarlo(
+      s, engine, sim::ControlStyle::Distributed, 0.7, 20000, 42);
+  EXPECT_NEAR(mc, avg, 0.05);
+}
+
+// Beyond the 24-op cap the Distributed enumeration refuses, while the
+// closed-form CentSync expectation keeps working at any TAU count.
+TEST(StatsKernel, SyncColumnHasNoCap) {
+  const ScheduledDfg s = manyTauSchedule(25);
+  const sim::MakespanEngine engine(s);
+  ASSERT_GT(engine.numTauOps(), sim::kMaxExactTauOps);
+  EXPECT_THROW(
+      sim::averageCyclesExact(s, engine, sim::ControlStyle::Distributed, 0.5),
+      Error);
+
+  const double avg =
+      sim::averageCyclesExact(s, engine, sim::ControlStyle::CentSync, 0.5);
+  EXPECT_GE(avg, sim::bestCaseCycles(engine, sim::ControlStyle::CentSync));
+  EXPECT_LE(avg, sim::worstCaseCycles(engine, sim::ControlStyle::CentSync));
+  EXPECT_EQ(
+      sim::averageCyclesExact(s, engine, sim::ControlStyle::CentSync, 1.0),
+      sim::bestCaseCycles(engine, sim::ControlStyle::CentSync));
+  EXPECT_EQ(
+      sim::averageCyclesExact(s, engine, sim::ControlStyle::CentSync, 0.0),
+      sim::worstCaseCycles(engine, sim::ControlStyle::CentSync));
+}
+
+// The buffered randomClasses overload and the mask sampler draw the very same
+// Bernoulli sequence as the allocating overload.
+TEST(StatsKernel, RandomSamplersAgreeBitForBit) {
+  const ScheduledDfg s = paperBenchmarks().front();
+  const std::vector<dfg::NodeId> taus = sim::tauOps(s);
+  sim::OperandClasses buffered;
+  for (std::uint64_t seed : {1ull, 42ull, 1234567ull}) {
+    const sim::OperandClasses fresh = sim::randomClasses(s, 0.7, seed);
+    sim::randomClasses(s, taus, 0.7, seed, buffered);
+    EXPECT_EQ(fresh.shortClass, buffered.shortClass) << "seed=" << seed;
+    const std::uint64_t mask =
+        sim::randomClassMask(static_cast<int>(taus.size()), 0.7, seed);
+    for (std::size_t i = 0; i < taus.size(); ++i) {
+      EXPECT_EQ((mask >> i) & 1, fresh.shortClass[taus[i]] ? 1u : 0u)
+          << "seed=" << seed << " tau=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tauhls
