@@ -21,4 +21,15 @@ bool isIdentifier(const std::string& s);
 /// printf-style "%d"-free integer-to-string with fixed-width zero padding.
 std::string zeroPad(unsigned value, int width);
 
+/// `stem` followed by the decimal rendering of `n` ("S", 3 -> "S3").
+/// Equivalent to `stem + std::to_string(n)` but built by append: the rvalue
+/// operator+ form trips a gcc-12 -Wrestrict false positive under -O3
+/// (GCC PR105651), and library targets compile with warnings as errors.
+template <class Int>
+std::string numbered(const char* stem, Int n) {
+  std::string s = stem;
+  s += std::to_string(n);
+  return s;
+}
+
 }  // namespace tauhls

@@ -11,9 +11,12 @@
 #include "dfg/dot.hpp"
 #include "dfg/textio.hpp"
 #include "core/json.hpp"
+#include "dfg/benchmarks.hpp"
 #include "fsm/kiss.hpp"
+#include "fsm/signal_opt.hpp"
 #include "rtl/testbench.hpp"
 #include "sim/interp.hpp"
+#include "verify/verify.hpp"
 
 namespace tauhls::core {
 
@@ -42,7 +45,19 @@ std::string cliHelp() {
       "  --threads N       worker threads for the latency sweeps (default:\n"
       "                    TAUHLS_THREADS env var, else all hardware threads;\n"
       "                    results are identical for every N)\n"
-      "  --help            this text\n";
+      "  --help            this text\n"
+      "\n"
+      "subcommand: tauhlsc lint (<design.dfg> | --benchmarks) [options]\n"
+      "\n"
+      "Runs the static design-rule checker and controller model check\n"
+      "(src/verify/, rules DFG*/SCH*/FSM*/MDL*/NET*) over the flow's\n"
+      "artifacts without simulating.  Exits 1 when any error-severity\n"
+      "diagnostic fires, 0 otherwise.\n"
+      "\n"
+      "  --benchmarks      lint every built-in paper benchmark with its\n"
+      "                    Table 2 allocation instead of an input file\n"
+      "  --lint-json FILE  also write all diagnostics as JSON\n"
+      "  (--alloc, --strategy and --no-signal-opt apply as above)\n";
 }
 
 sched::Allocation parseAllocationSpec(const std::string& spec) {
@@ -85,6 +100,22 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
     if (a == "--help" || a == "-h") {
       o.showHelp = true;
       return o;
+    } else if (i == 0 && a == "lint") {
+      o.lint = true;
+    } else if (a == "--benchmarks") {
+      if (!o.lint) {
+        error = "--benchmarks is only valid with the lint subcommand";
+        return std::nullopt;
+      }
+      o.lintBenchmarks = true;
+    } else if (a == "--lint-json") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      if (!o.lint) {
+        error = "--lint-json is only valid with the lint subcommand";
+        return std::nullopt;
+      }
+      o.lintJsonPath = *v;
     } else if (a == "--alloc") {
       auto v = needValue(i);
       if (!v) return std::nullopt;
@@ -171,12 +202,80 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
       return std::nullopt;
     }
   }
-  if (o.inputPath.empty()) {
+  if (o.inputPath.empty() && !o.lintBenchmarks) {
     error = "no input file (try --help)";
+    return std::nullopt;
+  }
+  if (o.lintBenchmarks && !o.inputPath.empty()) {
+    error = "lint takes either an input file or --benchmarks, not both";
     return std::nullopt;
   }
   return o;
 }
+
+namespace {
+
+/// `tauhlsc lint`: run the static checker over one design or the whole
+/// benchmark suite; exit 1 on any error-severity diagnostic.
+int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  try {
+    std::vector<dfg::NamedBenchmark> designs;
+    if (options.lintBenchmarks) {
+      designs = dfg::paperTable2Suite();
+    } else {
+      std::ifstream in(options.inputPath);
+      if (!in) {
+        err << "tauhlsc: cannot open " << options.inputPath << "\n";
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      std::string name = options.inputPath;
+      if (auto slash = name.find_last_of('/'); slash != std::string::npos) {
+        name = name.substr(slash + 1);
+      }
+      if (auto dot = name.find_last_of('.'); dot != std::string::npos) {
+        name = name.substr(0, dot);
+      }
+      designs.push_back(
+          {name, dfg::parseDfg(buffer.str(), name), options.allocation});
+    }
+
+    verify::Report all;
+    for (const dfg::NamedBenchmark& b : designs) {
+      const sched::ScheduledDfg s = sched::scheduleAndBind(
+          b.graph, b.allocation, tau::paperLibrary(), options.strategy);
+      fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+      if (options.signalOpt) dcu = fsm::optimizeSignals(dcu, nullptr);
+      const fsm::Fsm centSync = fsm::buildCentSync(s);
+
+      verify::VerifyOptions vo;
+      vo.requestedAllocation = &b.allocation;
+      vo.centSync = &centSync;
+      // The CLI is a one-shot audit: use the full exploration budget rather
+      // than the flow gate's fast default.
+      vo.modelCheckMaxStates = 200000;
+      verify::Report report = verify::verifyFlow(s, dcu, vo);
+
+      out << "== " << b.name << " ==\n" << verify::renderText(report) << "\n";
+      all.merge(report);
+    }
+
+    if (!options.lintJsonPath.empty()) {
+      std::ofstream j(options.lintJsonPath);
+      TAUHLS_CHECK(static_cast<bool>(j),
+                   "cannot open " + options.lintJsonPath);
+      j << verify::renderJson(all) << "\n";
+      out << "wrote lint JSON to " << options.lintJsonPath << "\n";
+    }
+    return all.hasErrors() ? 1 : 0;
+  } catch (const Error& e) {
+    err << "tauhlsc: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
 
 int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
   if (options.showHelp) {
@@ -184,6 +283,7 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     return 0;
   }
   if (options.threads > 0) common::setGlobalThreadCount(options.threads);
+  if (options.lint) return runLint(options, out, err);
   std::ifstream in(options.inputPath);
   if (!in) {
     err << "tauhlsc: cannot open " << options.inputPath << "\n";

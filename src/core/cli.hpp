@@ -3,6 +3,8 @@
 //
 //   tauhlsc design.dfg --alloc mult=2,add=1,sub=1 --p 0.9,0.7,0.5
 //           --table1 --table2 --verilog out.v --kiss out --dot out.dot
+//   tauhlsc lint design.dfg --alloc mult=2,add=1
+//   tauhlsc lint --benchmarks --lint-json diags.json
 #pragma once
 
 #include <optional>
@@ -14,6 +16,9 @@
 namespace tauhls::core {
 
 struct CliOptions {
+  bool lint = false;          ///< `tauhlsc lint ...` subcommand
+  bool lintBenchmarks = false;///< lint every built-in paper benchmark
+  std::string lintJsonPath;   ///< empty = text only; else JSON diagnostics
   std::string inputPath;
   sched::Allocation allocation;
   std::vector<double> ps = {0.9, 0.7, 0.5};

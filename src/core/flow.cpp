@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "rtl/verilog.hpp"
+#include "verify/verify.hpp"
 
 namespace tauhls::core {
 
@@ -36,6 +37,18 @@ FlowResult runFlow(const dfg::Dfg& graph, const FlowConfig& config) {
         break;
     }
   });
+
+  if (config.verify) {
+    verify::VerifyOptions vo;
+    vo.requestedAllocation = &config.allocation;
+    vo.centSync = &r.centSync;
+    vo.modelCheckMaxStates = config.verifyMaxStates;
+    r.diagnostics = verify::verifyFlow(r.scheduled, r.distributed, vo);
+    if (r.diagnostics.hasErrors()) {
+      throw Error("static verification failed:\n" +
+                  verify::renderText(r.diagnostics));
+    }
+  }
 
   if (config.buildCentFsm) {
     fsm::ProductOptions opt;

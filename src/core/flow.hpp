@@ -24,6 +24,7 @@
 #include "sched/scheduled_dfg.hpp"
 #include "sim/stats.hpp"
 #include "synth/area.hpp"
+#include "verify/diagnostic.hpp"
 
 namespace tauhls::core {
 
@@ -38,6 +39,12 @@ struct FlowConfig {
   synth::EncodingStyle encoding = synth::EncodingStyle::Binary;
   bool synthesizeArea = true;                       ///< run the area model
   int mcSamples = 20000;                            ///< MC fallback (>24 TAU ops)
+  /// Run the static design-rule checker + controller model check over every
+  /// artifact and throw on any error-severity diagnostic (src/verify/).
+  bool verify = true;
+  /// Product-configuration bound for the model check; past it the check
+  /// degrades to an MDL007 warning instead of blocking the flow.
+  std::size_t verifyMaxStates = 50000;
 };
 
 struct FlowResult {
@@ -50,6 +57,7 @@ struct FlowResult {
   std::optional<synth::DistributedAreaReport> distArea;
   std::optional<synth::AreaRow> centSyncArea;
   std::optional<synth::AreaRow> centFsmArea;
+  verify::Report diagnostics;                       ///< when config.verify
 };
 
 /// Run the complete flow.  Throws tauhls::Error on any invalid input.

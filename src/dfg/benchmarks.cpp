@@ -1,21 +1,22 @@
 #include "dfg/benchmarks.hpp"
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
 
 namespace tauhls::dfg {
 
 Dfg fir(int taps) {
   TAUHLS_CHECK(taps >= 1, "fir needs at least one tap");
-  Dfg g("fir" + std::to_string(taps));
+  Dfg g(numbered("fir", taps));
   std::vector<NodeId> prods;
   for (int i = 0; i < taps; ++i) {
-    NodeId x = g.addInput("x" + std::to_string(i));
-    NodeId c = g.addInput("c" + std::to_string(i));
-    prods.push_back(g.addOp(OpKind::Mul, {x, c}, "m" + std::to_string(i)));
+    NodeId x = g.addInput(numbered("x", i));
+    NodeId c = g.addInput(numbered("c", i));
+    prods.push_back(g.addOp(OpKind::Mul, {x, c}, numbered("m", i)));
   }
   NodeId acc = prods[0];
   for (int i = 1; i < taps; ++i) {
-    acc = g.addOp(OpKind::Add, {acc, prods[i]}, "a" + std::to_string(i - 1));
+    acc = g.addOp(OpKind::Add, {acc, prods[i]}, numbered("a", i - 1));
   }
   g.markOutput(acc);
   g.validate();
@@ -24,23 +25,23 @@ Dfg fir(int taps) {
 
 Dfg iir(int order) {
   TAUHLS_CHECK(order >= 1, "iir needs order >= 1");
-  Dfg g("iir" + std::to_string(order));
+  Dfg g(numbered("iir", order));
   std::vector<NodeId> prods;
   // Feedforward taps b0..b_order on current/delayed inputs.
   for (int i = 0; i <= order; ++i) {
-    NodeId x = g.addInput("x" + std::to_string(i));
-    NodeId b = g.addInput("b" + std::to_string(i));
-    prods.push_back(g.addOp(OpKind::Mul, {x, b}, "mf" + std::to_string(i)));
+    NodeId x = g.addInput(numbered("x", i));
+    NodeId b = g.addInput(numbered("b", i));
+    prods.push_back(g.addOp(OpKind::Mul, {x, b}, numbered("mf", i)));
   }
   // Feedback taps a1..a_order on delayed outputs (signs folded into coeffs).
   for (int i = 1; i <= order; ++i) {
-    NodeId y = g.addInput("y" + std::to_string(i));
-    NodeId a = g.addInput("a" + std::to_string(i));
-    prods.push_back(g.addOp(OpKind::Mul, {y, a}, "mb" + std::to_string(i)));
+    NodeId y = g.addInput(numbered("y", i));
+    NodeId a = g.addInput(numbered("a", i));
+    prods.push_back(g.addOp(OpKind::Mul, {y, a}, numbered("mb", i)));
   }
   NodeId acc = prods[0];
   for (std::size_t i = 1; i < prods.size(); ++i) {
-    acc = g.addOp(OpKind::Add, {acc, prods[i]}, "s" + std::to_string(i - 1));
+    acc = g.addOp(OpKind::Add, {acc, prods[i]}, numbered("s", i - 1));
   }
   g.markOutput(acc);
   g.validate();
@@ -111,14 +112,14 @@ Dfg ewf() {
   // depth of the classic EWF used in HLS literature.
   Dfg g("ewf");
   std::vector<NodeId> s;
-  for (int i = 0; i < 8; ++i) s.push_back(g.addInput("s" + std::to_string(i)));
+  for (int i = 0; i < 8; ++i) s.push_back(g.addInput(numbered("s", i)));
   NodeId in = g.addInput("x");
   std::vector<NodeId> k;
-  for (int i = 0; i < 8; ++i) k.push_back(g.addInput("k" + std::to_string(i)));
+  for (int i = 0; i < 8; ++i) k.push_back(g.addInput(numbered("k", i)));
 
   int addIdx = 0;
   auto add = [&](NodeId a, NodeId b) {
-    return g.addOp(OpKind::Add, {a, b}, "t" + std::to_string(addIdx++));
+    return g.addOp(OpKind::Add, {a, b}, numbered("t", addIdx++));
   };
 
   // Front ladder: fold the input with four states.
@@ -175,9 +176,9 @@ Dfg ewf() {
 Dfg fft(int stages) {
   TAUHLS_CHECK(stages >= 1 && stages <= 5, "fft supports 1..5 stages");
   const int n = 1 << stages;
-  Dfg g("fft" + std::to_string(n));
+  Dfg g(numbered("fft", n));
   std::vector<NodeId> line;
-  for (int i = 0; i < n; ++i) line.push_back(g.addInput("x" + std::to_string(i)));
+  for (int i = 0; i < n; ++i) line.push_back(g.addInput(numbered("x", i)));
 
   int twiddle = 0;
   for (int stage = 0; stage < stages; ++stage) {
@@ -187,9 +188,10 @@ Dfg fft(int stages) {
       for (int k = 0; k < span; ++k) {
         const int i = group + k;
         const int j = i + span;
-        const std::string tag =
-            "s" + std::to_string(stage) + "_" + std::to_string(i);
-        NodeId w = g.addInput("w" + std::to_string(twiddle++));
+        std::string tag = numbered("s", stage);
+        tag += "_";
+        tag += std::to_string(i);
+        NodeId w = g.addInput(numbered("w", twiddle++));
         NodeId m = g.addOp(OpKind::Mul, {line[static_cast<std::size_t>(j)], w},
                            "m" + tag);
         next[static_cast<std::size_t>(i)] = g.addOp(
@@ -210,9 +212,9 @@ Dfg dct8() {
   // modelled as two multiplications and two additions each).
   Dfg g("dct8");
   std::vector<NodeId> x;
-  for (int i = 0; i < 8; ++i) x.push_back(g.addInput("x" + std::to_string(i)));
+  for (int i = 0; i < 8; ++i) x.push_back(g.addInput(numbered("x", i)));
   std::vector<NodeId> c;
-  for (int i = 0; i < 11; ++i) c.push_back(g.addInput("c" + std::to_string(i)));
+  for (int i = 0; i < 11; ++i) c.push_back(g.addInput(numbered("c", i)));
 
   // Stage 1: butterflies.
   NodeId s10 = g.addOp(OpKind::Add, {x[0], x[7]}, "s1_0");

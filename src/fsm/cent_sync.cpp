@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
 #include "fsm/signal.hpp"
 
 namespace tauhls::fsm {
@@ -29,9 +30,9 @@ Fsm buildCentSync(const sched::ScheduledDfg& s) {
   const int numSteps = static_cast<int>(steps.size());
   std::vector<int> stateS(numSteps), stateSp(numSteps, -1);
   for (int k = 0; k < numSteps; ++k) {
-    stateS[k] = fsm.addState("S" + std::to_string(k));
+    stateS[k] = fsm.addState(numbered("S", k));
     if (steps[k].split) {
-      stateSp[k] = fsm.addState("S" + std::to_string(k) + "p");
+      stateSp[k] = fsm.addState(numbered("S", k) + "p");
     }
   }
   fsm.setInitial(stateS[0]);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
 #include "fsm/signal.hpp"
 
 namespace tauhls::fsm {
@@ -85,9 +86,9 @@ UnitController buildController(const sched::ScheduledDfg& s, int unitId) {
   // States (paper step 2): S_i, S_i' for telescopic, R_i when preds exist.
   std::vector<int> stateS(n), stateSp(n, -1), stateR(n, -1);
   for (int i = 0; i < n; ++i) {
-    stateS[i] = fsm.addState("S" + std::to_string(i));
-    if (telescopic) stateSp[i] = fsm.addState("S" + std::to_string(i) + "p");
-    if (!preds[i].empty()) stateR[i] = fsm.addState("R" + std::to_string(i));
+    stateS[i] = fsm.addState(numbered("S", i));
+    if (telescopic) stateSp[i] = fsm.addState(numbered("S", i) + "p");
+    if (!preds[i].empty()) stateR[i] = fsm.addState(numbered("R", i));
   }
   fsm.setInitial(stateR[0] != -1 ? stateR[0] : stateS[0]);
 

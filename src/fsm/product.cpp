@@ -34,8 +34,9 @@ struct Config {
 }  // namespace
 
 Fsm buildProduct(const DistributedControlUnit& dcu,
-                 const ProductOptions& options) {
+                 const ProductOptions& options, ProductInfo* info) {
   TAUHLS_CHECK(!dcu.controllers.empty(), "product of zero controllers");
+  if (info != nullptr) info->controllerStates.clear();
   Fsm product("CENT_FSM");
   for (const std::string& in : dcu.externalInputs) product.addInput(in);
 
@@ -62,6 +63,7 @@ Fsm buildProduct(const DistributedControlUnit& dcu,
                  "product state bound exceeded (" +
                      std::to_string(options.maxStates) + ")");
     const int id = product.addState(cfg.name(dcu));
+    if (info != nullptr) info->controllerStates.push_back(cfg.states);
     stateIds.emplace(cfg, id);
     frontier.push(cfg);
     return id;

@@ -18,11 +18,21 @@ struct ProductOptions {
   std::size_t maxStates = 200000;
 };
 
+/// Per-product-state decomposition, for clients that need to map composite
+/// states back to controller configurations (the static model checker keys
+/// its restart analysis on "every controller at its initial state").
+struct ProductInfo {
+  /// [product state] -> per-controller FSM state ids.
+  std::vector<std::vector<int>> controllerStates;
+};
+
 /// Build the explicit product machine.  The composite state includes every
 /// controller's state and the contents of all completion latches, so the
 /// product is behaviourally equivalent to the distributed implementation
-/// (property-tested in tests/test_fsm_product.cpp).
+/// (property-tested in tests/test_fsm_product.cpp).  `info`, when non-null,
+/// receives the state decomposition.
 Fsm buildProduct(const DistributedControlUnit& dcu,
-                 const ProductOptions& options = {});
+                 const ProductOptions& options = {},
+                 ProductInfo* info = nullptr);
 
 }  // namespace tauhls::fsm

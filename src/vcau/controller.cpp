@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
 #include "fsm/signal.hpp"
 
 namespace tauhls::vcau {
@@ -74,11 +75,11 @@ fsm::UnitController buildController(const sched::ScheduledDfg& s,
   for (int i = 0; i < n; ++i) {
     for (int k = 0; k < levels; ++k) {
       stateS[static_cast<std::size_t>(i)].push_back(machine.addState(
-          "S" + std::to_string(i) + std::string(static_cast<std::size_t>(k), 'p')));
+          numbered("S", i) + std::string(static_cast<std::size_t>(k), 'p')));
     }
     if (!preds[static_cast<std::size_t>(i)].empty()) {
       stateR[static_cast<std::size_t>(i)] =
-          machine.addState("R" + std::to_string(i));
+          machine.addState(numbered("R", i));
     }
   }
   machine.setInitial(stateR[0] != -1 ? stateR[0] : stateS[0][0]);

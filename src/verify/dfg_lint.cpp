@@ -1,0 +1,183 @@
+#include "verify/dfg_lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "dfg/analysis.hpp"
+
+namespace tauhls::verify {
+
+using dfg::Dfg;
+using dfg::NodeId;
+
+namespace {
+
+bool validId(const Dfg& g, NodeId id) {
+  return id != dfg::kNoNode && id < g.numNodes();
+}
+
+/// BFS reachability from -> to over data edges plus all schedule arcs except
+/// the one at index `skipArc` (-1 = keep all).  Used both for redundancy
+/// (would the ordering survive without this arc?) and generic reach queries
+/// on graphs that may carry invalid ids (which are simply skipped).
+bool reachesWithout(const Dfg& g, NodeId from, NodeId to, int skipArc) {
+  std::vector<std::vector<NodeId>> succ(g.numNodes());
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    for (NodeId p : g.node(v).operands) {
+      if (validId(g, p)) succ[p].push_back(v);
+    }
+  }
+  const auto& arcs = g.scheduleArcs();
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (static_cast<int>(i) == skipArc) continue;
+    if (validId(g, arcs[i].from) && validId(g, arcs[i].to)) {
+      succ[arcs[i].from].push_back(arcs[i].to);
+    }
+  }
+  std::vector<bool> seen(g.numNodes(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(from);
+  seen[from] = true;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    if (v == to) return true;
+    for (NodeId s : succ[v]) {
+      if (!seen[s]) {
+        seen[s] = true;
+        frontier.push(s);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void lintDfg(const Dfg& g, Report& report) {
+  const std::string artifact = "dfg " + g.name();
+
+  // DFG001/DFG002: operand arity and dangling references.
+  bool danglingRefs = false;
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    const dfg::Node& n = g.node(v);
+    const int arity = dfg::opKindArity(n.kind);
+    if (static_cast<int>(n.operands.size()) != arity) {
+      report.add("DFG001", artifact, n.name,
+                 "has " + std::to_string(n.operands.size()) + " operands, " +
+                     dfg::opKindName(n.kind) + " requires " +
+                     std::to_string(arity));
+    }
+    for (NodeId p : n.operands) {
+      if (!validId(g, p)) {
+        danglingRefs = true;
+        report.add("DFG002", artifact, n.name,
+                   "operand refers to missing node id " + std::to_string(p));
+      }
+    }
+  }
+
+  // DFG006: duplicate node names.
+  std::map<std::string, int> nameCount;
+  for (NodeId v = 0; v < g.numNodes(); ++v) ++nameCount[g.node(v).name];
+  for (const auto& [name, cnt] : nameCount) {
+    if (cnt > 1) {
+      report.add("DFG006", artifact, name,
+                 "used by " + std::to_string(cnt) + " nodes");
+    }
+  }
+
+  // DFG008: malformed schedule arcs.
+  std::map<std::pair<NodeId, NodeId>, int> arcCount;
+  for (const dfg::ScheduleArc& a : g.scheduleArcs()) {
+    if (!validId(g, a.from) || !validId(g, a.to)) {
+      report.add("DFG008", artifact, "",
+                 "schedule arc endpoint out of range (" +
+                     std::to_string(a.from) + " -> " + std::to_string(a.to) +
+                     ")");
+      continue;
+    }
+    if (a.from == a.to) {
+      report.add("DFG008", artifact, g.node(a.from).name,
+                 "self-referential schedule arc");
+      continue;
+    }
+    ++arcCount[{a.from, a.to}];
+  }
+  for (const auto& [arc, cnt] : arcCount) {
+    if (cnt > 1) {
+      report.add("DFG008", artifact, g.node(arc.first).name,
+                 "schedule arc to " + g.node(arc.second).name + " appears " +
+                     std::to_string(cnt) + " times");
+    }
+  }
+
+  // DFG003: dependence cycles.  The remaining rules walk reachability, which
+  // is only meaningful on a DAG, so stop here when cyclic or dangling.
+  if (!g.isAcyclic()) {
+    report.add("DFG003", artifact, "",
+               "data edges and schedule arcs form a dependence cycle");
+    return;
+  }
+  if (danglingRefs) return;
+
+  // DFG007: inputs nothing consumes.
+  for (NodeId v : g.inputIds()) {
+    const bool isOutput =
+        std::find(g.outputs().begin(), g.outputs().end(), v) !=
+        g.outputs().end();
+    if (g.dataSuccessors(v).empty() && !isOutput) {
+      report.add("DFG007", artifact, g.node(v).name, "no operation reads it");
+    }
+  }
+
+  // DFG004: ops whose value reaches no primary output (data edges only; a
+  // graph without declared outputs is presumed fully live).
+  if (!g.outputs().empty()) {
+    std::vector<bool> live(g.numNodes(), false);
+    std::queue<NodeId> frontier;
+    for (NodeId v : g.outputs()) {
+      if (!live[v]) {
+        live[v] = true;
+        frontier.push(v);
+      }
+    }
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (NodeId p : g.node(v).operands) {
+        if (!live[p]) {
+          live[p] = true;
+          frontier.push(p);
+        }
+      }
+    }
+    for (NodeId v : g.opIds()) {
+      if (!live[v]) {
+        report.add("DFG004", artifact, g.node(v).name,
+                   "result reaches no primary output");
+      }
+    }
+  }
+
+  // DFG005: redundant schedule arcs.  An arc is redundant when the ordering
+  // it imposes survives its removal: a direct data edge, or a transitive
+  // path through the remaining edges and arcs.
+  const auto& arcs = g.scheduleArcs();
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (!validId(g, arcs[i].from) || !validId(g, arcs[i].to) ||
+        arcs[i].from == arcs[i].to) {
+      continue;  // already reported as DFG008
+    }
+    if (reachesWithout(g, arcs[i].from, arcs[i].to, static_cast<int>(i))) {
+      report.add("DFG005", artifact, g.node(arcs[i].from).name,
+                 "schedule arc to " + g.node(arcs[i].to).name +
+                     " is implied by the remaining edges");
+    }
+  }
+}
+
+}  // namespace tauhls::verify

@@ -1,0 +1,16 @@
+// DFG lint (rules DFG001-DFG008): structural well-formedness diagnostics the
+// throwing Dfg::validate() cannot express -- dangling operands, dead
+// operations, duplicate names, cyclic dependences, and *redundant schedule
+// arcs*: sequencing arcs already implied by a data edge or by transitivity
+// through the remaining edges, which cost controller states for nothing.
+#pragma once
+
+#include "dfg/graph.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace tauhls::verify {
+
+/// Run every DFG rule over `g`, appending to `report`.
+void lintDfg(const dfg::Dfg& g, Report& report);
+
+}  // namespace tauhls::verify

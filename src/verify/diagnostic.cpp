@@ -1,0 +1,211 @@
+#include "verify/diagnostic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tauhls::verify {
+
+const char* severityName(Severity severity) {
+  switch (severity) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+
+const std::vector<RuleInfo>& allRules() {
+  static const std::vector<RuleInfo> rules = {
+      // --- DFG lint -------------------------------------------------------
+      {"DFG001", Severity::Error,
+       "operand count does not match the operation's arity"},
+      {"DFG002", Severity::Error, "operand references a missing node"},
+      {"DFG003", Severity::Error, "graph contains a dependence cycle"},
+      {"DFG004", Severity::Warning,
+       "operation value reaches no primary output (dead op)"},
+      {"DFG005", Severity::Warning,
+       "redundant schedule arc (already implied by data edges or other arcs)"},
+      {"DFG006", Severity::Error, "duplicate node name"},
+      {"DFG007", Severity::Warning, "primary input has no consumers"},
+      {"DFG008", Severity::Error,
+       "invalid schedule arc (missing endpoint, self-arc, or duplicate)"},
+      // --- schedule / binding legality -----------------------------------
+      {"SCH001", Severity::Error, "operation is not bound to any unit"},
+      {"SCH002", Severity::Error,
+       "operation bound to a unit of an incompatible resource class"},
+      {"SCH003", Severity::Error,
+       "two operations occupy one unit in the same control step"},
+      {"SCH004", Severity::Error,
+       "data predecessor is not scheduled strictly earlier"},
+      {"SCH005", Severity::Error,
+       "control step uses more units of a class than allocated"},
+      {"SCH006", Severity::Error,
+       "unit execution order contradicts the step schedule"},
+      {"SCH007", Severity::Error,
+       "binding instantiates more units of a class than allocated"},
+      {"SCH008", Severity::Error,
+       "consecutive same-unit operations lack a serializing dependence"},
+      {"SCH009", Severity::Error,
+       "values with overlapping lifetimes share a register"},
+      {"SCH010", Severity::Warning,
+       "register allocation exceeds the maximum-live lower bound"},
+      {"SCH011", Severity::Error, "operation is missing a control step"},
+      // --- FSM static checks ---------------------------------------------
+      {"FSM001", Severity::Error, "state is unreachable from the initial state"},
+      {"FSM002", Severity::Error, "state has no outgoing transitions"},
+      {"FSM003", Severity::Error,
+       "incomplete guards: some input assignment enables no transition"},
+      {"FSM004", Severity::Error,
+       "nondeterministic guards: two transitions can fire at once"},
+      {"FSM005", Severity::Warning,
+       "transition guard is unsatisfiable and can never fire"},
+      {"FSM006", Severity::Warning, "declared input is read by no guard"},
+      {"FSM007", Severity::Warning, "declared output is never asserted"},
+      // --- distributed-controller model check ----------------------------
+      {"MDL001", Severity::Error,
+       "product deadlock: a controller has no enabled transition"},
+      {"MDL002", Severity::Error,
+       "livelock: an iteration restart is unreachable from a reachable "
+       "configuration"},
+      {"MDL003", Severity::Error,
+       "lock-step violation: a reachable cycle executes operations unequally "
+       "often"},
+      {"MDL004", Severity::Error,
+       "causality violation: an operation completes before a data predecessor"},
+      {"MDL005", Severity::Error,
+       "order violation: an operation completes before its unit's previous "
+       "operation"},
+      {"MDL006", Severity::Error,
+       "distributed and centralized controllers disagree on the per-iteration "
+       "event set"},
+      {"MDL007", Severity::Warning,
+       "model check incomplete: reachable-state bound exceeded"},
+      // --- netlist / RTL structural checks -------------------------------
+      {"NET001", Severity::Error, "combinational cycle"},
+      {"NET002", Severity::Error, "undriven net or signal"},
+      {"NET003", Severity::Error, "multiply-driven net or signal"},
+      {"NET004", Severity::Error, "width mismatch"},
+      {"NET005", Severity::Error,
+       "instance references an unknown module or port"},
+      {"NET006", Severity::Warning, "input is never read"},
+      {"NET007", Severity::Warning, "gate or net drives nothing"},
+      {"NET008", Severity::Error, "malformed gate arity"},
+  };
+  return rules;
+}
+
+const RuleInfo* findRule(const std::string& code) {
+  for (const RuleInfo& r : allRules()) {
+    if (code == r.code) return &r;
+  }
+  return nullptr;
+}
+
+std::string Diagnostic::toString() const {
+  std::ostringstream os;
+  os << severityName(severity) << " " << code << " [" << artifact << "]";
+  if (!where.empty()) os << " " << where;
+  os << ": " << message;
+  return os.str();
+}
+
+void Report::add(const std::string& code, const std::string& artifact,
+                 const std::string& where, const std::string& message) {
+  const RuleInfo* rule = findRule(code);
+  TAUHLS_ASSERT(rule != nullptr, "diagnostic uses unregistered rule " + code);
+  diags_.push_back(Diagnostic{code, rule->severity, artifact, where, message});
+}
+
+std::size_t Report::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+bool Report::has(const std::string& code) const {
+  return std::any_of(diags_.begin(), diags_.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+std::vector<Diagnostic> Report::withCode(const std::string& code) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags_) {
+    if (d.code == code) out.push_back(d);
+  }
+  return out;
+}
+
+void Report::merge(const Report& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+std::string renderText(const Report& report) {
+  std::ostringstream os;
+  // Errors first, then warnings and infos, preserving pass order within a
+  // severity so related diagnostics stay adjacent.
+  for (const Severity sev :
+       {Severity::Error, Severity::Warning, Severity::Info}) {
+    for (const Diagnostic& d : report.diagnostics()) {
+      if (d.severity == sev) os << d.toString() << "\n";
+    }
+  }
+  const std::size_t errors = report.errorCount();
+  const std::size_t warnings = report.count(Severity::Warning);
+  if (errors == 0 && warnings == 0) {
+    os << "clean\n";
+  } else {
+    os << errors << (errors == 1 ? " error, " : " errors, ") << warnings
+       << (warnings == 1 ? " warning" : " warnings") << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string jsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string renderJson(const Report& report) {
+  std::ostringstream os;
+  os << "{\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"code\":" << jsonQuote(d.code) << ",\"severity\":"
+       << jsonQuote(severityName(d.severity)) << ",\"artifact\":"
+       << jsonQuote(d.artifact) << ",\"where\":" << jsonQuote(d.where)
+       << ",\"message\":" << jsonQuote(d.message) << "}";
+  }
+  os << "],\"errors\":" << report.errorCount()
+     << ",\"warnings\":" << report.count(Severity::Warning) << "}";
+  return os.str();
+}
+
+}  // namespace tauhls::verify

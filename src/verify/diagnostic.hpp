@@ -1,0 +1,84 @@
+// Shared diagnostics engine of the static design-rule checker (src/verify/).
+//
+// Every pass reports through a verify::Report: a flat list of Diagnostics,
+// each carrying a *stable rule code* (DFG001, SCH003, FSM007, NET002, ...),
+// a severity, the name of the object it anchors to (an op, state, unit,
+// signal or net name) and a human-readable message.  Severities are owned by
+// the rule registry, not the call site, so a rule's severity is consistent
+// everywhere it fires and docs/VERIFY.md can be generated from one table.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tauhls::verify {
+
+enum class Severity : int {
+  Info = 0,
+  Warning = 1,
+  Error = 2,
+};
+
+/// Stable lower-case name ("error", "warning", "info").
+const char* severityName(Severity severity);
+
+/// One entry of the rule registry; `allRules()` is the single source of truth
+/// for codes, severities and the one-line summaries shown in docs and
+/// `tauhlsc lint --rules`.
+struct RuleInfo {
+  const char* code;     ///< e.g. "FSM003"
+  Severity severity;
+  const char* summary;  ///< one line, starts lower-case
+};
+
+/// Every registered rule, ordered by code.
+const std::vector<RuleInfo>& allRules();
+
+/// Registry lookup; nullptr for unknown codes.
+const RuleInfo* findRule(const std::string& code);
+
+struct Diagnostic {
+  std::string code;      ///< registry rule code
+  Severity severity = Severity::Error;
+  std::string artifact;  ///< artifact checked, e.g. "dfg diffeq", "fsm D_FSM_mult1"
+  std::string where;     ///< object name inside the artifact ("" when global)
+  std::string message;
+
+  /// "error DFG001 [dfg diffeq] op m3: ..." single-line rendering.
+  std::string toString() const;
+};
+
+/// Pass-ordered diagnostic sink.  add() resolves the severity from the rule
+/// registry; unknown codes are a programming error and throw.
+class Report {
+ public:
+  void add(const std::string& code, const std::string& artifact,
+           const std::string& where, const std::string& message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::size_t count(Severity severity) const;
+  std::size_t errorCount() const { return count(Severity::Error); }
+  bool hasErrors() const { return errorCount() > 0; }
+
+  /// True when some diagnostic carries `code`.
+  bool has(const std::string& code) const;
+  /// All diagnostics with `code`.
+  std::vector<Diagnostic> withCode(const std::string& code) const;
+
+  /// Append every diagnostic of `other`.
+  void merge(const Report& other);
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// Multi-line human rendering, errors first, with a trailing summary line
+/// ("3 errors, 1 warning" / "clean").
+std::string renderText(const Report& report);
+
+/// Machine rendering: {"diagnostics":[{code,severity,artifact,where,message}],
+/// "errors":N,"warnings":N} -- consumed by CI trend tracking.
+std::string renderJson(const Report& report);
+
+}  // namespace tauhls::verify

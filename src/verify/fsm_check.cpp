@@ -1,0 +1,173 @@
+#include "verify/fsm_check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tauhls::verify {
+
+using fsm::Guard;
+using fsm::GuardTerm;
+
+namespace {
+
+bool termsConflict(const GuardTerm& a, const GuardTerm& b) {
+  // Iterate the smaller map for the common ordered-map merge.
+  const GuardTerm& small = a.literals.size() <= b.literals.size() ? a : b;
+  const GuardTerm& large = &small == &a ? b : a;
+  for (const auto& [sig, pol] : small.literals) {
+    const auto it = large.literals.find(sig);
+    if (it != large.literals.end() && it->second != pol) return true;
+  }
+  return false;
+}
+
+std::string assignmentToString(const std::map<std::string, bool>& assignment) {
+  std::string out;
+  for (const auto& [sig, val] : assignment) {
+    if (!out.empty()) out += " ";
+    out += (val ? "" : "!") + sig;
+  }
+  return out.empty() ? "(any input)" : out;
+}
+
+}  // namespace
+
+bool guardsOverlap(const Guard& g1, const Guard& g2) {
+  for (const GuardTerm& t1 : g1.terms()) {
+    for (const GuardTerm& t2 : g2.terms()) {
+      if (!termsConflict(t1, t2)) return true;
+    }
+  }
+  return false;
+}
+
+bool termsAreTautology(const std::vector<GuardTerm>& terms,
+                       std::map<std::string, bool>* witness) {
+  for (const GuardTerm& t : terms) {
+    if (t.literals.empty()) return true;  // constant-true term covers all
+  }
+  if (terms.empty()) return false;  // empty SOP is constant false
+
+  // Shannon expansion on the first literal of the first term; each recursion
+  // eliminates one signal, so depth is bounded by the support size.
+  const std::string signal = terms.front().literals.begin()->first;
+  for (const bool value : {false, true}) {
+    std::vector<GuardTerm> cofactor;
+    for (const GuardTerm& t : terms) {
+      const auto it = t.literals.find(signal);
+      if (it != t.literals.end() && it->second != value) continue;  // falsified
+      GuardTerm reduced = t;
+      reduced.literals.erase(signal);
+      cofactor.push_back(std::move(reduced));
+    }
+    if (!termsAreTautology(cofactor, witness)) {
+      if (witness != nullptr) (*witness)[signal] = value;
+      return false;
+    }
+  }
+  return true;
+}
+
+void checkFsm(const fsm::Fsm& fsm, Report& report) {
+  const std::string artifact = "fsm " + fsm.name();
+  if (fsm.numStates() == 0) {
+    report.add("FSM002", artifact, "", "machine has no states");
+    return;
+  }
+
+  // FSM001: reachability from the initial state over satisfiable guards.
+  std::vector<bool> reachable(fsm.numStates(), false);
+  std::queue<int> frontier;
+  reachable[static_cast<std::size_t>(fsm.initial())] = true;
+  frontier.push(fsm.initial());
+  while (!frontier.empty()) {
+    const int s = frontier.front();
+    frontier.pop();
+    for (const fsm::Transition* t : fsm.transitionsFrom(s)) {
+      if (t->guard.isNever()) continue;
+      if (!reachable[static_cast<std::size_t>(t->to)]) {
+        reachable[static_cast<std::size_t>(t->to)] = true;
+        frontier.push(t->to);
+      }
+    }
+  }
+  for (int s = 0; s < static_cast<int>(fsm.numStates()); ++s) {
+    if (!reachable[static_cast<std::size_t>(s)]) {
+      report.add("FSM001", artifact, fsm.stateName(s),
+                 "no satisfiable transition path from " +
+                     fsm.stateName(fsm.initial()));
+    }
+  }
+
+  for (int s = 0; s < static_cast<int>(fsm.numStates()); ++s) {
+    const std::vector<const fsm::Transition*> transitions =
+        fsm.transitionsFrom(s);
+
+    // FSM002: dead-end states.
+    if (transitions.empty()) {
+      report.add("FSM002", artifact, fsm.stateName(s),
+                 "no outgoing transitions");
+      continue;
+    }
+
+    // FSM005: transitions that can never fire.
+    for (const fsm::Transition* t : transitions) {
+      if (t->guard.isNever()) {
+        report.add("FSM005", artifact, fsm.stateName(s),
+                   "transition to " + fsm.stateName(t->to) +
+                       " has an unsatisfiable guard");
+      }
+    }
+
+    // FSM003: completeness -- the union of outgoing guard terms must cover
+    // the whole cube of the signals they read.
+    std::vector<GuardTerm> united;
+    for (const fsm::Transition* t : transitions) {
+      united.insert(united.end(), t->guard.terms().begin(),
+                    t->guard.terms().end());
+    }
+    std::map<std::string, bool> witness;
+    if (!termsAreTautology(united, &witness)) {
+      report.add("FSM003", artifact, fsm.stateName(s),
+                 "no transition fires under " + assignmentToString(witness) +
+                     " (potential deadlock)");
+    }
+
+    // FSM004: determinism -- no two outgoing guards may overlap.
+    for (std::size_t i = 0; i < transitions.size(); ++i) {
+      for (std::size_t j = i + 1; j < transitions.size(); ++j) {
+        if (guardsOverlap(transitions[i]->guard, transitions[j]->guard)) {
+          report.add("FSM004", artifact, fsm.stateName(s),
+                     "transitions to " + fsm.stateName(transitions[i]->to) +
+                         " and " + fsm.stateName(transitions[j]->to) +
+                         " can fire together (race)");
+        }
+      }
+    }
+  }
+
+  // FSM006/FSM007: unused declarations.
+  std::set<std::string> readSignals;
+  std::set<std::string> assertedSignals;
+  for (const fsm::Transition& t : fsm.transitions()) {
+    for (const std::string& sig : t.guard.signals()) readSignals.insert(sig);
+    assertedSignals.insert(t.outputs.begin(), t.outputs.end());
+  }
+  for (const std::string& in : fsm.inputs()) {
+    if (!readSignals.contains(in)) {
+      report.add("FSM006", artifact, in, "declared input is read by no guard");
+    }
+  }
+  for (const std::string& out : fsm.outputs()) {
+    if (!assertedSignals.contains(out)) {
+      report.add("FSM007", artifact, out,
+                 "declared output is asserted by no transition");
+    }
+  }
+}
+
+}  // namespace tauhls::verify

@@ -1,0 +1,34 @@
+// FSM static checks (rules FSM001-FSM007), exact over the completion-signal
+// cube and reported as diagnostics instead of the first-failure throw of
+// fsm::validateFsm.
+//
+// Guard *determinism* (FSM004) is decided per transition pair: the
+// conjunction of two SOP guards is satisfiable iff some term pair carries no
+// opposing literal -- exact, no enumeration.  Guard *completeness* (FSM003)
+// is a tautology check on the union of a state's outgoing guard terms,
+// decided by Shannon cofactoring over the referenced signals; when the check
+// fails it reports a concrete witness assignment that deadlocks the state.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "fsm/guard.hpp"
+#include "fsm/machine.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace tauhls::verify {
+
+/// Run FSM001-FSM007 over one machine, appending to `report`.
+void checkFsm(const fsm::Fsm& fsm, Report& report);
+
+/// True when g1 AND g2 is satisfiable (some assignment enables both).
+bool guardsOverlap(const fsm::Guard& g1, const fsm::Guard& g2);
+
+/// True when the disjunction of `terms` is a tautology.  An empty term is the
+/// constant true; an empty list the constant false.  When false and `witness`
+/// is non-null, it receives an assignment (signal -> value) no term matches.
+bool termsAreTautology(const std::vector<fsm::GuardTerm>& terms,
+                       std::map<std::string, bool>* witness);
+
+}  // namespace tauhls::verify

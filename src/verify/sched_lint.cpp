@@ -1,0 +1,168 @@
+#include "verify/sched_lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfg/analysis.hpp"
+#include "regalloc/leftedge.hpp"
+#include "regalloc/lifetime.hpp"
+
+namespace tauhls::verify {
+
+using dfg::NodeId;
+
+void lintSchedule(const sched::ScheduledDfg& s, const sched::Allocation* alloc,
+                  Report& report) {
+  const dfg::Dfg& g = s.graph;
+  const std::string artifact = "schedule " + g.name();
+
+  auto stepAt = [&](NodeId v) -> int {
+    if (v >= s.steps.stepOf.size()) return -1;
+    return s.steps.stepOf[v];
+  };
+
+  // SCH001/SCH011: every op bound and stepped.
+  for (NodeId v : g.opIds()) {
+    if (s.binding.unitOf(v) == -1) {
+      report.add("SCH001", artifact, g.node(v).name, "no unit executes it");
+    }
+    if (stepAt(v) < 0) {
+      report.add("SCH011", artifact, g.node(v).name,
+                 "step schedule assigns it no control step");
+    }
+  }
+
+  // SCH002/SCH003/SCH006/SCH008: per-unit sequence legality.
+  for (int u = 0; u < static_cast<int>(s.binding.numUnits()); ++u) {
+    const sched::UnitInstance& unit = s.binding.unit(u);
+    const std::vector<NodeId>& seq = s.binding.sequenceOf(u);
+    std::map<int, std::vector<NodeId>> opsPerStep;
+    for (NodeId v : seq) {
+      if (dfg::resourceClassOf(g.node(v).kind) != unit.cls) {
+        report.add("SCH002", artifact, g.node(v).name,
+                   std::string("a ") + dfg::opKindName(g.node(v).kind) +
+                       " is bound to " + unit.name + " of class " +
+                       dfg::resourceClassName(unit.cls));
+      }
+      if (stepAt(v) >= 0) opsPerStep[stepAt(v)].push_back(v);
+    }
+    for (const auto& [step, ops] : opsPerStep) {
+      if (ops.size() > 1) {
+        std::string names;
+        for (NodeId v : ops) {
+          if (!names.empty()) names += ", ";
+          names += g.node(v).name;
+        }
+        report.add("SCH003", artifact, unit.name,
+                   "step " + std::to_string(step) + " schedules " + names +
+                       " on the same unit");
+      }
+    }
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      const int a = stepAt(seq[i]);
+      const int b = stepAt(seq[i + 1]);
+      if (a >= 0 && b >= 0 && b < a) {
+        report.add("SCH006", artifact, unit.name,
+                   g.node(seq[i + 1]).name + " (step " + std::to_string(b) +
+                       ") follows " + g.node(seq[i]).name + " (step " +
+                       std::to_string(a) + ") in the execution sequence");
+      }
+      // The distributed controllers execute seq back-to-back; without a
+      // dependence (data edge or serialization arc) the order is a fiction
+      // nothing in the graph enforces.
+      if (!dfg::reaches(g, seq[i], seq[i + 1])) {
+        report.add("SCH008", artifact, unit.name,
+                   "no dependence orders " + g.node(seq[i]).name + " before " +
+                       g.node(seq[i + 1]).name);
+      }
+    }
+  }
+
+  // SCH004: data predecessors strictly earlier.
+  for (NodeId v : g.opIds()) {
+    for (NodeId p : g.dataPredecessors(v)) {
+      if (!g.isOp(p)) continue;
+      if (stepAt(v) >= 0 && stepAt(p) >= 0 && stepAt(p) >= stepAt(v)) {
+        report.add("SCH004", artifact, g.node(v).name,
+                   "operand " + g.node(p).name + " is in step " +
+                       std::to_string(stepAt(p)) + ", consumer in step " +
+                       std::to_string(stepAt(v)));
+      }
+    }
+  }
+
+  if (alloc != nullptr) {
+    // SCH005: per-step class usage within the allocation.
+    std::map<int, std::map<dfg::ResourceClass, int>> usage;
+    for (NodeId v : g.opIds()) {
+      if (stepAt(v) >= 0) {
+        ++usage[stepAt(v)][dfg::resourceClassOf(g.node(v).kind)];
+      }
+    }
+    for (const auto& [step, perClass] : usage) {
+      for (const auto& [cls, used] : perClass) {
+        const auto it = alloc->find(cls);
+        if (it != alloc->end() && used > it->second) {
+          report.add("SCH005", artifact, dfg::resourceClassName(cls),
+                     "step " + std::to_string(step) + " uses " +
+                         std::to_string(used) + " units, " +
+                         std::to_string(it->second) + " allocated");
+        }
+      }
+    }
+    // SCH007: binding instantiates within the allocation.
+    for (const auto& [cls, count] : *alloc) {
+      const int bound = static_cast<int>(s.binding.unitsOfClass(cls).size());
+      if (bound > count) {
+        report.add("SCH007", artifact, dfg::resourceClassName(cls),
+                   "binding uses " + std::to_string(bound) + " units, " +
+                       std::to_string(count) + " allocated");
+      }
+    }
+  }
+}
+
+void lintRegisterAllocation(const sched::ScheduledDfg& s, Report& report) {
+  const std::string artifact = "regalloc " + s.graph.name();
+  const std::vector<regalloc::Lifetime> lifetimes =
+      regalloc::distributedLifetimes(s);
+  const regalloc::RegisterAllocation ra =
+      regalloc::leftEdgeRegisters(lifetimes, s.graph.numNodes());
+
+  // SCH009: no overlapping lifetimes in one register.  Occupancy is the
+  // half-open interval (write, lastRead]; touching intervals may share.
+  std::map<int, std::vector<const regalloc::Lifetime*>> perRegister;
+  for (const regalloc::Lifetime& lt : lifetimes) {
+    const int reg = ra.registerOf[lt.value];
+    if (reg >= 0) perRegister[reg].push_back(&lt);
+  }
+  for (const auto& [reg, values] : perRegister) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      for (std::size_t j = i + 1; j < values.size(); ++j) {
+        const regalloc::Lifetime& a = *values[i];
+        const regalloc::Lifetime& b = *values[j];
+        if (std::max(a.writeCycle, b.writeCycle) <
+            std::min(a.lastReadCycle, b.lastReadCycle)) {
+          std::string regLabel = "r";
+          regLabel += std::to_string(reg);
+          report.add("SCH009", artifact, regLabel,
+                     s.graph.node(a.value).name + " and " +
+                         s.graph.node(b.value).name +
+                         " are live simultaneously");
+        }
+      }
+    }
+  }
+
+  // SCH010: left-edge on interval graphs should match the max-live bound.
+  const int bound = regalloc::maxLiveValues(lifetimes);
+  if (ra.numRegisters > bound) {
+    report.add("SCH010", artifact, "",
+               std::to_string(ra.numRegisters) + " registers allocated, " +
+                   std::to_string(bound) + " simultaneously-live values");
+  }
+}
+
+}  // namespace tauhls::verify

@@ -1,0 +1,26 @@
+// Schedule / binding / register-allocation legality (rules SCH001-SCH010).
+//
+// Checks the complete scheduling artifact: every op bound to a unit of its
+// class, no unit double-booked within a control step, data predecessors in
+// strictly earlier steps, per-step and per-binding unit counts within the
+// allocation, consecutive same-unit ops serialized by a dependence (the
+// paper's schedule-arc discipline, required for the distributed controllers
+// to be order-safe), and the left-edge register allocation free of lifetime
+// overlaps and no larger than the max-live lower bound.
+#pragma once
+
+#include "sched/scheduled_dfg.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace tauhls::verify {
+
+/// Run SCH001-SCH008 over the scheduling artifact.  `alloc` is the *requested*
+/// allocation (pre-normalization); pass nullptr to skip the count checks that
+/// need it (SCH005/SCH007 then use the binding's own unit counts).
+void lintSchedule(const sched::ScheduledDfg& s, const sched::Allocation* alloc,
+                  Report& report);
+
+/// Run SCH009/SCH010 over the distributed-lifetime left-edge allocation.
+void lintRegisterAllocation(const sched::ScheduledDfg& s, Report& report);
+
+}  // namespace tauhls::verify
