@@ -10,6 +10,7 @@
 
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
+#include "core/pipeline.hpp"
 
 int main() {
   using namespace tauhls;
@@ -29,12 +30,18 @@ int main() {
                          "enh P=.9", "enh P=.7", "enh P=.5"});
   const auto suite = dfg::paperTable2Suite();
   // The six benchmark flows are independent; fan them out and print in order.
+  // Each flow drives the pass pipeline against a shared artifact cache, so a
+  // repeated invocation (or a follow-up report over the same suite) would be
+  // served from cache; the summary line below makes the pass economy of the
+  // sweep visible in harness logs.
+  auto cache = std::make_shared<core::ArtifactCache>();
   std::vector<core::FlowResult> results(suite.size());
   common::parallelFor(suite.size(), [&](std::size_t i) {
     core::FlowConfig cfg;
     cfg.allocation = suite[i].allocation;
     cfg.synthesizeArea = false;
-    results[i] = core::runFlow(suite[i].graph, cfg);
+    core::FlowPipeline pipeline(suite[i].graph, cfg, cache);
+    results[i] = pipeline.run();
   });
   for (std::size_t i = 0; i < suite.size(); ++i) {
     const dfg::NamedBenchmark& b = suite[i];
@@ -61,5 +68,9 @@ int main() {
   std::cout << "\nShape checks: LT_DIST <= LT_TAU everywhere; enhancement "
                "grows with DFG size and falling P until the worst case "
                "saturates.\n";
+  // Identical for every thread count: the pass decomposition depends only on
+  // the demand set, never on the pool size.
+  std::cout << "Pipeline: " << core::formatCacheSummary(cache->stats())
+            << ".\n";
   return 0;
 }

@@ -1,0 +1,125 @@
+#include "common/hash.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace tauhls::common {
+
+namespace {
+
+// Two independent FNV-1a lanes with distinct offset bases; each lane is
+// passed through a splitmix64 finalizer in digest() to spread the low-entropy
+// FNV state over all 64 bits.
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+constexpr std::uint64_t kOffsetA = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kOffsetB = 0x9ae16a3b2f90404full;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+enum class Tag : unsigned char {
+  Bytes = 1,
+  U64 = 2,
+  I64 = 3,
+  Bool = 4,
+  F64 = 5,
+  Str = 6,
+  Fp = 7,
+};
+
+}  // namespace
+
+std::string Fingerprint::toHex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? hi : lo;
+    const int shift = 56 - 8 * (i % 8);
+    const unsigned byte = static_cast<unsigned>((word >> shift) & 0xff);
+    out[2 * static_cast<std::size_t>(i)] = digits[byte >> 4];
+    out[2 * static_cast<std::size_t>(i) + 1] = digits[byte & 0xf];
+  }
+  return out;
+}
+
+Hasher::Hasher() : a_(kOffsetA), b_(kOffsetB) {}
+
+Hasher::Hasher(const Fingerprint& seed)
+    : a_(kOffsetA ^ seed.hi), b_(kOffsetB ^ seed.lo) {}
+
+Hasher& Hasher::raw(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    a_ = (a_ ^ p[i]) * kFnvPrime;
+    b_ = (b_ ^ p[i]) * kFnvPrime;
+    // Decorrelate the lanes: lane B additionally mixes the position.
+    b_ ^= b_ >> 29;
+  }
+  return *this;
+}
+
+Hasher& Hasher::bytes(const void* data, std::size_t n) {
+  const auto tag = static_cast<unsigned char>(Tag::Bytes);
+  raw(&tag, 1);
+  u64(n);
+  return raw(data, n);
+}
+
+Hasher& Hasher::u64(std::uint64_t v) {
+  std::array<unsigned char, 9> buf;
+  buf[0] = static_cast<unsigned char>(Tag::U64);
+  for (int i = 0; i < 8; ++i) {
+    buf[static_cast<std::size_t>(i) + 1] =
+        static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+  }
+  return raw(buf.data(), buf.size());
+}
+
+Hasher& Hasher::i64(std::int64_t v) {
+  const auto tag = static_cast<unsigned char>(Tag::I64);
+  raw(&tag, 1);
+  return u64(static_cast<std::uint64_t>(v));
+}
+
+Hasher& Hasher::boolean(bool v) {
+  const std::array<unsigned char, 2> buf = {
+      static_cast<unsigned char>(Tag::Bool),
+      static_cast<unsigned char>(v ? 1 : 0)};
+  return raw(buf.data(), buf.size());
+}
+
+Hasher& Hasher::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  const auto tag = static_cast<unsigned char>(Tag::F64);
+  raw(&tag, 1);
+  return u64(bits);
+}
+
+Hasher& Hasher::str(std::string_view s) {
+  const auto tag = static_cast<unsigned char>(Tag::Str);
+  raw(&tag, 1);
+  u64(s.size());
+  return raw(s.data(), s.size());
+}
+
+Hasher& Hasher::fingerprint(const Fingerprint& fp) {
+  const auto tag = static_cast<unsigned char>(Tag::Fp);
+  raw(&tag, 1);
+  u64(fp.hi);
+  return u64(fp.lo);
+}
+
+Fingerprint Hasher::digest() const {
+  Fingerprint fp;
+  fp.hi = splitmix64(a_);
+  fp.lo = splitmix64(b_ ^ (fp.hi * kFnvPrime));
+  return fp;
+}
+
+}  // namespace tauhls::common

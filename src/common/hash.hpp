@@ -1,0 +1,76 @@
+// Stable streaming hashing for content-addressed artifact keys.
+//
+// The pipeline layer (core/pipeline.hpp) keys cached artifacts by a
+// fingerprint of everything a pass can observe: the input DFG, the config
+// fields the pass declares it reads, and the fingerprints of its input
+// artifacts.  Two properties matter and both are provided here:
+//
+//   1. Stability.  The digest is a pure function of the byte stream fed in --
+//      independent of platform, thread count, process or run.  (It is *not*
+//      stable across code changes that alter what gets hashed; cached
+//      artifacts never outlive the process, so that is enough.)
+//   2. Collision resistance adequate for caching.  Keys are 128 bits wide,
+//      built from two independently-seeded 64-bit lanes, so accidental
+//      collisions within a sweep's worth of keys (thousands) are vanishingly
+//      unlikely.  This is not a cryptographic hash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tauhls::common {
+
+/// 128-bit digest used as a cache key.  Comparable and hashable.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+
+  /// 32 lowercase hex digits, for traces and logs.
+  std::string toHex() const;
+};
+
+/// std::unordered_map hasher for Fingerprint keys.
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const {
+    return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Order-sensitive streaming hasher.  Every primitive feed is framed with a
+/// type tag, so adjacent fields cannot alias (e.g. "ab" + "c" vs "a" + "bc",
+/// or a bool followed by a byte vs a 16-bit value).
+class Hasher {
+ public:
+  Hasher();
+  /// Seeded construction, for deriving independent key spaces.
+  explicit Hasher(const Fingerprint& seed);
+
+  Hasher& bytes(const void* data, std::size_t n);
+  Hasher& u64(std::uint64_t v);
+  Hasher& i64(std::int64_t v);
+  Hasher& u32(std::uint32_t v) { return u64(v); }
+  Hasher& boolean(bool v);
+  /// Hashes the IEEE-754 bit pattern (distinguishes -0.0 from 0.0; any NaN
+  /// hashes as its payload bits).
+  Hasher& f64(double v);
+  /// Length-prefixed, so consecutive strings cannot alias.
+  Hasher& str(std::string_view s);
+  /// Mix a finished fingerprint in (e.g. an input artifact's key).
+  Hasher& fingerprint(const Fingerprint& fp);
+
+  /// Finalize (the hasher may keep being fed afterwards; digest() is a pure
+  /// observation of the state so far).
+  Fingerprint digest() const;
+
+ private:
+  Hasher& raw(const void* data, std::size_t n);
+
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+};
+
+}  // namespace tauhls::common

@@ -7,13 +7,13 @@
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "core/flow.hpp"
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "dfg/dot.hpp"
 #include "dfg/textio.hpp"
 #include "core/json.hpp"
 #include "dfg/benchmarks.hpp"
 #include "fsm/kiss.hpp"
-#include "fsm/signal_opt.hpp"
 #include "rtl/testbench.hpp"
 #include "sim/interp.hpp"
 #include "verify/verify.hpp"
@@ -22,10 +22,12 @@ namespace tauhls::core {
 
 std::string cliHelp() {
   return
-      "usage: tauhlsc <design.dfg> [options]\n"
+      "usage: tauhlsc [flow] <design.dfg> [options]\n"
       "\n"
       "Builds a distributed synchronous control unit (DATE'03 Algorithm 1)\n"
       "for the dataflow graph in <design.dfg> (see dfg/textio.hpp grammar).\n"
+      "The flow runs as a declarative pass pipeline (docs/PIPELINE.md); only\n"
+      "the passes the requested outputs need actually execute.\n"
       "\n"
       "options:\n"
       "  --alloc SPEC      units per class, e.g. mult=2,add=1,sub=1\n"
@@ -42,6 +44,10 @@ std::string cliHelp() {
       "  --json FILE       write the full report as JSON\n"
       "  --kiss PREFIX     write PREFIX_<controller>.kiss2 per controller\n"
       "  --dot FILE        write the scheduled DFG in Graphviz DOT\n"
+      "  --trace-json FILE write a chrome://tracing-compatible JSON trace of\n"
+      "                    every executed pipeline pass (wall time, cache\n"
+      "                    hit/miss, artifact sizes); open in Perfetto or\n"
+      "                    chrome://tracing\n"
       "  --threads N       worker threads for the latency sweeps (default:\n"
       "                    TAUHLS_THREADS env var, else all hardware threads;\n"
       "                    results are identical for every N)\n"
@@ -57,7 +63,9 @@ std::string cliHelp() {
       "  --benchmarks      lint every built-in paper benchmark with its\n"
       "                    Table 2 allocation instead of an input file\n"
       "  --lint-json FILE  also write all diagnostics as JSON\n"
-      "  (--alloc, --strategy and --no-signal-opt apply as above)\n";
+      "  (--alloc, --strategy, --no-signal-opt and --trace-json apply as\n"
+      "  above; lint evaluates only the verification passes, never the\n"
+      "  latency or area model)\n";
 }
 
 sched::Allocation parseAllocationSpec(const std::string& spec) {
@@ -102,6 +110,8 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
       return o;
     } else if (i == 0 && a == "lint") {
       o.lint = true;
+    } else if (i == 0 && a == "flow") {
+      // The default subcommand, accepted explicitly: `tauhlsc flow x.dfg`.
     } else if (a == "--benchmarks") {
       if (!o.lint) {
         error = "--benchmarks is only valid with the lint subcommand";
@@ -178,6 +188,10 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
       auto v = needValue(i);
       if (!v) return std::nullopt;
       o.dotPath = *v;
+    } else if (a == "--trace-json") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      o.traceJsonPath = *v;
     } else if (a == "--threads") {
       auto v = needValue(i);
       if (!v) return std::nullopt;
@@ -217,6 +231,11 @@ namespace {
 
 /// `tauhlsc lint`: run the static checker over one design or the whole
 /// benchmark suite; exit 1 on any error-severity diagnostic.
+///
+/// Lint drives the pass pipeline demand-first: it requests only the
+/// Diagnostics artifact, so the closure it evaluates is schedule ->
+/// controllers -> verify -- the latency statistics and the area model never
+/// run, no matter how large the design.
 int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
   try {
     std::vector<dfg::NamedBenchmark> designs;
@@ -242,23 +261,22 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
     }
 
     verify::Report all;
+    std::vector<TracedRun> traces;
     for (const dfg::NamedBenchmark& b : designs) {
-      const sched::ScheduledDfg s = sched::scheduleAndBind(
-          b.graph, b.allocation, tau::paperLibrary(), options.strategy);
-      fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
-      if (options.signalOpt) dcu = fsm::optimizeSignals(dcu, nullptr);
-      const fsm::Fsm centSync = fsm::buildCentSync(s);
-
-      verify::VerifyOptions vo;
-      vo.requestedAllocation = &b.allocation;
-      vo.centSync = &centSync;
+      FlowConfig cfg;
+      cfg.allocation = b.allocation;
+      cfg.strategy = options.strategy;
+      cfg.optimizeSignals = options.signalOpt;
       // The CLI is a one-shot audit: use the full exploration budget rather
       // than the flow gate's fast default.
-      vo.modelCheckMaxStates = 200000;
-      verify::Report report = verify::verifyFlow(s, dcu, vo);
+      cfg.verifyMaxStates = 200000;
+      FlowPipeline pipeline(b.graph, cfg);
+      const verify::Report& report =
+          pipeline.get<verify::Report>(Artifact::Diagnostics);
 
       out << "== " << b.name << " ==\n" << verify::renderText(report) << "\n";
       all.merge(report);
+      traces.push_back({b.name, pipeline.traceEvents()});
     }
 
     if (!options.lintJsonPath.empty()) {
@@ -267,6 +285,13 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
                    "cannot open " + options.lintJsonPath);
       j << verify::renderJson(all) << "\n";
       out << "wrote lint JSON to " << options.lintJsonPath << "\n";
+    }
+    if (!options.traceJsonPath.empty()) {
+      std::ofstream t(options.traceJsonPath);
+      TAUHLS_CHECK(static_cast<bool>(t),
+                   "cannot open " + options.traceJsonPath);
+      t << traceToChromeJson(traces);
+      out << "wrote pipeline trace to " << options.traceJsonPath << "\n";
     }
     return all.hasErrors() ? 1 : 0;
   } catch (const Error& e) {
@@ -310,7 +335,8 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     cfg.optimizeSignals = options.signalOpt;
     cfg.buildCentFsm = options.centFsm;
     cfg.synthesizeArea = options.table1;
-    const FlowResult r = runFlow(graph, cfg);
+    FlowPipeline pipeline(graph, cfg);
+    const FlowResult r = pipeline.run();
 
     out << "tauhlsc: " << graph.numOps() << " ops, "
         << r.distributed.controllers.size() << " controllers, clock "
@@ -322,7 +348,9 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     if (!options.verilogPath.empty()) {
       std::ofstream v(options.verilogPath);
       TAUHLS_CHECK(static_cast<bool>(v), "cannot open " + options.verilogPath);
-      v << emitVerilog(r);
+      // Through the pipeline rather than emitVerilog() so the emission is a
+      // traced, cacheable pass like every other stage.
+      v << pipeline.get<std::string>(Artifact::Rtl);
       out << "wrote Verilog to " << options.verilogPath << "\n";
     }
     if (!options.testbenchPath.empty()) {
@@ -355,6 +383,13 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       TAUHLS_CHECK(static_cast<bool>(d), "cannot open " + options.dotPath);
       d << dfg::toDot(r.scheduled.graph);
       out << "wrote DOT to " << options.dotPath << "\n";
+    }
+    if (!options.traceJsonPath.empty()) {
+      std::ofstream t(options.traceJsonPath);
+      TAUHLS_CHECK(static_cast<bool>(t),
+                   "cannot open " + options.traceJsonPath);
+      t << traceToChromeJson({{graph.name(), pipeline.traceEvents()}});
+      out << "wrote pipeline trace to " << options.traceJsonPath << "\n";
     }
     return 0;
   } catch (const Error& e) {

@@ -3,6 +3,7 @@
 //
 //   tauhlsc design.dfg --alloc mult=2,add=1,sub=1 --p 0.9,0.7,0.5
 //           --table1 --table2 --verilog out.v --kiss out --dot out.dot
+//   tauhlsc flow design.dfg --trace-json trace.json   (flow = the default)
 //   tauhlsc lint design.dfg --alloc mult=2,add=1
 //   tauhlsc lint --benchmarks --lint-json diags.json
 #pragma once
@@ -32,6 +33,7 @@ struct CliOptions {
   std::string jsonPath;       ///< empty = don't emit (full JSON report)
   std::string kissPrefix;     ///< empty = don't emit; else PREFIX_<ctrl>.kiss2
   std::string dotPath;        ///< empty = don't emit
+  std::string traceJsonPath;  ///< empty = don't emit (chrome://tracing JSON)
   int threads = 0;            ///< 0 = TAUHLS_THREADS / hardware default
   bool showHelp = false;
 };

@@ -1,0 +1,49 @@
+#include "core/fingerprint.hpp"
+
+namespace tauhls::core {
+
+common::Fingerprint fingerprintDfg(const dfg::Dfg& g) {
+  common::Hasher h;
+  h.str("dfg-v1");
+  h.str(g.name());
+  h.u64(g.numNodes());
+  for (dfg::NodeId id = 0; id < g.numNodes(); ++id) {
+    const dfg::Node& n = g.node(id);
+    h.u64(static_cast<std::uint64_t>(n.kind));
+    h.str(n.name);
+    h.u64(n.operands.size());
+    for (dfg::NodeId op : n.operands) h.u32(op);
+  }
+  h.u64(g.scheduleArcs().size());
+  for (const dfg::ScheduleArc& arc : g.scheduleArcs()) {
+    h.u32(arc.from);
+    h.u32(arc.to);
+  }
+  h.u64(g.outputs().size());
+  for (dfg::NodeId out : g.outputs()) h.u32(out);
+  return h.digest();
+}
+
+void hashAllocation(common::Hasher& h, const sched::Allocation& alloc) {
+  h.u64(alloc.size());
+  for (const auto& [cls, count] : alloc) {
+    h.u64(static_cast<std::uint64_t>(cls));
+    h.i64(count);
+  }
+}
+
+void hashLibrary(common::Hasher& h, const tau::ResourceLibrary& lib) {
+  const std::vector<dfg::ResourceClass> classes = lib.classes();
+  h.u64(classes.size());
+  for (dfg::ResourceClass cls : classes) {
+    const tau::UnitType& t = lib.typeFor(cls);
+    h.u64(static_cast<std::uint64_t>(cls));
+    h.str(t.name);
+    h.boolean(t.telescopic);
+    h.f64(t.shortDelayNs);
+    h.f64(t.longDelayNs);
+    h.f64(t.sdProbability);
+  }
+}
+
+}  // namespace tauhls::core

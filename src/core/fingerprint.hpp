@@ -1,0 +1,34 @@
+// Content fingerprints of flow inputs, for the artifact cache
+// (core/pipeline.hpp).
+//
+// A pass's cache key is derived from (a) the fingerprint of the input DFG,
+// (b) a hash of only the FlowConfig fields the pass declares it reads, and
+// (c) the keys of its input artifacts.  The helpers here cover (a) and the
+// structured config field types used by (b); the per-pass composition lives
+// with the pass registry in pipeline.cpp.
+//
+// Fingerprints cover everything an evaluation can observe -- for the DFG that
+// is the name (it flows into report/RTL text), every node's kind, name and
+// operand list, the schedule arcs and the output set.  Two DFGs with equal
+// fingerprints produce byte-identical flow artifacts.
+#pragma once
+
+#include "common/hash.hpp"
+#include "dfg/graph.hpp"
+#include "sched/allocation.hpp"
+#include "tau/library.hpp"
+
+namespace tauhls::core {
+
+/// Full structural fingerprint of a DFG (nodes, edges, schedule arcs,
+/// outputs, names).
+common::Fingerprint fingerprintDfg(const dfg::Dfg& g);
+
+/// Feed an allocation (class/count pairs in class order -- std::map order is
+/// already canonical) into `h`.
+void hashAllocation(common::Hasher& h, const sched::Allocation& alloc);
+
+/// Feed a resource library (every registered unit type) into `h`.
+void hashLibrary(common::Hasher& h, const tau::ResourceLibrary& lib);
+
+}  // namespace tauhls::core

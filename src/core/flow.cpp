@@ -1,80 +1,21 @@
 #include "core/flow.hpp"
 
-#include "common/error.hpp"
-#include "common/parallel.hpp"
+#include "core/pipeline.hpp"
 #include "rtl/verilog.hpp"
-#include "verify/verify.hpp"
 
 namespace tauhls::core {
 
+// runFlow is a façade over the declarative pass pipeline (core/pipeline.hpp):
+// the config is validated up front, the pipeline computes exactly the
+// artifacts the config implies (ready passes run concurrently on the global
+// pool), and the verification gate throws before the product/area stages
+// exactly as the pre-pipeline monolithic flow did.  Results are bit-identical
+// to that flow for every config (tests/test_pipeline.cpp).  Sweep callers
+// that want cross-run artifact reuse construct FlowPipeline directly with a
+// shared ArtifactCache.
 FlowResult runFlow(const dfg::Dfg& graph, const FlowConfig& config) {
-  FlowResult r;
-  r.scheduled =
-      sched::scheduleAndBind(graph, config.allocation, config.library,
-                             config.strategy);
-
-  // The three derivations below only read the schedule and are independent
-  // of each other, so a sweep's worth of flow invocations can overlap them.
-  // Each branch is deterministic on its own; fanning out cannot change any
-  // result.
-  common::parallelFor(3, [&](std::size_t task) {
-    switch (task) {
-      case 0: {
-        fsm::DistributedControlUnit dcu = fsm::buildDistributed(r.scheduled);
-        if (config.optimizeSignals) {
-          r.distributed = fsm::optimizeSignals(dcu, &r.signalStats);
-        } else {
-          r.distributed = std::move(dcu);
-        }
-        break;
-      }
-      case 1:
-        r.centSync = fsm::buildCentSync(r.scheduled);
-        break;
-      case 2:
-        r.latency =
-            sim::compareLatencies(r.scheduled, config.ps, config.mcSamples);
-        break;
-    }
-  });
-
-  if (config.verify) {
-    verify::VerifyOptions vo;
-    vo.requestedAllocation = &config.allocation;
-    vo.centSync = &r.centSync;
-    vo.modelCheckMaxStates = config.verifyMaxStates;
-    r.diagnostics = verify::verifyFlow(r.scheduled, r.distributed, vo);
-    if (r.diagnostics.hasErrors()) {
-      throw Error("static verification failed:\n" +
-                  verify::renderText(r.diagnostics));
-    }
-  }
-
-  if (config.buildCentFsm) {
-    fsm::ProductOptions opt;
-    opt.maxStates = config.centFsmMaxStates;
-    r.centFsm = fsm::buildProduct(r.distributed, opt);
-  }
-
-  if (config.synthesizeArea) {
-    const std::size_t rows = r.centFsm ? 3 : 2;
-    common::parallelFor(rows, [&](std::size_t row) {
-      switch (row) {
-        case 0:
-          r.distArea = synth::distributedArea(r.distributed, config.encoding);
-          break;
-        case 1:
-          r.centSyncArea =
-              synth::areaRow("CENT-SYNC-FSM", r.centSync, config.encoding);
-          break;
-        case 2:
-          r.centFsmArea =
-              synth::areaRow("CENT-FSM", *r.centFsm, config.encoding);
-          break;
-      }
-    });
-  }
-  return r;
+  FlowPipeline pipeline(graph, config);
+  return pipeline.run();
 }
 
 std::string emitVerilog(const FlowResult& result) {

@@ -1,0 +1,234 @@
+// Declarative pass pipeline over the flow's artifacts.
+//
+// The synthesis flow is modelled as a DAG of *passes* over immutable
+// *artifacts* instead of a hand-sequenced monolith:
+//
+//   schedule ──┬─> distributed ─> signal-opt ─┬─> verify       ─> (gate)
+//              │                              ├─> cent-fsm     ─> area-cent-fsm
+//              ├─> cent-sync ─────────────────┤─> area-dist
+//              ├─> latency                    └─> rtl
+//              └────────────────> area-cent-sync (from cent-sync)
+//
+// Each pass declares the artifacts it consumes and produces plus the
+// FlowConfig fields it reads; the executor then provides
+//
+//   * demand-driven evaluation -- require() runs exactly the producer
+//     closure of the requested artifacts, so a lint run never pays for the
+//     area model or the latency statistics;
+//   * safe parallelism -- every wave of ready passes is fanned out on the
+//     global deterministic thread pool (common/parallel.hpp), subsuming the
+//     hand-rolled parallelFor switches the monolithic flow used;
+//   * content-addressed caching -- a pass's key is a fingerprint of the DFG,
+//     the config fields it declares, and its inputs' keys (a Merkle
+//     derivation), so flows sharing a prefix share the artifacts: a P sweep
+//     re-runs only the latency pass, and static verification runs once per
+//     distinct (schedule, controllers) pair no matter how many sweep points
+//     reuse them;
+//   * per-pass observability -- wall time, cache hit/miss and artifact sizes
+//     per executed pass, exportable as a chrome://tracing JSON trace
+//     (`tauhlsc flow --trace-json`).
+//
+// runFlow (core/flow.hpp) is a thin façade over this pipeline and its
+// results are bit-identical to the former hand-sequenced flow; sweep callers
+// (explore/pareto, bench/*) construct FlowPipeline directly and share an
+// ArtifactCache across points.  See docs/PIPELINE.md.
+#pragma once
+
+#include <any>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/flow.hpp"
+
+namespace tauhls::core {
+
+/// Every artifact the flow can produce.  Each id maps to exactly one C++
+/// type (enforced by the typed accessors):
+///
+///   Schedule        sched::ScheduledDfg          schedule + binding
+///   RawDistributed  fsm::DistributedControlUnit  Algorithm 1, pre signal-opt
+///   Distributed     fsm::DistributedControlUnit  post signal-opt
+///   SignalStats     fsm::SignalOptStats
+///   CentSync        fsm::Fsm                     CENT-SYNC-FSM baseline
+///   Latency         sim::LatencyComparison       Table 2 statistics
+///   CentFsm         fsm::Fsm                     explicit product machine
+///   Diagnostics     verify::Report               static verification
+///   DistArea        synth::DistributedAreaReport
+///   CentSyncArea    synth::AreaRow
+///   CentFsmArea     synth::AreaRow
+///   Rtl             std::string                  full Verilog package
+enum class Artifact : int {
+  Schedule = 0,
+  RawDistributed,
+  Distributed,
+  SignalStats,
+  CentSync,
+  Latency,
+  CentFsm,
+  Diagnostics,
+  DistArea,
+  CentSyncArea,
+  CentFsmArea,
+  Rtl,
+};
+
+inline constexpr int kNumArtifacts = 12;
+
+/// Stable display name ("schedule", "latency", ...).
+const char* artifactName(Artifact a);
+
+/// Validate a FlowConfig before any pass runs; throws tauhls::Error with a
+/// message naming the offending field (empty or out-of-(0,1] `ps` entries,
+/// non-positive `mcSamples`, zero-unit allocation entries, zero state
+/// budgets).  Called by the FlowPipeline constructor, so every entry point
+/// (runFlow, the CLI, the sweep drivers) fails fast with the same message.
+void validateFlowConfig(const FlowConfig& config);
+
+/// Aggregated cache counters.  "Runs" are pass executions (cache misses or
+/// uncached executions); "hits" are pass evaluations fully served from the
+/// cache.  Maps are keyed by pass name and ordered, so rendering them is
+/// deterministic.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;  ///< artifacts currently stored
+  std::map<std::string, std::uint64_t> runsPerPass;
+  std::map<std::string, std::uint64_t> hitsPerPass;
+
+  double hitRate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total == 0.0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// One-line human summary ("42 pass runs, 120 hits (74.1% hit rate), ...").
+std::string formatCacheSummary(const CacheStats& stats);
+
+/// Thread-safe content-addressed artifact store shared across FlowPipeline
+/// runs.  Keys are Merkle-style fingerprints (see pipeline.cpp); values are
+/// immutable shared artifacts, so a hit is a pointer copy.  Unbounded by
+/// default; pass `maxEntries` to drop the whole store whenever it would
+/// exceed the bound (coarse, but keeps long-running sweeps bounded without
+/// compromising the determinism of any individual flow's results).
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(std::size_t maxEntries = 0);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  friend class FlowPipeline;
+
+  std::optional<std::any> find(const common::Fingerprint& key) const;
+  void insert(const common::Fingerprint& key, std::any value);
+  void recordPass(const std::string& pass, bool hit);
+
+  mutable std::mutex mu_;
+  std::size_t maxEntries_ = 0;
+  std::unordered_map<common::Fingerprint, std::any, common::FingerprintHash>
+      entries_;
+  CacheStats stats_;
+};
+
+/// One executed (or cache-served) pass in a pipeline run.
+struct PassTraceEvent {
+  std::string pass;
+  double startUs = 0.0;     ///< from pipeline construction, microseconds
+  double durationUs = 0.0;
+  bool cacheHit = false;
+  int wave = 0;             ///< DAG wave the pass ran in
+  int lane = 0;             ///< slot within the wave
+  std::uint64_t artifactSize = 0;  ///< semantic size (states/nodes/bytes)
+};
+
+/// A named pipeline run's events, for multi-design traces (one trace
+/// "process" per run).
+struct TracedRun {
+  std::string name;
+  std::vector<PassTraceEvent> events;
+};
+
+/// Render runs as a chrome://tracing / Perfetto-compatible JSON document
+/// ({"traceEvents": [...]}; complete "X" events in microseconds, one pid per
+/// run, one tid per wave lane).
+std::string traceToChromeJson(const std::vector<TracedRun>& runs);
+
+/// Demand-driven executor for one (graph, config) flow instance.
+///
+///   FlowPipeline pipe(graph, cfg, cache);      // cache optional
+///   const auto& lat = pipe.get<sim::LatencyComparison>(Artifact::Latency);
+///   FlowResult r = pipe.run();                 // the standard full flow
+///
+/// The graph reference must outlive the pipeline.  Artifacts are memoized in
+/// the pipeline and, when a cache is attached, shared across pipelines whose
+/// derivations agree.  All methods are safe to call from inside a
+/// parallelFor task (nested parallel regions run inline).
+class FlowPipeline {
+ public:
+  FlowPipeline(const dfg::Dfg& graph, FlowConfig config,
+               std::shared_ptr<ArtifactCache> cache = nullptr);
+  FlowPipeline(const FlowPipeline&) = delete;
+  FlowPipeline& operator=(const FlowPipeline&) = delete;
+
+  /// Compute the requested artifacts (and, transitively, everything they
+  /// need that is not yet materialized).  Ready passes of each DAG wave run
+  /// concurrently on the global pool.
+  void require(const std::vector<Artifact>& artifacts);
+
+  /// True when the artifact is already materialized in this pipeline.
+  bool has(Artifact a) const;
+
+  /// Typed access; computes the artifact on demand.  T must be the artifact
+  /// type documented on `Artifact` (mismatches throw).
+  template <typename T>
+  const T& get(Artifact a) {
+    if (!has(a)) require({a});
+    const auto& ptr = std::any_cast<const std::shared_ptr<const T>&>(
+        slots_[static_cast<std::size_t>(a)]);
+    return *ptr;
+  }
+
+  /// Run the standard flow for the held config -- the same artifact set,
+  /// verification gate and failure behaviour as the pre-pipeline monolithic
+  /// runFlow -- and assemble the public FlowResult.
+  FlowResult run();
+
+  /// Everything executed (or cache-served) by this pipeline so far, in
+  /// deterministic wave order.
+  const std::vector<PassTraceEvent>& traceEvents() const { return events_; }
+
+  const FlowConfig& config() const { return config_; }
+  const dfg::Dfg& graph() const { return graph_; }
+
+  /// Content-addressed key of an artifact under this (graph, config); stable
+  /// across runs, processes and thread counts.  Exposed for tests and trace
+  /// tooling.
+  common::Fingerprint artifactKey(Artifact a) const;
+
+ private:
+  const dfg::Dfg& graph_;
+  FlowConfig config_;
+  std::shared_ptr<ArtifactCache> cache_;
+  common::Fingerprint dfgFingerprint_;
+  std::array<common::Fingerprint, kNumArtifacts> artifactKeys_;
+  std::array<std::any, kNumArtifacts> slots_;
+  std::vector<PassTraceEvent> events_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Throw the flow's standard verification-gate error when `report` contains
+/// error-severity diagnostics (shared by runFlow and the sweep drivers).
+void throwIfVerificationFailed(const verify::Report& report);
+
+}  // namespace tauhls::core

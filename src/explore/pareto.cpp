@@ -55,6 +55,15 @@ std::vector<DesignPoint> explore(const dfg::Dfg& g,
     if (pos == counts.size()) break;
   }
 
+  // Each point drives the pipeline directly, requesting only what the
+  // objectives read: the latency comparison, the distributed area report and
+  // the verification gate.  Demand-driven evaluation skips the baseline area
+  // row the full flow would also synthesize, and the shared cache makes any
+  // repeated evaluation of a point (across explore() calls, or between a
+  // sweep and a follow-up report) a pointer copy.
+  std::shared_ptr<core::ArtifactCache> cache =
+      options.cache ? options.cache
+                    : std::make_shared<core::ArtifactCache>();
   std::vector<DesignPoint> points(grid.size());
   common::parallelFor(grid.size(), [&](std::size_t i) {
     DesignPoint point;
@@ -63,14 +72,23 @@ std::vector<DesignPoint> explore(const dfg::Dfg& g,
     core::FlowConfig cfg;
     cfg.allocation = point.allocation;
     cfg.ps = {options.p};
-    const core::FlowResult r = core::runFlow(g, cfg);
-    point.averageLatencyNs = r.latency.dist.averageNs[0];
-    point.controllerArea = r.distArea->total.totalArea();
-    point.unitCount =
-        static_cast<int>(r.scheduled.binding.numUnits());
+    core::FlowPipeline pipeline(g, cfg, cache);
+    pipeline.require({core::Artifact::Latency, core::Artifact::DistArea,
+                      core::Artifact::Diagnostics});
+    core::throwIfVerificationFailed(
+        pipeline.get<verify::Report>(core::Artifact::Diagnostics));
+    const auto& latency =
+        pipeline.get<sim::LatencyComparison>(core::Artifact::Latency);
+    const auto& scheduled =
+        pipeline.get<sched::ScheduledDfg>(core::Artifact::Schedule);
+    point.averageLatencyNs = latency.dist.averageNs[0];
+    point.controllerArea =
+        pipeline.get<synth::DistributedAreaReport>(core::Artifact::DistArea)
+            .total.totalArea();
+    point.unitCount = static_cast<int>(scheduled.binding.numUnits());
     point.datapathRegisters =
-        regalloc::leftEdgeRegisters(regalloc::distributedLifetimes(r.scheduled),
-                                    r.scheduled.graph.numNodes())
+        regalloc::leftEdgeRegisters(regalloc::distributedLifetimes(scheduled),
+                                    scheduled.graph.numNodes())
             .numRegisters;
     points[i] = std::move(point);
   });

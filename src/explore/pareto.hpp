@@ -10,11 +10,21 @@
 // Design points are evaluated concurrently on the global thread pool
 // (TAUHLS_THREADS); the returned vector keeps the serial odometer order and
 // every value is independent of the thread count.
+//
+// Each point drives the flow's pass pipeline directly (core/pipeline.hpp)
+// and requests only the artifacts the objectives read -- latency, the
+// distributed area report and the verification diagnostics -- so baseline
+// area rows and RTL are never synthesized.  Points share an ArtifactCache:
+// pass `ExploreOptions::cache` to extend the sharing across explore() calls
+// (repeated sweeps, or a front refinement re-evaluating the same points,
+// become pure cache hits).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/flow.hpp"
+#include "core/pipeline.hpp"
 
 namespace tauhls::explore {
 
@@ -34,6 +44,10 @@ struct ExploreOptions {
   double p = 0.7;                ///< SD ratio for the latency objective
   int maxUnitsPerClass = 4;
   int unitWeightArea = 200;      ///< area charged per allocated unit
+  /// Artifact cache shared by every design point; null = one private cache
+  /// per explore() call.  Reuse the same cache across calls to make repeated
+  /// evaluations of a point free.
+  std::shared_ptr<core::ArtifactCache> cache;
 };
 
 /// Sweep every combination of 1..maxUnitsPerClass units for each class

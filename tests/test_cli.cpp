@@ -68,6 +68,18 @@ TEST(CliParse, Threads) {
   EXPECT_FALSE(parseCli({"x.dfg", "--threads"}, error).has_value());
 }
 
+TEST(CliParse, FlowSubcommandAndTraceJson) {
+  std::string error;
+  auto o = parseCli({"flow", "x.dfg", "--trace-json", "t.json"}, error);
+  ASSERT_TRUE(o.has_value()) << error;
+  EXPECT_EQ(o->inputPath, "x.dfg");
+  EXPECT_EQ(o->traceJsonPath, "t.json");
+  // First-position "flow" is always the subcommand, never an input path, so
+  // on its own the design file is still missing.
+  EXPECT_FALSE(parseCli({"flow"}, error).has_value());
+  EXPECT_FALSE(parseCli({"x.dfg", "--trace-json"}, error).has_value());
+}
+
 TEST(CliParse, Errors) {
   std::string error;
   EXPECT_FALSE(parseCli({}, error).has_value());
@@ -169,6 +181,24 @@ TEST_F(CliRun, WritesJson) {
   EXPECT_NE(content.str().find("\"design\":\"cli_test\""), std::string::npos);
   EXPECT_NE(content.str().find("\"latency\":"), std::string::npos);
   std::remove(o.jsonPath.c_str());
+}
+
+TEST_F(CliRun, WritesPipelineTrace) {
+  CliOptions o;
+  o.inputPath = path_;
+  o.traceJsonPath = ::testing::TempDir() + "cli_test_trace.json";
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(runCli(o, out, err), 0);
+  std::ifstream t(o.traceJsonPath);
+  ASSERT_TRUE(t.good());
+  std::stringstream content;
+  content << t.rdbuf();
+  EXPECT_NE(content.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"schedule\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"cache\""), std::string::npos);
+  EXPECT_NE(out.str().find("wrote pipeline trace"), std::string::npos);
+  std::remove(o.traceJsonPath.c_str());
 }
 
 TEST_F(CliRun, MissingFileFails) {

@@ -84,6 +84,35 @@ TEST(Explore, CheapestAndFastestAlwaysOnFront) {
   EXPECT_TRUE(frontHasBestCost);
 }
 
+TEST(Explore, SharedCacheMakesRepeatSweepsFreeAndIdentical) {
+  ExploreOptions opt;
+  opt.maxUnitsPerClass = 2;
+  opt.cache = std::make_shared<core::ArtifactCache>();
+  const dfg::Dfg g = dfg::fir(3);
+
+  const auto first = explore(g, opt);
+  const core::CacheStats afterFirst = opt.cache->stats();
+  EXPECT_EQ(afterFirst.hits, 0u);
+
+  const auto second = explore(g, opt);
+  const core::CacheStats afterSecond = opt.cache->stats();
+  // The repeat sweep re-ran nothing...
+  EXPECT_EQ(afterSecond.misses, afterFirst.misses);
+  EXPECT_EQ(afterSecond.hits, afterFirst.misses);
+  // ...and reproduced every point exactly.
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].allocation, second[i].allocation);
+    EXPECT_EQ(first[i].averageLatencyNs, second[i].averageLatencyNs);
+    EXPECT_EQ(first[i].controllerArea, second[i].controllerArea);
+    EXPECT_EQ(first[i].datapathRegisters, second[i].datapathRegisters);
+    EXPECT_EQ(first[i].paretoOptimal, second[i].paretoOptimal);
+  }
+  // Each distinct allocation was scheduled and verified exactly once.
+  EXPECT_EQ(afterSecond.runsPerPass.at("schedule"), first.size());
+  EXPECT_EQ(afterSecond.runsPerPass.at("verify"), first.size());
+}
+
 TEST(Explore, RejectsDegenerateInputs) {
   dfg::Dfg empty("empty");
   empty.addInput("a");
