@@ -1,0 +1,128 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tauhls::aig {
+
+Aig::Aig() {
+  nodes_.push_back(Node{});  // node 0: the constant (lit 0 = false, 1 = true)
+}
+
+Lit Aig::addInput(const std::string& name) {
+  TAUHLS_CHECK(!inputLit_.contains(name), "duplicate AIG input " + name);
+  const std::uint32_t node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{kInputMark, static_cast<Lit>(inputNames_.size())});
+  inputNames_.push_back(name);
+  const Lit lit = withSign(node, false);
+  inputLit_.emplace(name, lit);
+  return lit;
+}
+
+Lit Aig::findInput(const std::string& name) const {
+  const auto it = inputLit_.find(name);
+  return it == inputLit_.end() ? kLitFalse : it->second;
+}
+
+bool Aig::isInput(std::uint32_t node) const {
+  return node < nodes_.size() && nodes_[node].f0 == kInputMark;
+}
+
+bool Aig::isAnd(std::uint32_t node) const {
+  return node != 0 && node < nodes_.size() && nodes_[node].f0 != kInputMark;
+}
+
+std::size_t Aig::inputIndexOf(std::uint32_t node) const {
+  TAUHLS_ASSERT(isInput(node), "inputIndexOf on a non-input AIG node");
+  return nodes_[node].f1;
+}
+
+Lit Aig::andLit(Lit a, Lit b) {
+  // Constant and identity rewriting.
+  if (a == kLitFalse || b == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (b == kLitTrue) return a;
+  if (a == b) return a;
+  if (a == negate(b)) return kLitFalse;
+  // Commutative normal form, then the structural-hash table.
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  const auto it = strash_.find(key);
+  if (it != strash_.end()) return it->second;
+  const std::uint32_t node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{a, b});
+  const Lit lit = withSign(node, false);
+  strash_.emplace(key, lit);
+  return lit;
+}
+
+Lit Aig::xorLit(Lit a, Lit b) {
+  // a^b = (a & !b) | (!a & b); the rewriting above folds the degenerate cases.
+  return orLit(andLit(a, negate(b)), andLit(negate(a), b));
+}
+
+Lit Aig::muxLit(Lit sel, Lit t, Lit e) {
+  return orLit(andLit(sel, t), andLit(negate(sel), e));
+}
+
+Lit Aig::andN(const std::vector<Lit>& lits) {
+  Lit acc = kLitTrue;
+  for (const Lit l : lits) acc = andLit(acc, l);
+  return acc;
+}
+
+Lit Aig::orN(const std::vector<Lit>& lits) {
+  Lit acc = kLitFalse;
+  for (const Lit l : lits) acc = orLit(acc, l);
+  return acc;
+}
+
+Lit Aig::eqVec(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  TAUHLS_CHECK(a.size() == b.size(), "eqVec width mismatch");
+  Lit acc = kLitTrue;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = andLit(acc, negate(xorLit(a[i], b[i])));
+  }
+  return acc;
+}
+
+bool Aig::evaluate(Lit root, const std::vector<bool>& inputValues) const {
+  TAUHLS_CHECK(inputValues.size() == inputNames_.size(),
+               "AIG evaluation needs one value per input");
+  std::vector<char> value(nodes_.size(), 0);
+  for (std::uint32_t n = 1; n < nodes_.size(); ++n) {
+    if (isInput(n)) {
+      value[n] = inputValues[nodes_[n].f1] ? 1 : 0;
+    } else {
+      const Lit f0 = nodes_[n].f0;
+      const Lit f1 = nodes_[n].f1;
+      const bool v0 = (value[nodeOf(f0)] != 0) != isNegated(f0);
+      const bool v1 = (value[nodeOf(f1)] != 0) != isNegated(f1);
+      value[n] = (v0 && v1) ? 1 : 0;
+    }
+  }
+  return (value[nodeOf(root)] != 0) != isNegated(root);
+}
+
+std::vector<std::size_t> Aig::support(Lit root) const {
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<std::uint32_t> stack = {nodeOf(root)};
+  std::vector<std::size_t> inputs;
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (seen[n]) continue;
+    seen[n] = 1;
+    if (isInput(n)) {
+      inputs.push_back(nodes_[n].f1);
+    } else if (isAnd(n)) {
+      stack.push_back(nodeOf(nodes_[n].f0));
+      stack.push_back(nodeOf(nodes_[n].f1));
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+  return inputs;
+}
+
+}  // namespace tauhls::aig

@@ -1,0 +1,88 @@
+// And-Inverter Graph IR -- the symbolic substrate of the equivalence checker.
+//
+// Every combinational function handled by the static-analysis layer (FSM
+// next-state/output specs, minimized covers, gate netlists, reparsed RTL) is
+// lowered into one shared Aig, so "are these equal?" becomes a literal
+// comparison or a SAT query over a miter (cec.hpp) -- never a truth-table
+// enumeration, which explodes past ~20 inputs.
+//
+// Literals are node ids with a complement bit (lit = node*2 + negated); node
+// 0 is the constant, so kLitFalse = 0 and kLitTrue = 1.  Construction is
+// hash-consed: two-level constant/identity rewriting (x&0=0, x&1=x, x&x=x,
+// x&!x=0) plus structural hashing on commutatively-ordered fanins, so
+// structurally equal cones share nodes and trivially-equal functions compare
+// equal without touching the SAT solver.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tauhls::aig {
+
+using Lit = std::uint32_t;
+
+inline constexpr Lit kLitFalse = 0;
+inline constexpr Lit kLitTrue = 1;
+
+inline constexpr Lit negate(Lit l) { return l ^ 1u; }
+inline constexpr Lit withSign(std::uint32_t node, bool negated) {
+  return node * 2 + (negated ? 1u : 0u);
+}
+inline constexpr std::uint32_t nodeOf(Lit l) { return l >> 1; }
+inline constexpr bool isNegated(Lit l) { return (l & 1u) != 0; }
+
+class Aig {
+ public:
+  Aig();
+
+  /// Declare a primary input (unique name); returns its positive literal.
+  Lit addInput(const std::string& name);
+
+  /// AND with constant/identity rewriting and structural hashing.
+  Lit andLit(Lit a, Lit b);
+  Lit orLit(Lit a, Lit b) { return negate(andLit(negate(a), negate(b))); }
+  Lit xorLit(Lit a, Lit b);
+  /// sel ? t : e.
+  Lit muxLit(Lit sel, Lit t, Lit e);
+  /// Conjunction / disjunction of arbitrarily many literals (empty = const).
+  Lit andN(const std::vector<Lit>& lits);
+  Lit orN(const std::vector<Lit>& lits);
+  /// a == b over equal-length vectors (empty = true).
+  Lit eqVec(const std::vector<Lit>& a, const std::vector<Lit>& b);
+
+  std::size_t numNodes() const { return nodes_.size(); }
+  std::size_t numInputs() const { return inputNames_.size(); }
+  const std::vector<std::string>& inputNames() const { return inputNames_; }
+  /// Positive literal of a declared input; kLitFalse when unknown.
+  Lit findInput(const std::string& name) const;
+
+  bool isInput(std::uint32_t node) const;
+  bool isAnd(std::uint32_t node) const;
+  /// Input index of an input node (valid when isInput).
+  std::size_t inputIndexOf(std::uint32_t node) const;
+  /// Fanins of an AND node (valid when isAnd).
+  Lit fanin0(std::uint32_t node) const { return nodes_[node].f0; }
+  Lit fanin1(std::uint32_t node) const { return nodes_[node].f1; }
+
+  /// Evaluate a literal under per-input values (index = input order).
+  bool evaluate(Lit root, const std::vector<bool>& inputValues) const;
+
+  /// Input nodes in the structural support of `root` (input indices, sorted).
+  std::vector<std::size_t> support(Lit root) const;
+
+ private:
+  struct Node {
+    Lit f0 = 0;  ///< kInputMark for inputs
+    Lit f1 = 0;  ///< input index for inputs
+  };
+  static constexpr Lit kInputMark = static_cast<Lit>(-1);
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> inputNames_;
+  std::unordered_map<std::string, Lit> inputLit_;
+  std::unordered_map<std::uint64_t, Lit> strash_;
+};
+
+}  // namespace tauhls::aig

@@ -1,0 +1,98 @@
+#include "aig/cec.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace tauhls::aig {
+
+namespace {
+
+/// Lazily Tseitin-encodes AIG cones into a SatSolver.
+class Encoder {
+ public:
+  Encoder(const Aig& g, SatSolver& solver) : g_(g), solver_(solver) {}
+
+  /// DIMACS literal for an AIG literal, encoding its cone on first use.
+  int encode(Lit l) {
+    const int v = varOf(nodeOf(l));
+    return isNegated(l) ? -v : v;
+  }
+
+ private:
+  int varOf(std::uint32_t node) {
+    const auto it = var_.find(node);
+    if (it != var_.end()) return it->second;
+    // Materialize fanins first; the AIG is acyclic so recursion is bounded
+    // by cone depth (shallow: covers are two-level, netlists near-balanced).
+    if (g_.isAnd(node)) {
+      const int a = encode(g_.fanin0(node));
+      const int b = encode(g_.fanin1(node));
+      const int v = solver_.newVar();
+      var_.emplace(node, v);
+      solver_.addClause({-v, a});
+      solver_.addClause({-v, b});
+      solver_.addClause({v, -a, -b});
+      return v;
+    }
+    const int v = solver_.newVar();
+    var_.emplace(node, v);
+    if (node == 0) solver_.addClause({-v});  // the constant-false node
+    return v;
+  }
+
+  const Aig& g_;
+  SatSolver& solver_;
+  std::unordered_map<std::uint32_t, int> var_;
+};
+
+CecResult solveMiter(const Aig& g, Lit miter, std::uint64_t maxConflicts) {
+  CecResult result;
+  if (miter == kLitFalse) {  // discharged by AIG rewriting/hashing alone
+    result.status = SatResult::Unsat;
+    return result;
+  }
+  const std::vector<std::size_t> support = g.support(miter);
+  if (miter == kLitTrue) {  // every assignment is a witness
+    result.status = SatResult::Sat;
+    for (const std::size_t idx : support) {
+      result.counterexample.emplace_back(g.inputNames()[idx], false);
+    }
+    return result;
+  }
+  SatSolver solver;
+  Encoder encoder(g, solver);
+  // Remember each support input's variable before asserting the miter, so a
+  // model can be read back by name.
+  std::vector<int> inputVar(support.size());
+  for (std::size_t i = 0; i < support.size(); ++i) {
+    const Lit in = g.findInput(g.inputNames()[support[i]]);
+    inputVar[i] = encoder.encode(in);
+  }
+  solver.addClause({encoder.encode(miter)});
+  result.status = solver.solve(maxConflicts);
+  result.stats = solver.stats();
+  if (result.status == SatResult::Sat) {
+    for (std::size_t i = 0; i < support.size(); ++i) {
+      result.counterexample.emplace_back(g.inputNames()[support[i]],
+                                         solver.modelValue(inputVar[i]));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+CecResult proveEquivalent(Aig& g, Lit a, Lit b, Lit constraint,
+                          std::uint64_t maxConflicts) {
+  const Lit miter = g.andLit(constraint, g.xorLit(a, b));
+  return solveMiter(g, miter, maxConflicts);
+}
+
+CecResult checkSatisfiable(const Aig& g, Lit root,
+                           std::uint64_t maxConflicts) {
+  CecResult result = solveMiter(g, root, maxConflicts);
+  return result;
+}
+
+}  // namespace tauhls::aig

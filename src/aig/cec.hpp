@@ -1,0 +1,42 @@
+// Combinational equivalence checking over a shared Aig.
+//
+// A query "is a == b under constraint c?" becomes a miter literal
+// m = c & (a ^ b) built in the AIG itself (so the rewriting layer discharges
+// trivially-equal cones for free), Tseitin-encoded into CNF over the miter's
+// structural cone only, and handed to the CDCL solver.  UNSAT proves
+// equivalence; SAT yields a named input counterexample; a conflict-budget
+// overrun reports Unknown instead of looping on an adversarial instance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/sat.hpp"
+
+namespace tauhls::aig {
+
+struct CecResult {
+  SatResult status = SatResult::Unknown;
+  /// Input assignment violating the equivalence (names restricted to the
+  /// miter's structural support); empty unless status == Sat.
+  std::vector<std::pair<std::string, bool>> counterexample;
+  SatStats stats;
+
+  bool equivalent() const { return status == SatResult::Unsat; }
+};
+
+/// Prove a == b for all inputs satisfying `constraint` (use kLitTrue for an
+/// unconstrained check).  Mutates `g` (the miter cone is hash-consed into
+/// it).  `maxConflicts` bounds the SAT search.
+CecResult proveEquivalent(Aig& g, Lit a, Lit b, Lit constraint = kLitTrue,
+                          std::uint64_t maxConflicts = 200000);
+
+/// Satisfiability of a single literal (is there an input making it true?).
+/// Used for vacuity checks on state-validity constraints.
+CecResult checkSatisfiable(const Aig& g, Lit root,
+                           std::uint64_t maxConflicts = 200000);
+
+}  // namespace tauhls::aig

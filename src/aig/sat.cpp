@@ -1,0 +1,335 @@
+#include "aig/sat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tauhls::aig {
+
+const char* satResultName(SatResult r) {
+  switch (r) {
+    case SatResult::Sat: return "sat";
+    case SatResult::Unsat: return "unsat";
+    case SatResult::Unknown: return "unknown";
+  }
+  return "invalid";
+}
+
+int SatSolver::toInternal(int dimacsLit) {
+  TAUHLS_CHECK(dimacsLit != 0, "DIMACS literal 0 inside a clause");
+  const int var = std::abs(dimacsLit) - 1;
+  return var * 2 + (dimacsLit < 0 ? 1 : 0);
+}
+
+int SatSolver::newVar() {
+  assign_.push_back(-1);
+  phase_.push_back(0);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  watchers_.emplace_back();
+  watchers_.emplace_back();
+  return static_cast<int>(assign_.size());
+}
+
+bool SatSolver::valueOf(int lit) const {
+  const signed char a = assign_[static_cast<std::size_t>(lit >> 1)];
+  TAUHLS_ASSERT(a >= 0, "valueOf on unassigned literal");
+  return (a != 0) != ((lit & 1) != 0);
+}
+
+bool SatSolver::isUnassigned(int lit) const {
+  return assign_[static_cast<std::size_t>(lit >> 1)] < 0;
+}
+
+void SatSolver::assignLit(int lit, int reasonClause) {
+  const std::size_t var = static_cast<std::size_t>(lit >> 1);
+  TAUHLS_ASSERT(assign_[var] < 0, "double assignment");
+  assign_[var] = (lit & 1) ? 0 : 1;
+  phase_[var] = assign_[var];
+  level_[var] = static_cast<int>(trailLim_.size());
+  reason_[var] = reasonClause;
+  trail_.push_back(lit);
+  ++stats_.propagations;
+}
+
+void SatSolver::backjump(int targetLevel) {
+  if (static_cast<int>(trailLim_.size()) <= targetLevel) return;
+  const std::size_t keep =
+      static_cast<std::size_t>(trailLim_[static_cast<std::size_t>(targetLevel)]);
+  for (std::size_t i = trail_.size(); i > keep; --i) {
+    assign_[static_cast<std::size_t>(trail_[i - 1] >> 1)] = -1;
+  }
+  trail_.resize(keep);
+  trailLim_.resize(static_cast<std::size_t>(targetLevel));
+  propagateHead_ = std::min(propagateHead_, trail_.size());
+}
+
+void SatSolver::addClause(std::vector<int> lits) {
+  backjump(0);
+  // Grow the variable set to cover every referenced literal.
+  for (const int l : lits) {
+    while (std::abs(l) > numVars()) newVar();
+  }
+  // Normalize against the permanent (level-0) assignment: drop false
+  // literals, drop the clause when satisfied, reject duplicates/tautologies.
+  std::vector<int> clause;
+  for (const int dl : lits) {
+    const int l = toInternal(dl);
+    if (!isUnassigned(l)) {
+      if (valueOf(l)) return;  // permanently satisfied
+      continue;                // permanently false literal: drop it
+    }
+    if (std::find(clause.begin(), clause.end(), l) != clause.end()) continue;
+    if (std::find(clause.begin(), clause.end(), l ^ 1) != clause.end()) {
+      return;  // tautology
+    }
+    clause.push_back(l);
+  }
+  if (clause.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (clause.size() == 1) {
+    assignLit(clause[0], -1);  // level-0 fact; propagated at the next solve
+    return;
+  }
+  const int id = static_cast<int>(clauses_.size());
+  watchers_[static_cast<std::size_t>(clause[0])].push_back(id);
+  watchers_[static_cast<std::size_t>(clause[1])].push_back(id);
+  clauses_.push_back(std::move(clause));
+}
+
+bool SatSolver::propagate(int& conflictClause) {
+  while (propagateHead_ < trail_.size()) {
+    const int p = trail_[propagateHead_++];
+    const int falseLit = p ^ 1;
+    std::vector<int>& ws = watchers_[static_cast<std::size_t>(falseLit)];
+    std::size_t keep = 0;
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      const int ci = ws[wi];
+      std::vector<int>& c = clauses_[static_cast<std::size_t>(ci)];
+      if (c[0] == falseLit) std::swap(c[0], c[1]);
+      // Invariant now: c[1] == falseLit.
+      if (!isUnassigned(c[0]) && valueOf(c[0])) {
+        ws[keep++] = ci;  // satisfied by the other watch
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (isUnassigned(c[k]) || valueOf(c[k])) {
+          std::swap(c[1], c[k]);
+          watchers_[static_cast<std::size_t>(c[1])].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      ws[keep++] = ci;  // stays watched on falseLit
+      if (!isUnassigned(c[0])) {
+        // c[0] false too: conflict.  Preserve the remaining watchers.
+        for (std::size_t rest = wi + 1; rest < ws.size(); ++rest) {
+          ws[keep++] = ws[rest];
+        }
+        ws.resize(keep);
+        conflictClause = ci;
+        return false;
+      }
+      assignLit(c[0], ci);
+    }
+    ws.resize(keep);
+  }
+  return true;
+}
+
+void SatSolver::bumpVar(int var) {
+  double& a = activity_[static_cast<std::size_t>(var)];
+  a += activityInc_;
+  if (a > 1e100) {
+    for (double& act : activity_) act *= 1e-100;
+    activityInc_ *= 1e-100;
+  }
+}
+
+void SatSolver::decayActivities() { activityInc_ /= 0.95; }
+
+int SatSolver::pickBranchVar() const {
+  int best = -1;
+  double bestActivity = -1.0;
+  for (std::size_t v = 0; v < assign_.size(); ++v) {
+    if (assign_[v] >= 0) continue;
+    if (activity_[v] > bestActivity) {
+      bestActivity = activity_[v];
+      best = static_cast<int>(v);
+    }
+  }
+  return best;
+}
+
+int SatSolver::analyze(int conflictClause, std::vector<int>& learnedOut) {
+  learnedOut.assign(1, 0);  // slot 0: the asserting (first-UIP) literal
+  std::vector<char> seen(assign_.size(), 0);
+  const int currentLevel = static_cast<int>(trailLim_.size());
+  int counter = 0;
+  int pVar = -1;
+  std::size_t index = trail_.size();
+
+  while (true) {
+    TAUHLS_ASSERT(conflictClause >= 0, "conflict analysis hit a decision");
+    const std::vector<int>& c =
+        clauses_[static_cast<std::size_t>(conflictClause)];
+    // For reason clauses c[0] is the literal being resolved on; skip it.
+    for (std::size_t i = (pVar < 0 ? 0 : 1); i < c.size(); ++i) {
+      const int q = c[i];
+      const std::size_t v = static_cast<std::size_t>(q >> 1);
+      if (seen[v] || level_[v] == 0) continue;
+      seen[v] = 1;
+      bumpVar(static_cast<int>(v));
+      if (level_[v] == currentLevel) {
+        ++counter;
+      } else {
+        learnedOut.push_back(q);
+      }
+    }
+    do {
+      --index;
+    } while (!seen[static_cast<std::size_t>(trail_[index] >> 1)]);
+    const int p = trail_[index];
+    pVar = p >> 1;
+    seen[static_cast<std::size_t>(pVar)] = 0;
+    --counter;
+    if (counter == 0) {
+      learnedOut[0] = p ^ 1;
+      break;
+    }
+    conflictClause = reason_[static_cast<std::size_t>(pVar)];
+  }
+
+  // Backjump destination: the highest level among the tail literals; move
+  // one literal of that level to slot 1 so it is watched after learning.
+  int backLevel = 0;
+  for (std::size_t i = 1; i < learnedOut.size(); ++i) {
+    const int lv = level_[static_cast<std::size_t>(learnedOut[i] >> 1)];
+    if (lv > backLevel) {
+      backLevel = lv;
+      std::swap(learnedOut[1], learnedOut[i]);
+    }
+  }
+  return backLevel;
+}
+
+SatResult SatSolver::solve(std::uint64_t maxConflicts) {
+  if (unsat_) return SatResult::Unsat;
+  backjump(0);
+  propagateHead_ = 0;
+
+  std::uint64_t conflictsThisCall = 0;
+  std::uint64_t restartLimit = 128;
+  std::uint64_t conflictsSinceRestart = 0;
+  std::vector<int> learned;
+
+  while (true) {
+    int conflictClause = -1;
+    if (!propagate(conflictClause)) {
+      ++stats_.conflicts;
+      ++conflictsThisCall;
+      ++conflictsSinceRestart;
+      if (trailLim_.empty()) return SatResult::Unsat;
+      if (conflictsThisCall > maxConflicts) {
+        backjump(0);
+        return SatResult::Unknown;
+      }
+      const int backLevel = analyze(conflictClause, learned);
+      backjump(backLevel);
+      if (learned.size() == 1) {
+        assignLit(learned[0], -1);  // level-0 fact
+      } else {
+        const int id = static_cast<int>(clauses_.size());
+        watchers_[static_cast<std::size_t>(learned[0])].push_back(id);
+        watchers_[static_cast<std::size_t>(learned[1])].push_back(id);
+        clauses_.push_back(learned);
+        ++stats_.learned;
+        assignLit(learned[0], id);
+      }
+      decayActivities();
+      continue;
+    }
+    if (conflictsSinceRestart >= restartLimit) {
+      conflictsSinceRestart = 0;
+      restartLimit += restartLimit / 2;
+      backjump(0);
+      continue;
+    }
+    const int branchVar = pickBranchVar();
+    if (branchVar < 0) return SatResult::Sat;  // full assignment
+    ++stats_.decisions;
+    trailLim_.push_back(static_cast<int>(trail_.size()));
+    assignLit(branchVar * 2 + (phase_[static_cast<std::size_t>(branchVar)]
+                                   ? 0
+                                   : 1),
+              -1);
+  }
+}
+
+bool SatSolver::modelValue(int var) const {
+  TAUHLS_CHECK(var >= 1 && var <= numVars(), "modelValue variable out of range");
+  const signed char a = assign_[static_cast<std::size_t>(var - 1)];
+  TAUHLS_CHECK(a >= 0, "modelValue without a satisfying assignment");
+  return a != 0;
+}
+
+std::vector<std::vector<int>> parseDimacs(const std::string& text,
+                                          int& numVars) {
+  numVars = 0;
+  std::vector<std::vector<int>> clauses;
+  std::vector<int> current;
+  std::istringstream in(text);
+  std::string token;
+  bool sawHeader = false;
+  while (in >> token) {
+    if (token == "c") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (token == "p") {
+      std::string fmt;
+      int declaredClauses = 0;
+      TAUHLS_CHECK(static_cast<bool>(in >> fmt >> numVars >> declaredClauses) &&
+                       fmt == "cnf",
+                   "malformed DIMACS header");
+      sawHeader = true;
+      continue;
+    }
+    if (token == "%") break;  // SATLIB end-of-instance marker
+    int lit = 0;
+    try {
+      lit = std::stoi(token);
+    } catch (const std::exception&) {
+      TAUHLS_FAIL("malformed DIMACS token '" + token + "'");
+    }
+    if (lit == 0) {
+      clauses.push_back(current);
+      current.clear();
+    } else {
+      numVars = std::max(numVars, std::abs(lit));
+      current.push_back(lit);
+    }
+  }
+  TAUHLS_CHECK(sawHeader, "DIMACS document lacks a 'p cnf' header");
+  TAUHLS_CHECK(current.empty(), "DIMACS clause not terminated by 0");
+  return clauses;
+}
+
+SatResult solveDimacs(const std::string& text, std::uint64_t maxConflicts) {
+  int numVars = 0;
+  const std::vector<std::vector<int>> clauses = parseDimacs(text, numVars);
+  SatSolver solver;
+  while (solver.numVars() < numVars) solver.newVar();
+  for (const std::vector<int>& c : clauses) solver.addClause(c);
+  return solver.solve(maxConflicts);
+}
+
+}  // namespace tauhls::aig

@@ -1,0 +1,92 @@
+// A small self-contained CDCL SAT solver for combinational equivalence
+// queries (cec.hpp) and guard/cover reasoning.
+//
+// Standard architecture, deliberately compact: two-watched-literal
+// propagation, first-UIP conflict analysis with clause learning and
+// non-chronological backjumping, exponentially-decayed variable activity
+// (VSIDS) for decisions, phase saving, and geometric restarts.  Learned
+// clauses are kept (the equivalence miters this repo solves are small enough
+// that clause deletion would cost more than it saves).
+//
+// Literal convention matches DIMACS: variables are 1-based ints, a negative
+// int is the negated literal.  `solve` is incremental only in the weak sense
+// that clauses may be added between calls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tauhls::aig {
+
+enum class SatResult { Sat, Unsat, Unknown };
+
+const char* satResultName(SatResult r);
+
+struct SatStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t learned = 0;
+};
+
+class SatSolver {
+ public:
+  /// Allocate a fresh variable; returns its (1-based) index.
+  int newVar();
+  int numVars() const { return static_cast<int>(assign_.size()); }
+
+  /// Add a clause of DIMACS literals.  Out-of-range variables are allocated
+  /// implicitly; an empty clause makes the instance trivially unsatisfiable.
+  void addClause(std::vector<int> lits);
+
+  /// Solve the current clause set.  `maxConflicts` bounds the search; when
+  /// exceeded the result is Unknown (the caller reports an unproven check
+  /// rather than looping forever on an adversarial miter).
+  SatResult solve(std::uint64_t maxConflicts = ~std::uint64_t{0});
+
+  /// Model value of a variable after a Sat result.
+  bool modelValue(int var) const;
+
+  const SatStats& stats() const { return stats_; }
+
+ private:
+  // Internal literal encoding: var index v (0-based) -> 2v (positive),
+  // 2v+1 (negated).
+  static int toInternal(int dimacsLit);
+  bool valueOf(int lit) const;         ///< current assignment of internal lit
+  bool isUnassigned(int lit) const;
+  void assignLit(int lit, int reasonClause);
+  bool propagate(int& conflictClause);
+  int analyze(int conflictClause, std::vector<int>& learnedOut);
+  void backjump(int level);
+  void bumpVar(int var);
+  void decayActivities();
+  int pickBranchVar() const;
+
+  std::vector<std::vector<int>> clauses_;       ///< internal lits per clause
+  std::vector<std::vector<int>> watchers_;      ///< per internal lit: clause ids
+  std::vector<signed char> assign_;             ///< per var: -1 unset, 0/1 value
+  std::vector<signed char> phase_;              ///< saved phase per var
+  std::vector<int> level_;                      ///< decision level per var
+  std::vector<int> reason_;                     ///< antecedent clause per var (-1)
+  std::vector<double> activity_;
+  std::vector<int> trail_;                      ///< assigned internal lits
+  std::vector<int> trailLim_;                   ///< trail size per decision level
+  std::size_t propagateHead_ = 0;
+  double activityInc_ = 1.0;
+  bool unsat_ = false;                          ///< empty clause was added
+  SatStats stats_;
+};
+
+/// Parse a DIMACS CNF document ("c" comments, "p cnf V C" header, clauses
+/// terminated by 0).  Returns the clause list; `numVars` receives the
+/// header's variable count (grown to fit any larger literal seen).
+std::vector<std::vector<int>> parseDimacs(const std::string& text,
+                                          int& numVars);
+
+/// Convenience: parse and solve a DIMACS document.
+SatResult solveDimacs(const std::string& text,
+                      std::uint64_t maxConflicts = ~std::uint64_t{0});
+
+}  // namespace tauhls::aig

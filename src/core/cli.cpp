@@ -16,6 +16,7 @@
 #include "fsm/kiss.hpp"
 #include "rtl/testbench.hpp"
 #include "sim/interp.hpp"
+#include "verify/equiv_check.hpp"
 #include "verify/verify.hpp"
 
 namespace tauhls::core {
@@ -62,7 +63,14 @@ std::string cliHelp() {
       "\n"
       "  --benchmarks      lint every built-in paper benchmark with its\n"
       "                    Table 2 allocation instead of an input file\n"
+      "  --equiv           also prove each controller's synthesis chain\n"
+      "                    equivalent (spec = cover = netlist = emitted RTL)\n"
+      "                    with a SAT miter per function (rules EQV*)\n"
+      "  --timing          also run static timing analysis over every\n"
+      "                    controller netlist against CC_TAU (rules TIM*)\n"
       "  --lint-json FILE  also write all diagnostics as JSON\n"
+      "                    ({\"schema\":\"tauhls-lint\",\"version\":2} with\n"
+      "                    per-rule counts)\n"
       "  (--alloc, --strategy, --no-signal-opt and --trace-json apply as\n"
       "  above; lint evaluates only the verification passes, never the\n"
       "  latency or area model)\n";
@@ -118,6 +126,18 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
         return std::nullopt;
       }
       o.lintBenchmarks = true;
+    } else if (a == "--equiv") {
+      if (!o.lint) {
+        error = "--equiv is only valid with the lint subcommand";
+        return std::nullopt;
+      }
+      o.lintEquiv = true;
+    } else if (a == "--timing") {
+      if (!o.lint) {
+        error = "--timing is only valid with the lint subcommand";
+        return std::nullopt;
+      }
+      o.lintTiming = true;
     } else if (a == "--lint-json") {
       auto v = needValue(i);
       if (!v) return std::nullopt;
@@ -271,8 +291,20 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
       // than the flow gate's fast default.
       cfg.verifyMaxStates = 200000;
       FlowPipeline pipeline(b.graph, cfg);
-      const verify::Report& report =
+      verify::Report report =
           pipeline.get<verify::Report>(Artifact::Diagnostics);
+      if (options.lintEquiv) {
+        const auto& eq =
+            pipeline.get<verify::EquivalenceArtifact>(Artifact::Equivalence);
+        report.merge(eq.report);
+        out << "-- " << b.name << ": equivalence over " << eq.stats.controllers
+            << " controllers, " << eq.stats.functionsCompared
+            << " functions, " << eq.stats.satConflicts
+            << " SAT conflicts --\n";
+      }
+      if (options.lintTiming) {
+        report.merge(pipeline.get<verify::Report>(Artifact::Timing));
+      }
 
       out << "== " << b.name << " ==\n" << verify::renderText(report) << "\n";
       all.merge(report);

@@ -19,6 +19,8 @@ namespace tauhls::core {
 struct CliOptions {
   bool lint = false;          ///< `tauhlsc lint ...` subcommand
   bool lintBenchmarks = false;///< lint every built-in paper benchmark
+  bool lintEquiv = false;     ///< also run SAT equivalence checking (EQV*)
+  bool lintTiming = false;    ///< also run static timing analysis (TIM*)
   std::string lintJsonPath;   ///< empty = text only; else JSON diagnostics
   std::string inputPath;
   sched::Allocation allocation;

@@ -14,6 +14,7 @@
 // the area model, and measures latency statistics.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -45,6 +46,12 @@ struct FlowConfig {
   /// Product-configuration bound for the model check; past it the check
   /// degrades to an MDL007 warning instead of blocking the flow.
   std::size_t verifyMaxStates = 50000;
+  /// STA margin (register setup + completion-signal arrival) subtracted from
+  /// CC_TAU by the demand-only `timing` pass (TIM rules).
+  double timingMarginNs = 2.0;
+  /// SAT conflict budget per miter for the demand-only `equiv` pass; an
+  /// exceeded budget degrades to an EQV005 warning, never a false claim.
+  std::uint64_t equivMaxConflicts = 200000;
 };
 
 struct FlowResult {

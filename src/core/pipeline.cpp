@@ -8,6 +8,8 @@
 #include "common/parallel.hpp"
 #include "core/fingerprint.hpp"
 #include "rtl/verilog.hpp"
+#include "verify/equiv_check.hpp"
+#include "verify/timing_check.hpp"
 #include "verify/verify.hpp"
 
 namespace tauhls::core {
@@ -190,6 +192,40 @@ const std::vector<PassDef>& passRegistry() {
                     io.in<fsm::DistributedControlUnit>(Artifact::Distributed),
                     "dcu_" + io.graph.name()));
        }},
+      {"equiv",
+       {Artifact::Distributed},
+       {Artifact::Equivalence},
+       [](const FlowConfig& c, common::Hasher& h) {
+         h.u64(static_cast<std::uint64_t>(c.encoding));
+         h.u64(c.equivMaxConflicts);
+       },
+       [](const PassIo& io) {
+         verify::EquivOptions eo;
+         eo.style = io.config.encoding;
+         eo.maxConflicts = io.config.equivMaxConflicts;
+         verify::EquivalenceArtifact art;
+         art.report = verify::checkEquivalence(
+             io.in<fsm::DistributedControlUnit>(Artifact::Distributed), eo,
+             &art.stats);
+         io.out(Artifact::Equivalence, std::move(art));
+       }},
+      {"timing",
+       {Artifact::Schedule, Artifact::Distributed},
+       {Artifact::Timing},
+       [](const FlowConfig& c, common::Hasher& h) {
+         h.u64(static_cast<std::uint64_t>(c.encoding));
+         h.f64(c.timingMarginNs);
+       },
+       [](const PassIo& io) {
+         verify::TimingOptions to;
+         to.marginNs = io.config.timingMarginNs;
+         to.style = io.config.encoding;
+         io.out(Artifact::Timing,
+                verify::checkTiming(
+                    io.in<fsm::DistributedControlUnit>(Artifact::Distributed),
+                    io.in<sched::ScheduledDfg>(Artifact::Schedule).clockNs,
+                    to));
+       }},
   };
   return passes;
 }
@@ -259,6 +295,16 @@ std::uint64_t artifactSizeOf(Artifact a, const std::any& slot) {
     case Artifact::Rtl:
       return std::any_cast<const std::shared_ptr<const std::string>&>(slot)
           ->size();
+    case Artifact::Equivalence:
+      // Functions proven, not diagnostics: the semantic work of the pass.
+      return static_cast<std::uint64_t>(
+          std::any_cast<
+              const std::shared_ptr<const verify::EquivalenceArtifact>&>(slot)
+              ->stats.functionsCompared);
+    case Artifact::Timing:
+      return std::any_cast<const std::shared_ptr<const verify::Report>&>(slot)
+          ->diagnostics()
+          .size();
   }
   return 0;
 }
@@ -290,6 +336,8 @@ const char* artifactName(Artifact a) {
     case Artifact::CentSyncArea: return "area-cent-sync";
     case Artifact::CentFsmArea: return "area-cent-fsm";
     case Artifact::Rtl: return "rtl";
+    case Artifact::Equivalence: return "equivalence";
+    case Artifact::Timing: return "timing";
   }
   return "unknown";
 }

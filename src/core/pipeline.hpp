@@ -6,8 +6,9 @@
 //   schedule ──┬─> distributed ─> signal-opt ─┬─> verify       ─> (gate)
 //              │                              ├─> cent-fsm     ─> area-cent-fsm
 //              ├─> cent-sync ─────────────────┤─> area-dist
-//              ├─> latency                    └─> rtl
-//              └────────────────> area-cent-sync (from cent-sync)
+//              ├─> latency                    ├─> rtl
+//              ├────────────────> area-cent-sync (from cent-sync)
+//              └─(+ signal-opt)─> equiv, timing      (demand-only)
 //
 // Each pass declares the artifacts it consumes and produces plus the
 // FlowConfig fields it reads; the executor then provides
@@ -66,6 +67,11 @@ namespace tauhls::core {
 ///   CentSyncArea    synth::AreaRow
 ///   CentFsmArea     synth::AreaRow
 ///   Rtl             std::string                  full Verilog package
+///   Equivalence     verify::EquivalenceArtifact  SAT translation validation
+///   Timing          verify::Report               STA against CC_TAU
+///
+/// Equivalence and Timing are demand-only: the standard run() never requests
+/// them; `tauhlsc lint --equiv/--timing` (and tests) pull them explicitly.
 enum class Artifact : int {
   Schedule = 0,
   RawDistributed,
@@ -79,9 +85,11 @@ enum class Artifact : int {
   CentSyncArea,
   CentFsmArea,
   Rtl,
+  Equivalence,
+  Timing,
 };
 
-inline constexpr int kNumArtifacts = 12;
+inline constexpr int kNumArtifacts = 14;
 
 /// Stable display name ("schedule", "latency", ...).
 const char* artifactName(Artifact a);

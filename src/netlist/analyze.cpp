@@ -55,11 +55,16 @@ GateStats analyze(const Netlist& net) {
   return stats;
 }
 
-bool meetsClock(const GateStats& stats, double clockNs, double nsPerLevel,
-                double marginNs) {
+bool meetsClockNaive(const GateStats& stats, double clockNs, double nsPerLevel,
+                     double marginNs) {
   TAUHLS_CHECK(clockNs > 0.0 && nsPerLevel > 0.0,
                "clock and gate delay must be positive");
   return stats.depth * nsPerLevel + marginNs <= clockNs;
+}
+
+bool meetsClock(const Netlist& net, double clockNs, double marginNs,
+                const DelayModel& model) {
+  return runSta(net, clockNs, marginNs, model).meetsClock();
 }
 
 }  // namespace tauhls::netlist

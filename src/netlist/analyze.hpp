@@ -1,16 +1,17 @@
 // Gate-level area and delay analysis.
 //
 // Area: gate-equivalents -- INV = 1, n-input AND/OR = n-1 two-input
-// equivalents (decomposition into a 2-input tree).  Delay: levels of the
-// same 2-input decomposition (an n-input gate contributes ceil(log2(n))
-// levels), so the reported depth is what a naive technology mapping to
-// 2-input cells achieves.  meetsClock checks controller timing closure:
-// the control-logic depth must fit within the system clock CC_TAU -- an
-// implicit requirement of the paper's scheme that the literal-count model
-// cannot express.
+// equivalents (decomposition into a 2-input tree).  Delay comes in two
+// tiers: GateStats::depth is the naive uniform-delay level count (every
+// 2-input level costs the same), kept as a quick lower-bound sanity
+// metric, while timing closure proper is answered by the STA engine
+// (sta.hpp) with per-gate-kind delays and fanout loading.  meetsClock
+// checks the paper's implicit requirement that control logic settles
+// within the system clock CC_TAU.
 #pragma once
 
 #include "netlist/netlist.hpp"
+#include "netlist/sta.hpp"
 
 namespace tauhls::netlist {
 
@@ -20,15 +21,24 @@ struct GateStats {
   int andGates = 0;    ///< n-input AND instances
   int orGates = 0;
   int gateEquivalents = 0;  ///< 2-input-equivalent area
-  int depth = 0;            ///< 2-input-equivalent levels on the worst path
+  /// Naive bound: uniform-delay 2-input levels on the worst path.  A lower
+  /// bound on the STA arrival time; use runSta for real timing closure.
+  int depth = 0;
   int maxFanin = 0;
 };
 
 GateStats analyze(const Netlist& net);
 
-/// True when the network settles within `clockNs` at `nsPerLevel` per
-/// 2-input gate level, leaving `marginNs` for register setup/clock skew.
-bool meetsClock(const GateStats& stats, double clockNs, double nsPerLevel,
-                double marginNs = 0.0);
+/// Naive closure check: true when the network settles within `clockNs` at a
+/// uniform `nsPerLevel` per 2-input gate level, leaving `marginNs` for
+/// register setup/clock skew.  Kept as the lower-bound companion to the STA
+/// verdict; a design failing this check certainly fails STA.
+bool meetsClockNaive(const GateStats& stats, double clockNs, double nsPerLevel,
+                     double marginNs = 0.0);
+
+/// Timing closure by static timing analysis: true when the worst slack
+/// against `clockNs` (minus `marginNs`) is non-negative under `model`.
+bool meetsClock(const Netlist& net, double clockNs, double marginNs = 0.0,
+                const DelayModel& model = DelayModel{});
 
 }  // namespace tauhls::netlist

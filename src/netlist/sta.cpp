@@ -1,0 +1,151 @@
+#include "netlist/sta.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace tauhls::netlist {
+
+namespace {
+
+int levelsOf(std::size_t fanin) {
+  if (fanin <= 1) return 0;
+  return std::bit_width(fanin - 1);  // ceil(log2(fanin))
+}
+
+/// Propagation delay through a gate, excluding its own output load.
+double intrinsicDelayNs(const Gate& g, const DelayModel& model) {
+  switch (g.kind) {
+    case GateKind::Input:
+    case GateKind::Const0:
+    case GateKind::Const1:
+      return 0.0;
+    case GateKind::Inv:
+      return model.invNs;
+    case GateKind::And:
+      return levelsOf(g.fanins.size()) * model.andLevelNs;
+    case GateKind::Or:
+      return levelsOf(g.fanins.size()) * model.orLevelNs;
+  }
+  return 0.0;
+}
+
+std::string netLabel(const Netlist& net, NetId id) {
+  const Gate& g = net.gate(id);
+  if (!g.name.empty()) return g.name;
+  std::string label = gateKindName(g.kind);
+  label += '#';
+  label += std::to_string(id);
+  return label;
+}
+
+}  // namespace
+
+StaResult runSta(const Netlist& net, double clockNs, double marginNs,
+                 const DelayModel& model) {
+  TAUHLS_CHECK(clockNs > 0.0, "STA clock period must be positive");
+  const std::size_t n = net.numGates();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  StaResult sta;
+  sta.clockNs = clockNs;
+  sta.marginNs = marginNs;
+  sta.arrivalNs.assign(n, 0.0);
+  sta.requiredNs.assign(n, kInf);
+  sta.slackNs.assign(n, kInf);
+
+  // Fanout count per net: fanin references plus primary-output taps.
+  std::vector<int> fanout(n, 0);
+  for (NetId i = 0; i < n; ++i) {
+    for (const NetId f : net.gate(i).fanins) ++fanout[f];
+  }
+  for (const auto& [name, id] : net.outputs()) ++fanout[id];
+
+  // Total delay a gate adds to its fanins' arrival: intrinsic propagation
+  // plus load for each fanout beyond the first.
+  std::vector<double> gateDelay(n, 0.0);
+  for (NetId i = 0; i < n; ++i) {
+    gateDelay[i] = intrinsicDelayNs(net.gate(i), model) +
+                   model.loadNsPerFanout * std::max(0, fanout[i] - 1);
+  }
+
+  // Forward sweep: arrival times.  gates_ is topologically ordered by
+  // construction, so one pass suffices.
+  for (NetId i = 0; i < n; ++i) {
+    const Gate& g = net.gate(i);
+    if (g.kind == GateKind::Input) {
+      sta.arrivalNs[i] = model.inputArrivalNs + gateDelay[i];
+      continue;
+    }
+    double inArrival = 0.0;
+    for (const NetId f : g.fanins) {
+      inArrival = std::max(inArrival, sta.arrivalNs[f]);
+    }
+    sta.arrivalNs[i] = inArrival + gateDelay[i];
+  }
+
+  // Backward sweep: required times from each primary output.
+  const double outputRequired = clockNs - marginNs;
+  for (const auto& [name, id] : net.outputs()) {
+    sta.requiredNs[id] = std::min(sta.requiredNs[id], outputRequired);
+  }
+  for (NetId i = n; i > 0; --i) {
+    const NetId id = i - 1;
+    if (sta.requiredNs[id] == kInf) continue;  // outside every output cone
+    const double faninRequired = sta.requiredNs[id] - gateDelay[id];
+    for (const NetId f : net.gate(id).fanins) {
+      sta.requiredNs[f] = std::min(sta.requiredNs[f], faninRequired);
+    }
+  }
+
+  // Slack, and the worst constrained net.
+  sta.worstSlackNs = kInf;
+  for (NetId i = 0; i < n; ++i) {
+    sta.slackNs[i] = sta.requiredNs[i] - sta.arrivalNs[i];
+    if (sta.requiredNs[i] != kInf) {
+      sta.worstSlackNs = std::min(sta.worstSlackNs, sta.slackNs[i]);
+    }
+  }
+  if (sta.worstSlackNs == kInf) sta.worstSlackNs = outputRequired;
+
+  // Critical path: the latest-arriving primary output, walked back through
+  // the latest-arriving fanin at each hop.
+  NetId worstNet = kNoNet;
+  for (const auto& [name, id] : net.outputs()) {
+    if (worstNet == kNoNet || sta.arrivalNs[id] > sta.arrivalNs[worstNet]) {
+      worstNet = id;
+      sta.worstOutput = name;
+    }
+  }
+  if (worstNet != kNoNet) {
+    sta.worstArrivalNs = sta.arrivalNs[worstNet];
+    std::vector<TimingPathNode> reversed;
+    NetId cursor = worstNet;
+    while (true) {
+      reversed.push_back(
+          TimingPathNode{cursor, netLabel(net, cursor), sta.arrivalNs[cursor]});
+      const Gate& g = net.gate(cursor);
+      if (g.fanins.empty()) break;
+      NetId slowest = g.fanins.front();
+      for (const NetId f : g.fanins) {
+        if (sta.arrivalNs[f] > sta.arrivalNs[slowest]) slowest = f;
+      }
+      cursor = slowest;
+    }
+    sta.worstPath.assign(reversed.rbegin(), reversed.rend());
+  }
+  return sta;
+}
+
+std::string formatWorstPath(const StaResult& sta) {
+  std::string out;
+  for (const TimingPathNode& node : sta.worstPath) {
+    if (!out.empty()) out += " -> ";
+    out += node.label;
+  }
+  return out;
+}
+
+}  // namespace tauhls::netlist

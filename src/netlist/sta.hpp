@@ -1,0 +1,60 @@
+// Static timing analysis over the gate-level netlist.
+//
+// Replaces the naive depth*nsPerLevel bound (analyze.hpp) with a real
+// topological timing pass: per-gate-kind delays, fanout-aware output
+// loading, arrival/required propagation, per-net slack, and extraction of
+// the worst path as a named wire sequence.  The controller's clock budget
+// is the paper's CC_TAU = max(SD, FD): every control unit's next-state and
+// completion logic must settle inside it, minus the register margin.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tauhls::netlist {
+
+/// Per-gate-kind delay/load model.  An n-input AND/OR is costed as its
+/// 2-input tree decomposition (ceil(log2 n) levels); each fanout beyond the
+/// first adds wire/pin load to the driving gate.
+struct DelayModel {
+  double invNs = 0.30;            ///< inverter propagation
+  double andLevelNs = 0.50;       ///< per 2-input AND level
+  double orLevelNs = 0.55;        ///< per 2-input OR level
+  double inputArrivalNs = 0.20;   ///< register clock-to-Q at the inputs
+  double loadNsPerFanout = 0.05;  ///< added per fanout beyond the first
+};
+
+/// One hop of the critical path, input-to-output order.
+struct TimingPathNode {
+  NetId net = kNoNet;
+  std::string label;     ///< input/output name when named, else kind#net
+  double arrivalNs = 0.0;
+};
+
+struct StaResult {
+  std::vector<double> arrivalNs;   ///< per net
+  std::vector<double> requiredNs;  ///< per net (+inf outside any output cone)
+  std::vector<double> slackNs;     ///< requiredNs - arrivalNs
+
+  double clockNs = 0.0;
+  double marginNs = 0.0;
+  double worstArrivalNs = 0.0;     ///< critical-path delay
+  double worstSlackNs = 0.0;       ///< min slack over constrained nets
+  std::string worstOutput;         ///< output name owning the critical path
+  std::vector<TimingPathNode> worstPath;
+
+  bool meetsClock() const { return worstSlackNs >= 0.0; }
+};
+
+/// Run STA against a clock of `clockNs` with `marginNs` reserved for
+/// register setup/clock skew.  The netlist's topological gate order makes
+/// both sweeps single-pass.
+StaResult runSta(const Netlist& net, double clockNs, double marginNs = 0.0,
+                 const DelayModel& model = DelayModel{});
+
+/// Render `worstPath` as "a -> b -> c" for diagnostics.
+std::string formatWorstPath(const StaResult& sta);
+
+}  // namespace tauhls::netlist

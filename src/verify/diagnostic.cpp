@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -93,6 +94,26 @@ const std::vector<RuleInfo>& allRules() {
       {"NET006", Severity::Warning, "input is never read"},
       {"NET007", Severity::Warning, "gate or net drives nothing"},
       {"NET008", Severity::Error, "malformed gate arity"},
+      // --- symbolic equivalence (translation validation) ------------------
+      {"EQV001", Severity::Error,
+       "minimized cover is not equivalent to the FSM specification"},
+      {"EQV002", Severity::Error,
+       "gate netlist is not equivalent to the minimized cover"},
+      {"EQV003", Severity::Error,
+       "reparsed emitted Verilog is not equivalent to the gate netlist"},
+      {"EQV004", Severity::Error,
+       "completion-latch module deviates from the held|pulse specification"},
+      {"EQV005", Severity::Warning,
+       "equivalence unproven: SAT conflict budget exhausted"},
+      {"EQV006", Severity::Info,
+       "controller proven equivalent end to end (spec = cover = netlist = "
+       "RTL)"},
+      // --- static timing analysis -----------------------------------------
+      {"TIM001", Severity::Error,
+       "negative slack: controller logic misses the clock period CC_TAU"},
+      {"TIM002", Severity::Warning,
+       "tight slack: worst path within 10% of the clock period"},
+      {"TIM003", Severity::Info, "controller timing summary"},
   };
   return rules;
 }
@@ -193,7 +214,8 @@ std::string jsonQuote(const std::string& s) {
 
 std::string renderJson(const Report& report) {
   std::ostringstream os;
-  os << "{\"diagnostics\":[";
+  os << "{\"schema\":\"tauhls-lint\",\"version\":" << kLintJsonVersion
+     << ",\"diagnostics\":[";
   bool first = true;
   for (const Diagnostic& d : report.diagnostics()) {
     if (!first) os << ",";
@@ -203,7 +225,18 @@ std::string renderJson(const Report& report) {
        << jsonQuote(d.artifact) << ",\"where\":" << jsonQuote(d.where)
        << ",\"message\":" << jsonQuote(d.message) << "}";
   }
-  os << "],\"errors\":" << report.errorCount()
+  // Per-rule counts keyed by code, sorted, so CI artifacts diff cleanly
+  // across runs and PRs.
+  std::map<std::string, std::size_t> byRule;
+  for (const Diagnostic& d : report.diagnostics()) ++byRule[d.code];
+  os << "],\"byRule\":{";
+  first = true;
+  for (const auto& [code, n] : byRule) {
+    if (!first) os << ",";
+    first = false;
+    os << jsonQuote(code) << ":" << n;
+  }
+  os << "},\"errors\":" << report.errorCount()
      << ",\"warnings\":" << report.count(Severity::Warning) << "}";
   return os.str();
 }

@@ -77,8 +77,14 @@ class Report {
 /// ("3 errors, 1 warning" / "clean").
 std::string renderText(const Report& report);
 
-/// Machine rendering: {"diagnostics":[{code,severity,artifact,where,message}],
-/// "errors":N,"warnings":N} -- consumed by CI trend tracking.
+/// Version of the JSON lint schema emitted by renderJson; bump when the
+/// shape changes so CI artifact diffs are interpretable across PRs.
+inline constexpr int kLintJsonVersion = 2;
+
+/// Machine rendering: {"schema":"tauhls-lint","version":N,
+/// "diagnostics":[{code,severity,artifact,where,message}],
+/// "byRule":{code:count,...},"errors":N,"warnings":N} -- consumed by CI
+/// trend tracking.
 std::string renderJson(const Report& report);
 
 }  // namespace tauhls::verify

@@ -1,0 +1,88 @@
+// Symbolic equivalence checking (EQV rules): translation validation of the
+// controller synthesis back end.
+//
+// Per controller, four representations of the same combinational function
+// family (next-state bits ns0..ns{n-1} and the declared output signals) are
+// lowered into one shared And-Inverter Graph:
+//
+//   spec     -- the FSM's transitions under the chosen state encoding
+//   cover    -- the minimized two-level covers (logic/minimize)
+//   netlist  -- the shared-AND-plane gate netlist (netlist/build)
+//   rtl      -- the emitted Verilog, reparsed by vsim and evaluated
+//               symbolically (the always @* block executed over AIG literals)
+//
+// Adjacent pairs are proven equivalent with a SAT miter (aig/cec.hpp),
+// constrained to valid state codes: unused codes are don't-cares that the
+// minimizer exploits, so only the reachable-code subspace must agree.  This
+// replaces the truth-table/cofactor machinery, which explodes past ~20
+// inputs; the SAT path never enumerates assignments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fsm/distributed.hpp"
+#include "fsm/machine.hpp"
+#include "netlist/build.hpp"
+#include "synth/encoding.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace tauhls::verify {
+
+struct EquivOptions {
+  synth::EncodingStyle style = synth::EncodingStyle::Binary;
+  /// SAT conflict budget per miter; exceeded -> EQV005 (unproven), never a
+  /// false claim either way.
+  std::uint64_t maxConflicts = 200000;
+};
+
+/// Work counters, surfaced in the pipeline trace.
+struct EquivStats {
+  int controllers = 0;
+  int functionsCompared = 0;
+  std::uint64_t satConflicts = 0;
+
+  EquivStats& operator+=(const EquivStats& o) {
+    controllers += o.controllers;
+    functionsCompared += o.functionsCompared;
+    satConflicts += o.satConflicts;
+    return *this;
+  }
+};
+
+/// Full chain for one controller: spec = cover (EQV001), cover = netlist
+/// (EQV002), netlist = reparsed RTL (EQV003); EQV006 info when all clean.
+EquivStats checkControllerChain(const fsm::Fsm& fsm, Report& report,
+                                const EquivOptions& options = {});
+
+/// Cover-vs-netlist only, against a caller-supplied netlist (EQV002).
+/// Exposed for mutation testing: a tampered netlist must be caught here.
+void checkControllerNetlist(const fsm::Fsm& fsm,
+                            const netlist::ControllerNetlist& cn,
+                            Report& report, const EquivOptions& options = {});
+
+/// Spec-vs-RTL only, against caller-supplied Verilog source containing
+/// `moduleName` (EQV003).  Exposed for mutation testing of the emitter.
+void checkControllerRtl(const fsm::Fsm& fsm, const std::string& source,
+                        const std::string& moduleName, Report& report,
+                        const EquivOptions& options = {});
+
+/// Check the completion-latch primitive inside `packageSource` against its
+/// specification: level = held | pulse, held' = !rst & !restart &
+/// (pulse | held)  (EQV004).
+void checkCompletionLatch(const std::string& packageSource, Report& report);
+
+/// Whole distributed unit: per-controller chains plus the completion latch
+/// of the emitted package.
+Report checkEquivalence(const fsm::DistributedControlUnit& dcu,
+                        const EquivOptions& options = {},
+                        EquivStats* stats = nullptr);
+
+/// What the pipeline's `equiv` pass materializes (Artifact::Equivalence):
+/// the diagnostics plus the SAT work counters for the trace.
+struct EquivalenceArtifact {
+  Report report;
+  EquivStats stats;
+};
+
+}  // namespace tauhls::verify

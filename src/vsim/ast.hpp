@@ -28,11 +28,17 @@ enum class ExprKind : std::uint8_t {
   Xor,       // ^
   Eq,        // ==
   NotEq,     // != / !==
+  Cond,      // c ? t : e (args: condition, then, else)
+  Concat,    // {a, b, ...} (args left-to-right, MSB first)
+  RedAnd,    // &a (unary reduction)
+  RedOr,     // |a
+  RedXor,    // ^a
 };
 
 struct Expr {
   ExprKind kind = ExprKind::Const;
   std::uint64_t value = 0;                  // Const
+  int width = 0;                            // Const: declared width (0 unsized)
   std::string name;                         // Ref
   std::vector<std::unique_ptr<Expr>> args;  // operators
 };

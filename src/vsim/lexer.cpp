@@ -39,13 +39,18 @@ std::vector<Token> tokenize(const std::string& source) {
                        source[j] == '_' || source[j] == '$')) {
         ++j;
       }
-      out.push_back({TokKind::Identifier, source.substr(i, j - i), 0, line});
+      out.push_back({TokKind::Identifier, source.substr(i, j - i), 0, 0, line});
       i = j;
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       // decimal, possibly a sized literal: <size>'<base><digits>
       std::size_t j = i;
+      int declaredWidth = 0;
+      for (std::size_t k = i; k < n &&
+           std::isdigit(static_cast<unsigned char>(source[k])); ++k) {
+        declaredWidth = declaredWidth * 10 + (source[k] - '0');
+      }
       while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) ++j;
       if (j < n && source[j] == '\'') {
         TAUHLS_CHECK(j + 1 < n, "truncated sized literal at line " +
@@ -78,14 +83,16 @@ std::vector<Token> tokenize(const std::string& source) {
         }
         TAUHLS_CHECK(k > j + 2, "empty sized literal at line " +
                                     std::to_string(line));
-        out.push_back({TokKind::Number, source.substr(i, k - i), value, line});
+        out.push_back({TokKind::Number, source.substr(i, k - i), value,
+                       declaredWidth, line});
         i = k;
       } else {
         std::uint64_t value = 0;
         for (std::size_t k = i; k < j; ++k) {
           value = value * 10 + static_cast<std::uint64_t>(source[k] - '0');
         }
-        out.push_back({TokKind::Number, source.substr(i, j - i), value, line});
+        out.push_back({TokKind::Number, source.substr(i, j - i), value, 0,
+                       line});
         i = j;
       }
       continue;
@@ -96,7 +103,7 @@ std::vector<Token> tokenize(const std::string& source) {
     for (const char* m : kMulti) {
       const std::size_t len = std::string(m).size();
       if (source.compare(i, len, m) == 0) {
-        out.push_back({TokKind::Punct, m, 0, line});
+        out.push_back({TokKind::Punct, m, 0, 0, line});
         i += len;
         matched = true;
         break;
@@ -104,7 +111,7 @@ std::vector<Token> tokenize(const std::string& source) {
     }
     if (matched) continue;
     if (std::string("()[]{};,.:=!~&|^#@*<>-?").find(c) != std::string::npos) {
-      out.push_back({TokKind::Punct, std::string(1, c), 0, line});
+      out.push_back({TokKind::Punct, std::string(1, c), 0, 0, line});
       ++i;
       continue;
     }
@@ -112,14 +119,14 @@ std::vector<Token> tokenize(const std::string& source) {
       std::size_t j = i + 1;
       while (j < n && source[j] != '"') ++j;
       TAUHLS_CHECK(j < n, "unterminated string at line " + std::to_string(line));
-      out.push_back({TokKind::Punct, "\"...\"", 0, line});
+      out.push_back({TokKind::Punct, "\"...\"", 0, 0, line});
       i = j + 1;
       continue;
     }
     TAUHLS_FAIL("unexpected character '" + std::string(1, c) + "' at line " +
                 std::to_string(line));
   }
-  out.push_back({TokKind::End, "", 0, line});
+  out.push_back({TokKind::End, "", 0, 0, line});
   return out;
 }
 

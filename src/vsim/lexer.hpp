@@ -18,6 +18,7 @@ struct Token {
   TokKind kind = TokKind::End;
   std::string text;
   std::uint64_t value = 0;
+  int width = 0;  ///< declared width of a sized literal; 0 when unsized
   int line = 0;
 };
 

@@ -82,9 +82,34 @@ class Parser {
       e->args.push_back(parsePrimary());
       return e;
     }
+    // Unary reductions: &a, |a, ^a.  A '&'/'|'/'^' in primary position is
+    // unambiguously a reduction (binary forms are consumed at their own
+    // precedence levels, after a complete primary).
+    if (atPunct("&") || atPunct("|") || atPunct("^")) {
+      const std::string op = take().text;
+      auto e = std::make_unique<Expr>();
+      e->kind = op == "&"   ? ExprKind::RedAnd
+                : op == "|" ? ExprKind::RedOr
+                            : ExprKind::RedXor;
+      e->args.push_back(parsePrimary());
+      return e;
+    }
+    if (atPunct("{")) {  // concatenation {a, b, ...}
+      take();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::Concat;
+      e->args.push_back(parseExpr());
+      while (atPunct(",")) {
+        take();
+        e->args.push_back(parseExpr());
+      }
+      expectPunct("}");
+      return e;
+    }
     if (at(TokKind::Number)) {
       auto e = std::make_unique<Expr>();
       e->kind = ExprKind::Const;
+      e->width = cur().width;
       e->value = take().value;
       return e;
     }
@@ -144,11 +169,26 @@ class Parser {
     return lhs;
   }
 
-  ExprPtr parseExpr() {
+  ExprPtr parseLogicalOr() {
     ExprPtr lhs = parseLogicalAnd();
     while (atPunct("||")) {
       take();
       lhs = makeOp(ExprKind::Or, std::move(lhs), parseLogicalAnd());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseExpr() {
+    ExprPtr lhs = parseLogicalOr();
+    if (atPunct("?")) {  // conditional, right-associative
+      take();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::Cond;
+      e->args.push_back(std::move(lhs));
+      e->args.push_back(parseExpr());
+      expectPunct(":");
+      e->args.push_back(parseExpr());
+      return e;
     }
     return lhs;
   }

@@ -1,5 +1,8 @@
 #include "vsim/simulate.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/error.hpp"
 
 namespace tauhls::vsim {
@@ -63,6 +66,71 @@ std::uint64_t Simulator::eval(const FlatInstance& inst, const Expr& e) const {
       return eval(inst, *e.args[0]) == eval(inst, *e.args[1]) ? 1 : 0;
     case ExprKind::NotEq:
       return eval(inst, *e.args[0]) != eval(inst, *e.args[1]) ? 1 : 0;
+    case ExprKind::Cond:
+      return eval(inst, *e.args[0]) != 0 ? eval(inst, *e.args[1])
+                                         : eval(inst, *e.args[2]);
+    case ExprKind::Concat: {
+      std::uint64_t v = 0;
+      for (const ExprPtr& arg : e.args) {
+        const int w = widthOfExpr(inst, *arg);
+        const std::uint64_t mask =
+            w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+        v = (v << w) | (eval(inst, *arg) & mask);
+      }
+      return v;
+    }
+    case ExprKind::RedAnd: {
+      const int w = widthOfExpr(inst, *e.args[0]);
+      const std::uint64_t mask =
+          w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+      return (eval(inst, *e.args[0]) & mask) == mask ? 1 : 0;
+    }
+    case ExprKind::RedOr:
+      return eval(inst, *e.args[0]) != 0 ? 1 : 0;
+    case ExprKind::RedXor: {
+      const int w = widthOfExpr(inst, *e.args[0]);
+      const std::uint64_t mask =
+          w >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+      return static_cast<std::uint64_t>(
+          std::popcount(eval(inst, *e.args[0]) & mask) & 1);
+    }
+  }
+  TAUHLS_FAIL("unknown expression kind");
+}
+
+int Simulator::widthOfExpr(const FlatInstance& inst, const Expr& e) const {
+  switch (e.kind) {
+    case ExprKind::Const:
+      // Inside concats/reductions the emitted subset always sizes its
+      // literals; an unsized constant is treated as self-determined 1-bit
+      // elsewhere (guards, comparisons).
+      return e.width > 0 ? e.width : 1;
+    case ExprKind::Ref: {
+      if (inst.module->localparams.contains(e.name)) return 1;
+      auto sig = inst.signalOf.find(e.name);
+      TAUHLS_CHECK(sig != inst.signalOf.end(),
+                   "undeclared signal '" + e.name + "' in " +
+                       inst.module->name);
+      return elab_.signalWidth[sig->second];
+    }
+    case ExprKind::Cond:
+      return std::max(widthOfExpr(inst, *e.args[1]),
+                      widthOfExpr(inst, *e.args[2]));
+    case ExprKind::Concat: {
+      int total = 0;
+      for (const ExprPtr& arg : e.args) total += widthOfExpr(inst, *arg);
+      return total;
+    }
+    case ExprKind::Not:
+    case ExprKind::And:
+    case ExprKind::Or:
+    case ExprKind::Xor:
+    case ExprKind::Eq:
+    case ExprKind::NotEq:
+    case ExprKind::RedAnd:
+    case ExprKind::RedOr:
+    case ExprKind::RedXor:
+      return 1;  // the subset's logic operators are 1-bit producers
   }
   TAUHLS_FAIL("unknown expression kind");
 }

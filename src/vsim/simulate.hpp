@@ -39,6 +39,8 @@ class Simulator {
 
  private:
   std::uint64_t eval(const FlatInstance& inst, const Expr& e) const;
+  /// Bit width of an expression (needed by concat/reduction evaluation).
+  int widthOfExpr(const FlatInstance& inst, const Expr& e) const;
   void execStmts(const FlatInstance& inst,
                  const std::vector<StmtPtr>& stmts, bool sequential,
                  std::vector<std::pair<SignalId, std::uint64_t>>* nba);

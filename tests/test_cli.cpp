@@ -219,5 +219,59 @@ TEST_F(CliRun, HelpMode) {
   EXPECT_NE(out.str().find("usage:"), std::string::npos);
 }
 
+TEST(CliParse, LintEquivAndTimingFlags) {
+  std::string error;
+  auto o = parseCli({"lint", "a.dfg", "--equiv", "--timing"}, error);
+  ASSERT_TRUE(o.has_value());
+  EXPECT_TRUE(o->lint);
+  EXPECT_TRUE(o->lintEquiv);
+  EXPECT_TRUE(o->lintTiming);
+  // Outside the lint subcommand both flags are rejected.
+  EXPECT_FALSE(parseCli({"a.dfg", "--equiv"}, error).has_value());
+  EXPECT_FALSE(parseCli({"a.dfg", "--timing"}, error).has_value());
+  EXPECT_NE(cliHelp().find("--equiv"), std::string::npos);
+  EXPECT_NE(cliHelp().find("--timing"), std::string::npos);
+}
+
+TEST_F(CliRun, LintEquivTimingEndToEnd) {
+  CliOptions o;
+  o.lint = true;
+  o.lintEquiv = true;
+  o.lintTiming = true;
+  o.inputPath = path_;
+  o.allocation = parseAllocationSpec("mult=2,add=1");
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(runCli(o, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("EQV006"), std::string::npos);
+  EXPECT_NE(out.str().find("TIM003"), std::string::npos);
+  EXPECT_NE(out.str().find("SAT conflicts"), std::string::npos);
+}
+
+TEST_F(CliRun, LintJsonHasSchemaAndRuleCounts) {
+  const std::string jsonPath = ::testing::TempDir() + "cli_lint.json";
+  CliOptions o;
+  o.lint = true;
+  o.lintEquiv = true;
+  o.lintTiming = true;
+  o.inputPath = path_;
+  o.allocation = parseAllocationSpec("mult=2,add=1");
+  o.lintJsonPath = jsonPath;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(runCli(o, out, err), 0) << err.str();
+  std::ifstream j(jsonPath);
+  std::ostringstream buffer;
+  buffer << j.rdbuf();
+  const std::string json = buffer.str();
+  std::remove(jsonPath.c_str());
+  EXPECT_NE(json.find("\"schema\":\"tauhls-lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"byRule\":"), std::string::npos);
+  EXPECT_NE(json.find("\"EQV006\":"), std::string::npos);
+  EXPECT_NE(json.find("\"TIM003\":"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tauhls::core

@@ -3,15 +3,19 @@
 // guarding against vacuous checks.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "common/error.hpp"
 #include "dfg/benchmarks.hpp"
 #include "fsm/distributed.hpp"
 #include "fsm/product.hpp"
 #include "logic/minimize.hpp"
 #include "netlist/build.hpp"
+#include "rtl/verilog.hpp"
 #include "sim/interp.hpp"
 #include "synth/extract.hpp"
 #include "testutil.hpp"
+#include "verify/equiv_check.hpp"
 
 namespace tauhls {
 namespace {
@@ -165,6 +169,196 @@ TEST(Mutation, ImplementsCatchesCorruptedCover) {
   logic::Cover tooBig = good;
   tooBig.add(logic::Cube::minterm(4, 0));
   EXPECT_FALSE(logic::implements(tooBig, tt));
+}
+
+/// Gate-by-gate copy of a controller netlist.  `remapFanin` may redirect any
+/// gate's fanin; `finishOutput` may tamper with an output net before it is
+/// marked.  Both default to the identity, giving a faithful clone.
+netlist::ControllerNetlist cloneNetlist(
+    const netlist::ControllerNetlist& cn,
+    const std::function<netlist::NetId(netlist::NetId gate, std::size_t slot,
+                                       netlist::NetId mapped)>& remapFanin,
+    const std::function<netlist::NetId(netlist::Netlist&, netlist::NetId)>&
+        finishOutput) {
+  netlist::ControllerNetlist out;
+  out.stateBits = cn.stateBits;
+  out.net = netlist::Netlist(cn.net.name());
+  std::vector<netlist::NetId> remap;
+  for (netlist::NetId i = 0; i < cn.net.numGates(); ++i) {
+    const netlist::Gate& g = cn.net.gate(i);
+    std::vector<netlist::NetId> fanins;
+    for (std::size_t slot = 0; slot < g.fanins.size(); ++slot) {
+      fanins.push_back(remapFanin(i, slot, remap[g.fanins[slot]]));
+    }
+    switch (g.kind) {
+      case netlist::GateKind::Input:
+        remap.push_back(out.net.addInput(g.name));
+        break;
+      case netlist::GateKind::Const0:
+        remap.push_back(out.net.constant(false));
+        break;
+      case netlist::GateKind::Const1:
+        remap.push_back(out.net.constant(true));
+        break;
+      case netlist::GateKind::Inv:
+        remap.push_back(out.net.addInv(fanins[0]));
+        break;
+      case netlist::GateKind::And:
+        remap.push_back(out.net.addAnd(std::move(fanins)));
+        break;
+      case netlist::GateKind::Or:
+        remap.push_back(out.net.addOr(std::move(fanins)));
+        break;
+    }
+  }
+  for (const auto& [name, net] : cn.net.outputs()) {
+    out.net.markOutput(name, finishOutput(out.net, remap[net]));
+  }
+  return out;
+}
+
+const auto kKeepFanin = [](netlist::NetId, std::size_t, netlist::NetId m) {
+  return m;
+};
+const auto kKeepOutput = [](netlist::Netlist&, netlist::NetId n) { return n; };
+
+int countRule(const verify::Report& report, const std::string& rule) {
+  int n = 0;
+  for (const auto& d : report.diagnostics()) {
+    if (d.code == rule) ++n;
+  }
+  return n;
+}
+
+TEST(Mutation, EquivCatchesDroppedInverter) {
+  auto s = scheduledDiffeq();
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+  const fsm::Fsm& f = dcu.controllers[0].fsm;
+  const netlist::ControllerNetlist cn = netlist::buildControllerNetlist(f);
+
+  // Baseline: the faithful clone proves clean.
+  verify::Report clean;
+  verify::checkControllerNetlist(
+      f, cloneNetlist(cn, kKeepFanin, kKeepOutput), clean);
+  ASSERT_FALSE(clean.hasErrors());
+
+  // Mutant: the first inverter becomes a wire (its users read the uninverted
+  // net) -- the classic dropped-bubble fault.
+  netlist::NetId invGate = netlist::kNoNet;
+  for (netlist::NetId i = 0; i < cn.net.numGates(); ++i) {
+    if (cn.net.gate(i).kind == netlist::GateKind::Inv) {
+      invGate = i;
+      break;
+    }
+  }
+  ASSERT_NE(invGate, netlist::kNoNet);
+  const netlist::NetId bypassed = cn.net.gate(invGate).fanins[0];
+  // Rebuild with every fanin referencing the inverter redirected to its
+  // input instead.  (Gate ids survive the clone: the copy is 1:1 in order,
+  // so `mapped == invGate` identifies references to the inverter.)
+  const netlist::ControllerNetlist dropped = cloneNetlist(
+      cn,
+      [&](netlist::NetId, std::size_t, netlist::NetId mapped) {
+        return mapped == invGate ? bypassed : mapped;
+      },
+      kKeepOutput);
+  verify::Report report;
+  verify::checkControllerNetlist(f, dropped, report);
+  EXPECT_TRUE(report.hasErrors());
+  EXPECT_GE(countRule(report, "EQV002"), 1);
+}
+
+TEST(Mutation, EquivCatchesSwappedFanin) {
+  auto s = scheduledDiffeq();
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+  const fsm::Fsm& f = dcu.controllers[0].fsm;
+  const netlist::ControllerNetlist cn = netlist::buildControllerNetlist(f);
+
+  // Mutant: one AND gate reads a different input net in its first slot --
+  // a miswired fanin.  (Reordering fanins would be masked by commutativity,
+  // so the fault substitutes a *different* net.)
+  netlist::NetId victim = netlist::kNoNet;
+  for (netlist::NetId i = 0; i < cn.net.numGates(); ++i) {
+    if (cn.net.gate(i).kind == netlist::GateKind::And &&
+        cn.net.gate(i).fanins.size() >= 2) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_NE(victim, netlist::kNoNet);
+  // Substitute a state-register input net that is not already a fanin.
+  const netlist::NetId substitute = cn.net.findInput("state0");
+  ASSERT_NE(substitute, netlist::kNoNet);
+  const netlist::ControllerNetlist swapped = cloneNetlist(
+      cn,
+      [&](netlist::NetId gate, std::size_t slot, netlist::NetId mapped) {
+        if (gate == victim && slot == 0 && mapped != substitute) {
+          return substitute;
+        }
+        return mapped;
+      },
+      kKeepOutput);
+  verify::Report report;
+  verify::checkControllerNetlist(f, swapped, report);
+  EXPECT_TRUE(report.hasErrors());
+  EXPECT_GE(countRule(report, "EQV002"), 1);
+}
+
+TEST(Mutation, EquivCatchesEmitterTampering) {
+  auto s = scheduledDiffeq();
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+  const fsm::Fsm& f = dcu.controllers[0].fsm;
+  const std::string good = rtl::emitFsm(f, "mut_ctrl");
+
+  verify::Report clean;
+  verify::checkControllerRtl(f, good, "mut_ctrl", clean);
+  ASSERT_FALSE(clean.hasErrors());
+
+  // Mutant: drop the first asserted output inside a case arm (the dead-code
+  // default `state_next = state;` would be masked by the full case, so the
+  // fault targets a live assignment).
+  const std::string needle = "= 1'b1;";
+  const auto pos = good.find(needle);
+  ASSERT_NE(pos, std::string::npos) << good;
+  std::string bad = good;
+  bad.replace(pos, needle.size(), "= 1'b0;");
+  verify::Report report;
+  verify::checkControllerRtl(f, bad, "mut_ctrl", report);
+  EXPECT_TRUE(report.hasErrors());
+  EXPECT_GE(countRule(report, "EQV003"), 1);
+}
+
+TEST(Mutation, EquivCatchesWrongLatchBypass) {
+  auto s = scheduledDiffeq();
+  const fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+  const std::string good = rtl::emitPackage(dcu, "mut_pkg");
+
+  verify::Report clean;
+  verify::checkCompletionLatch(good, clean);
+  ASSERT_FALSE(clean.hasErrors());
+
+  // Mutant 1: the level output loses the live-pulse bypass, delaying
+  // same-cycle consumers by one cycle.
+  const std::string bypass = "assign level = held | pulse;";
+  auto pos = good.find(bypass);
+  ASSERT_NE(pos, std::string::npos);
+  std::string noBypass = good;
+  noBypass.replace(pos, bypass.size(), "assign level = held;");
+  verify::Report report1;
+  verify::checkCompletionLatch(noBypass, report1);
+  EXPECT_TRUE(report1.hasErrors());
+  EXPECT_GE(countRule(report1, "EQV004"), 1);
+
+  // Mutant 2: the hold register ignores the restart strobe.
+  const std::string resetTerm = "if (rst || restart)";
+  pos = good.find(resetTerm);
+  ASSERT_NE(pos, std::string::npos);
+  std::string noRestart = good;
+  noRestart.replace(pos, resetTerm.size(), "if (rst)");
+  verify::Report report2;
+  verify::checkCompletionLatch(noRestart, report2);
+  EXPECT_TRUE(report2.hasErrors());
+  EXPECT_GE(countRule(report2, "EQV004"), 1);
 }
 
 TEST(Mutation, ValidateFsmCatchesGuardTampering) {

@@ -215,6 +215,212 @@ void cosimCheck(const dfg::Dfg& g, const Allocation& alloc,
   }
 }
 
+TEST(Simulate, ConditionalAssign) {
+  const std::string src =
+      "module mux (\n"
+      "  input  wire s,\n"
+      "  input  wire a,\n"
+      "  input  wire b,\n"
+      "  output wire y\n"
+      ");\n"
+      "  assign y = s ? a : b;\n"
+      "endmodule\n";
+  Simulator sim(src, "mux");
+  for (int mask = 0; mask < 8; ++mask) {
+    const std::uint64_t s = mask & 1, a = (mask >> 1) & 1, b = (mask >> 2) & 1;
+    sim.setInput("s", s);
+    sim.setInput("a", a);
+    sim.setInput("b", b);
+    sim.settle();
+    EXPECT_EQ(sim.top("y"), s ? a : b) << "mask " << mask;
+  }
+}
+
+TEST(Simulate, NestedTernaryIsRightAssociative) {
+  // a ? 1 : b ? 2 : 3 must parse as a ? 1 : (b ? 2 : 3).
+  const std::string src =
+      "module prio (\n"
+      "  input  wire a,\n"
+      "  input  wire b,\n"
+      "  output reg  y0,\n"
+      "  output reg  y1\n"
+      ");\n"
+      "  reg [1:0] y;\n"
+      "  always @* begin\n"
+      "    y = a ? 2'd1 : b ? 2'd2 : 2'd3;\n"
+      "    y0 = ^y;\n"
+      "    y1 = &y;\n"
+      "  end\n"
+      "endmodule\n";
+  Simulator sim(src, "prio");
+  auto expect = [&](std::uint64_t a, std::uint64_t b, std::uint64_t y) {
+    sim.setInput("a", a);
+    sim.setInput("b", b);
+    sim.settle();
+    // y is internal; observe it through its parity and conjunction.
+    EXPECT_EQ(sim.top("y0"), static_cast<std::uint64_t>(
+                                 __builtin_popcountll(y) & 1))
+        << "a=" << a << " b=" << b;
+    EXPECT_EQ(sim.top("y1"), static_cast<std::uint64_t>(y == 3))
+        << "a=" << a << " b=" << b;
+  };
+  expect(1, 0, 1);
+  expect(1, 1, 1);
+  expect(0, 1, 2);
+  expect(0, 0, 3);
+}
+
+TEST(Simulate, ConcatOrderAndWidths) {
+  const std::string src =
+      "module cat (\n"
+      "  input  wire a,\n"
+      "  input  wire b,\n"
+      "  input  wire c,\n"
+      "  output reg  msb,\n"
+      "  output reg  mid,\n"
+      "  output reg  lsb\n"
+      ");\n"
+      "  reg [2:0] v;\n"
+      "  always @* begin\n"
+      "    v = {a, b, c};\n"
+      "    msb = &{a, 1'b1} ? ^{v, 1'b0} : 1'b0;\n"
+      "    mid = |{1'b0, b};\n"
+      "    lsb = ^{c};\n"
+      "  end\n"
+      "endmodule\n";
+  Simulator sim(src, "cat");
+  for (int mask = 0; mask < 8; ++mask) {
+    const std::uint64_t a = mask & 1, b = (mask >> 1) & 1, c = (mask >> 2) & 1;
+    sim.setInput("a", a);
+    sim.setInput("b", b);
+    sim.setInput("c", c);
+    sim.settle();
+    // {a,b,c} is MSB-first; ^{v,1'b0} is v's parity; &{a,1'b1} is just a.
+    EXPECT_EQ(sim.top("msb"), a ? ((a ^ b ^ c) & 1) : 0) << "mask " << mask;
+    EXPECT_EQ(sim.top("mid"), b) << "mask " << mask;
+    EXPECT_EQ(sim.top("lsb"), c) << "mask " << mask;
+  }
+}
+
+TEST(Simulate, ReductionOperators) {
+  const std::string src =
+      "module red (\n"
+      "  input  wire a,\n"
+      "  input  wire b,\n"
+      "  input  wire c,\n"
+      "  output reg  yand,\n"
+      "  output reg  yor,\n"
+      "  output reg  yxor\n"
+      ");\n"
+      "  reg [2:0] v;\n"
+      "  always @* begin\n"
+      "    v = {a, b, c};\n"
+      "    yand = &v;\n"
+      "    yor = |v;\n"
+      "    yxor = ^v;\n"
+      "  end\n"
+      "endmodule\n";
+  Simulator sim(src, "red");
+  for (int mask = 0; mask < 8; ++mask) {
+    const std::uint64_t a = mask & 1, b = (mask >> 1) & 1, c = (mask >> 2) & 1;
+    sim.setInput("a", a);
+    sim.setInput("b", b);
+    sim.setInput("c", c);
+    sim.settle();
+    EXPECT_EQ(sim.top("yand"), a && b && c ? 1u : 0u) << "mask " << mask;
+    EXPECT_EQ(sim.top("yor"), a || b || c ? 1u : 0u) << "mask " << mask;
+    EXPECT_EQ(sim.top("yxor"), (a ^ b ^ c) & 1) << "mask " << mask;
+  }
+}
+
+TEST(Simulate, ReductionOfSingleBitAndConstants) {
+  const std::string src =
+      "module one (\n"
+      "  input  wire a,\n"
+      "  output wire id,\n"
+      "  output wire hi,\n"
+      "  output wire lo\n"
+      ");\n"
+      "  assign id = ^a;\n"
+      "  assign hi = &2'd3;\n"
+      "  assign lo = |2'd0;\n"
+      "endmodule\n";
+  Simulator sim(src, "one");
+  for (std::uint64_t a = 0; a <= 1; ++a) {
+    sim.setInput("a", a);
+    sim.settle();
+    EXPECT_EQ(sim.top("id"), a);   // 1-bit reduction is the identity
+    EXPECT_EQ(sim.top("hi"), 1u);  // &(2'b11)
+    EXPECT_EQ(sim.top("lo"), 0u);  // |(2'b00)
+  }
+}
+
+TEST(Simulate, TernaryInsideCaseAndSequential) {
+  // Conditional assignment feeding sequential state: a 1-bit toggler whose
+  // next value comes from a ternary over the current state.
+  const std::string src =
+      "module tog (\n"
+      "  input  wire clk,\n"
+      "  input  wire rst,\n"
+      "  input  wire en,\n"
+      "  output reg  q\n"
+      ");\n"
+      "  reg q_next;\n"
+      "  always @(posedge clk) begin\n"
+      "    if (rst) q <= 1'b0; else q <= q_next;\n"
+      "  end\n"
+      "  always @* begin\n"
+      "    q_next = en ? (q ? 1'b0 : 1'b1) : q;\n"
+      "  end\n"
+      "endmodule\n";
+  Simulator sim(src, "tog");
+  sim.setInput("rst", 1);
+  sim.setInput("en", 0);
+  sim.clockEdge();
+  sim.setInput("rst", 0);
+  sim.setInput("en", 1);
+  std::vector<std::uint64_t> seen;
+  for (int cyc = 0; cyc < 4; ++cyc) {
+    sim.settle();
+    seen.push_back(sim.top("q"));
+    sim.clockEdge();
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 0, 1}));
+  // en low freezes the toggler.
+  sim.setInput("en", 0);
+  sim.settle();
+  const std::uint64_t frozen = sim.top("q");
+  sim.clockEdge();
+  sim.settle();
+  EXPECT_EQ(sim.top("q"), frozen);
+}
+
+TEST(Lexer, SizedLiteralWidthsOnTokens) {
+  const auto toks = tokenize("assign y = 3'd5 | 8'hAB | 2;");
+  int sawWidth3 = 0, sawWidth8 = 0, sawUnsized = 0;
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::Number) continue;
+    if (t.value == 5 && t.width == 3) ++sawWidth3;
+    if (t.value == 171 && t.width == 8) ++sawWidth8;
+    if (t.value == 2 && t.width == 0) ++sawUnsized;
+  }
+  EXPECT_EQ(sawWidth3, 1);
+  EXPECT_EQ(sawWidth8, 1);
+  EXPECT_EQ(sawUnsized, 1);
+}
+
+TEST(Parser, RejectsMalformedTernaryAndConcat) {
+  EXPECT_THROW(parseDesign("module m (input wire a, output wire y);\n"
+                           "  assign y = a ? a;\nendmodule\n"),
+               Error);
+  EXPECT_THROW(parseDesign("module m (input wire a, output wire y);\n"
+                           "  assign y = {a, };\nendmodule\n"),
+               Error);
+  EXPECT_THROW(parseDesign("module m (input wire a, output wire y);\n"
+                           "  assign y = {};\nendmodule\n"),
+               Error);
+}
+
 TEST(Cosim, DiffeqAllShort) {
   cosimCheck(dfg::diffeq(),
              Allocation{{ResourceClass::Multiplier, 2},
