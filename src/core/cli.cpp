@@ -9,6 +9,7 @@
 #include "core/flow.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "core/store.hpp"
 #include "dfg/dot.hpp"
 #include "dfg/textio.hpp"
 #include "core/json.hpp"
@@ -47,8 +48,14 @@ std::string cliHelp() {
       "  --dot FILE        write the scheduled DFG in Graphviz DOT\n"
       "  --trace-json FILE write a chrome://tracing-compatible JSON trace of\n"
       "                    every executed pipeline pass (wall time, cache\n"
-      "                    hit/miss, artifact sizes); open in Perfetto or\n"
-      "                    chrome://tracing\n"
+      "                    hit tier memory/disk/miss, artifact sizes); open\n"
+      "                    in Perfetto or chrome://tracing\n"
+      "  --store DIR       persistent artifact store: pass results are\n"
+      "                    written as content-addressed blobs under DIR and\n"
+      "                    reused by later runs, even across processes\n"
+      "                    (lookup order: memory, disk, recompute)\n"
+      "  --store-max-bytes N  size bound for DIR; least-recently-used blobs\n"
+      "                    are evicted first (default 0 = unbounded)\n"
       "  --threads N       worker threads for the latency sweeps (default:\n"
       "                    TAUHLS_THREADS env var, else all hardware threads;\n"
       "                    results are identical for every N)\n"
@@ -71,9 +78,20 @@ std::string cliHelp() {
       "  --lint-json FILE  also write all diagnostics as JSON\n"
       "                    ({\"schema\":\"tauhls-lint\",\"version\":2} with\n"
       "                    per-rule counts)\n"
-      "  (--alloc, --strategy, --no-signal-opt and --trace-json apply as\n"
-      "  above; lint evaluates only the verification passes, never the\n"
-      "  latency or area model)\n";
+      "  (--alloc, --strategy, --no-signal-opt, --store and --trace-json\n"
+      "  apply as above; lint evaluates only the verification passes, never\n"
+      "  the latency or area model)\n"
+      "\n"
+      "subcommand: tauhlsc cache (stat | gc) --store DIR [options]\n"
+      "\n"
+      "Inspect or garbage-collect a persistent artifact store.\n"
+      "\n"
+      "  stat              print the store report (blob count, bytes, hit\n"
+      "                    counters) as schema-versioned JSON\n"
+      "  gc                evict least-recently-used blobs until the store\n"
+      "                    fits --max-bytes (0 = empty the store)\n"
+      "  --max-bytes N     gc target size in bytes (default 0)\n"
+      "  --json FILE       also write the JSON report to FILE\n";
 }
 
 sched::Allocation parseAllocationSpec(const std::string& spec) {
@@ -120,6 +138,38 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
       o.lint = true;
     } else if (i == 0 && a == "flow") {
       // The default subcommand, accepted explicitly: `tauhlsc flow x.dfg`.
+    } else if (i == 0 && a == "cache") {
+      if (i + 1 >= args.size()) {
+        error = "cache needs an action: stat or gc";
+        return std::nullopt;
+      }
+      const std::string& action = args[++i];
+      if (action == "stat") o.cacheStat = true;
+      else if (action == "gc") o.cacheGc = true;
+      else {
+        error = "unknown cache action '" + action + "' (expected stat or gc)";
+        return std::nullopt;
+      }
+    } else if (a == "--store") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      o.storeDir = *v;
+    } else if (a == "--store-max-bytes" || a == "--max-bytes") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      if ((a == "--max-bytes") != (o.cacheStat || o.cacheGc)) {
+        error = a == "--max-bytes"
+                    ? "--max-bytes is only valid with the cache subcommand"
+                    : "--store-max-bytes is not valid with the cache "
+                      "subcommand (use --max-bytes)";
+        return std::nullopt;
+      }
+      try {
+        o.storeMaxBytes = std::stoull(*v);
+      } catch (const std::exception&) {
+        error = "invalid byte count '" + *v + "'";
+        return std::nullopt;
+      }
     } else if (a == "--benchmarks") {
       if (!o.lint) {
         error = "--benchmarks is only valid with the lint subcommand";
@@ -199,7 +249,8 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
     } else if (a == "--json") {
       auto v = needValue(i);
       if (!v) return std::nullopt;
-      o.jsonPath = *v;
+      if (o.cacheStat || o.cacheGc) o.storeJsonPath = *v;
+      else o.jsonPath = *v;
     } else if (a == "--kiss") {
       auto v = needValue(i);
       if (!v) return std::nullopt;
@@ -236,6 +287,17 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
       return std::nullopt;
     }
   }
+  if (o.cacheStat || o.cacheGc) {
+    if (o.storeDir.empty()) {
+      error = "cache needs --store DIR";
+      return std::nullopt;
+    }
+    if (!o.inputPath.empty()) {
+      error = "cache takes no input file";
+      return std::nullopt;
+    }
+    return o;
+  }
   if (o.inputPath.empty() && !o.lintBenchmarks) {
     error = "no input file (try --help)";
     return std::nullopt;
@@ -248,6 +310,47 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
 }
 
 namespace {
+
+/// Build the artifact cache for one CLI invocation: always an in-memory
+/// tier, plus the persistent disk tier when --store was given.
+std::shared_ptr<ArtifactCache> makeCache(const CliOptions& options) {
+  auto cache = std::make_shared<ArtifactCache>();
+  if (!options.storeDir.empty()) {
+    StoreOptions so;
+    so.dir = options.storeDir;
+    so.maxBytes = options.storeMaxBytes;
+    cache->attachStore(std::make_shared<ArtifactStore>(so));
+  }
+  return cache;
+}
+
+/// `tauhlsc cache stat|gc`: inspect or shrink a persistent store without
+/// running any flow.
+int runCacheCommand(const CliOptions& options, std::ostream& out,
+                    std::ostream& err) {
+  try {
+    StoreOptions so;
+    so.dir = options.storeDir;
+    ArtifactStore store(so);
+    if (options.cacheGc) {
+      const std::uint64_t evicted = store.gc(options.storeMaxBytes);
+      out << "evicted " << evicted << " bytes (target "
+          << options.storeMaxBytes << ")\n";
+    }
+    const std::string json = renderStoreJson(store.stats());
+    out << json << "\n";
+    if (!options.storeJsonPath.empty()) {
+      std::ofstream j(options.storeJsonPath);
+      TAUHLS_CHECK(static_cast<bool>(j),
+                   "cannot open " + options.storeJsonPath);
+      j << json << "\n";
+    }
+    return 0;
+  } catch (const Error& e) {
+    err << "tauhlsc: " << e.what() << "\n";
+    return 1;
+  }
+}
 
 /// `tauhlsc lint`: run the static checker over one design or the whole
 /// benchmark suite; exit 1 on any error-severity diagnostic.
@@ -282,6 +385,7 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
 
     verify::Report all;
     std::vector<TracedRun> traces;
+    const std::shared_ptr<ArtifactCache> cache = makeCache(options);
     for (const dfg::NamedBenchmark& b : designs) {
       FlowConfig cfg;
       cfg.allocation = b.allocation;
@@ -290,7 +394,7 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
       // The CLI is a one-shot audit: use the full exploration budget rather
       // than the flow gate's fast default.
       cfg.verifyMaxStates = 200000;
-      FlowPipeline pipeline(b.graph, cfg);
+      FlowPipeline pipeline(b.graph, cfg, cache);
       verify::Report report =
           pipeline.get<verify::Report>(Artifact::Diagnostics);
       if (options.lintEquiv) {
@@ -325,6 +429,9 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
       t << traceToChromeJson(traces);
       out << "wrote pipeline trace to " << options.traceJsonPath << "\n";
     }
+    if (!options.storeDir.empty()) {
+      out << "cache: " << formatCacheSummary(cache->stats()) << "\n";
+    }
     return all.hasErrors() ? 1 : 0;
   } catch (const Error& e) {
     err << "tauhlsc: " << e.what() << "\n";
@@ -340,6 +447,9 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     return 0;
   }
   if (options.threads > 0) common::setGlobalThreadCount(options.threads);
+  if (options.cacheStat || options.cacheGc) {
+    return runCacheCommand(options, out, err);
+  }
   if (options.lint) return runLint(options, out, err);
   std::ifstream in(options.inputPath);
   if (!in) {
@@ -367,7 +477,7 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     cfg.optimizeSignals = options.signalOpt;
     cfg.buildCentFsm = options.centFsm;
     cfg.synthesizeArea = options.table1;
-    FlowPipeline pipeline(graph, cfg);
+    FlowPipeline pipeline(graph, cfg, makeCache(options));
     const FlowResult r = pipeline.run();
 
     out << "tauhlsc: " << graph.numOps() << " ops, "

@@ -6,8 +6,12 @@
 //   tauhlsc flow design.dfg --trace-json trace.json   (flow = the default)
 //   tauhlsc lint design.dfg --alloc mult=2,add=1
 //   tauhlsc lint --benchmarks --lint-json diags.json
+//   tauhlsc flow design.dfg --store .tauhls-store      (persistent cache)
+//   tauhlsc cache stat --store .tauhls-store --json stat.json
+//   tauhlsc cache gc --store .tauhls-store --max-bytes 67108864
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -22,6 +26,11 @@ struct CliOptions {
   bool lintEquiv = false;     ///< also run SAT equivalence checking (EQV*)
   bool lintTiming = false;    ///< also run static timing analysis (TIM*)
   std::string lintJsonPath;   ///< empty = text only; else JSON diagnostics
+  bool cacheStat = false;     ///< `tauhlsc cache stat` subcommand
+  bool cacheGc = false;       ///< `tauhlsc cache gc` subcommand
+  std::string storeDir;       ///< empty = no persistent artifact store
+  std::uint64_t storeMaxBytes = 0;  ///< 0 = unbounded / gc target
+  std::string storeJsonPath;  ///< `cache stat|gc --json FILE` report
   std::string inputPath;
   sched::Allocation allocation;
   std::vector<double> ps = {0.9, 0.7, 0.5};

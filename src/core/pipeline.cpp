@@ -7,6 +7,8 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "core/fingerprint.hpp"
+#include "core/serialize.hpp"
+#include "core/store.hpp"
 #include "rtl/verilog.hpp"
 #include "verify/equiv_check.hpp"
 #include "verify/timing_check.hpp"
@@ -342,6 +344,15 @@ const char* artifactName(Artifact a) {
   return "unknown";
 }
 
+const char* cacheTierName(CacheTier tier) {
+  switch (tier) {
+    case CacheTier::Miss: return "miss";
+    case CacheTier::Memory: return "hit";
+    case CacheTier::Disk: return "disk";
+  }
+  return "unknown";
+}
+
 void validateFlowConfig(const FlowConfig& config) {
   TAUHLS_CHECK(!config.ps.empty(),
                "FlowConfig.ps is empty: the latency sweep needs at least one "
@@ -382,6 +393,8 @@ std::string formatCacheSummary(const CacheStats& stats) {
   os << stats.misses << " pass runs, " << stats.hits << " cache hits ("
      << percent(stats.hitRate()) << " hit rate), " << stats.entries
      << " artifacts cached";
+  if (stats.diskHits > 0) os << ", " << stats.diskHits << " served from disk";
+  if (stats.evictions > 0) os << ", " << stats.evictions << " evictions";
   std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> merged;
   for (const auto& [pass, runs] : stats.runsPerPass) merged[pass].first = runs;
   for (const auto& [pass, hits] : stats.hitsPerPass) merged[pass].second = hits;
@@ -395,6 +408,16 @@ std::string formatCacheSummary(const CacheStats& stats) {
 
 ArtifactCache::ArtifactCache(std::size_t maxEntries)
     : maxEntries_(maxEntries) {}
+
+void ArtifactCache::attachStore(std::shared_ptr<ArtifactStore> store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_ = std::move(store);
+}
+
+std::shared_ptr<ArtifactStore> ArtifactCache::store() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_;
+}
 
 CacheStats ArtifactCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -411,36 +434,96 @@ std::size_t ArtifactCache::size() const {
 void ArtifactCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  lru_.clear();
 }
 
-std::optional<std::any> ArtifactCache::find(
-    const common::Fingerprint& key) const {
+std::optional<std::any> ArtifactCache::findInMemory(
+    const common::Fingerprint& key) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  // Refresh recency: a hit moves the entry to the front of the LRU list.
+  lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+  return it->second.value;
 }
 
-void ArtifactCache::insert(const common::Fingerprint& key, std::any value) {
+void ArtifactCache::insertInMemory(const common::Fingerprint& key,
+                                   std::any value) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (maxEntries_ != 0 && entries_.size() >= maxEntries_ &&
-      !entries_.contains(key)) {
-    // Coarse bound: drop everything rather than track recency.  Correctness
-    // is unaffected (a cache miss recomputes deterministically); sweeps that
-    // need stable hit-rate accounting run unbounded.
-    entries_.clear();
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Content-addressed: equal keys mean equal artifacts, so keep the
+    // existing value and just refresh its recency.
+    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+    return;
   }
-  entries_.emplace(key, std::move(value));
+  if (maxEntries_ != 0 && entries_.size() >= maxEntries_) {
+    // True LRU: evict exactly the least-recently-used entry (list back).
+    const common::Fingerprint victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, MemoryEntry{std::move(value), lru_.begin()});
 }
 
-void ArtifactCache::recordPass(const std::string& pass, bool hit) {
+std::optional<std::any> ArtifactCache::find(const common::Fingerprint& key,
+                                            Artifact artifact,
+                                            CacheTier* tier) {
+  if (auto value = findInMemory(key)) {
+    if (tier) *tier = CacheTier::Memory;
+    return value;
+  }
+  std::shared_ptr<ArtifactStore> disk = store();
+  if (disk) {
+    // Disk tier: fetch + decode outside the cache lock (the store has its
+    // own), then promote into the memory tier so reuse within this process
+    // is a pointer copy.
+    const auto blob = disk->load(key, static_cast<std::uint32_t>(artifact));
+    if (blob) {
+      try {
+        std::any value = decodeArtifact(artifact, blob->data(), blob->size());
+        insertInMemory(key, value);
+        if (tier) *tier = CacheTier::Disk;
+        return value;
+      } catch (const Error&) {
+        // A blob that passed the checksum but fails the codec's validation
+        // (e.g. written by a build with different semantics) is a miss.
+      }
+    }
+  }
+  if (tier) *tier = CacheTier::Miss;
+  return std::nullopt;
+}
+
+void ArtifactCache::insert(const common::Fingerprint& key, Artifact artifact,
+                           std::any value) {
+  std::shared_ptr<ArtifactStore> disk = store();
+  if (disk && !disk->contains(key)) {
+    try {
+      disk->put(key, static_cast<std::uint32_t>(artifact),
+                encodeArtifact(artifact, value));
+    } catch (const Error&) {
+      // Persistence is best-effort: a full or read-only disk must never fail
+      // the flow itself -- the artifact simply stays memory-only.
+    }
+  }
+  insertInMemory(key, std::move(value));
+}
+
+void ArtifactCache::recordPass(const std::string& pass, CacheTier tier) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (hit) {
-    ++stats_.hits;
-    ++stats_.hitsPerPass[pass];
-  } else {
+  if (tier == CacheTier::Miss) {
     ++stats_.misses;
     ++stats_.runsPerPass[pass];
+    return;
+  }
+  ++stats_.hits;
+  ++stats_.hitsPerPass[pass];
+  if (tier == CacheTier::Disk) {
+    ++stats_.diskHits;
+    ++stats_.diskHitsPerPass[pass];
   }
 }
 
@@ -464,7 +547,7 @@ std::string traceToChromeJson(const std::vector<TracedRun>& runs) {
       os << "{\"name\":\"" << ev.pass << "\",\"cat\":\"pass\",\"ph\":\"X\""
          << ",\"pid\":" << pid << ",\"tid\":" << ev.lane
          << ",\"ts\":" << ev.startUs << ",\"dur\":" << ev.durationUs
-         << ",\"args\":{\"cache\":\"" << (ev.cacheHit ? "hit" : "miss")
+         << ",\"args\":{\"cache\":\"" << cacheTierName(ev.tier)
          << "\",\"wave\":" << ev.wave << ",\"size\":" << ev.artifactSize
          << "}}";
     }
@@ -570,19 +653,30 @@ void FlowPipeline::require(const std::vector<Artifact>& artifacts) {
       ev.startUs = microsSince(start_, t0);
 
       bool hit = false;
+      CacheTier tier = CacheTier::Miss;
       if (cache_) {
         std::vector<std::any> cached;
         cached.reserve(pass.outputs.size());
         hit = true;
+        // The pass's tier is the slowest tier any of its outputs came from:
+        // one disk-served output makes the whole evaluation a disk hit.
+        // Probe every output even after the first miss: a probe is what
+        // validates (and unlinks) a corrupted blob, and the recompute's
+        // write-through below skips keys whose blob file still exists.
+        CacheTier passTier = CacheTier::Memory;
         for (Artifact output : pass.outputs) {
-          auto value = cache_->find(artifactKeys_[idx(output)]);
+          CacheTier outputTier = CacheTier::Miss;
+          auto value =
+              cache_->find(artifactKeys_[idx(output)], output, &outputTier);
           if (!value) {
             hit = false;
-            break;
+            continue;
           }
-          cached.push_back(std::move(*value));
+          if (outputTier == CacheTier::Disk) passTier = CacheTier::Disk;
+          if (hit) cached.push_back(std::move(*value));
         }
         if (hit) {
+          tier = passTier;
           for (std::size_t o = 0; o < pass.outputs.size(); ++o) {
             slots_[idx(pass.outputs[o])] = std::move(cached[o]);
           }
@@ -593,13 +687,15 @@ void FlowPipeline::require(const std::vector<Artifact>& artifacts) {
         pass.run(io);
         if (cache_) {
           for (Artifact output : pass.outputs) {
-            cache_->insert(artifactKeys_[idx(output)], slots_[idx(output)]);
+            cache_->insert(artifactKeys_[idx(output)], output,
+                           slots_[idx(output)]);
           }
         }
       }
-      if (cache_) cache_->recordPass(pass.name, hit);
+      if (cache_) cache_->recordPass(pass.name, tier);
 
       ev.cacheHit = hit;
+      ev.tier = tier;
       ev.durationUs =
           microsSince(start_, std::chrono::steady_clock::now()) - ev.startUs;
       for (Artifact output : pass.outputs) {

@@ -39,6 +39,7 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,6 +52,8 @@
 #include "core/flow.hpp"
 
 namespace tauhls::core {
+
+class ArtifactStore;  // core/store.hpp -- the optional persistent tier
 
 /// Every artifact the flow can produce.  Each id maps to exactly one C++
 /// type (enforced by the typed accessors):
@@ -101,16 +104,30 @@ const char* artifactName(Artifact a);
 /// (runFlow, the CLI, the sweep drivers) fails fast with the same message.
 void validateFlowConfig(const FlowConfig& config);
 
+/// Where a pass evaluation was served from.
+enum class CacheTier : int {
+  Miss = 0,    ///< executed (cache miss or no cache attached)
+  Memory = 1,  ///< served from the in-process ArtifactCache
+  Disk = 2,    ///< served from the persistent ArtifactStore
+};
+
+/// Stable display name ("miss", "hit", "disk") used in the pass trace.
+const char* cacheTierName(CacheTier tier);
+
 /// Aggregated cache counters.  "Runs" are pass executions (cache misses or
 /// uncached executions); "hits" are pass evaluations fully served from the
-/// cache.  Maps are keyed by pass name and ordered, so rendering them is
-/// deterministic.
+/// cache -- memory and disk tiers combined, with `diskHits` counting the
+/// disk-served subset.  Maps are keyed by pass name and ordered, so
+/// rendering them is deterministic.
 struct CacheStats {
-  std::uint64_t hits = 0;
+  std::uint64_t hits = 0;      ///< memory + disk
+  std::uint64_t diskHits = 0;  ///< subset of `hits` served from the store
   std::uint64_t misses = 0;
-  std::size_t entries = 0;  ///< artifacts currently stored
+  std::uint64_t evictions = 0;  ///< in-memory LRU evictions under maxEntries
+  std::size_t entries = 0;  ///< artifacts currently stored in memory
   std::map<std::string, std::uint64_t> runsPerPass;
   std::map<std::string, std::uint64_t> hitsPerPass;
+  std::map<std::string, std::uint64_t> diskHitsPerPass;
 
   double hitRate() const {
     const double total = static_cast<double>(hits + misses);
@@ -121,31 +138,55 @@ struct CacheStats {
 /// One-line human summary ("42 pass runs, 120 hits (74.1% hit rate), ...").
 std::string formatCacheSummary(const CacheStats& stats);
 
-/// Thread-safe content-addressed artifact store shared across FlowPipeline
+/// Thread-safe content-addressed artifact cache shared across FlowPipeline
 /// runs.  Keys are Merkle-style fingerprints (see pipeline.cpp); values are
 /// immutable shared artifacts, so a hit is a pointer copy.  Unbounded by
-/// default; pass `maxEntries` to drop the whole store whenever it would
-/// exceed the bound (coarse, but keeps long-running sweeps bounded without
-/// compromising the determinism of any individual flow's results).
+/// default; pass `maxEntries` to bound the entry count with true LRU
+/// eviction (a find or re-insert refreshes the entry; the least-recently
+/// used entry is evicted first and counted in CacheStats.evictions).
+///
+/// Optionally backed by a persistent ArtifactStore (core/store.hpp): a
+/// memory miss then consults the store (decoding the blob and promoting it
+/// into the memory tier), and every executed pass's outputs are written
+/// through to disk.  Lookup order is always memory -> disk -> recompute; a
+/// corrupted or truncated blob is a miss, never an error.
 class ArtifactCache {
  public:
   explicit ArtifactCache(std::size_t maxEntries = 0);
 
+  /// Attach (or detach, with nullptr) the persistent tier.
+  void attachStore(std::shared_ptr<ArtifactStore> store);
+  std::shared_ptr<ArtifactStore> store() const;
+
   CacheStats stats() const;
   std::size_t size() const;
-  void clear();
+  void clear();  ///< empties the memory tier only; the store is untouched
 
  private:
   friend class FlowPipeline;
 
-  std::optional<std::any> find(const common::Fingerprint& key) const;
-  void insert(const common::Fingerprint& key, std::any value);
-  void recordPass(const std::string& pass, bool hit);
+  /// Memory-then-disk lookup; `artifact` names the codec for the disk tier.
+  /// On success `tier` (when non-null) reports which tier served it.
+  std::optional<std::any> find(const common::Fingerprint& key,
+                               Artifact artifact, CacheTier* tier);
+  void insert(const common::Fingerprint& key, Artifact artifact,
+              std::any value);
+  void recordPass(const std::string& pass, CacheTier tier);
+
+  std::optional<std::any> findInMemory(const common::Fingerprint& key);
+  void insertInMemory(const common::Fingerprint& key, std::any value);
+
+  struct MemoryEntry {
+    std::any value;
+    std::list<common::Fingerprint>::iterator lruIt;
+  };
 
   mutable std::mutex mu_;
   std::size_t maxEntries_ = 0;
-  std::unordered_map<common::Fingerprint, std::any, common::FingerprintHash>
+  std::unordered_map<common::Fingerprint, MemoryEntry, common::FingerprintHash>
       entries_;
+  std::list<common::Fingerprint> lru_;  ///< front = most recently used
+  std::shared_ptr<ArtifactStore> store_;
   CacheStats stats_;
 };
 
@@ -154,7 +195,8 @@ struct PassTraceEvent {
   std::string pass;
   double startUs = 0.0;     ///< from pipeline construction, microseconds
   double durationUs = 0.0;
-  bool cacheHit = false;
+  bool cacheHit = false;    ///< tier != Miss
+  CacheTier tier = CacheTier::Miss;  ///< which tier served the pass
   int wave = 0;             ///< DAG wave the pass ran in
   int lane = 0;             ///< slot within the wave
   std::uint64_t artifactSize = 0;  ///< semantic size (states/nodes/bytes)

@@ -1,0 +1,141 @@
+// Persistent, disk-backed content-addressed artifact store -- the second
+// cache tier beneath the in-memory ArtifactCache (core/pipeline.hpp).
+//
+// On-disk layout (everything lives under one user-chosen directory):
+//
+//   DIR/blobs/<32-hex-key>.blob   one artifact per file.  Self-describing
+//                                 header: magic, codec version, artifact
+//                                 kind, payload length, 128-bit payload
+//                                 checksum -- then the payload bytes
+//                                 (core/serialize.hpp encoding).
+//   DIR/index.txt                 versioned LRU index ("tauhls-store-index 1"
+//                                 header line; one "<hex> <kind> <bytes>
+//                                 <seq>" line per blob).  Purely advisory:
+//                                 a missing, stale or corrupted index is
+//                                 rebuilt by scanning blobs/, never trusted
+//                                 into a crash.
+//   DIR/tmp/                      staging area for atomic writes.
+//
+// Durability and concurrency model:
+//   * Writes are write-to-temp + atomic rename, so readers in other
+//     processes only ever observe complete blobs; concurrent writers of the
+//     same key race benignly (content-addressing makes both bytes
+//     identical).
+//   * Every load re-verifies the header and the payload checksum.  A
+//     truncated, corrupted, kind-mismatched or version-mismatched blob is
+//     deleted-on-sight and reported as a miss -- the pipeline recomputes,
+//     never crashes.
+//   * The store is size-bounded: when `maxBytes` > 0, inserting past the
+//     bound evicts least-recently-used blobs first (access order is the
+//     in-memory sequence counter, seeded from the index file, so LRU is
+//     exact within a process and approximate across processes).
+//
+// The index format version and the blob codec version are independent knobs:
+// bump kStoreFormatVersion when the layout here changes, and
+// kArtifactCodecVersion (core/serialize.hpp) when an artifact's byte
+// encoding changes.  Either mismatch quietly invalidates old blobs.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace tauhls::core {
+
+/// On-disk layout version (blob header + index file).
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+
+/// Version of the JSON document emitted by renderStoreJson.
+inline constexpr int kStoreJsonVersion = 1;
+
+struct StoreOptions {
+  std::filesystem::path dir;    ///< store root; created when absent
+  std::uint64_t maxBytes = 0;   ///< payload+header bound; 0 = unbounded
+};
+
+/// Aggregate counters: persistent occupancy plus this handle's activity.
+struct StoreStats {
+  std::uint64_t blobs = 0;         ///< blobs currently on disk
+  std::uint64_t bytes = 0;         ///< total size of those blobs
+  std::uint64_t maxBytes = 0;      ///< configured bound (0 = unbounded)
+  std::uint64_t hits = 0;          ///< loads served (this handle)
+  std::uint64_t misses = 0;        ///< loads not on disk (this handle)
+  std::uint64_t corrupt = 0;       ///< blobs rejected by validation
+  std::uint64_t puts = 0;          ///< blobs written (this handle)
+  std::uint64_t evictedBlobs = 0;  ///< LRU evictions (this handle)
+  std::uint64_t evictedBytes = 0;
+};
+
+/// Schema-versioned JSON report ({"schema":"tauhls-store","version":1,...})
+/// for `tauhlsc cache stat` and CI artifact diffing.
+std::string renderStoreJson(const StoreStats& stats);
+
+class ArtifactStore {
+ public:
+  /// Opens (creating if needed) the store at options.dir and loads the LRU
+  /// index, falling back to a directory scan when the index is unusable.
+  /// Throws tauhls::Error when the directory cannot be created.
+  explicit ArtifactStore(StoreOptions options);
+  ~ArtifactStore();
+
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+  /// Fetch the payload stored under `key`, verifying the header against
+  /// `kindTag` and the payload checksum.  Any validation failure unlinks the
+  /// blob and returns nullopt (a miss).
+  std::optional<std::vector<std::uint8_t>> load(const common::Fingerprint& key,
+                                                std::uint32_t kindTag);
+
+  /// Store `payload` under `key` (no-op when an entry already exists --
+  /// content-addressing makes rewrites redundant).  Evicts LRU blobs first
+  /// when the write would exceed the configured bound.
+  void put(const common::Fingerprint& key, std::uint32_t kindTag,
+           const std::vector<std::uint8_t>& payload);
+
+  /// True when a blob file exists for `key` (no validation).
+  bool contains(const common::Fingerprint& key) const;
+
+  StoreStats stats() const;
+
+  /// Evict least-recently-used blobs until total size <= `targetBytes`;
+  /// returns the number of bytes evicted.  `targetBytes` = 0 empties the
+  /// store.
+  std::uint64_t gc(std::uint64_t targetBytes);
+
+  /// Persist the LRU index now (also done by the destructor).
+  void flushIndex();
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  struct Entry {
+    std::uint64_t size = 0;  ///< blob file size (header + payload)
+    std::uint64_t seq = 0;   ///< last-use sequence number (higher = fresher)
+    std::uint32_t kind = 0;
+  };
+
+  std::filesystem::path blobPath(const common::Fingerprint& key) const;
+  void loadIndexLocked();
+  void rebuildIndexFromScanLocked();
+  void evictUntilLocked(std::uint64_t targetBytes);
+  void flushIndexLocked();
+
+  mutable std::mutex mu_;
+  std::filesystem::path dir_;
+  std::uint64_t maxBytes_ = 0;
+  std::unordered_map<common::Fingerprint, Entry, common::FingerprintHash>
+      entries_;
+  std::uint64_t totalBytes_ = 0;
+  std::uint64_t nextSeq_ = 1;
+  std::uint64_t tmpCounter_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace tauhls::core

@@ -272,6 +272,46 @@ TEST(Pipeline, VerifyRunsOncePerSchedulePairAcrossPSweep) {
   EXPECT_EQ(stats.hitsPerPass.count("latency"), 0u);
 }
 
+TEST(Pipeline, BoundedCacheEvictsLeastRecentlyUsedFirst) {
+  const auto suiteCopy = dfg::paperTable2Suite();
+  const dfg::NamedBenchmark& b = suiteCopy.front();
+  // Three distinct schedule artifacts (the allocation is part of the
+  // schedule key) in a two-entry cache.
+  auto makeConfig = [&](int extraMults) {
+    FlowConfig cfg;
+    cfg.allocation = b.allocation;
+    cfg.allocation[dfg::ResourceClass::Multiplier] += extraMults;
+    return cfg;
+  };
+  auto scheduleOnly = [&](std::shared_ptr<ArtifactCache> cache,
+                          const FlowConfig& cfg) {
+    FlowPipeline p(b.graph, cfg, std::move(cache));
+    p.require({Artifact::Schedule});
+  };
+  const FlowConfig a = makeConfig(0), bCfg = makeConfig(1), c = makeConfig(2);
+
+  auto cache = std::make_shared<ArtifactCache>(/*maxEntries=*/2);
+  scheduleOnly(cache, a);     // miss: cache = {A}
+  scheduleOnly(cache, bCfg);  // miss: cache = {A, B}, B most recent
+  scheduleOnly(cache, a);     // hit refreshes A, so B is now the LRU entry
+  scheduleOnly(cache, c);     // miss: evicts B (not A), cache = {A, C}
+
+  CacheStats stats = cache->stats();
+  EXPECT_EQ(stats.runsPerPass.at("schedule"), 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+
+  scheduleOnly(cache, a);     // still cached -- LRU kept the refreshed entry
+  scheduleOnly(cache, c);     // still cached
+  scheduleOnly(cache, bCfg);  // evicted above, so this recomputes
+
+  stats = cache->stats();
+  EXPECT_EQ(stats.runsPerPass.at("schedule"), 4u);
+  EXPECT_EQ(stats.hitsPerPass.at("schedule"), 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
 TEST(Pipeline, ArtifactKeysTrackOnlyDeclaredConfigFields) {
   const auto suiteCopy = dfg::paperTable2Suite();
   const dfg::NamedBenchmark& b = suiteCopy.front();

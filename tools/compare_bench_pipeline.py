@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Diff a BENCH_pipeline.json trajectory against the committed baseline.
+
+Usage:
+    compare_bench_pipeline.py BASELINE CURRENT [-o comparison.md]
+
+The "structural" section (pass run counts, hit/miss totals, store blob
+count and bytes) is deterministic across machines, so any difference fails
+the comparison (exit 1): changing it is a deliberate baseline update
+(regenerate with `build/bench/pipeline_trajectory --json
+bench/baselines/BENCH_pipeline.json` and commit the diff).  The "timingsMs"
+section is machine dependent and is only reported.
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten(prefix, node, out):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            flatten(f"{prefix}.{key}" if prefix else key, value, out)
+    else:
+        out[prefix] = node
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("-o", "--output", help="also write a markdown report")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    lines = ["# Pipeline bench trajectory", ""]
+    failures = []
+
+    for doc, name in ((base, args.baseline), (cur, args.current)):
+        if doc.get("schema") != "tauhls-bench-pipeline":
+            failures.append(f"{name}: unexpected schema {doc.get('schema')!r}")
+    if base.get("version") != cur.get("version"):
+        failures.append(
+            f"schema version changed: {base.get('version')} -> "
+            f"{cur.get('version')} (regenerate the baseline)")
+
+    base_struct, cur_struct = {}, {}
+    flatten("", base.get("structural", {}), base_struct)
+    flatten("", cur.get("structural", {}), cur_struct)
+    lines.append("## Structural (must match the baseline)")
+    lines.append("")
+    lines.append("| metric | baseline | current |")
+    lines.append("|---|---|---|")
+    for key in sorted(set(base_struct) | set(cur_struct)):
+        b = base_struct.get(key, "-")
+        c = cur_struct.get(key, "-")
+        marker = "" if b == c else "  <-- DRIFT"
+        lines.append(f"| {key} | {b} | {c}{marker} |")
+        if b != c:
+            failures.append(f"structural drift: {key}: {b} -> {c}")
+
+    base_times, cur_times = {}, {}
+    flatten("", base.get("timingsMs", {}), base_times)
+    flatten("", cur.get("timingsMs", {}), cur_times)
+    lines.append("")
+    lines.append("## Timings (informational, machine dependent)")
+    lines.append("")
+    lines.append("| metric | baseline ms | current ms | delta |")
+    lines.append("|---|---|---|---|")
+    for key in sorted(set(base_times) | set(cur_times)):
+        b = base_times.get(key)
+        c = cur_times.get(key)
+        if isinstance(b, (int, float)) and isinstance(c, (int, float)) and b:
+            delta = f"{100.0 * (c - b) / b:+.1f}%"
+        else:
+            delta = "-"
+        lines.append(f"| {key} | {b} | {c} | {delta} |")
+
+    lines.append("")
+    if failures:
+        lines.append("## Result: FAIL")
+        lines.extend(f"- {f}" for f in failures)
+    else:
+        lines.append("## Result: OK (structural metrics match the baseline)")
+
+    report = "\n".join(lines) + "\n"
+    print(report)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(report)
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
