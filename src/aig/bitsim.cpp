@@ -1,0 +1,114 @@
+#include "aig/bitsim.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace tauhls::aig {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+BitSimulator::BitSimulator(const Aig& g, std::uint64_t seed)
+    : g_(g), seed_(seed) {}
+
+std::uint64_t BitSimulator::inputWordFor(std::size_t inputIndex,
+                                         std::size_t wordIndex) const {
+  // A pure function of (seed, input, word): stable under graph growth.
+  return splitmix64(seed_ ^ splitmix64(inputIndex * 0x100000001b3ull + 1) ^
+                    splitmix64(wordIndex * 0xc2b2ae3d27d4eb4full + 2));
+}
+
+void BitSimulator::addRandomWords(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    words_.emplace_back();
+  }
+}
+
+void BitSimulator::addPatternWord(
+    const std::vector<std::pair<std::size_t, bool>>& assignment) {
+  Word w;
+  const std::size_t wordIndex = words_.size();
+  w.inputWords.resize(g_.numInputs());
+  for (std::size_t i = 0; i < w.inputWords.size(); ++i) {
+    w.inputWords[i] = inputWordFor(i, wordIndex);
+  }
+  // Pin the guided pattern in bit 0; bits 1..63 explore its neighbourhood.
+  for (const auto& [inputIndex, val] : assignment) {
+    TAUHLS_CHECK(inputIndex < w.inputWords.size(),
+                 "pattern word references an undeclared input");
+    if (val) {
+      w.inputWords[inputIndex] |= 1ull;
+    } else {
+      w.inputWords[inputIndex] &= ~1ull;
+    }
+  }
+  words_.push_back(std::move(w));
+}
+
+void BitSimulator::ensureSimulated(std::size_t w) {
+  Word& word = words_[w];
+  // Inputs declared since the word was created get their stable patterns.
+  const std::size_t numInputs = g_.numInputs();
+  for (std::size_t i = word.inputWords.size(); i < numInputs; ++i) {
+    word.inputWords.push_back(inputWordFor(i, w));
+  }
+  const std::size_t numNodes = g_.numNodes();
+  std::size_t node = word.nodeWords.size();
+  if (node >= numNodes) return;
+  word.nodeWords.resize(numNodes);
+  // Node indices are construction (hence topological) order: one linear
+  // pass simulates every new cone.
+  for (; node < numNodes; ++node) {
+    if (node == 0) {
+      word.nodeWords[0] = 0;  // the constant-false node
+    } else if (g_.isInput(static_cast<std::uint32_t>(node))) {
+      word.nodeWords[node] =
+          word.inputWords[g_.inputIndexOf(static_cast<std::uint32_t>(node))];
+    } else {
+      const Lit f0 = g_.fanin0(static_cast<std::uint32_t>(node));
+      const Lit f1 = g_.fanin1(static_cast<std::uint32_t>(node));
+      word.nodeWords[node] = value(f0, w) & value(f1, w);
+    }
+  }
+}
+
+std::optional<BitSimulator::Mismatch> BitSimulator::findMismatch(
+    Lit a, Lit b, Lit constraint) {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    ensureSimulated(w);
+    const std::uint64_t diff =
+        (value(a, w) ^ value(b, w)) & value(constraint, w);
+    if (diff != 0) {
+      return Mismatch{w, std::countr_zero(diff)};
+    }
+  }
+  return std::nullopt;
+}
+
+bool BitSimulator::inputBit(std::size_t inputIndex, std::size_t word,
+                            int bit) const {
+  TAUHLS_CHECK(word < words_.size() &&
+                   inputIndex < words_[word].inputWords.size(),
+               "inputBit out of range");
+  return (words_[word].inputWords[inputIndex] >> bit) & 1ull;
+}
+
+std::uint64_t BitSimulator::signature(Lit l, Lit constraint) {
+  std::uint64_t h = 0x243f6a8885a308d3ull;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    ensureSimulated(w);
+    h = splitmix64(h ^ (value(l, w) & value(constraint, w)));
+  }
+  return h;
+}
+
+}  // namespace tauhls::aig

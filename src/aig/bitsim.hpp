@@ -1,0 +1,86 @@
+// Bit-parallel random/guided simulation through an Aig.
+//
+// Each simulation word carries 64 input patterns; an AND node is one
+// bitwise-and over the fanin words and a complemented literal one bitwise
+// negation, so a full pass over the graph evaluates 64 patterns per node at
+// word speed.  The simulator is the cheap front end of the equivalence
+// checker (verify/equiv_check): candidate function pairs whose constrained
+// value vectors differ are non-equivalent -- the differing bit *is* a named
+// input counterexample, so no CNF is ever built for them -- and equal
+// vectors partition the candidates into simulation-equivalence classes that
+// the SAT back end then separates or proves.
+//
+// Counterexample-directed refinement: every model found by the SAT solver is
+// fed back as a guided pattern word (the model pinned in bit 0, the
+// remaining 63 bits pseudo-random around it), so one discovered mismatch
+// immediately discharges every other pair it distinguishes.
+//
+// Determinism: input words are a pure function of (seed, input index, word
+// index), independent of evaluation order, node growth, or thread count --
+// inputs declared after a word was added get the same stable pseudo-random
+// pattern they would have received up front.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace tauhls::aig {
+
+class BitSimulator {
+ public:
+  /// The Aig reference must outlive the simulator; the graph may keep
+  /// growing (new cones are simulated lazily on first query).
+  explicit BitSimulator(const Aig& g,
+                        std::uint64_t seed = 0x5eedc0de1234abcdull);
+
+  std::size_t numWords() const { return words_.size(); }
+
+  /// Append `n` fresh pseudo-random pattern words (64 patterns each).
+  void addRandomWords(std::size_t n);
+
+  /// Append one guided word: for every (input index, value) pair the
+  /// pattern in bit 0 is pinned to `value`; all other bits stay random.
+  void addPatternWord(
+      const std::vector<std::pair<std::size_t, bool>>& assignment);
+
+  /// Location of one simulated pattern distinguishing `a` from `b` under
+  /// `constraint`; nullopt when every simulated pattern agrees.
+  struct Mismatch {
+    std::size_t word = 0;
+    int bit = 0;
+  };
+  std::optional<Mismatch> findMismatch(Lit a, Lit b, Lit constraint);
+
+  /// Value of input `inputIndex` in the given simulated pattern.
+  bool inputBit(std::size_t inputIndex, std::size_t word, int bit) const;
+
+  /// Order-independent 64-bit key of the literal's value vector masked by
+  /// `constraint` -- equal keys put two functions in the same
+  /// simulation-equivalence class (collisions only cost a SAT call).
+  std::uint64_t signature(Lit l, Lit constraint);
+
+ private:
+  struct Word {
+    std::vector<std::uint64_t> inputWords;  ///< per input index
+    std::vector<std::uint64_t> nodeWords;   ///< per node, grown lazily
+  };
+
+  std::uint64_t inputWordFor(std::size_t inputIndex,
+                             std::size_t wordIndex) const;
+  /// Extend word `w` to cover every node of the graph.
+  void ensureSimulated(std::size_t w);
+  std::uint64_t value(Lit l, std::size_t w) const {
+    const std::uint64_t raw = words_[w].nodeWords[nodeOf(l)];
+    return isNegated(l) ? ~raw : raw;
+  }
+
+  const Aig& g_;
+  std::uint64_t seed_;
+  std::vector<Word> words_;
+};
+
+}  // namespace tauhls::aig

@@ -95,4 +95,62 @@ CecResult checkSatisfiable(const Aig& g, Lit root,
   return result;
 }
 
+struct IncrementalCec::Impl {
+  explicit Impl(Aig& graph) : g(&graph), encoder(graph, solver) {}
+
+  Aig* g;
+  SatSolver solver;
+  Encoder encoder;
+};
+
+IncrementalCec::IncrementalCec(Aig& g) : impl_(std::make_unique<Impl>(g)) {}
+
+IncrementalCec::~IncrementalCec() = default;
+
+const SatStats& IncrementalCec::totalStats() const {
+  return impl_->solver.stats();
+}
+
+CecResult IncrementalCec::prove(Lit a, Lit b, Lit constraint,
+                                std::uint64_t maxConflicts) {
+  Aig& g = *impl_->g;
+  CecResult result;
+  const Lit miter = g.andLit(constraint, g.xorLit(a, b));
+  if (miter == kLitFalse) {  // discharged by AIG rewriting/hashing alone
+    result.status = SatResult::Unsat;
+    return result;
+  }
+  const std::vector<std::size_t> support = g.support(miter);
+  if (miter == kLitTrue) {  // every assignment is a witness
+    result.status = SatResult::Sat;
+    for (const std::size_t idx : support) {
+      result.counterexample.emplace_back(g.inputNames()[idx], false);
+    }
+    return result;
+  }
+  SatSolver& solver = impl_->solver;
+  const SatStats before = solver.stats();
+  // Remember each support input's variable before asserting the miter, so a
+  // model can be read back by name.
+  std::vector<int> inputVar(support.size());
+  for (std::size_t i = 0; i < support.size(); ++i) {
+    const Lit in = g.findInput(g.inputNames()[support[i]]);
+    inputVar[i] = impl_->encoder.encode(in);
+  }
+  // Scope the miter assertion behind a fresh activation literal: solving
+  // assumes it, retiring it afterwards permanently satisfies the clause.
+  const int act = solver.newVar();
+  solver.addClause({-act, impl_->encoder.encode(miter)});
+  result.status = solver.solve(std::vector<int>{act}, maxConflicts);
+  result.stats = solver.stats() - before;
+  if (result.status == SatResult::Sat) {
+    for (std::size_t i = 0; i < support.size(); ++i) {
+      result.counterexample.emplace_back(g.inputNames()[support[i]],
+                                         solver.modelValue(inputVar[i]));
+    }
+  }
+  solver.addClause({-act});  // retire the query
+  return result;
+}
+
 }  // namespace tauhls::aig

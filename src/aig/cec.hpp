@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -38,5 +39,34 @@ CecResult proveEquivalent(Aig& g, Lit a, Lit b, Lit constraint = kLitTrue,
 /// Used for vacuity checks on state-validity constraints.
 CecResult checkSatisfiable(const Aig& g, Lit root,
                            std::uint64_t maxConflicts = 200000);
+
+/// Incremental equivalence prover: one shared CDCL solver and one Tseitin
+/// encoding serve an entire stream of queries over the same (growing) Aig.
+/// Each query asserts its miter behind a fresh activation literal, solves
+/// under that single assumption, then retires the literal with a unit
+/// clause, so the clause database -- encoded cones and learned clauses
+/// alike -- carries over to the next query instead of being rebuilt.
+/// Verdict-equivalent to a fresh proveEquivalent call per query.
+class IncrementalCec {
+ public:
+  /// The Aig must outlive the prover; prove() may grow it (miter cones are
+  /// hash-consed into the shared graph, exactly like proveEquivalent).
+  explicit IncrementalCec(Aig& g);
+  ~IncrementalCec();
+  IncrementalCec(const IncrementalCec&) = delete;
+  IncrementalCec& operator=(const IncrementalCec&) = delete;
+
+  /// Prove a == b for all inputs satisfying `constraint`.  The returned
+  /// stats are this query's delta of the shared solver's counters.
+  CecResult prove(Lit a, Lit b, Lit constraint = kLitTrue,
+                  std::uint64_t maxConflicts = 200000);
+
+  /// Cumulative solver counters across every query so far.
+  const SatStats& totalStats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace tauhls::aig

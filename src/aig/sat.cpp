@@ -99,7 +99,7 @@ void SatSolver::addClause(std::vector<int> lits) {
   const int id = static_cast<int>(clauses_.size());
   watchers_[static_cast<std::size_t>(clause[0])].push_back(id);
   watchers_[static_cast<std::size_t>(clause[1])].push_back(id);
-  clauses_.push_back(std::move(clause));
+  clauses_.push_back(Clause{std::move(clause), 0.0, false, false});
 }
 
 bool SatSolver::propagate(int& conflictClause) {
@@ -110,7 +110,9 @@ bool SatSolver::propagate(int& conflictClause) {
     std::size_t keep = 0;
     for (std::size_t wi = 0; wi < ws.size(); ++wi) {
       const int ci = ws[wi];
-      std::vector<int>& c = clauses_[static_cast<std::size_t>(ci)];
+      Clause& cl = clauses_[static_cast<std::size_t>(ci)];
+      if (cl.deleted) continue;  // tombstone: drop the watcher lazily
+      std::vector<int>& c = cl.lits;
       if (c[0] == falseLit) std::swap(c[0], c[1]);
       // Invariant now: c[1] == falseLit.
       if (!isUnassigned(c[0]) && valueOf(c[0])) {
@@ -153,7 +155,20 @@ void SatSolver::bumpVar(int var) {
   }
 }
 
-void SatSolver::decayActivities() { activityInc_ /= 0.95; }
+void SatSolver::bumpClause(int clauseId) {
+  Clause& c = clauses_[static_cast<std::size_t>(clauseId)];
+  if (!c.learned) return;
+  c.activity += clauseActivityInc_;
+  if (c.activity > 1e100) {
+    for (Clause& cl : clauses_) cl.activity *= 1e-100;
+    clauseActivityInc_ *= 1e-100;
+  }
+}
+
+void SatSolver::decayActivities() {
+  activityInc_ /= 0.95;
+  clauseActivityInc_ /= 0.999;
+}
 
 int SatSolver::pickBranchVar() const {
   int best = -1;
@@ -178,8 +193,9 @@ int SatSolver::analyze(int conflictClause, std::vector<int>& learnedOut) {
 
   while (true) {
     TAUHLS_ASSERT(conflictClause >= 0, "conflict analysis hit a decision");
+    bumpClause(conflictClause);
     const std::vector<int>& c =
-        clauses_[static_cast<std::size_t>(conflictClause)];
+        clauses_[static_cast<std::size_t>(conflictClause)].lits;
     // For reason clauses c[0] is the literal being resolved on; skip it.
     for (std::size_t i = (pVar < 0 ? 0 : 1); i < c.size(); ++i) {
       const int q = c[i];
@@ -220,8 +236,50 @@ int SatSolver::analyze(int conflictClause, std::vector<int>& learnedOut) {
   return backLevel;
 }
 
-SatResult SatSolver::solve(std::uint64_t maxConflicts) {
+bool SatSolver::clauseLocked(int clauseId) const {
+  const Clause& c = clauses_[static_cast<std::size_t>(clauseId)];
+  if (c.lits.empty()) return false;
+  const std::size_t var = static_cast<std::size_t>(c.lits[0] >> 1);
+  return assign_[var] >= 0 && reason_[var] == clauseId;
+}
+
+void SatSolver::reduceLearnedDb() {
+  // Candidates: live learned clauses that are neither binary (cheap to keep,
+  // expensive to relearn) nor locked (the reason of a current assignment).
+  std::vector<int> candidates;
+  for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+    const Clause& c = clauses_[ci];
+    if (!c.learned || c.deleted || c.lits.size() <= 2) continue;
+    if (clauseLocked(static_cast<int>(ci))) continue;
+    candidates.push_back(static_cast<int>(ci));
+  }
+  // Drop the lowest-activity half.  The sort key is (activity, id), so the
+  // reduction is deterministic for a given query stream.
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    const Clause& ca = clauses_[static_cast<std::size_t>(a)];
+    const Clause& cb = clauses_[static_cast<std::size_t>(b)];
+    if (ca.activity != cb.activity) return ca.activity < cb.activity;
+    return a < b;
+  });
+  const std::size_t toDrop = candidates.size() / 2;
+  for (std::size_t i = 0; i < toDrop; ++i) {
+    Clause& c = clauses_[static_cast<std::size_t>(candidates[i])];
+    c.deleted = true;
+    c.lits.clear();
+    c.lits.shrink_to_fit();  // tombstone: watcher lists are pruned lazily
+    --liveLearned_;
+  }
+  // Let the database grow before the next reduction: a stream of hard
+  // queries keeps more context, easy ones stay small.
+  learnedLimit_ += learnedLimit_ / 2;
+}
+
+SatResult SatSolver::search(const std::vector<int>& assumptions,
+                            std::uint64_t maxConflicts) {
   if (unsat_) return SatResult::Unsat;
+  for (const int a : assumptions) {
+    while (std::abs(a) > numVars()) newVar();
+  }
   backjump(0);
   propagateHead_ = 0;
 
@@ -249,21 +307,41 @@ SatResult SatSolver::solve(std::uint64_t maxConflicts) {
         const int id = static_cast<int>(clauses_.size());
         watchers_[static_cast<std::size_t>(learned[0])].push_back(id);
         watchers_[static_cast<std::size_t>(learned[1])].push_back(id);
-        clauses_.push_back(learned);
+        clauses_.push_back(Clause{learned, 0.0, true, false});
         ++stats_.learned;
+        ++liveLearned_;
+        bumpClause(id);
         assignLit(learned[0], id);
       }
       decayActivities();
       continue;
     }
     if (conflictsSinceRestart >= restartLimit) {
+      ++stats_.restarts;
       conflictsSinceRestart = 0;
       restartLimit += restartLimit / 2;
       backjump(0);
+      if (liveLearned_ > learnedLimit_) reduceLearnedDb();
       continue;
     }
+    // Assumptions occupy the first decision levels; re-enqueue any that a
+    // backjump removed before ordinary branching resumes.
+    if (trailLim_.size() < assumptions.size()) {
+      const int lit = toInternal(assumptions[trailLim_.size()]);
+      if (!isUnassigned(lit) && !valueOf(lit)) {
+        // The clause set forces this assumption false: Unsat under the
+        // assumptions, with the permanent clauses untouched.
+        backjump(0);
+        return SatResult::Unsat;
+      }
+      trailLim_.push_back(static_cast<int>(trail_.size()));
+      if (isUnassigned(lit)) assignLit(lit, -1);
+      continue;  // dummy level when already true, keeping indices aligned
+    }
     const int branchVar = pickBranchVar();
-    if (branchVar < 0) return SatResult::Sat;  // full assignment
+    // Full assignment: a model.  It stays in place for modelValue(); the
+    // next solve/addClause call backjumps to level 0 first.
+    if (branchVar < 0) return SatResult::Sat;
     ++stats_.decisions;
     trailLim_.push_back(static_cast<int>(trail_.size()));
     assignLit(branchVar * 2 + (phase_[static_cast<std::size_t>(branchVar)]
@@ -271,6 +349,15 @@ SatResult SatSolver::solve(std::uint64_t maxConflicts) {
                                    : 1),
               -1);
   }
+}
+
+SatResult SatSolver::solve(std::uint64_t maxConflicts) {
+  return search({}, maxConflicts);
+}
+
+SatResult SatSolver::solve(const std::vector<int>& assumptions,
+                           std::uint64_t maxConflicts) {
+  return search(assumptions, maxConflicts);
 }
 
 bool SatSolver::modelValue(int var) const {

@@ -4,13 +4,21 @@
 // Standard architecture, deliberately compact: two-watched-literal
 // propagation, first-UIP conflict analysis with clause learning and
 // non-chronological backjumping, exponentially-decayed variable activity
-// (VSIDS) for decisions, phase saving, and geometric restarts.  Learned
-// clauses are kept (the equivalence miters this repo solves are small enough
-// that clause deletion would cost more than it saves).
+// (VSIDS) for decisions, phase saving, and geometric restarts.  The learned
+// clause database is size-bounded: clause activities are bumped whenever a
+// learned clause participates in conflict analysis and the lowest-activity
+// half is periodically dropped (binary and locked clauses are exempt), so a
+// long incremental query stream cannot grow the solver without bound.
+//
+// `solve(assumptions)` provides real incremental solving: assumptions are
+// enqueued as successive decision levels ahead of ordinary branching (the
+// MiniSat scheme), so the clause set -- including everything learned by
+// earlier queries -- persists across calls.  Callers scope per-query
+// constraints with activation literals: add the query clauses as
+// {-act, ...}, solve({act}), and retire the query with addClause({-act}).
 //
 // Literal convention matches DIMACS: variables are 1-based ints, a negative
-// int is the negated literal.  `solve` is incremental only in the weak sense
-// that clauses may be added between calls.
+// int is the negated literal.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +36,22 @@ struct SatStats {
   std::uint64_t propagations = 0;
   std::uint64_t conflicts = 0;
   std::uint64_t learned = 0;
+  std::uint64_t restarts = 0;
+
+  SatStats& operator+=(const SatStats& o) {
+    decisions += o.decisions;
+    propagations += o.propagations;
+    conflicts += o.conflicts;
+    learned += o.learned;
+    restarts += o.restarts;
+    return *this;
+  }
+  /// Component-wise difference (for per-query deltas of a shared solver).
+  SatStats operator-(const SatStats& o) const {
+    return {decisions - o.decisions, propagations - o.propagations,
+            conflicts - o.conflicts, learned - o.learned,
+            restarts - o.restarts};
+  }
 };
 
 class SatSolver {
@@ -45,12 +69,32 @@ class SatSolver {
   /// rather than looping forever on an adversarial miter).
   SatResult solve(std::uint64_t maxConflicts = ~std::uint64_t{0});
 
+  /// Solve under `assumptions` (DIMACS literals, each held true for this
+  /// call only).  Unsat means unsatisfiable *under the assumptions*; the
+  /// clause set itself is untouched, so the solver -- including its learned
+  /// clauses -- is reusable for the next query.
+  SatResult solve(const std::vector<int>& assumptions,
+                  std::uint64_t maxConflicts = ~std::uint64_t{0});
+
   /// Model value of a variable after a Sat result.
   bool modelValue(int var) const;
 
   const SatStats& stats() const { return stats_; }
 
+  /// Learned clauses currently alive (deleted ones excluded).
+  std::size_t numLearnedClauses() const { return liveLearned_; }
+  /// Cap on live learned clauses before activity-based reduction kicks in
+  /// (the cap grows geometrically as the instance proves hard).
+  void setLearnedLimit(std::size_t limit) { learnedLimit_ = limit; }
+
  private:
+  struct Clause {
+    std::vector<int> lits;  ///< internal literals
+    double activity = 0.0;
+    bool learned = false;
+    bool deleted = false;
+  };
+
   // Internal literal encoding: var index v (0-based) -> 2v (positive),
   // 2v+1 (negated).
   static int toInternal(int dimacsLit);
@@ -61,10 +105,15 @@ class SatSolver {
   int analyze(int conflictClause, std::vector<int>& learnedOut);
   void backjump(int level);
   void bumpVar(int var);
+  void bumpClause(int clauseId);
   void decayActivities();
+  bool clauseLocked(int clauseId) const;
+  void reduceLearnedDb();
   int pickBranchVar() const;
+  SatResult search(const std::vector<int>& assumptions,
+                   std::uint64_t maxConflicts);
 
-  std::vector<std::vector<int>> clauses_;       ///< internal lits per clause
+  std::vector<Clause> clauses_;
   std::vector<std::vector<int>> watchers_;      ///< per internal lit: clause ids
   std::vector<signed char> assign_;             ///< per var: -1 unset, 0/1 value
   std::vector<signed char> phase_;              ///< saved phase per var
@@ -75,7 +124,10 @@ class SatSolver {
   std::vector<int> trailLim_;                   ///< trail size per decision level
   std::size_t propagateHead_ = 0;
   double activityInc_ = 1.0;
+  double clauseActivityInc_ = 1.0;
   bool unsat_ = false;                          ///< empty clause was added
+  std::size_t liveLearned_ = 0;
+  std::size_t learnedLimit_ = 4096;
   SatStats stats_;
 };
 

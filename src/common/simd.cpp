@@ -1,0 +1,92 @@
+#include "common/simd.hpp"
+
+#include <algorithm>
+
+#if defined(TAUHLS_SIMD_AVX2_BUILD) && defined(__x86_64__)
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace tauhls::common::simd {
+
+namespace {
+
+int gatherMaxScalar(const int* values, const std::uint32_t* indices,
+                    std::size_t n, int empty) {
+  int acc = empty;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = std::max(acc, values[indices[i]]);
+  }
+  return acc;
+}
+
+#if defined(TAUHLS_SIMD_AVX2_BUILD) && defined(__x86_64__)
+
+bool avx2Supported() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+}
+
+int gatherMaxAvx2(const int* values, const std::uint32_t* indices,
+                  std::size_t n, int empty) {
+  __m256i acc = _mm256_set1_epi32(empty);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(indices + i));
+    acc = _mm256_max_epi32(acc, _mm256_i32gather_epi32(values, idx, 4));
+  }
+  alignas(32) int lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int result = empty;
+  for (int lane : lanes) result = std::max(result, lane);
+  return gatherMaxScalar(values, indices + i, n - i, result);
+}
+
+#elif defined(__aarch64__)
+
+int gatherMaxNeon(const int* values, const std::uint32_t* indices,
+                  std::size_t n, int empty) {
+  // NEON has no gather; load four gathered lanes at a time and keep the
+  // reduction vectorized.
+  int32x4_t acc = vdupq_n_s32(empty);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    int32x4_t v = vdupq_n_s32(values[indices[i]]);
+    v = vsetq_lane_s32(values[indices[i + 1]], v, 1);
+    v = vsetq_lane_s32(values[indices[i + 2]], v, 2);
+    v = vsetq_lane_s32(values[indices[i + 3]], v, 3);
+    acc = vmaxq_s32(acc, v);
+  }
+  return gatherMaxScalar(values, indices + i, n - i, vmaxvq_s32(acc));
+}
+
+#endif
+
+}  // namespace
+
+const char* backendName() {
+#if defined(TAUHLS_SIMD_AVX2_BUILD) && defined(__x86_64__)
+  if (avx2Supported()) return "avx2";
+  return "scalar";
+#elif defined(__aarch64__)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+int gatherMaxVector(const int* values, const std::uint32_t* indices,
+                    std::size_t n, int empty) {
+#if defined(TAUHLS_SIMD_AVX2_BUILD) && defined(__x86_64__)
+  if (avx2Supported()) return gatherMaxAvx2(values, indices, n, empty);
+  return gatherMaxScalar(values, indices, n, empty);
+#elif defined(__aarch64__)
+  return gatherMaxNeon(values, indices, n, empty);
+#else
+  return gatherMaxScalar(values, indices, n, empty);
+#endif
+}
+
+}  // namespace tauhls::common::simd

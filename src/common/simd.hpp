@@ -1,0 +1,45 @@
+// Portable SIMD shim for the hot integer kernels (src/sim/makespan.cpp).
+//
+// One primitive is enough for the sweep: gatherMax, the maximum of
+// values[indices[i]] over a CSR adjacency slice -- the predecessor-finish
+// reduction that dominates both evalFull and flipTau.  Integer max is exact,
+// so the vector path is bit-identical to the scalar loop by construction;
+// tests/test_simd.cpp asserts it on random adjacency anyway.
+//
+// Backend selection: the AVX2 body lives in simd.cpp, the only translation
+// unit compiled with -mavx2 (set per-file in src/common/CMakeLists.txt when
+// the compiler supports the flag on x86-64), behind a runtime
+// __builtin_cpu_supports("avx2") check so the binary still runs on older
+// cores.  aarch64 uses NEON, everything else the scalar loop.  backendName()
+// reports which path is live, for logs and the bench JSON.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tauhls::common::simd {
+
+/// The SIMD path selected at load time: "avx2", "neon" or "scalar".
+const char* backendName();
+
+/// Vector body of gatherMax (implemented in simd.cpp); call gatherMax.
+int gatherMaxVector(const int* values, const std::uint32_t* indices,
+                    std::size_t n, int empty);
+
+/// Maximum of values[indices[i]] for i in [0, n); `empty` when n == 0.
+/// Short slices stay on the inline scalar loop -- vector setup costs more
+/// than it saves below one vector width.
+inline int gatherMax(const int* values, const std::uint32_t* indices,
+                     std::size_t n, int empty) {
+  if (n < 8) {
+    int acc = empty;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int v = values[indices[i]];
+      if (v > acc) acc = v;
+    }
+    return acc;
+  }
+  return gatherMaxVector(values, indices, n, empty);
+}
+
+}  // namespace tauhls::common::simd

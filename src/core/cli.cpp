@@ -76,7 +76,7 @@ std::string cliHelp() {
       "  --timing          also run static timing analysis over every\n"
       "                    controller netlist against CC_TAU (rules TIM*)\n"
       "  --lint-json FILE  also write all diagnostics as JSON\n"
-      "                    ({\"schema\":\"tauhls-lint\",\"version\":2} with\n"
+      "                    ({\"schema\":\"tauhls-lint\",\"version\":3} with\n"
       "                    per-rule counts)\n"
       "  (--alloc, --strategy, --no-signal-opt, --store and --trace-json\n"
       "  apply as above; lint evaluates only the verification passes, never\n"
@@ -384,6 +384,7 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
     }
 
     verify::Report all;
+    verify::EquivStats allEquiv;
     std::vector<TracedRun> traces;
     const std::shared_ptr<ArtifactCache> cache = makeCache(options);
     for (const dfg::NamedBenchmark& b : designs) {
@@ -401,6 +402,7 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
         const auto& eq =
             pipeline.get<verify::EquivalenceArtifact>(Artifact::Equivalence);
         report.merge(eq.report);
+        allEquiv += eq.stats;
         out << "-- " << b.name << ": equivalence over " << eq.stats.controllers
             << " controllers, " << eq.stats.functionsCompared
             << " functions, " << eq.stats.satConflicts
@@ -419,7 +421,7 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
       std::ofstream j(options.lintJsonPath);
       TAUHLS_CHECK(static_cast<bool>(j),
                    "cannot open " + options.lintJsonPath);
-      j << verify::renderJson(all) << "\n";
+      j << verify::renderJson(all, allEquiv.ruleCost) << "\n";
       out << "wrote lint JSON to " << options.lintJsonPath << "\n";
     }
     if (!options.traceJsonPath.empty()) {

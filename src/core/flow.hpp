@@ -40,6 +40,12 @@ struct FlowConfig {
   synth::EncodingStyle encoding = synth::EncodingStyle::Binary;
   bool synthesizeArea = true;                       ///< run the area model
   int mcSamples = 20000;                            ///< MC fallback (>24 TAU ops)
+  /// Adaptive Monte-Carlo crossover of the latency pass (sim/stats.hpp):
+  /// past the exact-enumeration cap, sampling doubles from mcSamples until
+  /// the 95% CI half-width (cycles) reaches mcTargetHalfWidth or
+  /// mcMaxSamples is spent.  Graphs under the cap are unaffected.
+  int mcMaxSamples = 1 << 20;
+  double mcTargetHalfWidth = 0.05;
   /// Run the static design-rule checker + controller model check over every
   /// artifact and throw on any error-severity diagnostic (src/verify/).
   bool verify = true;

@@ -110,12 +110,18 @@ const std::vector<PassDef>& passRegistry() {
          h.u64(c.ps.size());
          for (double p : c.ps) h.f64(p);
          h.i64(c.mcSamples);
+         h.i64(c.mcMaxSamples);
+         h.f64(c.mcTargetHalfWidth);
        },
        [](const PassIo& io) {
+         sim::LatencyOptions lo;
+         lo.mcSamples = io.config.mcSamples;
+         lo.mcMaxSamples = io.config.mcMaxSamples;
+         lo.mcTargetHalfWidth = io.config.mcTargetHalfWidth;
          io.out(Artifact::Latency,
                 sim::compareLatencies(
                     io.in<sched::ScheduledDfg>(Artifact::Schedule),
-                    io.config.ps, io.config.mcSamples));
+                    io.config.ps, lo));
        }},
       {"verify",
        {Artifact::Schedule, Artifact::Distributed, Artifact::CentSync},
@@ -548,8 +554,11 @@ std::string traceToChromeJson(const std::vector<TracedRun>& runs) {
          << ",\"pid\":" << pid << ",\"tid\":" << ev.lane
          << ",\"ts\":" << ev.startUs << ",\"dur\":" << ev.durationUs
          << ",\"args\":{\"cache\":\"" << cacheTierName(ev.tier)
-         << "\",\"wave\":" << ev.wave << ",\"size\":" << ev.artifactSize
-         << "}}";
+         << "\",\"wave\":" << ev.wave << ",\"size\":" << ev.artifactSize;
+      for (const auto& [key, value] : ev.extraArgs) {
+        os << ",\"" << key << "\":" << value;
+      }
+      os << "}}";
     }
   }
   os << "\n]}\n";
@@ -700,6 +709,17 @@ void FlowPipeline::require(const std::vector<Artifact>& artifacts) {
           microsSince(start_, std::chrono::steady_clock::now()) - ev.startUs;
       for (Artifact output : pass.outputs) {
         ev.artifactSize += artifactSizeOf(output, slots_[idx(output)]);
+        if (output == Artifact::Equivalence) {
+          const auto& art = *std::any_cast<
+              const std::shared_ptr<const verify::EquivalenceArtifact>&>(
+              slots_[idx(output)]);
+          for (const auto& [code, cost] : art.stats.ruleCost) {
+            ev.extraArgs.emplace_back(code + ".queries", cost.queries);
+            ev.extraArgs.emplace_back(code + ".simDischarged",
+                                      cost.simDischarged);
+            ev.extraArgs.emplace_back(code + ".conflicts", cost.conflicts);
+          }
+        }
       }
     });
     for (std::size_t i : ready) done[i] = 1;

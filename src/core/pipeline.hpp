@@ -200,6 +200,9 @@ struct PassTraceEvent {
   int wave = 0;             ///< DAG wave the pass ran in
   int lane = 0;             ///< slot within the wave
   std::uint64_t artifactSize = 0;  ///< semantic size (states/nodes/bytes)
+  /// Pass-specific counters, emitted verbatim as chrome-trace args (the
+  /// equiv pass reports its per-rule SAT/simulation work here).
+  std::vector<std::pair<std::string, std::uint64_t>> extraArgs;
 };
 
 /// A named pipeline run's events, for multi-design traces (one trace

@@ -539,6 +539,17 @@ void encodeEquivalence(Writer& w, const verify::EquivalenceArtifact& art) {
   w.i32(art.stats.controllers);
   w.i32(art.stats.functionsCompared);
   w.u64(art.stats.satConflicts);
+  w.u32(static_cast<std::uint32_t>(art.stats.ruleCost.size()));
+  for (const auto& [code, cost] : art.stats.ruleCost) {
+    w.str(code);
+    w.u64(cost.decisions);
+    w.u64(cost.propagations);
+    w.u64(cost.conflicts);
+    w.u64(cost.learned);
+    w.u64(cost.restarts);
+    w.u64(cost.queries);
+    w.u64(cost.simDischarged);
+  }
 }
 
 verify::EquivalenceArtifact decodeEquivalence(Reader& r) {
@@ -547,6 +558,18 @@ verify::EquivalenceArtifact decodeEquivalence(Reader& r) {
   art.stats.controllers = r.i32();
   art.stats.functionsCompared = r.i32();
   art.stats.satConflicts = r.u64();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string code = r.str();
+    verify::RuleCost& cost = art.stats.ruleCost[code];
+    cost.decisions = r.u64();
+    cost.propagations = r.u64();
+    cost.conflicts = r.u64();
+    cost.learned = r.u64();
+    cost.restarts = r.u64();
+    cost.queries = r.u64();
+    cost.simDischarged = r.u64();
+  }
   return art;
 }
 

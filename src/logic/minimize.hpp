@@ -16,14 +16,41 @@
 
 namespace tauhls::logic {
 
-/// Quine-McCluskey prime implicants of (onset + dcset).
+/// Quine-McCluskey prime implicants of (onset + dcset).  Fast path: one
+/// stable sort recovers the bucket order and merge partners are hash
+/// lookups (flip one clear care bit), replacing the reference's per-level
+/// map-of-buckets and all-pairs merge scans.  Emits the same primes in the
+/// same order as primeImplicantsReference.
 std::vector<Cube> primeImplicants(const TruthTable& tt);
+
+/// The original map-and-scan QM prime generation.  Kept callable for
+/// cross-checking and for the kernel benchmark's naive regime.
+std::vector<Cube> primeImplicantsReference(const TruthTable& tt);
 
 /// Exact-prime minimization (QM); requires numVars <= 14.
 Cover minimizeExact(const TruthTable& tt);
 
 /// Heuristic expand-based minimization; any supported variable count.
+/// Bit-parallel: row sets are 64-rows-per-word bitsets, so each trial
+/// literal drop is tested against the offset in O(rows/64) word operations.
+/// Produces the same cover as minimizeExpandReference (same expansion
+/// decisions in the same order).
 Cover minimizeExpand(const TruthTable& tt);
+
+/// The scalar reference expand (one Cube::covers call per offset row per
+/// trial).  Kept callable for cross-checking and for the kernel benchmark's
+/// naive regime; bit-identical covers to minimizeExpand.
+Cover minimizeExpandReference(const TruthTable& tt);
+
+/// Which implementations minimize()/minimizeExact() dispatch to: Fast (the
+/// bit-parallel expand and sort+hash QM above) or Reference (the original
+/// scalar scans).  synth::synthesize keys its truth-table row sweep off the
+/// same hook (compiled bitmask guards vs per-row Fsm::step).  Results are
+/// identical either way; a bench/test hook (bench/kernel_speed.cpp times
+/// the equivalence suite under both regimes).
+enum class MinimizerImpl { Fast, Reference };
+void setMinimizerImpl(MinimizerImpl impl);
+MinimizerImpl minimizerImpl();
 
 /// Dispatch: exact up to 14 variables, expand beyond.
 Cover minimize(const TruthTable& tt);

@@ -24,6 +24,14 @@ struct ControllerNetlist {
 ControllerNetlist buildControllerNetlist(
     const fsm::Fsm& fsm, synth::EncodingStyle style = synth::EncodingStyle::Binary);
 
+/// As above, reusing an already-synthesized `syn` of the same fsm/style.
+/// Two-level minimization dominates the controller back end on large FSMs;
+/// callers that already hold the covers (e.g. the equivalence chain, which
+/// compares against them) must not pay for it twice.
+ControllerNetlist buildControllerNetlist(const fsm::Fsm& fsm,
+                                         synth::EncodingStyle style,
+                                         const synth::SynthesizedFsm& syn);
+
 /// Exhaustively verify the netlist against the FSM: for every reachable
 /// state and every input assignment, the ns*/output nets must equal the
 /// machine's step result.  Returns true on full equivalence.

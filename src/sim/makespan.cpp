@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "dfg/analysis.hpp"
 
 namespace tauhls::sim {
@@ -305,11 +306,13 @@ int MakespanEngine::DistributedSweep::evalFull(std::uint64_t mask) {
   }
   const std::size_t numOps = e_->idOfSlot_.size();
   for (std::size_t i = 0; i < numOps; ++i) {
-    int start = 0;
-    for (std::uint32_t k = e_->predOffsets_[i]; k < e_->predOffsets_[i + 1];
-         ++k) {
-      start = std::max(start, finish_[e_->preds_[k]] + 1);
-    }
+    // start = max over preds of (finish + 1), folded as gatherMax + 1; the
+    // empty sentinel -1 keeps source slots at start 0.
+    const std::uint32_t off = e_->predOffsets_[i];
+    const int start =
+        common::simd::gatherMax(finish_.data(), e_->preds_.data() + off,
+                                e_->predOffsets_[i + 1] - off, -1) +
+        1;
     finish_[i] = start + dur_[i] - 1;
   }
   return makespan();
@@ -330,11 +333,11 @@ int MakespanEngine::DistributedSweep::flipTau(int tauIndex) {
           static_cast<std::uint32_t>((wi << 6) |
                                      std::countr_zero(dirtyWords_[wi]));
       dirtyWords_[wi] &= dirtyWords_[wi] - 1;  // clear lowest set bit
-      int start = 0;
-      for (std::uint32_t k = e_->predOffsets_[slot];
-           k < e_->predOffsets_[slot + 1]; ++k) {
-        start = std::max(start, finish_[e_->preds_[k]] + 1);
-      }
+      const std::uint32_t off = e_->predOffsets_[slot];
+      const int start =
+          common::simd::gatherMax(finish_.data(), e_->preds_.data() + off,
+                                  e_->predOffsets_[slot + 1] - off, -1) +
+          1;
       const int newFinish = start + dur_[slot] - 1;
       if (newFinish == finish_[slot]) continue;
       finish_[slot] = newFinish;

@@ -333,6 +333,138 @@ double averageCyclesMonteCarlo(const sched::ScheduledDfg& s,
   return sum / samples;
 }
 
+namespace {
+
+/// Deterministic first and second moments of the makespan over `total`
+/// counter-seeded samples (sample i is always seed + i; partials fold in
+/// ascending chunk order).
+std::pair<double, double> mcMoments(const sched::ScheduledDfg& s,
+                                    const MakespanEngine& engine,
+                                    ControlStyle style, double p,
+                                    std::uint64_t total, std::uint64_t seed) {
+  const int n = engine.numTauOps();
+  const bool maskable = engine.supportsMasks();
+  const std::vector<dfg::NodeId> taus = maskable ? std::vector<dfg::NodeId>{}
+                                                 : tauOps(s);
+  const std::uint64_t numChunks = common::chunkCountFor(total);
+  const std::uint64_t chunkSize = (total + numChunks - 1) / numChunks;
+  ScratchPool pool(engine);
+  using Moments = std::pair<double, double>;
+  return common::parallelReduce<Moments>(
+      static_cast<std::size_t>(numChunks), {0.0, 0.0},
+      [&](std::size_t chunk) {
+        const std::uint64_t begin = chunk * chunkSize;
+        const std::uint64_t end =
+            begin + chunkSize < total ? begin + chunkSize : total;
+        Moments partial{0.0, 0.0};
+        if (maskable) {
+          std::unique_ptr<SweepScratch> scratch =
+              style == ControlStyle::Distributed ? pool.acquire() : nullptr;
+          for (std::uint64_t i = begin; i < end; ++i) {
+            const std::uint64_t mask = randomClassMask(n, p, seed + i);
+            const double cycles = style == ControlStyle::Distributed
+                                      ? scratch->sweep.evalFull(mask)
+                                      : engine.syncCycles(mask);
+            partial.first += cycles;
+            partial.second += cycles * cycles;
+          }
+          if (scratch) pool.release(std::move(scratch));
+        } else {
+          OperandClasses classes;
+          for (std::uint64_t i = begin; i < end; ++i) {
+            randomClasses(s, taus, p, seed + i, classes);
+            const double cycles = style == ControlStyle::Distributed
+                                      ? engine.distributedCycles(classes)
+                                      : engine.syncCycles(classes);
+            partial.first += cycles;
+            partial.second += cycles * cycles;
+          }
+        }
+        return partial;
+      },
+      [](Moments acc, Moments partial) {
+        return Moments{acc.first + partial.first, acc.second + partial.second};
+      });
+}
+
+}  // namespace
+
+McEstimate averageCyclesMonteCarloAdaptive(const sched::ScheduledDfg& s,
+                                           const MakespanEngine& engine,
+                                           ControlStyle style, double p,
+                                           const LatencyOptions& options) {
+  TAUHLS_CHECK(options.mcSamples > 0, "need at least one sample");
+  TAUHLS_CHECK(options.mcMaxSamples >= options.mcSamples,
+               "mcMaxSamples below the initial batch");
+  TAUHLS_CHECK(p >= 0.0 && p <= 1.0, "P must lie in [0,1]");
+  const std::uint64_t ceiling =
+      static_cast<std::uint64_t>(options.mcMaxSamples);
+  std::uint64_t n = static_cast<std::uint64_t>(options.mcSamples);
+  McEstimate est;
+  for (;;) {
+    // Each round recomputes its moments from scratch over samples [0, n):
+    // the doubling costs at most one extra pass in total, and the result
+    // for a given n never depends on the rounds that preceded it.
+    const auto [sum, sumSq] =
+        mcMoments(s, engine, style, p, n, options.mcSeed);
+    est.mean = sum / static_cast<double>(n);
+    est.samples = n;
+    const double variance =
+        n > 1 ? std::max(0.0, (sumSq - sum * est.mean) /
+                                  static_cast<double>(n - 1))
+              : 0.0;
+    est.halfWidth = 1.96 * std::sqrt(variance / static_cast<double>(n));
+    if (est.halfWidth <= options.mcTargetHalfWidth || n >= ceiling) break;
+    n = std::min(n * 2, ceiling);
+  }
+  return est;
+}
+
+LatencyComparison compareLatencies(const sched::ScheduledDfg& s,
+                                   const std::vector<double>& ps,
+                                   const LatencyOptions& options,
+                                   std::vector<McEstimate>* mcInfo) {
+  const MakespanEngine engine(s);
+  const bool exactDist = engine.numTauOps() <= options.exactCap &&
+                         engine.numTauOps() <= kMaxExactTauOps;
+  LatencyComparison out;
+  out.ps = ps;
+  out.tau.bestNs = engine.bestSyncCycles() * s.clockNs;
+  out.tau.worstNs = engine.worstSyncCycles() * s.clockNs;
+  out.dist.bestNs = engine.bestDistributedCycles() * s.clockNs;
+  out.dist.worstNs = engine.worstDistributedCycles() * s.clockNs;
+  out.tau.averageNs.resize(ps.size());
+  out.dist.averageNs.resize(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    out.tau.averageNs[i] = engine.syncExpectedCycles(ps[i]) * s.clockNs;
+  }
+  if (mcInfo != nullptr) mcInfo->assign(ps.size(), McEstimate{});
+  if (exactDist) {
+    const std::vector<double> cycles =
+        averageCyclesExactSweep(s, engine, ControlStyle::Distributed, ps);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      out.dist.averageNs[i] = cycles[i] * s.clockNs;
+    }
+  } else {
+    // Each P runs its own doubling loop; the loops already parallelize
+    // internally over the sample range, so the fan-out here stays serial
+    // per P to keep the scratch footprint bounded.
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      const McEstimate est = averageCyclesMonteCarloAdaptive(
+          s, engine, ControlStyle::Distributed, ps[i], options);
+      out.dist.averageNs[i] = est.mean * s.clockNs;
+      if (mcInfo != nullptr) (*mcInfo)[i] = est;
+    }
+  }
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double tau = out.tau.averageNs[i];
+    const double dist = out.dist.averageNs[i];
+    out.enhancementPercent.push_back(tau > 0.0 ? (tau - dist) / tau * 100.0
+                                               : 0.0);
+  }
+  return out;
+}
+
 LatencyComparison compareLatencies(const sched::ScheduledDfg& s,
                                    const std::vector<double>& ps,
                                    int mcSamples) {

@@ -114,4 +114,46 @@ LatencyComparison compareLatencies(const sched::ScheduledDfg& s,
                                    const std::vector<double>& ps,
                                    int mcSamples = 20000);
 
+/// A seeded confidence-interval Monte-Carlo estimate: mean cycles, the 95%
+/// CI half-width around it, and how many samples were spent to get there.
+struct McEstimate {
+  double mean = 0.0;
+  double halfWidth = 0.0;
+  std::uint64_t samples = 0;
+};
+
+/// Crossover policy of the adaptive compareLatencies overload.
+struct LatencyOptions {
+  /// TAU-op count up to which the Distributed column is enumerated exactly;
+  /// beyond it the adaptive Monte-Carlo estimator takes over.
+  int exactCap = kMaxExactTauOps;
+  /// First Monte-Carlo batch; rounds double from here.
+  int mcSamples = 20000;
+  /// Hard per-P sample ceiling (the estimator stops doubling here even if
+  /// the target half-width is not reached).
+  int mcMaxSamples = 1 << 20;
+  /// Stop once the 95% CI half-width (in cycles) is at or below this.
+  double mcTargetHalfWidth = 0.05;
+  std::uint64_t mcSeed = 1;
+};
+
+/// Adaptive seeded Monte-Carlo: sample counts double (each round recomputed
+/// from scratch over counter seeds, so the estimate is bit-identical for any
+/// thread count) until the 95% CI half-width reaches
+/// `options.mcTargetHalfWidth` or `options.mcMaxSamples` is hit.
+McEstimate averageCyclesMonteCarloAdaptive(const sched::ScheduledDfg& s,
+                                           const MakespanEngine& engine,
+                                           ControlStyle style, double p,
+                                           const LatencyOptions& options = {});
+
+/// Adaptive exact<->MC crossover: exact Gray-code enumeration up to
+/// `options.exactCap` TAU ops, the confidence-interval Monte-Carlo estimator
+/// beyond it.  With default options and <= 24 TAU ops this is bit-identical
+/// to the legacy compareLatencies above.  When `mcInfo` is non-null it
+/// receives one entry per P (empty estimates when the exact path ran).
+LatencyComparison compareLatencies(const sched::ScheduledDfg& s,
+                                   const std::vector<double>& ps,
+                                   const LatencyOptions& options,
+                                   std::vector<McEstimate>* mcInfo = nullptr);
+
 }  // namespace tauhls::sim

@@ -1,7 +1,13 @@
 #include "synth/extract.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "logic/minimize.hpp"
@@ -61,6 +67,50 @@ SynthesizedFsm synthesize(const fsm::Fsm& fsm, EncodingStyle style) {
   std::vector<logic::TruthTable> outBits(fsm.outputs().size(),
                                          logic::TruthTable(numVars));
 
+  // Compile every guard to (care, value) bitmask terms over the input
+  // variables and every output list to per-index flags, so the 2^numVars
+  // row sweep below is integer compares instead of per-row string-set
+  // construction and Fsm::step guard evaluation.  validateFsm has already
+  // proven exactly one transition fires per assignment, so first-match is
+  // the unique match and the rows are identical to stepping the machine.
+  // Gated with the minimizer on the MinimizerImpl hook so the kernel
+  // benchmark's naive regime measures the original per-row stepping.
+  const bool fastSweep = logic::minimizerImpl() == logic::MinimizerImpl::Fast;
+  std::unordered_map<std::string, int> inputIndex;
+  for (int i = 0; i < numInputs; ++i) inputIndex.emplace(fsm.inputs()[i], i);
+  std::unordered_map<std::string, std::size_t> outputIndex;
+  for (std::size_t o = 0; o < fsm.outputs().size(); ++o) {
+    outputIndex.emplace(fsm.outputs()[o], o);
+  }
+  struct CompiledTransition {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> terms;  // care, value
+    std::uint32_t nextCode = 0;
+    std::vector<char> outputOn;
+  };
+  std::vector<std::vector<CompiledTransition>> compiled(
+      fastSweep ? fsm.numStates() : 0);
+  for (std::size_t s = 0; s < compiled.size(); ++s) {
+    for (const fsm::Transition* t : fsm.transitionsFrom(static_cast<int>(s))) {
+      CompiledTransition ct;
+      for (const fsm::GuardTerm& term : t->guard.terms()) {
+        std::uint64_t care = 0;
+        std::uint64_t value = 0;
+        for (const auto& [sig, positive] : term.literals) {
+          const std::uint64_t bit = std::uint64_t{1} << inputIndex.at(sig);
+          care |= bit;
+          if (positive) value |= bit;
+        }
+        ct.terms.emplace_back(care, value);
+      }
+      ct.nextCode = enc.codeOf[t->to];
+      ct.outputOn.assign(fsm.outputs().size(), 0);
+      for (const std::string& sig : t->outputs) {
+        ct.outputOn[outputIndex.at(sig)] = 1;
+      }
+      compiled[s].push_back(std::move(ct));
+    }
+  }
+
   const std::uint64_t rows = std::uint64_t{1} << numVars;
   for (std::uint64_t row = 0; row < rows; ++row) {
     const std::uint32_t code =
@@ -72,20 +122,44 @@ SynthesizedFsm synthesize(const fsm::Fsm& fsm, EncodingStyle style) {
       for (auto& tt : outBits) tt.set(row, logic::Ternary::DontCare);
       continue;
     }
-    std::unordered_set<std::string> asserted;
-    for (int i = 0; i < numInputs; ++i) {
-      if ((row >> (enc.bits + i)) & 1) asserted.insert(fsm.inputs()[i]);
+    std::uint32_t nextCode = 0;
+    if (fastSweep) {
+      const std::uint64_t inputBits = row >> enc.bits;
+      const CompiledTransition* fired = nullptr;
+      for (const CompiledTransition& ct :
+           compiled[static_cast<std::size_t>(state)]) {
+        for (const auto& [care, value] : ct.terms) {
+          if ((inputBits & care) == value) {
+            fired = &ct;
+            break;
+          }
+        }
+        if (fired != nullptr) break;
+      }
+      TAUHLS_CHECK(fired != nullptr, "no transition fires from state " +
+                                         fsm.stateName(state) + " in " +
+                                         fsm.name());
+      nextCode = fired->nextCode;
+      for (std::size_t o = 0; o < fsm.outputs().size(); ++o) {
+        outBits[o].set(row, fired->outputOn[o] ? logic::Ternary::One
+                                               : logic::Ternary::Zero);
+      }
+    } else {
+      std::unordered_set<std::string> asserted;
+      for (int i = 0; i < numInputs; ++i) {
+        if ((row >> (enc.bits + i)) & 1) asserted.insert(fsm.inputs()[i]);
+      }
+      const fsm::Fsm::StepResult r = fsm.step(state, asserted);
+      nextCode = enc.codeOf[r.nextState];
+      for (std::size_t o = 0; o < fsm.outputs().size(); ++o) {
+        const bool on = std::find(r.outputs.begin(), r.outputs.end(),
+                                  fsm.outputs()[o]) != r.outputs.end();
+        outBits[o].set(row, on ? logic::Ternary::One : logic::Ternary::Zero);
+      }
     }
-    const fsm::Fsm::StepResult r = fsm.step(state, asserted);
-    const std::uint32_t nextCode = enc.codeOf[r.nextState];
     for (int b = 0; b < enc.bits; ++b) {
       nextBits[b].set(row, ((nextCode >> b) & 1) ? logic::Ternary::One
                                                  : logic::Ternary::Zero);
-    }
-    for (std::size_t o = 0; o < fsm.outputs().size(); ++o) {
-      const bool on = std::find(r.outputs.begin(), r.outputs.end(),
-                                fsm.outputs()[o]) != r.outputs.end();
-      outBits[o].set(row, on ? logic::Ternary::One : logic::Ternary::Zero);
     }
   }
 

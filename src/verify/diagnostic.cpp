@@ -213,6 +213,11 @@ std::string jsonQuote(const std::string& s) {
 }  // namespace
 
 std::string renderJson(const Report& report) {
+  return renderJson(report, {});
+}
+
+std::string renderJson(const Report& report,
+                       const std::map<std::string, RuleCost>& satCost) {
   std::ostringstream os;
   os << "{\"schema\":\"tauhls-lint\",\"version\":" << kLintJsonVersion
      << ",\"diagnostics\":[";
@@ -235,6 +240,19 @@ std::string renderJson(const Report& report) {
     if (!first) os << ",";
     first = false;
     os << jsonQuote(code) << ":" << n;
+  }
+  os << "},\"satCost\":{";
+  first = true;
+  for (const auto& [code, cost] : satCost) {
+    if (!first) os << ",";
+    first = false;
+    os << jsonQuote(code) << ":{\"queries\":" << cost.queries
+       << ",\"simDischarged\":" << cost.simDischarged
+       << ",\"decisions\":" << cost.decisions
+       << ",\"propagations\":" << cost.propagations
+       << ",\"conflicts\":" << cost.conflicts
+       << ",\"learned\":" << cost.learned
+       << ",\"restarts\":" << cost.restarts << "}";
   }
   os << "},\"errors\":" << report.errorCount()
      << ",\"warnings\":" << report.count(Severity::Warning) << "}";

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -79,12 +81,40 @@ std::string renderText(const Report& report);
 
 /// Version of the JSON lint schema emitted by renderJson; bump when the
 /// shape changes so CI artifact diffs are interpretable across PRs.
-inline constexpr int kLintJsonVersion = 2;
+/// v3 added the per-rule "satCost" section (SAT/simulation work counters).
+inline constexpr int kLintJsonVersion = 3;
+
+/// Per-rule solver and simulation work counters, keyed by rule code.  The
+/// equivalence checker fills these (EQV001..EQV004) so the cost of each
+/// check is observable in the lint JSON and the pipeline trace.
+struct RuleCost {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t learned = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t queries = 0;        ///< SAT queries issued
+  std::uint64_t simDischarged = 0;  ///< pairs resolved without building CNF
+
+  RuleCost& operator+=(const RuleCost& o) {
+    decisions += o.decisions;
+    propagations += o.propagations;
+    conflicts += o.conflicts;
+    learned += o.learned;
+    restarts += o.restarts;
+    queries += o.queries;
+    simDischarged += o.simDischarged;
+    return *this;
+  }
+};
 
 /// Machine rendering: {"schema":"tauhls-lint","version":N,
 /// "diagnostics":[{code,severity,artifact,where,message}],
-/// "byRule":{code:count,...},"errors":N,"warnings":N} -- consumed by CI
-/// trend tracking.
+/// "byRule":{code:count,...},"satCost":{code:{decisions,...},...},
+/// "errors":N,"warnings":N} -- consumed by CI trend tracking.
 std::string renderJson(const Report& report);
+/// As above with the per-rule work counters filled in (sorted by code).
+std::string renderJson(const Report& report,
+                       const std::map<std::string, RuleCost>& satCost);
 
 }  // namespace tauhls::verify

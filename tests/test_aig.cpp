@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "aig/bitsim.hpp"
 #include "aig/cec.hpp"
 
 namespace tauhls::aig {
@@ -203,6 +206,149 @@ TEST(Cec, CheckSatisfiable) {
     in[g.inputIndexOf(nodeOf(g.findInput(name)))] = value;
   }
   EXPECT_TRUE(g.evaluate(g.andLit(a, b), in));
+}
+
+/// A pool of random combinational functions over shared inputs, built with a
+/// tiny deterministic LCG so the structural mix is reproducible.
+std::vector<Lit> randomLitPool(Aig& g, int numInputs, int numOps,
+                               std::uint64_t seed) {
+  std::vector<Lit> pool;
+  for (int i = 0; i < numInputs; ++i) {
+    pool.push_back(g.addInput("x" + std::to_string(i)));
+  }
+  auto next = [&seed] {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return seed >> 33;
+  };
+  for (int i = 0; i < numOps; ++i) {
+    Lit a = pool[next() % pool.size()];
+    Lit b = pool[next() % pool.size()];
+    if (next() & 1) a = negate(a);
+    if (next() & 1) b = negate(b);
+    switch (next() % 3) {
+      case 0: pool.push_back(g.andLit(a, b)); break;
+      case 1: pool.push_back(g.orLit(a, b)); break;
+      default: pool.push_back(g.xorLit(a, b)); break;
+    }
+  }
+  return pool;
+}
+
+TEST(BitSim, MismatchImpliesSatAndAgreementImpliesNoEasyCex) {
+  // On random function pairs: whenever 64-pattern simulation separates the
+  // pair, SAT must confirm the inequivalence, and the reported simulated
+  // pattern must actually evaluate the two functions differently.
+  Aig g;
+  const std::vector<Lit> pool = randomLitPool(g, 6, 60, 0x1234u);
+  BitSimulator sim(g);
+  sim.addRandomWords(4);
+  int mismatches = 0;
+  for (std::size_t i = 0; i + 7 < pool.size(); i += 7) {
+    const Lit a = pool[i];
+    const Lit b = pool[i + 3];
+    const auto mm = sim.findMismatch(a, b, kLitTrue);
+    const CecResult r = proveEquivalent(g, a, b);
+    if (mm) {
+      ++mismatches;
+      ASSERT_EQ(r.status, SatResult::Sat);
+      std::vector<bool> inputs(g.numInputs());
+      for (std::size_t in = 0; in < g.numInputs(); ++in) {
+        inputs[in] = sim.inputBit(in, mm->word, mm->bit);
+      }
+      EXPECT_NE(g.evaluate(a, inputs), g.evaluate(b, inputs));
+    }
+  }
+  EXPECT_GT(mismatches, 0);
+}
+
+TEST(BitSim, EquivalentFunctionsShareSignatures) {
+  Aig g;
+  const Lit a = g.addInput("a");
+  const Lit b = g.addInput("b");
+  const Lit c = g.addInput("c");
+  const Lit lhs = g.orLit(g.andLit(a, b), g.andLit(a, c));
+  const Lit rhs = g.andLit(a, g.orLit(b, c));
+  BitSimulator sim(g);
+  sim.addRandomWords(4);
+  EXPECT_EQ(sim.signature(lhs, kLitTrue), sim.signature(rhs, kLitTrue));
+  EXPECT_FALSE(sim.findMismatch(lhs, rhs, kLitTrue).has_value());
+  // A genuinely different function separates within the random words.
+  EXPECT_TRUE(sim.findMismatch(lhs, g.orLit(b, c), kLitTrue).has_value());
+}
+
+TEST(BitSim, PatternWordPinsTheModelInBitZero) {
+  Aig g;
+  const Lit a = g.addInput("a");
+  const Lit b = g.addInput("b");
+  BitSimulator sim(g);
+  sim.addPatternWord({{0, true}, {1, false}});
+  const std::size_t w = sim.numWords() - 1;
+  EXPECT_TRUE(sim.inputBit(0, w, 0));
+  EXPECT_FALSE(sim.inputBit(1, w, 0));
+  // The pinned pattern a=1,b=0 separates a from a&b at bit 0 of that word.
+  const auto mm = sim.findMismatch(a, g.andLit(a, b), kLitTrue);
+  ASSERT_TRUE(mm.has_value());
+}
+
+TEST(BitSim, LazySimulationCoversNodesAddedAfterTheWords) {
+  // Words added before the graph grew must simulate new cones on demand,
+  // with the same input patterns they would have received up front.
+  Aig g;
+  const Lit a = g.addInput("a");
+  BitSimulator early(g);
+  early.addRandomWords(2);
+  const Lit b = g.addInput("b");
+  const Lit f = g.xorLit(a, b);
+  BitSimulator late(g);
+  late.addRandomWords(2);
+  EXPECT_EQ(early.signature(f, kLitTrue), late.signature(f, kLitTrue));
+}
+
+TEST(IncrementalCec, VerdictsMatchFreshSolverOnRandomPairs) {
+  // The shared-solver prover and a fresh proveEquivalent call must agree on
+  // every verdict of a long query stream over one graph.
+  Aig g;
+  const std::vector<Lit> pool = randomLitPool(g, 6, 80, 0xfeedu);
+  IncrementalCec inc(g);
+  int sat = 0;
+  int unsat = 0;
+  for (std::size_t i = 0; i + 5 < pool.size(); i += 5) {
+    const Lit a = pool[i];
+    const Lit b = pool[i + 2];
+    const CecResult fresh = proveEquivalent(g, a, b);
+    const CecResult shared = inc.prove(a, b);
+    ASSERT_EQ(shared.status, fresh.status) << "query " << i;
+    if (shared.status == SatResult::Sat) {
+      ++sat;
+      // The incremental counterexample must genuinely separate the pair.
+      std::vector<bool> inputs(g.numInputs(), false);
+      for (const auto& [name, value] : shared.counterexample) {
+        inputs[g.inputIndexOf(nodeOf(g.findInput(name)))] = value;
+      }
+      EXPECT_NE(g.evaluate(a, inputs), g.evaluate(b, inputs)) << "query " << i;
+    } else {
+      ++unsat;
+    }
+  }
+  EXPECT_GT(sat, 0);
+  EXPECT_GT(inc.totalStats().propagations, 0u);
+}
+
+TEST(IncrementalCec, ConstraintScopesEachQueryIndependently) {
+  // Queries with different constraints must not leak into each other: the
+  // same pair proves equivalent under the constraint and inequivalent
+  // without it, in both orders.
+  Aig g;
+  const Lit a = g.addInput("a");
+  const Lit b = g.addInput("b");
+  IncrementalCec inc(g);
+  const Lit lhs = g.orLit(a, b);
+  const Lit rhs = g.xorLit(a, b);
+  const Lit notBoth = negate(g.andLit(a, b));
+  EXPECT_EQ(inc.prove(lhs, rhs, notBoth).status, SatResult::Unsat);
+  EXPECT_EQ(inc.prove(lhs, rhs).status, SatResult::Sat);
+  EXPECT_EQ(inc.prove(lhs, rhs, notBoth).status, SatResult::Unsat);
+  EXPECT_EQ(inc.prove(lhs, lhs).status, SatResult::Unsat);
 }
 
 }  // namespace

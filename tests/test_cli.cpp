@@ -266,9 +266,11 @@ TEST_F(CliRun, LintJsonHasSchemaAndRuleCounts) {
   const std::string json = buffer.str();
   std::remove(jsonPath.c_str());
   EXPECT_NE(json.find("\"schema\":\"tauhls-lint\""), std::string::npos);
-  EXPECT_NE(json.find("\"version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"version\":3"), std::string::npos);
   EXPECT_NE(json.find("\"byRule\":"), std::string::npos);
   EXPECT_NE(json.find("\"EQV006\":"), std::string::npos);
+  EXPECT_NE(json.find("\"satCost\":"), std::string::npos);
+  EXPECT_NE(json.find("\"EQV001\":{\"queries\":"), std::string::npos);
   EXPECT_NE(json.find("\"TIM003\":"), std::string::npos);
   EXPECT_NE(json.find("\"errors\":0"), std::string::npos);
 }

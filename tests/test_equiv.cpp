@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "dfg/benchmarks.hpp"
@@ -103,6 +105,112 @@ TEST(Equiv, AcceptanceSweepAllBenchmarksAllConfigs) {
       }
     }
   }
+}
+
+/// Order-preserving (code, artifact, where) verdict list -- the engine
+/// equality contract: counterexample *messages* may differ between engines
+/// (different models), the fired rules may not.
+std::vector<std::tuple<std::string, std::string, std::string>> verdictsOf(
+    const Report& report) {
+  std::vector<std::tuple<std::string, std::string, std::string>> out;
+  for (const auto& d : report.diagnostics()) {
+    out.emplace_back(d.code, d.artifact, d.where);
+  }
+  return out;
+}
+
+TEST(Equiv, IncrementalEngineVerdictsMatchNaiveOnAllBenchmarks) {
+  // The tentpole's bit-identity guarantee on the equivalence side: the
+  // sim-prefiltered incremental-SAT engine fires exactly the rules the
+  // fresh-solver reference fires, on every benchmark x both binding
+  // strategies.
+  for (const dfg::NamedBenchmark& b : dfg::paperTable2Suite()) {
+    for (const auto strategy : {sched::BindingStrategy::LeftEdge,
+                                sched::BindingStrategy::CliqueCover}) {
+      core::FlowConfig cfg;
+      cfg.allocation = b.allocation;
+      cfg.strategy = strategy;
+      core::FlowPipeline pipeline(b.graph, cfg);
+      const auto& dcu = pipeline.get<fsm::DistributedControlUnit>(
+          core::Artifact::Distributed);
+
+      EquivOptions naive;
+      naive.engine = EquivEngine::Naive;
+      EquivStats naiveStats;
+      const Report naiveReport = checkEquivalence(dcu, naive, &naiveStats);
+
+      EquivOptions incremental;
+      incremental.engine = EquivEngine::Incremental;
+      EquivStats incStats;
+      const Report incReport = checkEquivalence(dcu, incremental, &incStats);
+
+      const std::string label =
+          b.name + (strategy == sched::BindingStrategy::LeftEdge
+                        ? " leftedge"
+                        : " clique");
+      EXPECT_EQ(verdictsOf(incReport), verdictsOf(naiveReport)) << label;
+      EXPECT_EQ(incStats.controllers, naiveStats.controllers) << label;
+      EXPECT_EQ(incStats.functionsCompared, naiveStats.functionsCompared)
+          << label;
+    }
+  }
+}
+
+TEST(Equiv, EnginesCatchTamperedNetlistIdentically) {
+  // A netlist from the wrong controller must raise EQV002 under both
+  // engines, with identical (code, artifact, where) verdicts.
+  const fsm::Fsm good = sampleController();
+  fsm::Fsm other("ctrl");
+  other.addInput("go");
+  other.addOutput("busy");
+  const int s0 = other.addState("S0");
+  const int s1 = other.addState("S1");
+  const int s2 = other.addState("S2");
+  other.setInitial(s0);
+  // Inverted guard polarity relative to sampleController.
+  other.addTransition(s0, s1, fsm::Guard::literal("go", false), {"busy"});
+  other.addTransition(s0, s0, fsm::Guard::literal("go", true), {});
+  other.addTransition(s1, s2, fsm::Guard::always(), {});
+  other.addTransition(s2, s0, fsm::Guard::always(), {"busy"});
+  const netlist::ControllerNetlist tampered =
+      netlist::buildControllerNetlist(other, synth::EncodingStyle::Binary);
+
+  EquivOptions naive;
+  naive.engine = EquivEngine::Naive;
+  Report naiveReport;
+  checkControllerNetlist(good, tampered, naiveReport, naive);
+
+  EquivOptions incremental;
+  incremental.engine = EquivEngine::Incremental;
+  Report incReport;
+  checkControllerNetlist(good, tampered, incReport, incremental);
+
+  EXPECT_GT(countRule(naiveReport, "EQV002"), 0);
+  EXPECT_EQ(verdictsOf(incReport), verdictsOf(naiveReport));
+}
+
+TEST(Equiv, PerRuleCostCoversEveryComparison) {
+  // Each compared function is resolved exactly once, by simulation or by a
+  // SAT query, and the split is visible per rule; the completion-latch
+  // check contributes its own EQV004 bucket.
+  const auto suite = dfg::paperTable2Suite();
+  core::FlowConfig cfg;
+  cfg.allocation = suite.front().allocation;
+  core::FlowPipeline pipeline(suite.front().graph, cfg);
+  const auto& dcu = pipeline.get<fsm::DistributedControlUnit>(
+      core::Artifact::Distributed);
+  EquivStats stats;
+  checkEquivalence(dcu, {}, &stats);
+  std::uint64_t resolved = 0;
+  for (const std::string rule : {"EQV001", "EQV002", "EQV003"}) {
+    const auto it = stats.ruleCost.find(rule);
+    ASSERT_NE(it, stats.ruleCost.end()) << rule;
+    resolved += it->second.queries + it->second.simDischarged;
+  }
+  EXPECT_EQ(resolved, static_cast<std::uint64_t>(stats.functionsCompared));
+  const auto latch = stats.ruleCost.find("EQV004");
+  ASSERT_NE(latch, stats.ruleCost.end());
+  EXPECT_EQ(latch->second.queries, 2u);
 }
 
 TEST(Equiv, PipelinePassesAreCached) {

@@ -232,5 +232,71 @@ TEST_P(MinimizeProperty, PrimesCoverOnsetAndAvoidOffset) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeProperty,
                          ::testing::Range<std::uint64_t>(1, 26));
 
+/// A random table mixing onset/offset/don't-care rows; variable count and
+/// density vary with the seed so both sparse and dense shapes appear.
+TruthTable randomTable(std::uint64_t seed) {
+  std::mt19937_64 rng(seed * 7919);
+  const int nv = 3 + static_cast<int>(seed % 8);  // 3..10 vars
+  const int dcWeight = static_cast<int>(seed % 5);
+  TruthTable tt(nv);
+  for (std::uint64_t r = 0; r < tt.numRows(); ++r) {
+    const int roll = std::uniform_int_distribution<int>(0, 9)(rng);
+    tt.set(r, roll < 3              ? Ternary::One
+              : roll < 6 + dcWeight ? Ternary::DontCare
+                                    : Ternary::Zero);
+  }
+  return tt;
+}
+
+class MinimizerImplIdentity : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+// The fast QM must emit the reference's primes in the reference's order --
+// not just the same set -- because prime order feeds the greedy cover
+// selection and therefore the final covers.
+TEST_P(MinimizerImplIdentity, FastPrimesMatchReferenceOrderExactly) {
+  const TruthTable tt = randomTable(GetParam());
+  const auto fast = primeImplicants(tt);
+  const auto ref = primeImplicantsReference(tt);
+  ASSERT_EQ(fast.size(), ref.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i], ref[i]) << "prime " << i << " diverges";
+  }
+}
+
+TEST_P(MinimizerImplIdentity, FastExpandMatchesReferenceCover) {
+  const TruthTable tt = randomTable(GetParam());
+  const Cover fast = minimizeExpand(tt);
+  const Cover ref = minimizeExpandReference(tt);
+  ASSERT_EQ(fast.numCubes(), ref.numCubes());
+  for (std::size_t i = 0; i < fast.numCubes(); ++i) {
+    EXPECT_EQ(fast.cubes()[i], ref.cubes()[i]);
+  }
+}
+
+// minimize() under both MinimizerImpl settings -- this also exercises the
+// Fast-mode memo (second call replays the cached cover) against the
+// uncached Reference result.
+TEST_P(MinimizerImplIdentity, DispatchIsImplIndependent) {
+  const TruthTable tt = randomTable(GetParam());
+  setMinimizerImpl(MinimizerImpl::Reference);
+  const Cover ref = minimize(tt);
+  setMinimizerImpl(MinimizerImpl::Fast);
+  const Cover cold = minimize(tt);
+  const Cover warm = minimize(tt);  // memo replay
+  EXPECT_EQ(minimizerImpl(), MinimizerImpl::Fast);
+  ASSERT_EQ(cold.numCubes(), ref.numCubes());
+  for (std::size_t i = 0; i < cold.numCubes(); ++i) {
+    EXPECT_EQ(cold.cubes()[i], ref.cubes()[i]);
+  }
+  ASSERT_EQ(warm.numCubes(), cold.numCubes());
+  for (std::size_t i = 0; i < warm.numCubes(); ++i) {
+    EXPECT_EQ(warm.cubes()[i], cold.cubes()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizerImplIdentity,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
 }  // namespace
 }  // namespace tauhls::logic

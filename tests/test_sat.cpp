@@ -237,6 +237,136 @@ TEST(Sat, StatsAccumulate) {
   EXPECT_GT(s.stats().learned, 0u);
 }
 
+TEST(Sat, SolveUnderAssumptionsMatchesUnitClauses) {
+  // Differential: solving under assumptions must give the same verdict as a
+  // fresh solver with the assumptions added as unit clauses -- and the
+  // assumptions must not stick to later calls.
+  std::uint64_t rng = 0xabcdef0123456789ull;
+  const int numVars = 8;
+  int unsatUnderAssumptions = 0;
+  for (int instance = 0; instance < 100; ++instance) {
+    const int numClauses = 26 + static_cast<int>(nextRand(rng) % 14);
+    std::vector<std::vector<int>> clauses;
+    for (int cl = 0; cl < numClauses; ++cl) {
+      std::vector<int> clause;
+      for (int k = 0; k < 3; ++k) {
+        const int v = 1 + static_cast<int>(nextRand(rng) % numVars);
+        clause.push_back((nextRand(rng) & 1) ? v : -v);
+      }
+      clauses.push_back(clause);
+    }
+    std::vector<int> assumptions;
+    for (int k = 0; k < 2; ++k) {
+      const int v = 1 + static_cast<int>(nextRand(rng) % numVars);
+      assumptions.push_back((nextRand(rng) & 1) ? v : -v);
+    }
+
+    SatSolver incremental;
+    for (const auto& cl : clauses) incremental.addClause(cl);
+    const SatResult base = incremental.solve();
+    const SatResult assumed = incremental.solve(assumptions);
+
+    SatSolver fresh;
+    for (const auto& cl : clauses) fresh.addClause(cl);
+    for (int a : assumptions) fresh.addClause({a});
+    ASSERT_EQ(assumed, fresh.solve()) << "instance " << instance;
+    if (assumed == SatResult::Unsat) ++unsatUnderAssumptions;
+    if (assumed == SatResult::Sat) {
+      for (int a : assumptions) {
+        ASSERT_EQ(incremental.modelValue(a > 0 ? a : -a), a > 0)
+            << "assumption not honoured, instance " << instance;
+      }
+    }
+    // The assumptions are scoped to the one call: re-solving without them
+    // must reproduce the unconstrained verdict.
+    ASSERT_EQ(incremental.solve(), base) << "instance " << instance;
+  }
+  EXPECT_GT(unsatUnderAssumptions, 5);  // the mix exercises both outcomes
+}
+
+TEST(Sat, ActivationLiteralScoping) {
+  // MiniSat-style clause groups: clauses guarded by an activation literal
+  // are live only while the literal is assumed, and a unit clause retires
+  // the group for good.
+  SatSolver s;
+  s.addClause({1, 2});
+  const int actA = s.newVar();
+  const int actB = s.newVar();
+  s.addClause({-actA, -1});
+  s.addClause({-actA, -2});
+  s.addClause({-actB, 1});
+  EXPECT_EQ(s.solve(std::vector<int>{actA}), SatResult::Unsat);
+  EXPECT_EQ(s.solve(std::vector<int>{actB}), SatResult::Sat);
+  EXPECT_TRUE(s.modelValue(1));
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+  s.addClause({-actA});  // retire group A
+  EXPECT_EQ(s.solve(std::vector<int>{actB}), SatResult::Sat);
+}
+
+TEST(Sat, FalsifiedAssumptionIsUnsat) {
+  SatSolver s;
+  s.addClause({1});
+  EXPECT_EQ(s.solve(std::vector<int>{-1}), SatResult::Unsat);
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+TEST(Sat, LearnedClauseDbReductionKeepsVerdicts) {
+  // A tiny learned-clause budget forces many reduceDB rounds; the verdict
+  // and the model discipline must be unaffected.
+  {
+    SatSolver s;
+    s.setLearnedLimit(16);
+    for (auto& cl : pigeonhole(7, 6)) s.addClause(cl);
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+    EXPECT_GT(s.stats().learned, 16u);  // far more learned than ever live
+  }
+  std::uint64_t rng = 0x5ca1ab1e0ddba11ull;
+  const int numVars = 8;
+  for (int instance = 0; instance < 60; ++instance) {
+    const int numClauses = 28 + static_cast<int>(nextRand(rng) % 14);
+    std::vector<std::vector<int>> clauses;
+    for (int cl = 0; cl < numClauses; ++cl) {
+      std::vector<int> clause;
+      for (int k = 0; k < 3; ++k) {
+        const int v = 1 + static_cast<int>(nextRand(rng) % numVars);
+        clause.push_back((nextRand(rng) & 1) ? v : -v);
+      }
+      clauses.push_back(clause);
+    }
+    SatSolver s;
+    s.setLearnedLimit(4);
+    for (const auto& cl : clauses) s.addClause(cl);
+    const bool expected = bruteForceSat(clauses, numVars);
+    ASSERT_EQ(s.solve(), expected ? SatResult::Sat : SatResult::Unsat)
+        << "instance " << instance;
+  }
+}
+
+TEST(Sat, RestartsAreCounted) {
+  SatSolver s;
+  for (auto& cl : pigeonhole(7, 6)) s.addClause(cl);
+  ASSERT_EQ(s.solve(), SatResult::Unsat);
+  EXPECT_GT(s.stats().restarts, 0u);
+}
+
+TEST(Sat, StatsDifferenceIsComponentWise) {
+  SatStats a;
+  a.decisions = 10;
+  a.propagations = 20;
+  a.conflicts = 5;
+  a.learned = 4;
+  a.restarts = 2;
+  SatStats b = a;
+  b.decisions = 25;
+  b.conflicts = 9;
+  const SatStats d = b - a;
+  EXPECT_EQ(d.decisions, 15u);
+  EXPECT_EQ(d.propagations, 0u);
+  EXPECT_EQ(d.conflicts, 4u);
+  EXPECT_EQ(d.learned, 0u);
+  EXPECT_EQ(d.restarts, 0u);
+}
+
 TEST(Sat, ResultNames) {
   EXPECT_STREQ(satResultName(SatResult::Sat), "sat");
   EXPECT_STREQ(satResultName(SatResult::Unsat), "unsat");

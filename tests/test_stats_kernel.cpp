@@ -223,5 +223,102 @@ TEST(StatsKernel, RandomSamplersAgreeBitForBit) {
   }
 }
 
+// --- adaptive exact<->MC crossover ----------------------------------------
+
+// With default options and a graph under the exact cap, the adaptive
+// overload of compareLatencies is bit-identical to the legacy one.
+TEST(StatsKernel, AdaptiveCompareLatenciesBitIdenticalUnderCap) {
+  const std::vector<double> ps = {0.9, 0.7, 0.5};
+  for (const ScheduledDfg& s : paperBenchmarks()) {
+    const sim::LatencyComparison legacy = sim::compareLatencies(s, ps);
+    std::vector<sim::McEstimate> info;
+    const sim::LatencyComparison adaptive =
+        sim::compareLatencies(s, ps, sim::LatencyOptions{}, &info);
+    ASSERT_EQ(info.size(), ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      EXPECT_EQ(adaptive.tau.averageNs[i], legacy.tau.averageNs[i]);
+      EXPECT_EQ(adaptive.dist.averageNs[i], legacy.dist.averageNs[i]);
+      EXPECT_EQ(adaptive.enhancementPercent[i], legacy.enhancementPercent[i]);
+      EXPECT_EQ(info[i].samples, 0u);  // the exact path ran, no MC spent
+    }
+    EXPECT_EQ(adaptive.dist.bestNs, legacy.dist.bestNs);
+    EXPECT_EQ(adaptive.dist.worstNs, legacy.dist.worstNs);
+  }
+}
+
+// A lowered exact cap forces the Monte-Carlo path on a graph whose exact
+// value is still computable: the reported 95% confidence interval must
+// cover the exact expectation, and the half-width must have reached the
+// requested target (or exhausted the sample ceiling trying).
+TEST(StatsKernel, McCrossoverIntervalCoversExactValue) {
+  const ScheduledDfg s = manyTauSchedule(14);
+  const sim::MakespanEngine engine(s);
+  ASSERT_LE(engine.numTauOps(), sim::kMaxExactTauOps);
+  for (const double p : {0.5, 0.8}) {
+    const double exact =
+        sim::averageCyclesExact(s, engine, sim::ControlStyle::Distributed, p);
+    sim::LatencyOptions options;
+    options.exactCap = 10;  // below the 14 TAU ops: forces MC
+    options.mcSamples = 4000;
+    options.mcTargetHalfWidth = 0.02;
+    const sim::McEstimate est = sim::averageCyclesMonteCarloAdaptive(
+        s, engine, sim::ControlStyle::Distributed, p, options);
+    EXPECT_GE(est.samples, 4000u);
+    EXPECT_TRUE(est.halfWidth <= options.mcTargetHalfWidth ||
+                est.samples >=
+                    static_cast<std::uint64_t>(options.mcMaxSamples));
+    // Seeded and deterministic, so a covering interval stays covering.
+    EXPECT_NEAR(est.mean, exact, 2.0 * est.halfWidth)
+        << "p=" << p << " samples=" << est.samples;
+  }
+}
+
+// The adaptive estimator is bit-identical across thread counts (counter
+// seeds + fixed chunk grid + doubling rounds recomputed from scratch).
+TEST(StatsKernel, AdaptiveMcDeterministicAcrossThreads) {
+  GlobalThreadCountGuard guard;
+  const ScheduledDfg s = manyTauSchedule(14);
+  const sim::MakespanEngine engine(s);
+  sim::LatencyOptions options;
+  options.exactCap = 10;
+  options.mcSamples = 2000;
+  options.mcTargetHalfWidth = 0.05;
+  common::setGlobalThreadCount(1);
+  const sim::McEstimate reference = sim::averageCyclesMonteCarloAdaptive(
+      s, engine, sim::ControlStyle::Distributed, 0.7, options);
+  for (const int threads : {2, 8}) {
+    common::setGlobalThreadCount(threads);
+    const sim::McEstimate est = sim::averageCyclesMonteCarloAdaptive(
+        s, engine, sim::ControlStyle::Distributed, 0.7, options);
+    EXPECT_EQ(est.mean, reference.mean) << "threads=" << threads;
+    EXPECT_EQ(est.halfWidth, reference.halfWidth) << "threads=" << threads;
+    EXPECT_EQ(est.samples, reference.samples) << "threads=" << threads;
+  }
+}
+
+// Past the hard 24-op enumeration cap the adaptive crossover no longer
+// throws (the legacy fixed-sample path is the only alternative there): the
+// column comes back seeded-MC with finite CI info.
+TEST(StatsKernel, AdaptiveCrossoverHandlesGraphsPastTheHardCap) {
+  const ScheduledDfg s = manyTauSchedule(25);
+  const sim::MakespanEngine engine(s);
+  ASSERT_GT(engine.numTauOps(), sim::kMaxExactTauOps);
+  sim::LatencyOptions options;
+  options.mcSamples = 2000;
+  options.mcTargetHalfWidth = 0.05;
+  std::vector<sim::McEstimate> info;
+  const sim::LatencyComparison out =
+      sim::compareLatencies(s, {0.9, 0.5}, options, &info);
+  ASSERT_EQ(info.size(), 2u);
+  for (std::size_t i = 0; i < info.size(); ++i) {
+    EXPECT_GT(info[i].samples, 0u);
+    EXPECT_GT(info[i].halfWidth, 0.0);
+    EXPECT_GE(out.dist.averageNs[i],
+              out.dist.bestNs - 1e-9);
+    EXPECT_LE(out.dist.averageNs[i],
+              out.dist.worstNs + 1e-9);
+  }
+}
+
 }  // namespace
 }  // namespace tauhls

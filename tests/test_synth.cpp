@@ -102,6 +102,40 @@ TEST(Extract, DistributedControllersSynthesize) {
   }
 }
 
+// The Fast regime compiles guards to bitmask terms for the truth-table row
+// sweep (and runs the fast minimizer); the Reference regime steps the FSM
+// row by row.  Both must extract identical covers on real controllers,
+// under both encodings.
+TEST(Extract, FastAndReferenceRegimesExtractIdenticalLogic) {
+  auto sdfg = sched::scheduleAndBind(dfg::diffeq(),
+                                     Allocation{{ResourceClass::Multiplier, 2},
+                                                {ResourceClass::Adder, 1},
+                                                {ResourceClass::Subtractor, 1}},
+                                     tau::paperLibrary());
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(sdfg);
+  for (const fsm::UnitController& c : dcu.controllers) {
+    for (const EncodingStyle style :
+         {EncodingStyle::Binary, EncodingStyle::OneHot}) {
+      logic::setMinimizerImpl(logic::MinimizerImpl::Reference);
+      const SynthesizedFsm ref = synthesize(c.fsm, style);
+      logic::setMinimizerImpl(logic::MinimizerImpl::Fast);
+      const SynthesizedFsm fast = synthesize(c.fsm, style);
+      ASSERT_EQ(fast.nextStateLogic.size(), ref.nextStateLogic.size());
+      for (std::size_t i = 0; i < fast.nextStateLogic.size(); ++i) {
+        EXPECT_EQ(fast.nextStateLogic[i].cubes(),
+                  ref.nextStateLogic[i].cubes())
+            << c.fsm.name() << " ns" << i;
+      }
+      ASSERT_EQ(fast.outputLogic.size(), ref.outputLogic.size());
+      for (std::size_t i = 0; i < fast.outputLogic.size(); ++i) {
+        EXPECT_EQ(fast.outputLogic[i].cubes(), ref.outputLogic[i].cubes())
+            << c.fsm.name() << " out" << i;
+      }
+      EXPECT_EQ(fast.totalLiterals(), ref.totalLiterals());
+    }
+  }
+}
+
 TEST(Area, RowBasics) {
   AreaRow row = areaRow("counter", toyCounter());
   EXPECT_EQ(row.name, "counter");

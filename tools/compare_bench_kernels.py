@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_kernels.json against the committed baseline.
+
+Structural fields (benchmark counts, functions compared, bit-identity
+verdicts, sweep sizes) must match exactly -- any drift fails the run, so a
+change is a deliberate, reviewed baseline update.  Timings are machine
+dependent and reported informationally; the speedup floors themselves are
+gated separately in CI (see .github/workflows/ci.yml bench-smoke).
+
+Usage: compare_bench_kernels.py BASELINE CURRENT [-o REPORT.md]
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten(prefix, node, out):
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            flatten(f"{prefix}.{key}" if prefix else key, value, out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            flatten(f"{prefix}[{i}]", value, out)
+    else:
+        out[prefix] = node
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("-o", "--output", help="markdown report path")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    failures = []
+    for field in ("schema", "version"):
+        if base.get(field) != cur.get(field):
+            failures.append(
+                f"{field}: baseline={base.get(field)!r} current={cur.get(field)!r}"
+            )
+
+    base_struct, cur_struct = {}, {}
+    flatten("", base.get("structural", {}), base_struct)
+    flatten("", cur.get("structural", {}), cur_struct)
+    for key in sorted(set(base_struct) | set(cur_struct)):
+        b, c = base_struct.get(key), cur_struct.get(key)
+        if b != c:
+            failures.append(f"structural.{key}: baseline={b!r} current={c!r}")
+
+    base_times, cur_times = {}, {}
+    flatten("", base.get("timingsMs", {}), base_times)
+    flatten("", cur.get("timingsMs", {}), cur_times)
+    timing_lines = []
+    for key in sorted(set(base_times) | set(cur_times)):
+        b, c = base_times.get(key), cur_times.get(key)
+        if isinstance(b, (int, float)) and isinstance(c, (int, float)) and b:
+            delta = 100.0 * (c - b) / b
+            timing_lines.append(f"{key}: {b:.3f} -> {c:.3f} ms ({delta:+.1f}%)")
+        else:
+            timing_lines.append(f"{key}: {b!r} -> {c!r}")
+
+    lines = ["# Kernel bench comparison", ""]
+    if failures:
+        lines.append("## STRUCTURAL DRIFT (CI failure)")
+        lines.extend(f"- {f}" for f in failures)
+        lines.append("")
+    else:
+        lines.append("Structural fields match the baseline.")
+        lines.append("")
+    lines.append("## Timings (informational)")
+    lines.extend(f"- {t}" for t in timing_lines)
+    report = "\n".join(lines) + "\n"
+
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(report)
+    print(report, end="")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} structural mismatch(es)", file=sys.stderr)
+        return 1
+    print("\nOK: structural fields match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
