@@ -28,7 +28,7 @@
 //                 (equivalence rule verdicts equal, sweep statistics
 //                 EXPECT_EQ-equal).  Identical on every machine; CI diffs
 //                 them against bench/baselines/BENCH_kernels.json via
-//                 tools/compare_bench_kernels.py and fails on drift.
+//                 tools/compare_bench.py and fails on drift.
 //   "timingsMs"   wall-clock per kernel and regime plus the speedups.
 //                 Machine dependent; CI gates only the speedup floors.
 //

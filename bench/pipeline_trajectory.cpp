@@ -15,7 +15,7 @@
 //                 blob count and byte size).  These are identical on every
 //                 machine; CI diffs them against the committed baseline
 //                 (bench/baselines/BENCH_pipeline.json) via
-//                 tools/compare_bench_pipeline.py and fails on drift, so a
+//                 tools/compare_bench.py and fails on drift, so a
 //                 change here is a deliberate, reviewed baseline update.
 //   "timingsMs"   wall-clock milliseconds per regime and per pass.  Machine
 //                 dependent; the comparator only reports their deltas.

@@ -1,50 +1,11 @@
 #include "aig/cec.hpp"
 
-#include <unordered_map>
-
+#include "aig/unroll.hpp"
 #include "common/error.hpp"
 
 namespace tauhls::aig {
 
 namespace {
-
-/// Lazily Tseitin-encodes AIG cones into a SatSolver.
-class Encoder {
- public:
-  Encoder(const Aig& g, SatSolver& solver) : g_(g), solver_(solver) {}
-
-  /// DIMACS literal for an AIG literal, encoding its cone on first use.
-  int encode(Lit l) {
-    const int v = varOf(nodeOf(l));
-    return isNegated(l) ? -v : v;
-  }
-
- private:
-  int varOf(std::uint32_t node) {
-    const auto it = var_.find(node);
-    if (it != var_.end()) return it->second;
-    // Materialize fanins first; the AIG is acyclic so recursion is bounded
-    // by cone depth (shallow: covers are two-level, netlists near-balanced).
-    if (g_.isAnd(node)) {
-      const int a = encode(g_.fanin0(node));
-      const int b = encode(g_.fanin1(node));
-      const int v = solver_.newVar();
-      var_.emplace(node, v);
-      solver_.addClause({-v, a});
-      solver_.addClause({-v, b});
-      solver_.addClause({v, -a, -b});
-      return v;
-    }
-    const int v = solver_.newVar();
-    var_.emplace(node, v);
-    if (node == 0) solver_.addClause({-v});  // the constant-false node
-    return v;
-  }
-
-  const Aig& g_;
-  SatSolver& solver_;
-  std::unordered_map<std::uint32_t, int> var_;
-};
 
 CecResult solveMiter(const Aig& g, Lit miter, std::uint64_t maxConflicts) {
   CecResult result;
@@ -61,7 +22,7 @@ CecResult solveMiter(const Aig& g, Lit miter, std::uint64_t maxConflicts) {
     return result;
   }
   SatSolver solver;
-  Encoder encoder(g, solver);
+  CnfEncoder encoder(g, solver);
   // Remember each support input's variable before asserting the miter, so a
   // model can be read back by name.
   std::vector<int> inputVar(support.size());
@@ -100,7 +61,7 @@ struct IncrementalCec::Impl {
 
   Aig* g;
   SatSolver solver;
-  Encoder encoder;
+  CnfEncoder encoder;
 };
 
 IncrementalCec::IncrementalCec(Aig& g) : impl_(std::make_unique<Impl>(g)) {}

@@ -1,0 +1,90 @@
+#include "aig/unroll.hpp"
+
+#include "common/error.hpp"
+
+namespace tauhls::aig {
+
+int CnfEncoder::varOf(std::uint32_t node) {
+  const auto it = var_.find(node);
+  if (it != var_.end()) return it->second;
+  // Materialize fanins first; the AIG is acyclic so recursion is bounded by
+  // cone depth.
+  if (g_->isAnd(node)) {
+    const int a = encode(g_->fanin0(node));
+    const int b = encode(g_->fanin1(node));
+    const int v = solver_->newVar();
+    var_.emplace(node, v);
+    solver_->addClause({-v, a});
+    solver_->addClause({-v, b});
+    solver_->addClause({v, -a, -b});
+    return v;
+  }
+  const int v = solver_->newVar();
+  var_.emplace(node, v);
+  if (node == 0) solver_->addClause({-v});  // the constant-false node
+  return v;
+}
+
+Unroller::Unroller(Aig& g, const SeqModel& model, std::string tag,
+                   bool initFrame0)
+    : g_(&g), model_(&model), tag_(std::move(tag)), initFrame0_(initFrame0) {
+  for (std::size_t v = 0; v < model.vars.size(); ++v) {
+    const Lit cur = model.vars[v].cur;
+    TAUHLS_CHECK(!isNegated(cur) && g.isInput(nodeOf(cur)),
+                 "SeqVar::cur must be a positive template input literal: " +
+                     model.vars[v].name);
+    const bool fresh = stateVarOfInput_.emplace(nodeOf(cur), v).second;
+    TAUHLS_CHECK(fresh, "duplicate SeqVar::cur literal: " + model.vars[v].name);
+  }
+  frame0Free_.assign(model.vars.size(), kLitFalse);
+}
+
+Lit Unroller::state(int frame, std::size_t v) {
+  TAUHLS_ASSERT(v < model_->vars.size(), "state var index out of range");
+  if (frame == 0) {
+    if (initFrame0_) return model_->vars[v].init ? kLitTrue : kLitFalse;
+    if (frame0Free_[v] == kLitFalse) {
+      frame0Free_[v] = g_->addInput(model_->vars[v].name + "@" + tag_ + "0");
+    }
+    return frame0Free_[v];
+  }
+  return at(frame - 1, model_->vars[v].next);
+}
+
+Lit Unroller::at(int frame, Lit templateLit) {
+  const std::uint32_t node = nodeOf(templateLit);
+  Lit base = kLitFalse;
+  const auto key = std::make_pair(node, frame);
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    base = it->second;
+  } else if (node == 0) {
+    base = kLitFalse;  // constants are frame-independent
+  } else if (g_->isAnd(node)) {
+    const Lit a = at(frame, g_->fanin0(node));
+    const Lit b = at(frame, g_->fanin1(node));
+    base = g_->andLit(a, b);
+    memo_.emplace(key, base);
+  } else {
+    const auto sv = stateVarOfInput_.find(node);
+    if (sv != stateVarOfInput_.end()) {
+      base = state(frame, sv->second);
+    } else {  // free input: fresh instance per frame
+      base = g_->addInput(g_->inputNames()[g_->inputIndexOf(node)] + "@" +
+                          tag_ + std::to_string(frame));
+    }
+    memo_.emplace(key, base);
+  }
+  return isNegated(templateLit) ? negate(base) : base;
+}
+
+std::vector<Lit> Unroller::stateVector(int frame) {
+  std::vector<Lit> out;
+  out.reserve(model_->vars.size());
+  for (std::size_t v = 0; v < model_->vars.size(); ++v) {
+    out.push_back(state(frame, v));
+  }
+  return out;
+}
+
+}  // namespace tauhls::aig

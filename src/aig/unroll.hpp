@@ -1,0 +1,105 @@
+// Sequential reasoning over combinational AIGs: a reusable Tseitin CNF
+// encoder plus a time-frame unroller for bounded model checking (BMC) and
+// k-induction.
+//
+// A synchronous circuit is described as a SeqModel over a *template* Aig:
+// each state element has a template input literal standing for its current
+// value and a cone computing its next value; any other template input is a
+// free (unconstrained per-cycle) input.  An Unroller then instantiates
+// template cones at numbered time frames by literal substitution -- state
+// inputs map to the previous frame's next-state cones (or to reset constants
+// / fresh variables at frame 0), free inputs map to fresh per-frame inputs.
+// Because instantiation goes through the hash-consing Aig constructors,
+// repeated structure across frames is shared, and the CnfEncoder only ever
+// encodes each shared node once, so one SatSolver accumulates the whole
+// unrolling incrementally and learned clauses carry across depths and
+// properties.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/sat.hpp"
+
+namespace tauhls::aig {
+
+/// Lazily Tseitin-encodes AIG cones into a SatSolver.  Each node gets one
+/// solver variable on first use; re-encoding a literal is a lookup, so cones
+/// shared between queries are encoded exactly once.
+class CnfEncoder {
+ public:
+  CnfEncoder(const Aig& g, SatSolver& solver) : g_(&g), solver_(&solver) {}
+
+  /// DIMACS literal for an AIG literal, encoding its cone on first use.
+  int encode(Lit l) {
+    const int v = varOf(nodeOf(l));
+    return isNegated(l) ? -v : v;
+  }
+
+  /// Solver variable already assigned to `node`; 0 when not yet encoded.
+  int varIfEncoded(std::uint32_t node) const {
+    const auto it = var_.find(node);
+    return it == var_.end() ? 0 : it->second;
+  }
+
+ private:
+  int varOf(std::uint32_t node);
+
+  const Aig* g_;
+  SatSolver* solver_;
+  std::unordered_map<std::uint32_t, int> var_;
+};
+
+/// One state element of a sequential model: `cur` is a template *input*
+/// literal standing for the element's current value, `next` is the template
+/// cone computing its value in the following cycle, `init` the reset value.
+struct SeqVar {
+  std::string name;
+  Lit cur = kLitFalse;
+  Lit next = kLitFalse;
+  bool init = false;
+};
+
+/// A synchronous circuit over a template Aig.  Template inputs that are not
+/// some SeqVar's `cur` literal are free inputs, re-instantiated per frame.
+struct SeqModel {
+  std::vector<SeqVar> vars;
+};
+
+/// Instantiates template cones at numbered time frames inside the same Aig
+/// the template lives in.  Two frame-0 modes:
+///  - init mode: frame 0's state is the reset state (constants), the root of
+///    a BMC unrolling;
+///  - free mode: frame 0's state bits become fresh inputs, the root of the
+///    arbitrary-start unrolling k-induction steps over.
+class Unroller {
+ public:
+  /// `tag` distinguishes several unrollings of one model in one graph; fresh
+  /// per-frame inputs are named "<name>@<tag><frame>".
+  Unroller(Aig& g, const SeqModel& model, std::string tag, bool initFrame0);
+
+  /// Current-state literal of state var `v` at `frame` (frame 0 = reset
+  /// constants in init mode, fresh inputs in free mode).
+  Lit state(int frame, std::size_t v);
+
+  /// Instantiates an arbitrary template cone at `frame`.
+  Lit at(int frame, Lit templateLit);
+
+  /// All state bits of `frame` as a vector (for eqVec / simple-path cones).
+  std::vector<Lit> stateVector(int frame);
+
+ private:
+  Aig* g_;
+  const SeqModel* model_;
+  std::string tag_;
+  bool initFrame0_;
+  std::map<std::uint32_t, std::size_t> stateVarOfInput_;
+  std::map<std::pair<std::uint32_t, int>, Lit> memo_;  ///< (node, frame)
+  std::vector<Lit> frame0Free_;  ///< lazily created frame-0 state inputs
+};
+
+}  // namespace tauhls::aig

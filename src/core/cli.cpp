@@ -18,6 +18,7 @@
 #include "rtl/testbench.hpp"
 #include "sim/interp.hpp"
 #include "verify/equiv_check.hpp"
+#include "verify/symbolic_check.hpp"
 #include "verify/verify.hpp"
 
 namespace tauhls::core {
@@ -38,6 +39,14 @@ std::string cliHelp() {
       "  --p LIST          SD-ratio sweep, e.g. 0.9,0.7,0.5\n"
       "  --strategy S      leftedge (default) | clique\n"
       "  --no-signal-opt   keep unconsumed completion outputs\n"
+      "  --model-check E   controller model-check engine (MDL rules):\n"
+      "                    explicit (default) = bounded product exploration,\n"
+      "                    symbolic = BMC + k-induction over an AIG (complete\n"
+      "                    verdicts, no state bound), auto = explicit first,\n"
+      "                    symbolic rerun when it degrades to MDL007\n"
+      "  --max-states N    explicit-engine product-configuration bound before\n"
+      "                    the check degrades to MDL007 (default: 200000 for\n"
+      "                    lint, 50000 for flow)\n"
       "  --cent-fsm        also build the explicit CENT-FSM product\n"
       "  --table1          print the area report\n"
       "  --no-table2       skip the latency report\n"
@@ -76,11 +85,12 @@ std::string cliHelp() {
       "  --timing          also run static timing analysis over every\n"
       "                    controller netlist against CC_TAU (rules TIM*)\n"
       "  --lint-json FILE  also write all diagnostics as JSON\n"
-      "                    ({\"schema\":\"tauhls-lint\",\"version\":3} with\n"
-      "                    per-rule counts)\n"
-      "  (--alloc, --strategy, --no-signal-opt, --store and --trace-json\n"
-      "  apply as above; lint evaluates only the verification passes, never\n"
-      "  the latency or area model)\n"
+      "                    ({\"schema\":\"tauhls-lint\",\"version\":4} with\n"
+      "                    per-rule counts, SAT cost and per-property\n"
+      "                    symbolic model-check verdicts)\n"
+      "  (--alloc, --strategy, --no-signal-opt, --model-check, --max-states,\n"
+      "  --store and --trace-json apply as above; lint evaluates only the\n"
+      "  verification passes, never the latency or area model)\n"
       "\n"
       "subcommand: tauhlsc cache (stat | gc) --store DIR [options]\n"
       "\n"
@@ -230,6 +240,37 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
         error = "unknown strategy '" + *v + "'";
         return std::nullopt;
       }
+    } else if (a == "--model-check" || a.rfind("--model-check=", 0) == 0) {
+      std::string v;
+      if (a == "--model-check") {
+        auto value = needValue(i);
+        if (!value) return std::nullopt;
+        v = *value;
+      } else {
+        v = a.substr(std::string("--model-check=").size());
+      }
+      if (v == "explicit") o.modelCheck = ModelCheckMode::Explicit;
+      else if (v == "symbolic") o.modelCheck = ModelCheckMode::Symbolic;
+      else if (v == "auto") o.modelCheck = ModelCheckMode::Auto;
+      else {
+        error = "unknown model-check engine '" + v +
+                "' (expected explicit, symbolic or auto)";
+        return std::nullopt;
+      }
+    } else if (a == "--max-states") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      std::size_t n = 0;
+      try {
+        n = std::stoull(*v);
+      } catch (const std::exception&) {
+        n = 0;
+      }
+      if (n < 1) {
+        error = "invalid state bound '" + *v + "'";
+        return std::nullopt;
+      }
+      o.maxStates = n;
     } else if (a == "--no-signal-opt") {
       o.signalOpt = false;
     } else if (a == "--cent-fsm") {
@@ -385,6 +426,8 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
 
     verify::Report all;
     verify::EquivStats allEquiv;
+    std::map<std::string, verify::RuleCost> satCost;
+    std::vector<verify::SymbolicPropertyStat> symbolicRows;
     std::vector<TracedRun> traces;
     const std::shared_ptr<ArtifactCache> cache = makeCache(options);
     for (const dfg::NamedBenchmark& b : designs) {
@@ -394,10 +437,28 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
       cfg.optimizeSignals = options.signalOpt;
       // The CLI is a one-shot audit: use the full exploration budget rather
       // than the flow gate's fast default.
-      cfg.verifyMaxStates = 200000;
+      cfg.verifyMaxStates = options.maxStates ? options.maxStates : 200000;
+      cfg.modelCheck = options.modelCheck;
       FlowPipeline pipeline(b.graph, cfg, cache);
-      verify::Report report =
-          pipeline.get<verify::Report>(Artifact::Diagnostics);
+      verify::Report report = pipeline.modelCheckedDiagnostics();
+      if (pipeline.has(Artifact::SymbolicCheck)) {
+        const auto& sym =
+            pipeline.get<verify::SymbolicArtifact>(Artifact::SymbolicCheck);
+        std::size_t proved = 0;
+        for (const verify::SymbolicProperty& p : sym.stats.properties) {
+          if (p.verdict == verify::PropertyVerdict::Proved) ++proved;
+        }
+        out << "-- " << b.name << ": symbolic model check over "
+            << sym.stats.controllers << " controllers, " << sym.stats.stateBits
+            << " state bits, " << proved << "/" << sym.stats.properties.size()
+            << " proved --\n";
+        for (const auto& [code, cost] : sym.stats.ruleCost()) {
+          satCost[code] += cost;
+        }
+        const std::vector<verify::SymbolicPropertyStat> rows =
+            sym.stats.jsonStats();
+        symbolicRows.insert(symbolicRows.end(), rows.begin(), rows.end());
+      }
       if (options.lintEquiv) {
         const auto& eq =
             pipeline.get<verify::EquivalenceArtifact>(Artifact::Equivalence);
@@ -421,7 +482,8 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
       std::ofstream j(options.lintJsonPath);
       TAUHLS_CHECK(static_cast<bool>(j),
                    "cannot open " + options.lintJsonPath);
-      j << verify::renderJson(all, allEquiv.ruleCost) << "\n";
+      for (const auto& [code, cost] : allEquiv.ruleCost) satCost[code] += cost;
+      j << verify::renderJson(all, satCost, symbolicRows) << "\n";
       out << "wrote lint JSON to " << options.lintJsonPath << "\n";
     }
     if (!options.traceJsonPath.empty()) {
@@ -479,6 +541,8 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     cfg.optimizeSignals = options.signalOpt;
     cfg.buildCentFsm = options.centFsm;
     cfg.synthesizeArea = options.table1;
+    cfg.modelCheck = options.modelCheck;
+    if (options.maxStates) cfg.verifyMaxStates = options.maxStates;
     FlowPipeline pipeline(graph, cfg, makeCache(options));
     const FlowResult r = pipeline.run();
 

@@ -11,11 +11,13 @@
 //   tauhlsc cache gc --store .tauhls-store --max-bytes 67108864
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/flow.hpp"
 #include "sched/scheduled_dfg.hpp"
 
 namespace tauhls::core {
@@ -26,6 +28,11 @@ struct CliOptions {
   bool lintEquiv = false;     ///< also run SAT equivalence checking (EQV*)
   bool lintTiming = false;    ///< also run static timing analysis (TIM*)
   std::string lintJsonPath;   ///< empty = text only; else JSON diagnostics
+  /// Controller model-check engine: explicit | symbolic | auto (--model-check).
+  ModelCheckMode modelCheck = ModelCheckMode::Explicit;
+  /// Explicit-engine state bound (--max-states); 0 = subcommand default
+  /// (200000 for lint's one-shot audit, the FlowConfig default for flow).
+  std::size_t maxStates = 0;
   bool cacheStat = false;     ///< `tauhlsc cache stat` subcommand
   bool cacheGc = false;       ///< `tauhlsc cache gc` subcommand
   std::string storeDir;       ///< empty = no persistent artifact store

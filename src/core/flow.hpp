@@ -29,6 +29,20 @@
 
 namespace tauhls::core {
 
+/// Which engine the verify stage uses for the controller model check
+/// (MDL001-MDL008).
+enum class ModelCheckMode : int {
+  /// Bounded explicit-state product exploration; degrades to an MDL007
+  /// warning past verifyMaxStates configurations.
+  Explicit = 0,
+  /// BMC + k-induction over an AIG transition relation (complete verdicts,
+  /// no state bound; see verify/symbolic_check.hpp).
+  Symbolic = 1,
+  /// Explicit first; when it degrades to MDL007, rerun symbolically and
+  /// replace the MDL007 warning with the symbolic verdicts.
+  Auto = 2,
+};
+
 struct FlowConfig {
   sched::Allocation allocation;                     ///< units per class
   tau::ResourceLibrary library = tau::paperLibrary();
@@ -52,6 +66,14 @@ struct FlowConfig {
   /// Product-configuration bound for the model check; past it the check
   /// degrades to an MDL007 warning instead of blocking the flow.
   std::size_t verifyMaxStates = 50000;
+  /// Controller model-check engine (see ModelCheckMode).
+  ModelCheckMode modelCheck = ModelCheckMode::Explicit;
+  /// BMC depth / induction-k budget of the symbolic engine; open properties
+  /// degrade to UNKNOWN verdicts rather than blocking the flow.
+  int symbolicMaxDepth = 30;
+  /// SAT conflict budget per symbolic query; exceeding it degrades the
+  /// property to an UNKNOWN verdict, never a false claim.
+  std::uint64_t symbolicMaxConflicts = 200000;
   /// STA margin (register setup + completion-signal arrival) subtracted from
   /// CC_TAU by the demand-only `timing` pass (TIM rules).
   double timingMarginNs = 2.0;

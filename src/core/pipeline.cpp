@@ -11,6 +11,7 @@
 #include "core/store.hpp"
 #include "rtl/verilog.hpp"
 #include "verify/equiv_check.hpp"
+#include "verify/symbolic_check.hpp"
 #include "verify/timing_check.hpp"
 #include "verify/verify.hpp"
 
@@ -129,17 +130,40 @@ const std::vector<PassDef>& passRegistry() {
        [](const FlowConfig& c, common::Hasher& h) {
          hashAllocation(h, c.allocation);
          h.u64(c.verifyMaxStates);
+         // Only whether the explicit model check runs matters here; the
+         // symbolic engine's own budgets key the symbolic-check pass.
+         h.boolean(c.modelCheck == ModelCheckMode::Symbolic);
        },
        [](const PassIo& io) {
          verify::VerifyOptions vo;
          vo.requestedAllocation = &io.config.allocation;
          vo.centSync = &io.in<fsm::Fsm>(Artifact::CentSync);
          vo.modelCheckMaxStates = io.config.verifyMaxStates;
+         // In symbolic mode the explicit product exploration is skipped
+         // entirely; the symbolic-check pass supplies the MDL verdicts.
+         vo.modelCheck = io.config.modelCheck != ModelCheckMode::Symbolic;
          io.out(Artifact::Diagnostics,
                 verify::verifyFlow(
                     io.in<sched::ScheduledDfg>(Artifact::Schedule),
                     io.in<fsm::DistributedControlUnit>(Artifact::Distributed),
                     vo));
+       }},
+      {"symbolic-check",
+       {Artifact::Schedule, Artifact::Distributed, Artifact::CentSync},
+       {Artifact::SymbolicCheck},
+       [](const FlowConfig& c, common::Hasher& h) {
+         h.i64(c.symbolicMaxDepth);
+         h.u64(c.symbolicMaxConflicts);
+       },
+       [](const PassIo& io) {
+         verify::SymbolicCheckOptions so;
+         so.maxDepth = io.config.symbolicMaxDepth;
+         so.maxConflicts = io.config.symbolicMaxConflicts;
+         io.out(Artifact::SymbolicCheck,
+                verify::symbolicModelCheck(
+                    io.in<fsm::DistributedControlUnit>(Artifact::Distributed),
+                    io.in<sched::ScheduledDfg>(Artifact::Schedule),
+                    &io.in<fsm::Fsm>(Artifact::CentSync), so));
        }},
       {"cent-fsm",
        {Artifact::Distributed},
@@ -313,6 +337,11 @@ std::uint64_t artifactSizeOf(Artifact a, const std::any& slot) {
       return std::any_cast<const std::shared_ptr<const verify::Report>&>(slot)
           ->diagnostics()
           .size();
+    case Artifact::SymbolicCheck:
+      // Properties checked, not diagnostics: the semantic work of the pass.
+      return std::any_cast<
+                 const std::shared_ptr<const verify::SymbolicArtifact>&>(slot)
+          ->stats.properties.size();
   }
   return 0;
 }
@@ -346,6 +375,7 @@ const char* artifactName(Artifact a) {
     case Artifact::Rtl: return "rtl";
     case Artifact::Equivalence: return "equivalence";
     case Artifact::Timing: return "timing";
+    case Artifact::SymbolicCheck: return "symbolic-check";
   }
   return "unknown";
 }
@@ -720,12 +750,59 @@ void FlowPipeline::require(const std::vector<Artifact>& artifacts) {
             ev.extraArgs.emplace_back(code + ".conflicts", cost.conflicts);
           }
         }
+        if (output == Artifact::SymbolicCheck) {
+          const auto& art = *std::any_cast<
+              const std::shared_ptr<const verify::SymbolicArtifact>&>(
+              slots_[idx(output)]);
+          for (const verify::SymbolicProperty& p : art.stats.properties) {
+            ev.extraArgs.emplace_back(
+                p.rule + ".depth",
+                static_cast<std::uint64_t>(
+                    p.depthReached < 0 ? 0 : p.depthReached));
+            ev.extraArgs.emplace_back(
+                p.rule + ".k", static_cast<std::uint64_t>(p.inductionK));
+            ev.extraArgs.emplace_back(p.rule + ".conflicts",
+                                      p.cost.conflicts);
+            ev.extraArgs.emplace_back(p.rule + ".queries", p.cost.queries);
+          }
+        }
       }
     });
     for (std::size_t i : ready) done[i] = 1;
     for (PassTraceEvent& ev : waveEvents) events_.push_back(std::move(ev));
     ++wave;
   }
+}
+
+verify::Report FlowPipeline::modelCheckedDiagnostics() {
+  verify::Report report = get<verify::Report>(Artifact::Diagnostics);
+  if (config_.modelCheck == ModelCheckMode::Explicit) return report;
+  const bool wantSymbolic =
+      config_.modelCheck == ModelCheckMode::Symbolic || report.has("MDL007");
+  if (!wantSymbolic) return report;
+  const auto& sym = get<verify::SymbolicArtifact>(Artifact::SymbolicCheck);
+  if (report.has("MDL007")) {
+    // The symbolic verdicts supersede the explicit engine's capitulation.
+    verify::Report filtered;
+    for (const verify::Diagnostic& d : report.diagnostics()) {
+      if (d.code != "MDL007") filtered.add(d.code, d.artifact, d.where,
+                                           d.message);
+    }
+    report = std::move(filtered);
+  }
+  // Dedup on merge: in auto mode the explicit engine already swept the
+  // CENT-SYNC baseline, which the symbolic engine repeats verbatim.
+  for (const verify::Diagnostic& d : sym.report.diagnostics()) {
+    bool duplicate = false;
+    for (const verify::Diagnostic& existing : report.diagnostics()) {
+      if (existing == d) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) report.add(d.code, d.artifact, d.where, d.message);
+  }
+  return report;
 }
 
 FlowResult FlowPipeline::run() {
@@ -745,7 +822,7 @@ FlowResult FlowPipeline::run() {
   r.centSync = get<fsm::Fsm>(Artifact::CentSync);
   r.latency = get<sim::LatencyComparison>(Artifact::Latency);
   if (config_.verify) {
-    r.diagnostics = get<verify::Report>(Artifact::Diagnostics);
+    r.diagnostics = modelCheckedDiagnostics();
     throwIfVerificationFailed(r.diagnostics);
   }
 

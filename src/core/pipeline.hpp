@@ -8,7 +8,7 @@
 //              ├─> cent-sync ─────────────────┤─> area-dist
 //              ├─> latency                    ├─> rtl
 //              ├────────────────> area-cent-sync (from cent-sync)
-//              └─(+ signal-opt)─> equiv, timing      (demand-only)
+//              └─(+ signal-opt)─> equiv, timing, symbolic-check (demand-only)
 //
 // Each pass declares the artifacts it consumes and produces plus the
 // FlowConfig fields it reads; the executor then provides
@@ -72,9 +72,11 @@ class ArtifactStore;  // core/store.hpp -- the optional persistent tier
 ///   Rtl             std::string                  full Verilog package
 ///   Equivalence     verify::EquivalenceArtifact  SAT translation validation
 ///   Timing          verify::Report               STA against CC_TAU
+///   SymbolicCheck   verify::SymbolicArtifact     BMC + k-induction verdicts
 ///
-/// Equivalence and Timing are demand-only: the standard run() never requests
-/// them; `tauhlsc lint --equiv/--timing` (and tests) pull them explicitly.
+/// Equivalence, Timing and SymbolicCheck are demand-only: the standard run()
+/// never requests them directly; `tauhlsc lint --equiv/--timing`, the
+/// `--model-check symbolic|auto` modes (and tests) pull them explicitly.
 enum class Artifact : int {
   Schedule = 0,
   RawDistributed,
@@ -90,9 +92,10 @@ enum class Artifact : int {
   Rtl,
   Equivalence,
   Timing,
+  SymbolicCheck,
 };
 
-inline constexpr int kNumArtifacts = 14;
+inline constexpr int kNumArtifacts = 15;
 
 /// Stable display name ("schedule", "latency", ...).
 const char* artifactName(Artifact a);
@@ -256,6 +259,15 @@ class FlowPipeline {
   /// verification gate and failure behaviour as the pre-pipeline monolithic
   /// runFlow -- and assemble the public FlowResult.
   FlowResult run();
+
+  /// Diagnostics under the configured model-check mode
+  /// (FlowConfig::modelCheck).  Explicit: the verify pass's report verbatim.
+  /// Symbolic: the verify pass ran without the explicit model check; the
+  /// symbolic engine's verdicts are merged in.  Auto: explicit first -- when
+  /// it degraded to MDL007, the MDL007 warnings are removed and the symbolic
+  /// verdicts merged in their place (exact duplicates are dropped).  Demands
+  /// the SymbolicCheck artifact only when the mode needs it.
+  verify::Report modelCheckedDiagnostics();
 
   /// Everything executed (or cache-served) by this pipeline so far, in
   /// deterministic wave order.

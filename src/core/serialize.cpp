@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "verify/equiv_check.hpp"
+#include "verify/symbolic_check.hpp"
 
 namespace tauhls::core {
 
@@ -534,6 +535,28 @@ synth::DistributedAreaReport decodeDistArea(Reader& r) {
   return rep;
 }
 
+void encodeRuleCost(Writer& w, const verify::RuleCost& cost) {
+  w.u64(cost.decisions);
+  w.u64(cost.propagations);
+  w.u64(cost.conflicts);
+  w.u64(cost.learned);
+  w.u64(cost.restarts);
+  w.u64(cost.queries);
+  w.u64(cost.simDischarged);
+}
+
+verify::RuleCost decodeRuleCost(Reader& r) {
+  verify::RuleCost cost;
+  cost.decisions = r.u64();
+  cost.propagations = r.u64();
+  cost.conflicts = r.u64();
+  cost.learned = r.u64();
+  cost.restarts = r.u64();
+  cost.queries = r.u64();
+  cost.simDischarged = r.u64();
+  return cost;
+}
+
 void encodeEquivalence(Writer& w, const verify::EquivalenceArtifact& art) {
   encodeReport(w, art.report);
   w.i32(art.stats.controllers);
@@ -542,13 +565,7 @@ void encodeEquivalence(Writer& w, const verify::EquivalenceArtifact& art) {
   w.u32(static_cast<std::uint32_t>(art.stats.ruleCost.size()));
   for (const auto& [code, cost] : art.stats.ruleCost) {
     w.str(code);
-    w.u64(cost.decisions);
-    w.u64(cost.propagations);
-    w.u64(cost.conflicts);
-    w.u64(cost.learned);
-    w.u64(cost.restarts);
-    w.u64(cost.queries);
-    w.u64(cost.simDischarged);
+    encodeRuleCost(w, cost);
   }
 }
 
@@ -561,14 +578,51 @@ verify::EquivalenceArtifact decodeEquivalence(Reader& r) {
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::string code = r.str();
-    verify::RuleCost& cost = art.stats.ruleCost[code];
-    cost.decisions = r.u64();
-    cost.propagations = r.u64();
-    cost.conflicts = r.u64();
-    cost.learned = r.u64();
-    cost.restarts = r.u64();
-    cost.queries = r.u64();
-    cost.simDischarged = r.u64();
+    art.stats.ruleCost[code] = decodeRuleCost(r);
+  }
+  return art;
+}
+
+void encodeSymbolic(Writer& w, const verify::SymbolicArtifact& art) {
+  encodeReport(w, art.report);
+  w.str(art.stats.artifact);
+  w.u64(art.stats.controllers);
+  w.u64(art.stats.stateBits);
+  w.u64(art.stats.templateNodes);
+  w.boolean(art.stats.invariantHolds);
+  encodeRuleCost(w, art.stats.invariantCost);
+  w.u64(art.stats.properties.size());
+  for (const verify::SymbolicProperty& p : art.stats.properties) {
+    w.str(p.rule);
+    w.u8(static_cast<std::uint8_t>(p.verdict));
+    w.i32(p.depthReached);
+    w.i32(p.inductionK);
+    w.i32(p.cexLength);
+    encodeRuleCost(w, p.cost);
+  }
+}
+
+verify::SymbolicArtifact decodeSymbolic(Reader& r) {
+  verify::SymbolicArtifact art;
+  art.report = decodeReport(r);
+  art.stats.artifact = r.str();
+  art.stats.controllers = r.u64();
+  art.stats.stateBits = r.u64();
+  art.stats.templateNodes = r.u64();
+  art.stats.invariantHolds = r.boolean();
+  art.stats.invariantCost = decodeRuleCost(r);
+  const std::size_t numProps = r.count();
+  art.stats.properties.reserve(numProps);
+  for (std::size_t i = 0; i < numProps; ++i) {
+    verify::SymbolicProperty p;
+    p.rule = r.str();
+    p.verdict = static_cast<verify::PropertyVerdict>(checkedEnum(
+        r.u8(), verify::PropertyVerdict::Unknown, "PropertyVerdict"));
+    p.depthReached = r.i32();
+    p.inductionK = r.i32();
+    p.cexLength = r.i32();
+    p.cost = decodeRuleCost(r);
+    art.stats.properties.push_back(std::move(p));
   }
   return art;
 }
@@ -638,6 +692,9 @@ std::vector<std::uint8_t> encodeArtifact(Artifact kind,
     case Artifact::Equivalence:
       encodeEquivalence(w, unbox<verify::EquivalenceArtifact>(value));
       break;
+    case Artifact::SymbolicCheck:
+      encodeSymbolic(w, unbox<verify::SymbolicArtifact>(value));
+      break;
   }
   return w.take();
 }
@@ -680,6 +737,9 @@ std::any decodeArtifact(Artifact kind, const std::uint8_t* data,
       break;
     case Artifact::Equivalence:
       result = box(decodeEquivalence(r));
+      break;
+    case Artifact::SymbolicCheck:
+      result = box(decodeSymbolic(r));
       break;
   }
   r.expectEnd();

@@ -84,6 +84,8 @@ const std::vector<RuleInfo>& allRules() {
        "event set"},
       {"MDL007", Severity::Warning,
        "model check incomplete: reachable-state bound exceeded"},
+      {"MDL008", Severity::Info,
+       "symbolic model check summary (BMC + k-induction verdicts)"},
       // --- netlist / RTL structural checks -------------------------------
       {"NET001", Severity::Error, "combinational cycle"},
       {"NET002", Severity::Error, "undriven net or signal"},
@@ -218,6 +220,12 @@ std::string renderJson(const Report& report) {
 
 std::string renderJson(const Report& report,
                        const std::map<std::string, RuleCost>& satCost) {
+  return renderJson(report, satCost, {});
+}
+
+std::string renderJson(const Report& report,
+                       const std::map<std::string, RuleCost>& satCost,
+                       const std::vector<SymbolicPropertyStat>& symbolic) {
   std::ostringstream os;
   os << "{\"schema\":\"tauhls-lint\",\"version\":" << kLintJsonVersion
      << ",\"diagnostics\":[";
@@ -254,7 +262,24 @@ std::string renderJson(const Report& report,
        << ",\"learned\":" << cost.learned
        << ",\"restarts\":" << cost.restarts << "}";
   }
-  os << "},\"errors\":" << report.errorCount()
+  // Per-property symbolic model-check verdicts (schema v4), in engine order
+  // (per network, then per rule) so CI artifacts diff cleanly.
+  os << "},\"symbolic\":[";
+  first = true;
+  for (const SymbolicPropertyStat& p : symbolic) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"artifact\":" << jsonQuote(p.artifact)
+       << ",\"rule\":" << jsonQuote(p.rule)
+       << ",\"verdict\":" << jsonQuote(p.verdict)
+       << ",\"depthReached\":" << p.depthReached
+       << ",\"inductionK\":" << p.inductionK
+       << ",\"conflicts\":" << p.cost.conflicts
+       << ",\"propagations\":" << p.cost.propagations
+       << ",\"decisions\":" << p.cost.decisions
+       << ",\"queries\":" << p.cost.queries << "}";
+  }
+  os << "],\"errors\":" << report.errorCount()
      << ",\"warnings\":" << report.count(Severity::Warning) << "}";
   return os.str();
 }

@@ -49,6 +49,8 @@ struct Diagnostic {
 
   /// "error DFG001 [dfg diffeq] op m3: ..." single-line rendering.
   std::string toString() const;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
 };
 
 /// Pass-ordered diagnostic sink.  add() resolves the severity from the rule
@@ -71,6 +73,10 @@ class Report {
   /// Append every diagnostic of `other`.
   void merge(const Report& other);
 
+  friend bool operator==(const Report& a, const Report& b) {
+    return a.diags_ == b.diags_;
+  }
+
  private:
   std::vector<Diagnostic> diags_;
 };
@@ -82,7 +88,9 @@ std::string renderText(const Report& report);
 /// Version of the JSON lint schema emitted by renderJson; bump when the
 /// shape changes so CI artifact diffs are interpretable across PRs.
 /// v3 added the per-rule "satCost" section (SAT/simulation work counters).
-inline constexpr int kLintJsonVersion = 3;
+/// v4 added the per-property "symbolic" section (model-check verdicts with
+/// depth reached, induction k and SAT work).
+inline constexpr int kLintJsonVersion = 4;
 
 /// Per-rule solver and simulation work counters, keyed by rule code.  The
 /// equivalence checker fills these (EQV001..EQV004) so the cost of each
@@ -106,6 +114,20 @@ struct RuleCost {
     simDischarged += o.simDischarged;
     return *this;
   }
+
+  friend bool operator==(const RuleCost&, const RuleCost&) = default;
+};
+
+/// One row of the lint JSON "symbolic" section (schema v4): the verdict and
+/// SAT work of one safety property checked by the symbolic model checker
+/// (symbolic_check.hpp), flattened to renderer-friendly fields.
+struct SymbolicPropertyStat {
+  std::string artifact;   ///< network the property ran on
+  std::string rule;       ///< MDL001..MDL005
+  std::string verdict;    ///< "PROVED" | "CEX" | "UNKNOWN"
+  int depthReached = -1;  ///< deepest BMC frame proven violation-free
+  int inductionK = 0;     ///< k that closed the property (0 unless PROVED)
+  RuleCost cost;
 };
 
 /// Machine rendering: {"schema":"tauhls-lint","version":N,
@@ -116,5 +138,10 @@ std::string renderJson(const Report& report);
 /// As above with the per-rule work counters filled in (sorted by code).
 std::string renderJson(const Report& report,
                        const std::map<std::string, RuleCost>& satCost);
+/// As above with the per-property symbolic model-check rows appended as a
+/// "symbolic" array (lint schema v4; empty vector emits an empty array).
+std::string renderJson(const Report& report,
+                       const std::map<std::string, RuleCost>& satCost,
+                       const std::vector<SymbolicPropertyStat>& symbolic);
 
 }  // namespace tauhls::verify

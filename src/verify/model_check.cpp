@@ -17,17 +17,7 @@ namespace tauhls::verify {
 
 using dfg::NodeId;
 
-namespace {
-
-/// Operation index space shared by both controller styles: op names, the
-/// RE_<op> signal of each, data predecessors and the unit-sequence
-/// predecessor (both as op indices).
-struct OpTable {
-  std::vector<std::string> names;
-  std::map<std::string, int> indexOfRe;
-  std::vector<std::vector<int>> dataPreds;
-  std::vector<int> unitPred;  ///< -1 when first on its unit
-};
+namespace detail {
 
 OpTable buildOpTable(const sched::ScheduledDfg& s) {
   OpTable t;
@@ -58,8 +48,6 @@ OpTable buildOpTable(const sched::ScheduledDfg& s) {
   return t;
 }
 
-/// Redirect the wrap transitions of a unit controller to an absorbing DONE
-/// state, turning the free-running machine into a single-iteration machine.
 /// Wraps are keyed on `lastRe` -- the register-enable of the last bound op,
 /// which fires exactly on the completing transitions of that op and (unlike
 /// its CCO, which signal pruning may drop) always survives optimization.
@@ -80,16 +68,6 @@ fsm::Fsm oneShotController(const fsm::Fsm& src, const std::string& lastRe) {
   out.setInitial(src.initial());
   return out;
 }
-
-/// Result of the phi-potential sweep over one machine's transition graph.
-struct EventAnalysis {
-  std::vector<bool> reachable;
-  /// Per reachable state, how often each op's RE fired on the tree path from
-  /// the initial state.
-  std::vector<std::vector<long long>> phi;
-  std::set<int> alphabet;  ///< op indices whose RE fires on a reachable edge
-  bool balanced = true;    ///< no MDL003 inconsistency found
-};
 
 /// BFS the reachable transition graph counting RE events.  Checks every
 /// non-tree edge for uniform cycle weight (MDL003) and every RE-emitting edge
@@ -193,6 +171,17 @@ std::string joinNames(const OpTable& table, const std::set<int>& ops) {
   return out;
 }
 
+}  // namespace detail
+
+namespace {
+
+using detail::EventAnalysis;
+using detail::OpTable;
+using detail::analyzeEvents;
+using detail::buildOpTable;
+using detail::joinNames;
+using detail::oneShotController;
+
 /// Build the one-shot product and run all distributed-side checks.  Returns
 /// the per-iteration RE alphabet, or nullopt when the product could not be
 /// explored (bound exceeded / stuck).
@@ -218,9 +207,11 @@ std::optional<std::set<int>> checkDistributedSide(
     const std::string what = e.what();
     if (what.find("state bound exceeded") != std::string::npos) {
       report.add("MDL007", artifact, "",
-                 "reachable configurations exceed " +
-                     std::to_string(options.maxStates) +
-                     "; model check skipped");
+                 "reachable configurations exceed the bound " +
+                     std::to_string(options.maxStates) + " (" +
+                     std::to_string(info.controllerStates.size()) +
+                     " explored); model check skipped -- raise --max-states "
+                     "or use --model-check symbolic");
     } else {
       report.add("MDL001", artifact, "", "product exploration failed: " + what);
     }

@@ -31,6 +31,11 @@
 // transition graph, so both controller styles are verified statically.
 #pragma once
 
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
 #include "fsm/distributed.hpp"
 #include "fsm/machine.hpp"
 #include "sched/scheduled_dfg.hpp"
@@ -56,5 +61,45 @@ void modelCheckControllers(const fsm::DistributedControlUnit& dcu,
 void modelCheckDistributed(const fsm::DistributedControlUnit& dcu,
                            const sched::ScheduledDfg& s, Report& report,
                            const ModelCheckOptions& options = {});
+
+// Internals shared with the symbolic engine (symbolic_check.cpp): both
+// engines must agree on the op index space, the one-shot rewrite, and the
+// event-set analysis used for MDL006.
+namespace detail {
+
+/// Operation index space shared by both controller styles: op names, the
+/// RE_<op> signal of each, data predecessors and the unit-sequence
+/// predecessor (both as op indices).
+struct OpTable {
+  std::vector<std::string> names;
+  std::map<std::string, int> indexOfRe;
+  std::vector<std::vector<int>> dataPreds;
+  std::vector<int> unitPred;  ///< -1 when first on its unit
+};
+
+OpTable buildOpTable(const sched::ScheduledDfg& s);
+
+/// Redirect the wrap transitions of a unit controller (keyed on `lastRe`, the
+/// register-enable of the last bound op) to an absorbing DONE state, turning
+/// the free-running machine into a single-iteration machine.
+fsm::Fsm oneShotController(const fsm::Fsm& src, const std::string& lastRe);
+
+/// Result of the phi-potential sweep over one machine's transition graph.
+struct EventAnalysis {
+  std::vector<bool> reachable;
+  /// Per reachable state, how often each op's RE fired on the tree path from
+  /// the initial state.
+  std::vector<std::vector<long long>> phi;
+  std::set<int> alphabet;  ///< op indices whose RE fires on a reachable edge
+  bool balanced = true;    ///< no MDL003 inconsistency found
+};
+
+/// BFS the reachable transition graph counting RE events (MDL003-MDL005).
+EventAnalysis analyzeEvents(const fsm::Fsm& m, const OpTable& table,
+                            const std::string& artifact, Report& report);
+
+std::string joinNames(const OpTable& table, const std::set<int>& ops);
+
+}  // namespace detail
 
 }  // namespace tauhls::verify

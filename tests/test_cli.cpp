@@ -266,13 +266,68 @@ TEST_F(CliRun, LintJsonHasSchemaAndRuleCounts) {
   const std::string json = buffer.str();
   std::remove(jsonPath.c_str());
   EXPECT_NE(json.find("\"schema\":\"tauhls-lint\""), std::string::npos);
-  EXPECT_NE(json.find("\"version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"version\":4"), std::string::npos);
   EXPECT_NE(json.find("\"byRule\":"), std::string::npos);
   EXPECT_NE(json.find("\"EQV006\":"), std::string::npos);
   EXPECT_NE(json.find("\"satCost\":"), std::string::npos);
   EXPECT_NE(json.find("\"EQV001\":{\"queries\":"), std::string::npos);
   EXPECT_NE(json.find("\"TIM003\":"), std::string::npos);
   EXPECT_NE(json.find("\"errors\":0"), std::string::npos);
+  // Explicit mode never demands the symbolic pass: empty "symbolic" array.
+  EXPECT_NE(json.find("\"symbolic\":[]"), std::string::npos);
+}
+
+TEST(CliParse, ModelCheckAndMaxStatesFlags) {
+  std::string error;
+  auto o = parseCli({"lint", "a.dfg", "--model-check", "symbolic"}, error);
+  ASSERT_TRUE(o.has_value()) << error;
+  EXPECT_EQ(o->modelCheck, ModelCheckMode::Symbolic);
+  // The --model-check=VALUE spelling is equivalent.
+  o = parseCli({"lint", "a.dfg", "--model-check=auto"}, error);
+  ASSERT_TRUE(o.has_value()) << error;
+  EXPECT_EQ(o->modelCheck, ModelCheckMode::Auto);
+  o = parseCli({"a.dfg", "--model-check=explicit", "--max-states", "123"},
+               error);
+  ASSERT_TRUE(o.has_value()) << error;
+  EXPECT_EQ(o->modelCheck, ModelCheckMode::Explicit);
+  EXPECT_EQ(o->maxStates, 123u);
+  // Default: explicit engine, subcommand-default state bound.
+  o = parseCli({"a.dfg"}, error);
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(o->modelCheck, ModelCheckMode::Explicit);
+  EXPECT_EQ(o->maxStates, 0u);
+  EXPECT_FALSE(parseCli({"a.dfg", "--model-check", "magic"}, error).has_value());
+  EXPECT_FALSE(parseCli({"a.dfg", "--model-check=bdd"}, error).has_value());
+  EXPECT_FALSE(parseCli({"a.dfg", "--model-check"}, error).has_value());
+  EXPECT_FALSE(parseCli({"a.dfg", "--max-states", "0"}, error).has_value());
+  EXPECT_FALSE(parseCli({"a.dfg", "--max-states", "many"}, error).has_value());
+  EXPECT_NE(cliHelp().find("--model-check"), std::string::npos);
+  EXPECT_NE(cliHelp().find("--max-states"), std::string::npos);
+}
+
+TEST_F(CliRun, LintSymbolicEndToEnd) {
+  const std::string jsonPath = ::testing::TempDir() + "cli_lint_sym.json";
+  CliOptions o;
+  o.lint = true;
+  o.inputPath = path_;
+  o.allocation = parseAllocationSpec("mult=2,add=1");
+  o.modelCheck = ModelCheckMode::Symbolic;
+  o.lintJsonPath = jsonPath;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(runCli(o, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("symbolic model check over"), std::string::npos);
+  EXPECT_NE(out.str().find("5/5 proved"), std::string::npos);
+  EXPECT_NE(out.str().find("MDL008"), std::string::npos);
+  std::ifstream j(jsonPath);
+  std::ostringstream buffer;
+  buffer << j.rdbuf();
+  const std::string json = buffer.str();
+  std::remove(jsonPath.c_str());
+  EXPECT_NE(json.find("\"version\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"symbolic\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"PROVED\""), std::string::npos);
+  EXPECT_NE(json.find("\"MDL008\":{"), std::string::npos);
 }
 
 }  // namespace

@@ -3,12 +3,18 @@
 // guarding against vacuous checks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
+#include <iterator>
+#include <map>
+#include <set>
+#include <string>
 
 #include "common/error.hpp"
 #include "dfg/benchmarks.hpp"
 #include "fsm/distributed.hpp"
 #include "fsm/product.hpp"
+#include "fsm/signal.hpp"
 #include "logic/minimize.hpp"
 #include "netlist/build.hpp"
 #include "rtl/verilog.hpp"
@@ -16,6 +22,7 @@
 #include "synth/extract.hpp"
 #include "testutil.hpp"
 #include "verify/equiv_check.hpp"
+#include "verify/symbolic_check.hpp"
 
 namespace tauhls {
 namespace {
@@ -384,6 +391,177 @@ TEST(Mutation, ValidateFsmCatchesGuardTampering) {
   bad.setInitial(f.initial());
   ASSERT_TRUE(tampered);
   EXPECT_THROW(fsm::validateFsm(bad), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Controller-fault mutations against the symbolic model checker
+// (verify/symbolic_check.hpp): each canonical controller bug class must
+// produce a BMC counterexample under the right MDL rule, decodable to a
+// per-cycle waveform.
+// ---------------------------------------------------------------------------
+
+fsm::Guard renameInGuard(const fsm::Guard& g, const std::string& from,
+                         const std::string& to) {
+  fsm::Guard out = fsm::Guard::never();
+  for (const fsm::GuardTerm& term : g.terms()) {
+    fsm::Guard product = fsm::Guard::always();
+    for (const auto& [sig, positive] : term.literals) {
+      product = product.conjoin(
+          fsm::Guard::literal(sig == from ? to : sig, positive));
+    }
+    out = out.disjoin(product);
+  }
+  return out;
+}
+
+fsm::Fsm renameFsmInput(const fsm::Fsm& src, const std::string& from,
+                        const std::string& to) {
+  fsm::Fsm out(src.name());
+  for (std::size_t s = 0; s < src.numStates(); ++s) {
+    out.addState(src.stateName(static_cast<int>(s)));
+  }
+  for (const std::string& in : src.inputs()) {
+    out.addInput(in == from ? to : in);
+  }
+  for (const std::string& o : src.outputs()) out.addOutput(o);
+  for (const fsm::Transition& t : src.transitions()) {
+    out.addTransition(t.from, t.to, renameInGuard(t.guard, from, to),
+                      t.outputs);
+  }
+  out.setInitial(src.initial());
+  return out;
+}
+
+/// The CEX-verdict property for `rule`, with the waveform sanity-checked.
+const verify::SymbolicProperty& expectCex(const verify::SymbolicArtifact& art,
+                                          const std::string& rule) {
+  const verify::SymbolicProperty* found = nullptr;
+  for (const verify::SymbolicProperty& p : art.stats.properties) {
+    if (p.rule == rule) found = &p;
+  }
+  EXPECT_NE(found, nullptr) << "no property " << rule;
+  EXPECT_EQ(found->verdict, verify::PropertyVerdict::Counterexample) << rule;
+  EXPECT_GE(found->cexLength, 1) << rule;
+  bool decoded = false;
+  for (const verify::Diagnostic& d : art.report.diagnostics()) {
+    if (d.code != rule) continue;
+    EXPECT_NE(d.message.find("BMC counterexample"), std::string::npos);
+    EXPECT_NE(d.message.find("cycle 0:"), std::string::npos) << d.message;
+    decoded = true;
+  }
+  EXPECT_TRUE(decoded) << "no decodable counterexample diagnostic for "
+                       << rule;
+  return *found;
+}
+
+TEST(Mutation, SymbolicCatchesDroppedCompletionPulseEdge) {
+  auto s = scheduledDiffeq();
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+  // Silence one cross-controller completion signal at its producer: the
+  // pulse edge disappears from every transition, so the consumer's latch is
+  // never set and it waits forever.
+  std::string victim;
+  for (const auto& [signal, consumers] : dcu.consumersOf) {
+    const auto producer = dcu.producerOf.find(signal);
+    if (producer == dcu.producerOf.end()) continue;
+    for (int c : consumers) {
+      if (c != producer->second) {
+        victim = signal;
+        break;
+      }
+    }
+    if (!victim.empty()) break;
+  }
+  ASSERT_FALSE(victim.empty());
+  fsm::UnitController& producer = dcu.controllers[dcu.producerOf.at(victim)];
+  producer.fsm = dropSignalEverywhere(producer.fsm, victim);
+
+  const verify::SymbolicArtifact art =
+      verify::symbolicModelCheck(dcu, s, nullptr);
+  expectCex(art, "MDL002");  // circular/starved wait: progress dies
+}
+
+TEST(Mutation, SymbolicCatchesSwappedGuardLiterals) {
+  auto s = scheduledDiffeq();
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+  // Find a controller whose guards test two different completion latches in
+  // different states and swap the two literals: one wait is now satisfied by
+  // the wrong producer, firing its op before the true data predecessor.
+  fsm::UnitController* victim = nullptr;
+  std::string a, b;
+  for (fsm::UnitController& c : dcu.controllers) {
+    std::map<std::string, std::set<int>> statesOf;
+    for (const fsm::Transition& t : c.fsm.transitions()) {
+      for (const fsm::GuardTerm& term : t.guard.terms()) {
+        for (const auto& [sig, positive] : term.literals) {
+          const auto& latched = c.latchedInputs;
+          if (std::find(latched.begin(), latched.end(), sig) != latched.end()) {
+            statesOf[sig].insert(t.from);
+          }
+        }
+      }
+    }
+    for (auto i = statesOf.begin(); i != statesOf.end() && !victim; ++i) {
+      for (auto j = std::next(i); j != statesOf.end(); ++j) {
+        std::set<int> both;
+        std::set_intersection(i->second.begin(), i->second.end(),
+                              j->second.begin(), j->second.end(),
+                              std::inserter(both, both.begin()));
+        if (both.empty()) {
+          victim = &c;
+          a = i->first;
+          b = j->first;
+          break;
+        }
+      }
+    }
+    if (victim) break;
+  }
+  ASSERT_NE(victim, nullptr) << "no controller waits on two distinct latches";
+  victim->fsm = renameFsmInput(
+      renameFsmInput(renameFsmInput(victim->fsm, a, "__swap__"), b, a),
+      "__swap__", b);
+
+  const verify::SymbolicArtifact art =
+      verify::symbolicModelCheck(dcu, s, nullptr);
+  expectCex(art, "MDL004");  // causality: RE before its data predecessor
+}
+
+TEST(Mutation, SymbolicCatchesOffByOneRestartState) {
+  auto s = scheduledDiffeq();
+  fsm::DistributedControlUnit dcu = fsm::buildDistributed(s);
+  // Retarget a non-wrap completing transition of a multi-op controller back
+  // to the initial state: the controller restarts its sequence one op early
+  // and re-fires an RE it already issued this iteration.  The source must
+  // not itself be the initial state, or the loop-back is a no-op (the
+  // initial state's completing pulse fires on every exit path anyway).
+  fsm::UnitController* victim = nullptr;
+  std::size_t index = 0;
+  for (fsm::UnitController& c : dcu.controllers) {
+    if (c.ops.size() < 2) continue;
+    const std::string lastRe =
+        fsm::registerEnableSignal(s.graph.node(c.ops.back()).name);
+    const auto& ts = c.fsm.transitions();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const bool wraps = std::find(ts[i].outputs.begin(), ts[i].outputs.end(),
+                                   lastRe) != ts[i].outputs.end();
+      if (!wraps && !ts[i].outputs.empty() &&
+          ts[i].from != c.fsm.initial() && ts[i].to != ts[i].from &&
+          ts[i].to != c.fsm.initial()) {
+        victim = &c;
+        index = i;
+        break;
+      }
+    }
+    if (victim) break;
+  }
+  ASSERT_NE(victim, nullptr) << "no retargetable completing transition";
+  victim->fsm =
+      retargetTransition(victim->fsm, index, victim->fsm.initial());
+
+  const verify::SymbolicArtifact art =
+      verify::symbolicModelCheck(dcu, s, nullptr);
+  expectCex(art, "MDL003");  // lock-step: an RE fires twice in one iteration
 }
 
 }  // namespace

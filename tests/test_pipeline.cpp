@@ -17,6 +17,7 @@
 #include "fsm/product.hpp"
 #include "fsm/signal_opt.hpp"
 #include "rtl/verilog.hpp"
+#include "verify/symbolic_check.hpp"
 #include "verify/verify.hpp"
 
 namespace tauhls::core {
@@ -451,6 +452,53 @@ TEST(Pipeline, RtlArtifactMatchesEmitVerilog) {
   FlowPipeline pipeline(b.graph, cfg);
   const FlowResult r = pipeline.run();
   EXPECT_EQ(pipeline.get<std::string>(Artifact::Rtl), emitVerilog(r));
+}
+
+TEST(Pipeline, AutoModeRetiresMdl007WithSymbolicVerdicts) {
+  const auto suiteCopy = dfg::paperTable2Suite();
+  const dfg::NamedBenchmark& b = suiteCopy.front();
+  FlowConfig cfg;
+  cfg.allocation = b.allocation;
+  cfg.synthesizeArea = false;
+  cfg.verifyMaxStates = 1;  // starve the explicit engine into MDL007
+
+  // Explicit mode keeps the capitulation warning.
+  FlowPipeline ex(b.graph, cfg);
+  EXPECT_TRUE(ex.run().diagnostics.has("MDL007"));
+
+  // Auto mode demands the symbolic pass and replaces MDL007 with verdicts.
+  cfg.modelCheck = ModelCheckMode::Auto;
+  FlowPipeline au(b.graph, cfg);
+  const FlowResult auResult = au.run();
+  EXPECT_FALSE(auResult.diagnostics.has("MDL007"));
+  EXPECT_TRUE(auResult.diagnostics.has("MDL008"));
+  EXPECT_FALSE(auResult.diagnostics.hasErrors());
+  EXPECT_TRUE(au.has(Artifact::SymbolicCheck));
+
+  // With a sufficient bound auto never pays for the symbolic pass.
+  cfg.verifyMaxStates = 200000;
+  FlowPipeline cheap(b.graph, cfg);
+  const FlowResult cheapResult = cheap.run();
+  EXPECT_FALSE(cheapResult.diagnostics.has("MDL007"));
+  EXPECT_FALSE(cheapResult.diagnostics.has("MDL008"));
+  EXPECT_FALSE(cheap.has(Artifact::SymbolicCheck));
+
+  // Symbolic mode skips the explicit exploration outright: no MDL007 at any
+  // bound, and every property closes by induction on a clean benchmark.
+  cfg.modelCheck = ModelCheckMode::Symbolic;
+  cfg.verifyMaxStates = 1;
+  FlowPipeline sym(b.graph, cfg);
+  const FlowResult symResult = sym.run();
+  EXPECT_FALSE(symResult.diagnostics.has("MDL007"));
+  EXPECT_TRUE(symResult.diagnostics.has("MDL008"));
+  EXPECT_FALSE(symResult.diagnostics.hasErrors());
+  const auto& art =
+      sym.get<verify::SymbolicArtifact>(Artifact::SymbolicCheck);
+  ASSERT_EQ(art.stats.properties.size(), 5u);
+  for (const verify::SymbolicProperty& p : art.stats.properties) {
+    EXPECT_EQ(p.verdict, verify::PropertyVerdict::Proved) << p.rule;
+    EXPECT_GE(p.inductionK, 1) << p.rule;
+  }
 }
 
 }  // namespace

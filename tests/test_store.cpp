@@ -20,6 +20,7 @@
 #include "rtl/verilog.hpp"
 #include "verify/diagnostic.hpp"
 #include "verify/equiv_check.hpp"
+#include "verify/symbolic_check.hpp"
 
 namespace tauhls {
 namespace {
@@ -52,7 +53,8 @@ std::unique_ptr<FlowPipeline> materializeEverything(
   cfg.buildCentFsm = true;
   auto pipe = std::make_unique<FlowPipeline>(graph, cfg, std::move(cache));
   pipe->run();
-  pipe->require({Artifact::Rtl, Artifact::Equivalence, Artifact::Timing});
+  pipe->require({Artifact::Rtl, Artifact::Equivalence, Artifact::Timing,
+                 Artifact::SymbolicCheck});
   return pipe;
 }
 
@@ -111,6 +113,10 @@ TEST(Serialize, RoundTripsEveryArtifactKind) {
       case Artifact::Equivalence:
         slotValue = std::make_shared<const verify::EquivalenceArtifact>(
             pipe->get<verify::EquivalenceArtifact>(a));
+        break;
+      case Artifact::SymbolicCheck:
+        slotValue = std::make_shared<const verify::SymbolicArtifact>(
+            pipe->get<verify::SymbolicArtifact>(a));
         break;
     }
 

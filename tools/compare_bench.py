@@ -1,35 +1,59 @@
 #!/usr/bin/env python3
-"""Diff a BENCH_pipeline.json trajectory against the committed baseline.
+"""Diff a fresh bench JSON against its committed baseline (schema driven).
 
-Usage:
-    compare_bench_pipeline.py BASELINE CURRENT [-o comparison.md]
+One comparator for every tracked bench emitter.  All of them share the same
+document shape:
 
-The "structural" section (pass run counts, hit/miss totals, store blob
-count and bytes) is deterministic across machines, so any difference fails
-the comparison (exit 1): changing it is a deliberate baseline update
-(regenerate with `build/bench/pipeline_trajectory --json
-bench/baselines/BENCH_pipeline.json` and commit the diff).  The "timingsMs"
-section is machine dependent and is only reported.
+    {"schema": "<name>", "version": N,
+     "structural": {...},      # deterministic, machine independent
+     "timingsMs": {...},       # wall clock, machine dependent
+     ...}                      # extra context fields (e.g. "simdBackend")
+
+The "structural" section must match the baseline exactly -- any drift fails
+the run (exit 1), so changing it is a deliberate, reviewed baseline update
+(regenerate with the emitting bench binary's `--json` flag and commit the
+diff).  The "timingsMs" section is machine dependent and only reported;
+speedup floors are gated separately in CI (.github/workflows/ci.yml).
+Remaining top-level fields are context and are not compared.
+
+Known schemas and the bench binaries that emit them:
+
+    tauhls-bench-kernels     build/bench/kernel_speed
+    tauhls-bench-pipeline    build/bench/pipeline_trajectory
+    tauhls-bench-modelcheck  build/bench/model_check_speed
+
+Usage: compare_bench.py BASELINE CURRENT [-o REPORT.md]
 """
 
 import argparse
 import json
 import sys
 
+KNOWN_SCHEMAS = {
+    "tauhls-bench-kernels": "Kernel bench comparison",
+    "tauhls-bench-pipeline": "Pipeline bench trajectory",
+    "tauhls-bench-modelcheck": "Model-check bench comparison",
+}
+
 
 def flatten(prefix, node, out):
     if isinstance(node, dict):
-        for key, value in node.items():
+        for key, value in sorted(node.items()):
             flatten(f"{prefix}.{key}" if prefix else key, value, out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            flatten(f"{prefix}[{i}]", value, out)
     else:
         out[prefix] = node
 
 
 def main():
-    parser = argparse.ArgumentParser()
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("baseline")
     parser.add_argument("current")
-    parser.add_argument("-o", "--output", help="also write a markdown report")
+    parser.add_argument("-o", "--output", help="markdown report path")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -37,12 +61,14 @@ def main():
     with open(args.current) as f:
         cur = json.load(f)
 
-    lines = ["# Pipeline bench trajectory", ""]
     failures = []
-
-    for doc, name in ((base, args.baseline), (cur, args.current)):
-        if doc.get("schema") != "tauhls-bench-pipeline":
-            failures.append(f"{name}: unexpected schema {doc.get('schema')!r}")
+    schema = base.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        failures.append(f"{args.baseline}: unknown schema {schema!r}")
+    if cur.get("schema") != schema:
+        failures.append(
+            f"schema mismatch: baseline={schema!r} "
+            f"current={cur.get('schema')!r}")
     if base.get("version") != cur.get("version"):
         failures.append(
             f"schema version changed: {base.get('version')} -> "
@@ -51,6 +77,8 @@ def main():
     base_struct, cur_struct = {}, {}
     flatten("", base.get("structural", {}), base_struct)
     flatten("", cur.get("structural", {}), cur_struct)
+    title = KNOWN_SCHEMAS.get(schema, f"Bench comparison ({schema!r})")
+    lines = [f"# {title}", ""]
     lines.append("## Structural (must match the baseline)")
     lines.append("")
     lines.append("| metric | baseline | current |")
@@ -86,14 +114,18 @@ def main():
         lines.extend(f"- {f}" for f in failures)
     else:
         lines.append("## Result: OK (structural metrics match the baseline)")
-
     report = "\n".join(lines) + "\n"
-    print(report)
+
     if args.output:
         with open(args.output, "w") as f:
             f.write(report)
+    print(report, end="")
 
-    return 1 if failures else 0
+    if failures:
+        print(f"\nFAIL: {len(failures)} mismatch(es)", file=sys.stderr)
+        return 1
+    print("\nOK: structural fields match")
+    return 0
 
 
 if __name__ == "__main__":
