@@ -7,6 +7,7 @@
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "core/flow.hpp"
+#include "core/hier_flow.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/store.hpp"
@@ -32,7 +33,16 @@ std::string cliHelp() {
       "The flow runs as a declarative pass pipeline (docs/PIPELINE.md); only\n"
       "the passes the requested outputs need actually execute.\n"
       "\n"
+      "Hierarchical designs (`loop N { }` / `if name { } else { }` blocks)\n"
+      "run the composed flow: one Algorithm-1 controller network per leaf\n"
+      "region plus a region sequencer, with composed latency statistics.\n"
+      "Outputs that have no composed form yet (--verilog, --testbench,\n"
+      "--json, --kiss, --table1, --cent-fsm) are rejected with a diagnostic.\n"
+      "\n"
       "options:\n"
+      "  --branches SPEC   branch per conditional region path for the\n"
+      "                    composed statistics, e.g. s2=then,s3_l_s0=else;\n"
+      "                    unlisted conditionals take the then branch\n"
       "  --alloc SPEC      units per class, e.g. mult=2,add=1,sub=1\n"
       "                    (classes: mult add sub div logic; omitted classes\n"
       "                    get full concurrency)\n"
@@ -127,6 +137,20 @@ sched::Allocation parseAllocationSpec(const std::string& spec) {
     alloc[cls] = count;
   }
   return alloc;
+}
+
+dfg::BranchChoices parseBranchesSpec(const std::string& spec) {
+  dfg::BranchChoices choices;
+  for (const std::string& part : split(spec, ',')) {
+    const std::vector<std::string> kv = split(part, '=');
+    TAUHLS_CHECK(kv.size() == 2, "malformed branch entry '" + part +
+                                     "' (expected PATH=then|else)");
+    const std::string value = trim(kv[1]);
+    if (value == "then") choices[trim(kv[0])] = true;
+    else if (value == "else") choices[trim(kv[0])] = false;
+    else TAUHLS_FAIL("branch must be 'then' or 'else' in '" + part + "'");
+  }
+  return choices;
 }
 
 std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
@@ -231,6 +255,16 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
         error = "empty P list";
         return std::nullopt;
       }
+    } else if (a == "--branches") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      try {
+        parseBranchesSpec(*v);  // validate now, resolve against the design later
+      } catch (const Error& e) {
+        error = e.what();
+        return std::nullopt;
+      }
+      o.branchesSpec = *v;
     } else if (a == "--strategy") {
       auto v = needValue(i);
       if (!v) return std::nullopt;
@@ -393,6 +427,57 @@ int runCacheCommand(const CliOptions& options, std::ostream& out,
   }
 }
 
+/// Read `path` and derive the design name from its basename sans extension.
+std::string readDesign(const std::string& path, std::string& name) {
+  std::ifstream in(path);
+  TAUHLS_CHECK(static_cast<bool>(in), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  name = path;
+  if (auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return buffer.str();
+}
+
+/// Lint a hierarchical design through the composed flow (diagnostics only:
+/// per-leaf pipelines, cross-region checks, sequencer handshake).
+int runLintHierarchical(const CliOptions& options,
+                        const dfg::RegionProgram& program,
+                        const std::string& name, std::ostream& out,
+                        std::ostream& err) {
+  if (options.lintTiming) {
+    err << "tauhlsc: --timing has no composed form yet; lint the leaf "
+           "regions as flat designs for TIM rules\n";
+    return 1;
+  }
+  FlowConfig cfg;
+  cfg.allocation = options.allocation;
+  cfg.strategy = options.strategy;
+  cfg.optimizeSignals = options.signalOpt;
+  cfg.verifyMaxStates = options.maxStates ? options.maxStates : 200000;
+  cfg.modelCheck = options.modelCheck;
+  HierFlowOptions ho;
+  ho.branches = parseBranchesSpec(options.branchesSpec);
+  ho.equivalence = options.lintEquiv;
+  ho.latency = false;    // diagnostics only
+  ho.gateErrors = false; // report, don't throw; the exit code is the gate
+  const HierFlowResult r =
+      runHierFlow(program, cfg, ho, makeCache(options));
+  out << "== " << name << " ==\n"
+      << verify::renderText(r.diagnostics) << "\n";
+  if (!options.lintJsonPath.empty()) {
+    std::ofstream j(options.lintJsonPath);
+    TAUHLS_CHECK(static_cast<bool>(j), "cannot open " + options.lintJsonPath);
+    j << verify::renderJson(r.diagnostics) << "\n";
+    out << "wrote lint JSON to " << options.lintJsonPath << "\n";
+  }
+  return r.diagnostics.hasErrors() ? 1 : 0;
+}
+
 /// `tauhlsc lint`: run the static checker over one design or the whole
 /// benchmark suite; exit 1 on any error-severity diagnostic.
 ///
@@ -406,22 +491,13 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
     if (options.lintBenchmarks) {
       designs = dfg::paperTable2Suite();
     } else {
-      std::ifstream in(options.inputPath);
-      if (!in) {
-        err << "tauhlsc: cannot open " << options.inputPath << "\n";
-        return 1;
+      std::string name;
+      const std::string text = readDesign(options.inputPath, name);
+      const dfg::RegionProgram program = dfg::parseProgram(text, name);
+      if (!program.isFlat()) {
+        return runLintHierarchical(options, program, name, out, err);
       }
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      std::string name = options.inputPath;
-      if (auto slash = name.find_last_of('/'); slash != std::string::npos) {
-        name = name.substr(slash + 1);
-      }
-      if (auto dot = name.find_last_of('.'); dot != std::string::npos) {
-        name = name.substr(0, dot);
-      }
-      designs.push_back(
-          {name, dfg::parseDfg(buffer.str(), name), options.allocation});
+      designs.push_back({name, program.root.body, options.allocation});
     }
 
     verify::Report all;
@@ -503,6 +579,64 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
   }
 }
 
+/// `tauhlsc flow` on a hierarchical design: composed controllers + composed
+/// Table 2.  Outputs with no composed form are rejected up front.
+int runFlowHierarchical(const CliOptions& options,
+                        const dfg::RegionProgram& program,
+                        const std::string& name, std::ostream& out,
+                        std::ostream& err) {
+  const std::vector<std::pair<bool, const char*>> unsupported = {
+      {options.centFsm, "--cent-fsm"},
+      {options.table1, "--table1"},
+      {!options.verilogPath.empty(), "--verilog"},
+      {!options.testbenchPath.empty(), "--testbench"},
+      {!options.jsonPath.empty(), "--json"},
+      {!options.kissPrefix.empty(), "--kiss"},
+      {!options.traceJsonPath.empty(), "--trace-json"},
+  };
+  for (const auto& [given, flag] : unsupported) {
+    if (given) {
+      err << "tauhlsc: " << flag
+          << " has no composed form yet; run it on the flat leaf designs or "
+             "drop the flag for hierarchical input\n";
+      return 1;
+    }
+  }
+  try {
+    FlowConfig cfg;
+    cfg.allocation = options.allocation;
+    cfg.ps = options.ps;
+    cfg.strategy = options.strategy;
+    cfg.optimizeSignals = options.signalOpt;
+    cfg.synthesizeArea = false;
+    cfg.modelCheck = options.modelCheck;
+    if (options.maxStates) cfg.verifyMaxStates = options.maxStates;
+    HierFlowOptions ho;
+    ho.branches = parseBranchesSpec(options.branchesSpec);
+    const std::shared_ptr<ArtifactCache> cache = makeCache(options);
+    const HierFlowResult r = runHierFlow(program, cfg, ho, cache);
+
+    out << "tauhlsc: " << r.schedule.leaves.size() << " leaf regions, "
+        << r.activations.size() << " activations, clock "
+        << r.schedule.clockNs() << " ns\n\n";
+    if (options.table2) out << formatComposedTable2Row(name, r) << "\n";
+
+    if (!options.dotPath.empty()) {
+      std::ofstream d(options.dotPath);
+      TAUHLS_CHECK(static_cast<bool>(d), "cannot open " + options.dotPath);
+      d << dfg::toDot(program);
+      out << "wrote DOT to " << options.dotPath << "\n";
+    }
+    if (!options.storeDir.empty()) {
+      out << "cache: " << formatCacheSummary(cache->stats()) << "\n";
+    }
+    return 0;
+  } catch (const Error& e) {
+    err << "tauhlsc: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
@@ -515,24 +649,15 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     return runCacheCommand(options, out, err);
   }
   if (options.lint) return runLint(options, out, err);
-  std::ifstream in(options.inputPath);
-  if (!in) {
-    err << "tauhlsc: cannot open " << options.inputPath << "\n";
-    return 1;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
 
   try {
-    // Graph name from the file's basename, sans extension.
-    std::string name = options.inputPath;
-    if (auto slash = name.find_last_of('/'); slash != std::string::npos) {
-      name = name.substr(slash + 1);
+    std::string name;
+    const std::string text = readDesign(options.inputPath, name);
+    const dfg::RegionProgram program = dfg::parseProgram(text, name);
+    if (!program.isFlat()) {
+      return runFlowHierarchical(options, program, name, out, err);
     }
-    if (auto dot = name.find_last_of('.'); dot != std::string::npos) {
-      name = name.substr(0, dot);
-    }
-    const dfg::Dfg graph = dfg::parseDfg(buffer.str(), name);
+    const dfg::Dfg& graph = program.root.body;
 
     FlowConfig cfg;
     cfg.allocation = options.allocation;

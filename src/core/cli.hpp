@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/flow.hpp"
+#include "dfg/region.hpp"
 #include "sched/scheduled_dfg.hpp"
 
 namespace tauhls::core {
@@ -39,6 +40,9 @@ struct CliOptions {
   std::uint64_t storeMaxBytes = 0;  ///< 0 = unbounded / gc target
   std::string storeJsonPath;  ///< `cache stat|gc --json FILE` report
   std::string inputPath;
+  /// Branch choices for hierarchical designs (--branches "PATH=then,...");
+  /// conditionals without an entry take the then-branch.
+  std::string branchesSpec;
   sched::Allocation allocation;
   std::vector<double> ps = {0.9, 0.7, 0.5};
   sched::BindingStrategy strategy = sched::BindingStrategy::LeftEdge;
@@ -62,6 +66,10 @@ std::string cliHelp();
 /// Parse an allocation spec "mult=2,add=1,sub=1,div=1,logic=1"; throws
 /// tauhls::Error on malformed input.
 sched::Allocation parseAllocationSpec(const std::string& spec);
+
+/// Parse a branch spec "s2=then,s3_l_t0=else" into BranchChoices (keys are
+/// conditional region paths); throws tauhls::Error on malformed input.
+dfg::BranchChoices parseBranchesSpec(const std::string& spec);
 
 /// Parse argv (without argv[0]); returns nullopt and fills `error` on bad
 /// usage.  `--help` yields options with showHelp set.

@@ -4,7 +4,7 @@ namespace tauhls::core {
 
 common::Fingerprint fingerprintDfg(const dfg::Dfg& g) {
   common::Hasher h;
-  h.str("dfg-v1");
+  h.str("dfg-v2");
   h.str(g.name());
   h.u64(g.numNodes());
   for (dfg::NodeId id = 0; id < g.numNodes(); ++id) {
@@ -18,6 +18,11 @@ common::Fingerprint fingerprintDfg(const dfg::Dfg& g) {
   for (const dfg::ScheduleArc& arc : g.scheduleArcs()) {
     h.u32(arc.from);
     h.u32(arc.to);
+  }
+  h.u64(g.stateEdges().size());
+  for (const dfg::ScheduleArc& edge : g.stateEdges()) {
+    h.u32(edge.from);
+    h.u32(edge.to);
   }
   h.u64(g.outputs().size());
   for (dfg::NodeId out : g.outputs()) h.u32(out);

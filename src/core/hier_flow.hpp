@@ -1,0 +1,67 @@
+// The hierarchical synthesis flow: one FlowPipeline per leaf region, a
+// shared TAU allocation, and the region sequencer composing the per-leaf
+// controller networks.
+//
+//   dfg::RegionProgram prog = dfg::parseProgram(text, "fir_iir");
+//   core::FlowConfig cfg;        // same knobs as the flat flow
+//   core::HierFlowResult r = core::runHierFlow(prog, cfg);
+//
+// Per-region incremental recompilation falls out of the artifact cache: each
+// leaf is compiled by its own FlowPipeline keyed on that leaf's fingerprint,
+// so when a cache (optionally store-backed) is attached, editing one loop
+// body re-runs only that region's passes -- every untouched leaf's schedule,
+// controllers and verification are cache hits.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "dfg/region.hpp"
+#include "fsm/hierarchical.hpp"
+#include "sched/region_schedule.hpp"
+#include "sim/region_sim.hpp"
+
+namespace tauhls::core {
+
+struct HierFlowOptions {
+  /// Branch selection per conditional region path; conditionals without an
+  /// entry take the then-branch (the CLI --branches default).
+  dfg::BranchChoices branches;
+  /// Also run the demand-only SAT equivalence pass on every leaf's
+  /// controller network (spec = cover = netlist = RTL).
+  bool equivalence = false;
+  /// Compute the composed latency statistics (full per-leaf enumeration).
+  /// Lint-style callers that only want diagnostics turn this off.
+  bool latency = true;
+  /// Throw the standard verification error on error-severity diagnostics
+  /// (when config.verify is set).  Lint-style callers turn this off and
+  /// inspect `diagnostics` themselves; the region-structure check
+  /// (DFG009/DFG010) always throws -- nothing downstream is defined on a
+  /// malformed tree.
+  bool gateErrors = true;
+};
+
+struct HierFlowResult {
+  sched::RegionSchedule schedule;            ///< per-leaf schedules, shared allocation
+  fsm::HierarchicalControlUnit control;      ///< leaf networks + sequencer
+  sim::LatencyComparison latency;            ///< composed Table-2 statistics
+  verify::Report diagnostics;                ///< per-leaf + cross-region checks
+  std::vector<std::string> activations;      ///< sequencer activation paths
+  dfg::BranchChoices branches;               ///< completed choices used
+  int totalTauOps = 0;                       ///< TAU ops along the activation trace
+};
+
+/// Run the composed flow.  Validates the region program (DFG009/DFG010
+/// throw), compiles every leaf through a FlowPipeline sharing `cache`,
+/// assembles the shared-allocation RegionSchedule, builds the composed
+/// controllers, cross-checks them (SCH012, MDL009/MDL010) and measures the
+/// composed latency statistics.  When config.verify is set, any
+/// error-severity diagnostic throws the flow's standard verification error.
+HierFlowResult runHierFlow(const dfg::RegionProgram& program,
+                           const FlowConfig& config,
+                           const HierFlowOptions& options = {},
+                           std::shared_ptr<ArtifactCache> cache = nullptr);
+
+}  // namespace tauhls::core

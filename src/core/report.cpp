@@ -96,6 +96,23 @@ std::string formatTable2Row(const std::string& name, const FlowResult& r) {
   return os.str();
 }
 
+std::string formatComposedTable2Row(const std::string& name,
+                                    const HierFlowResult& r) {
+  std::ostringstream os;
+  os << name << "  (" << r.schedule.leaves.size() << " regions, "
+     << r.activations.size() << " activations, "
+     << r.control.sequencer.numStates() << " sequencer states, "
+     << r.totalTauOps << " TAU ops on trace)\n";
+  os << "  LT_TAU  " << formatLatencyCells(r.latency.tau) << " ns\n";
+  os << "  LT_DIST " << formatLatencyCells(r.latency.dist) << " ns\n";
+  os << "  Enhancement [";
+  for (std::size_t i = 0; i < r.latency.enhancementPercent.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << fixed1(r.latency.enhancementPercent[i]) << "%";
+  }
+  os << "]\n";
+  return os.str();
+}
+
 std::string formatTable1(const FlowResult& r) {
   TAUHLS_CHECK(r.distArea.has_value() && r.centSyncArea.has_value(),
                "run the flow with synthesizeArea=true for Table 1");

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/flow.hpp"
+#include "core/hier_flow.hpp"
 
 namespace tauhls::core {
 
@@ -25,6 +26,12 @@ std::string formatLatencyCells(const sim::LatencyRow& row);
 /// One full Table 2 row: benchmark name, resources, LT_TAU, LT_DIST,
 /// enhancement percentages.
 std::string formatTable2Row(const std::string& name, const FlowResult& r);
+
+/// The composed Table 2 row of a hierarchical flow: the same latency cells
+/// over the program's activation trace, plus the region summary (leaves,
+/// activations, sequencer states).
+std::string formatComposedTable2Row(const std::string& name,
+                                    const HierFlowResult& r);
 
 /// Table 1 (area analysis) for one flow: CENT-FSM (when built),
 /// CENT-SYNC-FSM, DIST-FSM and the per-unit D-FSM rows.

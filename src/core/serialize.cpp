@@ -145,6 +145,11 @@ void encodeDfg(Writer& w, const dfg::Dfg& g) {
     w.u32(arc.from);
     w.u32(arc.to);
   }
+  w.u64(g.stateEdges().size());
+  for (const dfg::ScheduleArc& edge : g.stateEdges()) {
+    w.u32(edge.from);
+    w.u32(edge.to);
+  }
   w.u64(g.outputs().size());
   for (dfg::NodeId out : g.outputs()) w.u32(out);
 }
@@ -171,6 +176,12 @@ dfg::Dfg decodeDfg(Reader& r) {
     const dfg::NodeId from = r.u32();
     const dfg::NodeId to = r.u32();
     g.addScheduleArc(from, to);
+  }
+  const std::size_t numStateEdges = r.count(8);
+  for (std::size_t i = 0; i < numStateEdges; ++i) {
+    const dfg::NodeId from = r.u32();
+    const dfg::NodeId to = r.u32();
+    g.addStateEdge(from, to);
   }
   const std::size_t numOutputs = r.count(4);
   for (std::size_t i = 0; i < numOutputs; ++i) g.markOutput(r.u32());

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "dfg/textio.hpp"
 
 namespace tauhls::dfg {
 
@@ -308,6 +309,42 @@ Dfg paperFig3() {
   g.markOutput(o5);
   g.validate();
   return g;
+}
+
+const char* firIirLoopText() {
+  return R"(# Iterated FIR accumulation feeding an IIR corrector, with a conditional
+# output-scaling stage -- the hierarchical benchmark of the regions flow.
+in x0, x1, c0, c1, sel, b0, b1, a1, g0
+acc = x0 * c0
+loop 4 {
+  p0 = x0 * c1
+  p1 = x1 * c0
+  p2 = acc * c0
+  t0 = p0 + p1
+  acc = t0 + p2
+}
+f0 = acc * b0
+f1 = x1 * b1
+f2 = f0 + f1
+r0 = f2 * a1
+r1 = r0 + f2
+if sel {
+  y = r1 * g0
+} else {
+  y = r1 + g0
+}
+out y
+)";
+}
+
+RegionProgram firIirLoop() {
+  RegionProgram prog = parseProgram(firIirLoopText(), "fir_iir_loop");
+  validateRegionProgram(prog);
+  return prog;
+}
+
+Allocation firIirLoopAllocation() {
+  return {{ResourceClass::Multiplier, 2}, {ResourceClass::Adder, 1}};
 }
 
 std::vector<NamedBenchmark> paperTable2Suite() {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dfg/graph.hpp"
+#include "dfg/region.hpp"
 
 namespace tauhls::dfg {
 
@@ -61,6 +62,20 @@ Dfg paperFig2();
 /// additions {O2,O3,O5,O7}, with the dependency structure that yields mult
 /// cliques (0-1), (4), (6-8).
 Dfg paperFig3();
+
+/// The hierarchical benchmark: an iterated FIR accumulation stage (loop x4,
+/// three taps per iteration) feeding an IIR corrector, with a conditional
+/// output-scaling stage.  17 TAU multiplications along the then-trace, five
+/// leaf regions, eight activations; use {x:2, +:1}
+/// (firIirLoopAllocation()).  Built from the canonical region-syntax text
+/// (the same text committed as examples/fir_iir_loop.dfg).
+RegionProgram firIirLoop();
+
+/// The canonical region-syntax source of firIirLoop().
+const char* firIirLoopText();
+
+/// The allocation the regions bench and CI jobs run firIirLoop() with.
+Allocation firIirLoopAllocation();
 
 /// The six Table 2 rows with the paper's allocations:
 /// FIR3/FIR5/IIR2 {x:2,+:1}, IIR3 {x:3,+:2}, Diff {x:2,+:1,-:1},

@@ -7,12 +7,21 @@
 
 namespace tauhls::dfg {
 
+struct RegionProgram;  // dfg/region.hpp
+
 struct DotOptions {
   bool showScheduleArcs = true;  ///< dashed edges for sequencing arcs
   bool showInputs = true;        ///< include primary-input nodes
 };
 
-/// Render `g` as a DOT digraph.
+/// Render `g` as a DOT digraph.  State edges render bold ("order"); graphs
+/// without them render exactly as before.
 std::string toDot(const Dfg& g, const DotOptions& options = {});
+
+/// Render a region program with one `subgraph cluster_<path>` per leaf and
+/// dashed wrapper clusters for loops ("loop xN") and conditionals
+/// ("if <name>" with then/else sub-clusters).  Flat programs render through
+/// the Dfg overload unchanged.
+std::string toDot(const RegionProgram& program, const DotOptions& options = {});
 
 }  // namespace tauhls::dfg

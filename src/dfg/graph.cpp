@@ -57,23 +57,31 @@ void Dfg::markOutput(NodeId id) {
   }
 }
 
-void Dfg::addScheduleArc(NodeId from, NodeId to) {
+void Dfg::addSequencingEdge(std::vector<ScheduleArc>& edges, NodeId from,
+                            NodeId to, const char* what) {
   TAUHLS_CHECK(from < nodes_.size() && to < nodes_.size(),
-               "schedule arc endpoint out of range");
-  TAUHLS_CHECK(from != to, "schedule arc must not be a self-loop");
+               std::string(what) + " endpoint out of range");
+  TAUHLS_CHECK(from != to, std::string(what) + " must not be a self-loop");
   TAUHLS_CHECK(isOp(from) && isOp(to),
-               "schedule arcs connect operations, not inputs");
+               std::string(what) + "s connect operations, not inputs");
   ScheduleArc arc{from, to};
-  if (std::find(scheduleArcs_.begin(), scheduleArcs_.end(), arc) !=
-      scheduleArcs_.end()) {
+  if (std::find(edges.begin(), edges.end(), arc) != edges.end()) {
     return;  // idempotent
   }
-  scheduleArcs_.push_back(arc);
+  edges.push_back(arc);
   if (!isAcyclic()) {
-    scheduleArcs_.pop_back();
-    TAUHLS_FAIL("schedule arc " + nodes_[from].name + " -> " + nodes_[to].name +
-                " would create a cycle");
+    edges.pop_back();
+    TAUHLS_FAIL(std::string(what) + " " + nodes_[from].name + " -> " +
+                nodes_[to].name + " would create a cycle");
   }
+}
+
+void Dfg::addScheduleArc(NodeId from, NodeId to) {
+  addSequencingEdge(scheduleArcs_, from, to, "schedule arc");
+}
+
+void Dfg::addStateEdge(NodeId from, NodeId to) {
+  addSequencingEdge(stateEdges_, from, to, "state edge");
 }
 
 const Node& Dfg::node(NodeId id) const {
@@ -135,9 +143,21 @@ std::vector<NodeId> Dfg::dataPredecessors(NodeId id) const {
   return out;
 }
 
+std::vector<NodeId> Dfg::dependencePredecessors(NodeId id) const {
+  std::vector<NodeId> out = node(id).operands;
+  for (const ScheduleArc& a : stateEdges_) {
+    if (a.to == id) out.push_back(a.from);
+  }
+  sortUnique(out);
+  return out;
+}
+
 std::vector<NodeId> Dfg::combinedPredecessors(NodeId id) const {
   std::vector<NodeId> out = node(id).operands;
   for (const ScheduleArc& a : scheduleArcs_) {
+    if (a.to == id) out.push_back(a.from);
+  }
+  for (const ScheduleArc& a : stateEdges_) {
     if (a.to == id) out.push_back(a.from);
   }
   sortUnique(out);
@@ -147,6 +167,9 @@ std::vector<NodeId> Dfg::combinedPredecessors(NodeId id) const {
 std::vector<NodeId> Dfg::combinedSuccessors(NodeId id) const {
   std::vector<NodeId> out = dataSuccessors(id);
   for (const ScheduleArc& a : scheduleArcs_) {
+    if (a.from == id) out.push_back(a.to);
+  }
+  for (const ScheduleArc& a : stateEdges_) {
     if (a.from == id) out.push_back(a.to);
   }
   sortUnique(out);
@@ -178,6 +201,10 @@ void Dfg::validate() const {
   for (const ScheduleArc& a : scheduleArcs_) {
     TAUHLS_CHECK(a.from < nodes_.size() && a.to < nodes_.size(),
                  "dangling schedule arc");
+  }
+  for (const ScheduleArc& a : stateEdges_) {
+    TAUHLS_CHECK(a.from < nodes_.size() && a.to < nodes_.size(),
+                 "dangling state edge");
   }
   for (NodeId o : outputs_) {
     TAUHLS_CHECK(o < nodes_.size(), "dangling output marker");

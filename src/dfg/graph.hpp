@@ -1,9 +1,16 @@
 // Dataflow-graph IR.
 //
 // A Dfg is a DAG of operation nodes connected by data edges (operand lists),
-// optionally augmented with *schedule arcs*: pure sequencing edges inserted by
-// resource-constrained scheduling (paper §3) that carry no value but constrain
-// execution order exactly like a data dependence does.
+// optionally augmented with two kinds of sequencing-only edges:
+//
+//  * *schedule arcs*: inserted by resource-constrained scheduling (paper §3);
+//    they carry no value, constrain execution order like a data dependence,
+//    and are cleared and re-derived whenever the graph is rescheduled;
+//  * *state edges*: user-level ordering constraints between operations with
+//    side effects on shared state (R-HLS-style ordered side effects).  They
+//    are part of the design, survive rescheduling, and the distributed
+//    controllers enforce them exactly like data dependences (the consumer
+//    waits on the producer's completion signal).
 //
 // Node identity is a dense index (NodeId), so per-node side tables are plain
 // vectors throughout the code base.
@@ -66,10 +73,16 @@ class Dfg {
   /// would close a cycle.
   void addScheduleArc(NodeId from, NodeId to);
 
+  /// Insert a state edge (ordered side effect `from` before `to`); same local
+  /// validation as addScheduleArc but the edge is a *semantic* dependence:
+  /// controllers wait on it and rescheduling keeps it.
+  void addStateEdge(NodeId from, NodeId to);
+
   // --- read access -------------------------------------------------------
   std::size_t numNodes() const { return nodes_.size(); }
   const Node& node(NodeId id) const;
   const std::vector<ScheduleArc>& scheduleArcs() const { return scheduleArcs_; }
+  const std::vector<ScheduleArc>& stateEdges() const { return stateEdges_; }
   const std::vector<NodeId>& outputs() const { return outputs_; }
 
   bool isInput(NodeId id) const { return node(id).kind == OpKind::Input; }
@@ -88,9 +101,13 @@ class Dfg {
   std::vector<NodeId> dataSuccessors(NodeId id) const;
   /// Data predecessors (the operand list, deduped, inputs included).
   std::vector<NodeId> dataPredecessors(NodeId id) const;
-  /// Predecessors through data edges *and* schedule arcs (deduped).
+  /// Semantic dependence predecessors the controllers must wait on: data
+  /// predecessors plus state-edge predecessors (deduped).  Identical to
+  /// dataPredecessors on graphs without state edges.
+  std::vector<NodeId> dependencePredecessors(NodeId id) const;
+  /// Predecessors through data edges, state edges *and* schedule arcs.
   std::vector<NodeId> combinedPredecessors(NodeId id) const;
-  /// Successors through data edges *and* schedule arcs (deduped).
+  /// Successors through data edges, state edges *and* schedule arcs.
   std::vector<NodeId> combinedSuccessors(NodeId id) const;
 
   /// Find a node by name; kNoNode when absent.
@@ -102,16 +119,20 @@ class Dfg {
   /// True when the graph (data edges + schedule arcs) is acyclic.
   bool isAcyclic() const;
 
-  /// Remove all schedule arcs (used when re-scheduling).
+  /// Remove all schedule arcs (used when re-scheduling).  State edges are
+  /// part of the design and stay.
   void clearScheduleArcs() { scheduleArcs_.clear(); }
 
  private:
   NodeId addNode(Node n);
+  void addSequencingEdge(std::vector<ScheduleArc>& edges, NodeId from,
+                         NodeId to, const char* what);
   std::string freshName(const char* stem) const;
 
   std::string name_ = "dfg";
   std::vector<Node> nodes_;
   std::vector<ScheduleArc> scheduleArcs_;
+  std::vector<ScheduleArc> stateEdges_;
   std::vector<NodeId> outputs_;
 };
 

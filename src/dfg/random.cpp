@@ -1,47 +1,100 @@
 #include "dfg/random.hpp"
 
+#include <algorithm>
+#include <iterator>
+#include <map>
 #include <random>
+#include <set>
 
 #include "common/error.hpp"
 
 namespace tauhls::dfg {
 
+namespace {
+
+OpKind pickKind(std::mt19937_64& rng, const RandomDfgSpec& spec) {
+  if (std::uniform_int_distribution<int>(0, 999)(rng) < spec.mulPermille) {
+    return OpKind::Mul;
+  }
+  if (spec.addVsSubPermille == 500) {
+    // The historical even coin, kept bit-for-bit so seeded graphs and the
+    // artifacts derived from them are unchanged.
+    return std::uniform_int_distribution<int>(0, 1)(rng) ? OpKind::Add
+                                                         : OpKind::Sub;
+  }
+  return std::uniform_int_distribution<int>(0, 999)(rng) <
+                 spec.addVsSubPermille
+             ? OpKind::Add
+             : OpKind::Sub;
+}
+
+/// Layered construction: rank r ops draw op operands only from rank r-1.
+void buildLayered(Dfg& g, std::mt19937_64& rng, const RandomDfgSpec& spec,
+                  const std::vector<NodeId>& inputs, std::vector<NodeId>& ops) {
+  std::vector<NodeId> prev;  // rank r-1
+  for (int layer = 0; layer < spec.numLayers; ++layer) {
+    std::vector<NodeId> rank;
+    for (int i = 0; i < spec.layerWidth; ++i) {
+      const OpKind kind = pickKind(rng, spec);
+      const int opFanin = prev.empty() ? 0
+                                       : std::uniform_int_distribution<int>(
+                                             0, spec.maxOpFanin)(rng);
+      auto pick = [&](bool fromOps) -> NodeId {
+        if (fromOps) {
+          std::uniform_int_distribution<std::size_t> d(0, prev.size() - 1);
+          return prev[d(rng)];
+        }
+        std::uniform_int_distribution<std::size_t> d(0, inputs.size() - 1);
+        return inputs[d(rng)];
+      };
+      const NodeId a = pick(opFanin >= 1);
+      const NodeId b = pick(opFanin >= 2);
+      rank.push_back(g.addOp(kind, {a, b}));
+    }
+    ops.insert(ops.end(), rank.begin(), rank.end());
+    prev = std::move(rank);
+  }
+}
+
+}  // namespace
+
 Dfg randomDfg(const RandomDfgSpec& spec) {
-  TAUHLS_CHECK(spec.numOps >= 1, "randomDfg needs at least one op");
+  TAUHLS_CHECK(spec.numLayers > 0 || spec.numOps >= 1,
+               "randomDfg needs at least one op");
   TAUHLS_CHECK(spec.numInputs >= 1, "randomDfg needs at least one input");
   TAUHLS_CHECK(spec.maxOpFanin >= 0 && spec.maxOpFanin <= 2,
                "maxOpFanin must be 0..2");
+  TAUHLS_CHECK(spec.numLayers == 0 || spec.layerWidth >= 1,
+               "layered randomDfg needs layerWidth >= 1");
   std::mt19937_64 rng(spec.seed);
   Dfg g("random_s" + std::to_string(spec.seed));
   std::vector<NodeId> inputs;
   for (int i = 0; i < spec.numInputs; ++i) inputs.push_back(g.addInput());
 
   std::vector<NodeId> ops;
-  auto pickOperand = [&](bool allowOp) -> NodeId {
-    const bool useOp = allowOp && !ops.empty() &&
-                       std::uniform_int_distribution<int>(0, 99)(rng) < 70;
-    if (useOp) {
-      // Bias toward recent ops so depth grows with size.
-      std::size_t lo = ops.size() > 6 ? ops.size() - 6 : 0;
-      std::uniform_int_distribution<std::size_t> d(lo, ops.size() - 1);
-      return ops[d(rng)];
-    }
-    std::uniform_int_distribution<std::size_t> d(0, inputs.size() - 1);
-    return inputs[d(rng)];
-  };
+  if (spec.numLayers > 0) {
+    buildLayered(g, rng, spec, inputs, ops);
+  } else {
+    auto pickOperand = [&](bool allowOp) -> NodeId {
+      const bool useOp = allowOp && !ops.empty() &&
+                         std::uniform_int_distribution<int>(0, 99)(rng) < 70;
+      if (useOp) {
+        // Bias toward recent ops so depth grows with size.
+        std::size_t lo = ops.size() > 6 ? ops.size() - 6 : 0;
+        std::uniform_int_distribution<std::size_t> d(lo, ops.size() - 1);
+        return ops[d(rng)];
+      }
+      std::uniform_int_distribution<std::size_t> d(0, inputs.size() - 1);
+      return inputs[d(rng)];
+    };
 
-  for (int i = 0; i < spec.numOps; ++i) {
-    OpKind kind;
-    if (std::uniform_int_distribution<int>(0, 999)(rng) < spec.mulPermille) {
-      kind = OpKind::Mul;
-    } else {
-      kind = std::uniform_int_distribution<int>(0, 1)(rng) ? OpKind::Add
-                                                           : OpKind::Sub;
+    for (int i = 0; i < spec.numOps; ++i) {
+      const OpKind kind = pickKind(rng, spec);
+      int opFanin = std::uniform_int_distribution<int>(0, spec.maxOpFanin)(rng);
+      NodeId a = pickOperand(opFanin >= 1);
+      NodeId b = pickOperand(opFanin >= 2);
+      ops.push_back(g.addOp(kind, {a, b}));
     }
-    int opFanin = std::uniform_int_distribution<int>(0, spec.maxOpFanin)(rng);
-    NodeId a = pickOperand(opFanin >= 1);
-    NodeId b = pickOperand(opFanin >= 2);
-    ops.push_back(g.addOp(kind, {a, b}));
   }
   // Mark every value-producing sink as an output.
   for (NodeId op : ops) {
@@ -49,6 +102,117 @@ Dfg randomDfg(const RandomDfgSpec& spec) {
   }
   g.validate();
   return g;
+}
+
+namespace {
+
+class RegionGenerator {
+ public:
+  explicit RegionGenerator(const RandomRegionSpec& spec)
+      : spec_(spec), rng_(spec.seed) {}
+
+  RegionProgram run() {
+    RegionProgram prog;
+    prog.name = "random_region_s" + std::to_string(spec_.seed);
+    std::set<std::string> defined;
+    for (int i = 0; i < spec_.leaf.numInputs; ++i) {
+      prog.inputs.push_back("x" + std::to_string(i));
+      defined.insert(prog.inputs.back());
+    }
+    std::vector<Region> blocks;
+    for (int b = 0; b < spec_.numBlocks; ++b) {
+      blocks.push_back(makeRegion(0, defined));
+    }
+    prog.root = Region::seq(std::move(blocks));
+    // Every program output must be defined on every path; the surviving
+    // `defined` set already reflects conditional joins.
+    prog.outputs.push_back(*defined.rbegin());
+    nameLeaves(prog);
+    validateRegionProgram(prog);
+    return prog;
+  }
+
+ private:
+  std::string sample(const std::set<std::string>& defined) {
+    std::uniform_int_distribution<std::size_t> d(0, defined.size() - 1);
+    auto it = defined.begin();
+    std::advance(it, d(rng_));
+    return *it;
+  }
+
+  Region makeLeaf(std::set<std::string>& defined) {
+    Dfg g;
+    std::map<std::string, NodeId> ports;
+    auto port = [&](const std::string& name) {
+      auto it = ports.find(name);
+      if (it == ports.end()) it = ports.emplace(name, g.addInput(name)).first;
+      return it->second;
+    };
+    std::vector<NodeId> ops;
+    std::vector<std::string> opNames;
+    const int numOps = spec_.leaf.numLayers > 0
+                           ? spec_.leaf.numLayers * spec_.leaf.layerWidth
+                           : spec_.leaf.numOps;
+    for (int i = 0; i < numOps; ++i) {
+      const OpKind kind = pickKind(rng_, spec_.leaf);
+      const int opFanin = std::uniform_int_distribution<int>(
+          0, spec_.leaf.maxOpFanin)(rng_);
+      auto operand = [&](bool fromOps) -> NodeId {
+        if (fromOps && !ops.empty()) {
+          std::uniform_int_distribution<std::size_t> d(0, ops.size() - 1);
+          return ops[d(rng_)];
+        }
+        return port(sample(defined));
+      };
+      const NodeId a = operand(opFanin >= 1);
+      const NodeId b = operand(opFanin >= 2);
+      const std::string name = "v" + std::to_string(nameCounter_++);
+      ops.push_back(g.addOp(kind, {a, b}, name));
+      opNames.push_back(name);
+    }
+    for (NodeId op : ops) g.markOutput(op);
+    g.validate();
+    for (const std::string& n : opNames) defined.insert(n);
+    return Region::leaf(std::move(g));
+  }
+
+  Region makeRegion(int depth, std::set<std::string>& defined) {
+    const int roll = std::uniform_int_distribution<int>(0, 999)(rng_);
+    if (depth < spec_.maxDepth && roll < spec_.loopPermille) {
+      const int trips = std::uniform_int_distribution<int>(
+          2, std::max(2, spec_.maxTripCount))(rng_);
+      return Region::loop(trips, makeRegion(depth + 1, defined));
+    }
+    if (depth < spec_.maxDepth &&
+        roll < spec_.loopPermille + spec_.condPermille) {
+      const std::string selector = sample(defined);
+      std::set<std::string> thenDefined = defined;
+      std::set<std::string> elseDefined = defined;
+      Region thenChild = makeRegion(depth + 1, thenDefined);
+      Region elseChild = makeRegion(depth + 1, elseDefined);
+      // Only names both branches define survive the join.
+      std::set<std::string> joined;
+      std::set_intersection(thenDefined.begin(), thenDefined.end(),
+                            elseDefined.begin(), elseDefined.end(),
+                            std::inserter(joined, joined.begin()));
+      defined = std::move(joined);
+      return Region::cond(selector, std::move(thenChild),
+                          std::move(elseChild));
+    }
+    return makeLeaf(defined);
+  }
+
+  const RandomRegionSpec& spec_;
+  std::mt19937_64 rng_;
+  int nameCounter_ = 0;
+};
+
+}  // namespace
+
+RegionProgram randomRegionProgram(const RandomRegionSpec& spec) {
+  TAUHLS_CHECK(spec.numBlocks >= 1, "randomRegionProgram needs >= 1 block");
+  TAUHLS_CHECK(spec.maxDepth >= 0, "maxDepth must be >= 0");
+  return RegionGenerator(spec).run();
 }
 
 }  // namespace tauhls::dfg

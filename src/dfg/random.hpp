@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "dfg/graph.hpp"
+#include "dfg/region.hpp"
 
 namespace tauhls::dfg {
 
@@ -15,12 +16,39 @@ struct RandomDfgSpec {
   /// Per-mille probability that an op is a multiplication (TAU class);
   /// remaining ops are split between Add and Sub.
   int mulPermille = 500;
+  /// Per-mille share of the non-multiplication ops that are Add (the rest
+  /// are Sub).  500 keeps the historical even coin flip bit-for-bit.
+  int addVsSubPermille = 500;
   /// Maximum number of op-to-op data edges per new op (1..2); operands beyond
   /// this come from primary inputs, keeping the graph wide.
   int maxOpFanin = 2;
+  /// Layered mode (> 0): ops are organized into `numLayers` ranks of
+  /// `layerWidth` ops each (numOps is ignored), every op drawing its op
+  /// operands from the immediately preceding rank -- width and depth are
+  /// then controlled directly instead of emerging from the recency bias.
+  int numLayers = 0;
+  int layerWidth = 4;
 };
 
 /// Generate a valid, acyclic DFG; all sinks are marked as outputs.
 Dfg randomDfg(const RandomDfgSpec& spec);
+
+/// Region-nesting knob over randomDfg: a Seq of `numBlocks` blocks, each a
+/// leaf, a loop (probability loopPermille, trip count 2..maxTripCount) or a
+/// conditional (probability condPermille), nested up to `maxDepth`.  Values
+/// thread by name: each leaf reads names defined by earlier regions (or the
+/// program inputs) and defines fresh ones; conditional branches define a
+/// common name so the post-join set stays useful.  The result validates.
+struct RandomRegionSpec {
+  std::uint64_t seed = 1;
+  RandomDfgSpec leaf;       ///< shape of each leaf body (seed ignored)
+  int numBlocks = 3;
+  int loopPermille = 250;
+  int condPermille = 250;
+  int maxTripCount = 3;
+  int maxDepth = 2;
+};
+
+RegionProgram randomRegionProgram(const RandomRegionSpec& spec);
 
 }  // namespace tauhls::dfg

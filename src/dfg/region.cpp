@@ -1,0 +1,455 @@
+#include "dfg/region.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "dfg/analysis.hpp"
+
+namespace tauhls::dfg {
+
+std::string portBaseName(const std::string& inputName) {
+  const std::string suffix = kExternalPortSuffix;
+  if (inputName.size() > suffix.size() &&
+      inputName.compare(inputName.size() - suffix.size(), suffix.size(),
+                        suffix) == 0) {
+    return inputName.substr(0, inputName.size() - suffix.size());
+  }
+  return inputName;
+}
+
+namespace {
+
+void collectLeavesInto(const Region& r, const std::string& path,
+                       std::vector<LeafRef>& out) {
+  switch (r.kind) {
+    case RegionKind::Leaf:
+      out.push_back({path, &r});
+      break;
+    case RegionKind::Seq:
+      for (std::size_t i = 0; i < r.children.size(); ++i) {
+        collectLeavesInto(r.children[i],
+                          childRegionPath(path, "s" + std::to_string(i)), out);
+      }
+      break;
+    case RegionKind::Loop:
+      if (!r.children.empty()) {
+        collectLeavesInto(r.children.front(), childRegionPath(path, "l"), out);
+      }
+      break;
+    case RegionKind::Cond:
+      if (r.children.size() == 2) {
+        collectLeavesInto(r.children[0], childRegionPath(path, "t"), out);
+        collectLeavesInto(r.children[1], childRegionPath(path, "e"), out);
+      }
+      break;
+  }
+}
+
+class ProgramChecker {
+ public:
+  explicit ProgramChecker(const RegionProgram& program) : program_(program) {}
+
+  std::vector<RegionIssue> run() {
+    std::set<std::string> defined(program_.inputs.begin(),
+                                  program_.inputs.end());
+    for (const std::string& in : program_.inputs) {
+      if (!isIdentifier(in)) {
+        add("DFG009", "", "program input '" + in + "' is not an identifier");
+      }
+    }
+    leafCount_ = 0;
+    walk(program_.root, "", defined);
+    if (leafCount_ == 0) {
+      add("DFG009", "", "program contains no leaf region");
+    }
+    for (const std::string& out : program_.outputs) {
+      if (defined.find(out) == defined.end()) {
+        add("DFG009", "",
+            "program output '" + out + "' is not defined on every path");
+      }
+    }
+    return std::move(issues_);
+  }
+
+ private:
+  void add(const char* code, const std::string& where,
+           const std::string& message) {
+    issues_.push_back({code, where, message});
+  }
+
+  /// Check `r` with the names defined on entry; `defined` holds the names
+  /// guaranteed defined after the region on exit (Cond keeps only names both
+  /// branches define).
+  void walk(const Region& r, const std::string& path,
+            std::set<std::string>& defined) {
+    switch (r.kind) {
+      case RegionKind::Leaf:
+        checkLeaf(r, path, defined);
+        break;
+      case RegionKind::Seq:
+        if (r.children.empty()) {
+          add("DFG009", path, "Seq region has no children");
+        }
+        for (std::size_t i = 0; i < r.children.size(); ++i) {
+          walk(r.children[i], childRegionPath(path, "s" + std::to_string(i)),
+               defined);
+        }
+        break;
+      case RegionKind::Loop: {
+        if (r.tripCount < 1) {
+          add("DFG010", path,
+              "loop trip count " + std::to_string(r.tripCount) +
+                  " (must be >= 1)");
+        }
+        if (r.children.size() != 1) {
+          add("DFG009", path,
+              "Loop region has " + std::to_string(r.children.size()) +
+                  " children (expected exactly 1 body)");
+          break;
+        }
+        // Iteration 1 has no previous iteration, so every free read of the
+        // body must be defined before the loop; names the body defines are
+        // then loop-carried.
+        walk(r.children.front(), childRegionPath(path, "l"), defined);
+        break;
+      }
+      case RegionKind::Cond: {
+        if (r.condName.empty() || !isIdentifier(r.condName)) {
+          add("DFG009", path,
+              "conditional selector '" + r.condName +
+                  "' is not an identifier");
+        } else if (defined.find(r.condName) == defined.end()) {
+          add("DFG009", path,
+              "conditional selector '" + r.condName +
+                  "' is not defined before the conditional");
+        }
+        if (r.children.size() != 2) {
+          add("DFG009", path,
+              "Cond region has " + std::to_string(r.children.size()) +
+                  " children (expected then and else)");
+          break;
+        }
+        std::set<std::string> thenDefined = defined;
+        std::set<std::string> elseDefined = defined;
+        walk(r.children[0], childRegionPath(path, "t"), thenDefined);
+        walk(r.children[1], childRegionPath(path, "e"), elseDefined);
+        // Only names both branches define are defined after the conditional.
+        defined.clear();
+        std::set_intersection(thenDefined.begin(), thenDefined.end(),
+                              elseDefined.begin(), elseDefined.end(),
+                              std::inserter(defined, defined.begin()));
+        break;
+      }
+    }
+  }
+
+  void checkLeaf(const Region& r, const std::string& path,
+                 std::set<std::string>& defined) {
+    ++leafCount_;
+    if (!r.children.empty()) {
+      add("DFG009", path, "Leaf region has children");
+      return;
+    }
+    try {
+      r.body.validate();
+    } catch (const tauhls::Error& e) {
+      add("DFG009", path, std::string("leaf body invalid: ") + e.what());
+      return;
+    }
+    if (r.body.numOps() == 0) {
+      add("DFG009", path, "leaf body has no operations");
+      return;
+    }
+    for (NodeId in : r.body.inputIds()) {
+      const std::string base = portBaseName(r.body.node(in).name);
+      if (defined.find(base) == defined.end()) {
+        add("DFG009", path,
+            "leaf reads '" + base + "' which no earlier region defines");
+      }
+    }
+    for (NodeId op : r.body.opIds()) {
+      defined.insert(r.body.node(op).name);
+    }
+  }
+
+  const RegionProgram& program_;
+  std::vector<RegionIssue> issues_;
+  int leafCount_ = 0;
+};
+
+void traceRegion(const Region& r, const std::string& path,
+                 const BranchChoices& choices, std::vector<std::string>& out) {
+  switch (r.kind) {
+    case RegionKind::Leaf:
+      out.push_back(path);
+      break;
+    case RegionKind::Seq:
+      for (std::size_t i = 0; i < r.children.size(); ++i) {
+        traceRegion(r.children[i],
+                    childRegionPath(path, "s" + std::to_string(i)), choices,
+                    out);
+      }
+      break;
+    case RegionKind::Loop:
+      for (int k = 0; k < r.tripCount; ++k) {
+        traceRegion(r.children.front(), childRegionPath(path, "l"), choices,
+                    out);
+      }
+      break;
+    case RegionKind::Cond: {
+      const auto it = choices.find(path);
+      TAUHLS_CHECK(it != choices.end(),
+                   "no branch choice for conditional at region path '" + path +
+                       "'");
+      if (it->second) {
+        traceRegion(r.children[0], childRegionPath(path, "t"), choices, out);
+      } else {
+        traceRegion(r.children[1], childRegionPath(path, "e"), choices, out);
+      }
+      break;
+    }
+  }
+}
+
+/// Operations with no operation predecessor (through data edges, state edges
+/// or schedule arcs): the ops a fresh activation can start immediately.
+std::vector<NodeId> sourceOps(const Dfg& g) {
+  std::vector<NodeId> out;
+  for (NodeId v : g.opIds()) {
+    bool hasOpPred = false;
+    for (NodeId p : g.combinedPredecessors(v)) hasOpPred |= g.isOp(p);
+    if (!hasOpPred) out.push_back(v);
+  }
+  return out;
+}
+
+/// Operations with no successor at all: the ops whose completion ends the
+/// activation (every op reaches one of these along combined edges).
+std::vector<NodeId> terminalOps(const Dfg& g) {
+  std::vector<NodeId> out;
+  for (NodeId v : g.opIds()) {
+    if (g.combinedSuccessors(v).empty()) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* regionKindName(RegionKind kind) {
+  switch (kind) {
+    case RegionKind::Leaf: return "Leaf";
+    case RegionKind::Seq: return "Seq";
+    case RegionKind::Loop: return "Loop";
+    case RegionKind::Cond: return "Cond";
+  }
+  return "?";
+}
+
+Region Region::leaf(Dfg body) {
+  Region r;
+  r.kind = RegionKind::Leaf;
+  r.body = std::move(body);
+  return r;
+}
+
+Region Region::seq(std::vector<Region> children) {
+  Region r;
+  r.kind = RegionKind::Seq;
+  r.children = std::move(children);
+  return r;
+}
+
+Region Region::loop(int tripCount, Region child) {
+  Region r;
+  r.kind = RegionKind::Loop;
+  r.tripCount = tripCount;
+  r.children.push_back(std::move(child));
+  return r;
+}
+
+Region Region::cond(std::string condName, Region thenChild, Region elseChild) {
+  Region r;
+  r.kind = RegionKind::Cond;
+  r.condName = std::move(condName);
+  r.children.push_back(std::move(thenChild));
+  r.children.push_back(std::move(elseChild));
+  return r;
+}
+
+std::string childRegionPath(const std::string& base,
+                            const std::string& segment) {
+  return base.empty() ? segment : base + "_" + segment;
+}
+
+std::vector<LeafRef> collectLeaves(const RegionProgram& program) {
+  std::vector<LeafRef> out;
+  collectLeavesInto(program.root, "", out);
+  return out;
+}
+
+void nameLeaves(RegionProgram& program) {
+  // Walk mutably along the same paths collectLeaves produces.
+  struct Namer {
+    const std::string& programName;
+    void walk(Region& r, const std::string& path) {
+      switch (r.kind) {
+        case RegionKind::Leaf:
+          r.body.setName(path.empty() ? programName : programName + "_" + path);
+          break;
+        case RegionKind::Seq:
+          for (std::size_t i = 0; i < r.children.size(); ++i) {
+            walk(r.children[i],
+                 childRegionPath(path, "s" + std::to_string(i)));
+          }
+          break;
+        case RegionKind::Loop:
+          if (!r.children.empty()) {
+            walk(r.children.front(), childRegionPath(path, "l"));
+          }
+          break;
+        case RegionKind::Cond:
+          if (r.children.size() == 2) {
+            walk(r.children[0], childRegionPath(path, "t"));
+            walk(r.children[1], childRegionPath(path, "e"));
+          }
+          break;
+      }
+    }
+  };
+  Namer{program.name}.walk(program.root, "");
+}
+
+namespace {
+
+void collectCondPaths(const Region& r, const std::string& path,
+                      std::vector<std::string>& out) {
+  switch (r.kind) {
+    case RegionKind::Leaf:
+      break;
+    case RegionKind::Seq:
+      for (std::size_t i = 0; i < r.children.size(); ++i) {
+        collectCondPaths(r.children[i],
+                         childRegionPath(path, "s" + std::to_string(i)), out);
+      }
+      break;
+    case RegionKind::Loop:
+      if (!r.children.empty()) {
+        collectCondPaths(r.children.front(), childRegionPath(path, "l"), out);
+      }
+      break;
+    case RegionKind::Cond:
+      out.push_back(path);
+      if (r.children.size() == 2) {
+        collectCondPaths(r.children[0], childRegionPath(path, "t"), out);
+        collectCondPaths(r.children[1], childRegionPath(path, "e"), out);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> condRegionPaths(const RegionProgram& program) {
+  std::vector<std::string> out;
+  collectCondPaths(program.root, "", out);
+  return out;
+}
+
+BranchChoices completeBranchChoices(const RegionProgram& program,
+                                    const BranchChoices& partial) {
+  BranchChoices out = partial;
+  for (const std::string& path : condRegionPaths(program)) {
+    out.emplace(path, true);
+  }
+  return out;
+}
+
+std::vector<RegionIssue> checkRegionProgram(const RegionProgram& program) {
+  return ProgramChecker(program).run();
+}
+
+void validateRegionProgram(const RegionProgram& program) {
+  const std::vector<RegionIssue> issues = checkRegionProgram(program);
+  if (!issues.empty()) {
+    const RegionIssue& first = issues.front();
+    TAUHLS_FAIL("invalid region program '" + program.name + "' [" +
+                first.code +
+                (first.where.empty() ? "" : " at " + first.where) + "]: " +
+                first.message);
+  }
+}
+
+std::vector<std::string> activationTrace(const RegionProgram& program,
+                                         const BranchChoices& choices) {
+  std::vector<std::string> out;
+  traceRegion(program.root, "", choices, out);
+  return out;
+}
+
+int composedCriticalPathLength(const RegionProgram& program,
+                               const BranchChoices& choices) {
+  std::map<std::string, const Dfg*> bodies;
+  for (const LeafRef& leaf : collectLeaves(program)) {
+    bodies[leaf.path] = &leaf.region->body;
+  }
+  int total = 0;
+  for (const std::string& path : activationTrace(program, choices)) {
+    const Dfg& body = *bodies.at(path);
+    total += criticalPathLength(body, unitDurations(body));
+  }
+  return total;
+}
+
+Dfg flattenProgram(const RegionProgram& program, const BranchChoices& choices) {
+  validateRegionProgram(program);
+  std::map<std::string, const Dfg*> bodies;
+  for (const LeafRef& leaf : collectLeaves(program)) {
+    bodies[leaf.path] = &leaf.region->body;
+  }
+  Dfg flat(program.name + "_flat");
+  std::vector<NodeId> prevTerminals;
+  const std::vector<std::string> trace = activationTrace(program, choices);
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    const Dfg& leaf = *bodies.at(trace[k]);
+    const std::string prefix = "a" + std::to_string(k) + "_";
+    // Node ids are insertion-ordered, so copying in id order keeps every
+    // operand ahead of its consumer.
+    std::vector<NodeId> map(leaf.numNodes(), kNoNode);
+    for (NodeId id = 0; id < leaf.numNodes(); ++id) {
+      const Node& n = leaf.node(id);
+      if (n.kind == OpKind::Input) {
+        map[id] = flat.addInput(prefix + n.name);
+      } else {
+        std::vector<NodeId> operands;
+        operands.reserve(n.operands.size());
+        for (NodeId o : n.operands) operands.push_back(map[o]);
+        map[id] = flat.addOp(n.kind, std::span<const NodeId>(operands),
+                             prefix + n.name);
+      }
+    }
+    for (const ScheduleArc& a : leaf.scheduleArcs()) {
+      flat.addScheduleArc(map[a.from], map[a.to]);
+    }
+    for (const ScheduleArc& a : leaf.stateEdges()) {
+      flat.addStateEdge(map[a.from], map[a.to]);
+    }
+    for (NodeId o : leaf.outputs()) flat.markOutput(map[o]);
+    // Barrier: activation k starts only once activation k-1 is fully done,
+    // which is exactly the sequencer's done -> start handshake.
+    if (!prevTerminals.empty()) {
+      for (NodeId s : sourceOps(leaf)) {
+        for (NodeId t : prevTerminals) flat.addStateEdge(t, map[s]);
+      }
+    }
+    std::vector<NodeId> terminals;
+    for (NodeId t : terminalOps(leaf)) terminals.push_back(map[t]);
+    prevTerminals = std::move(terminals);
+  }
+  flat.validate();
+  return flat;
+}
+
+}  // namespace tauhls::dfg

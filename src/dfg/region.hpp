@@ -1,0 +1,129 @@
+// Hierarchical region tree over flat dataflow graphs.
+//
+// A RegionProgram composes leaf Dfgs with three structured constructs:
+//
+//   Seq   run the children one after another;
+//   Loop  run the single child tripCount times (static trip count);
+//   Cond  run exactly one of the two children (then / else), selected by a
+//         named value computed before the conditional.
+//
+// Values thread between regions by *name*: every operation a leaf defines is
+// visible to later regions (last writer wins), a leaf that reads a name it
+// does not define gets an input port for it, and loop-carried names fall out
+// of that threading during unrolling (iteration 1 reads the pre-loop
+// definition, iteration k reads iteration k-1's).  Ordered side effects
+// inside a leaf are expressed with state edges (Dfg::addStateEdge).
+//
+// Region paths identify tree positions: child i of a Seq appends "s<i>",
+// a loop body appends "l", the conditional branches append "t"/"e", with
+// '_' joining segments (e.g. "s1_l_s0" = first block of the loop body that
+// is the second top-level region).  Leaf paths key every per-region artifact
+// downstream (schedules, controllers, cache entries).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace tauhls::dfg {
+
+enum class RegionKind { Leaf, Seq, Loop, Cond };
+
+const char* regionKindName(RegionKind kind);
+
+struct Region {
+  RegionKind kind = RegionKind::Leaf;
+  Dfg body;                      ///< Leaf only: the operations of this block
+  int tripCount = 1;             ///< Loop only: static iteration count (>= 1)
+  std::string condName;          ///< Cond only: name of the selecting value
+  std::vector<Region> children;  ///< Seq >= 1, Loop == 1, Cond == 2 (then, else)
+
+  static Region leaf(Dfg body);
+  static Region seq(std::vector<Region> children);
+  static Region loop(int tripCount, Region child);
+  static Region cond(std::string condName, Region thenChild, Region elseChild);
+};
+
+struct RegionProgram {
+  std::string name = "program";
+  std::vector<std::string> inputs;   ///< program-level input names
+  std::vector<std::string> outputs;  ///< names that must be defined at the end
+  Region root;
+
+  /// A single-leaf program: every existing flat pass applies to root.body
+  /// unchanged.
+  bool isFlat() const { return root.kind == RegionKind::Leaf; }
+};
+
+/// Append one path segment ("s0", "l", "t", "e") to a region path.
+std::string childRegionPath(const std::string& base, const std::string& segment);
+
+/// The program-level name a leaf input port reads.  Ports are named after the
+/// value they import; when the leaf also (re)defines that name the port gets
+/// an "__ext" suffix to keep node names unique -- this strips it back off.
+std::string portBaseName(const std::string& inputName);
+
+/// Suffix appended to a leaf input port whose name the leaf itself redefines.
+inline constexpr const char* kExternalPortSuffix = "__ext";
+
+/// A leaf with its tree path, in program (pre-)order.
+struct LeafRef {
+  std::string path;
+  const Region* region = nullptr;
+};
+
+std::vector<LeafRef> collectLeaves(const RegionProgram& program);
+
+/// Rename every leaf body to `<program>_<path>` so downstream artifacts
+/// (controllers, RTL modules, cache keys) carry their region identity.
+void nameLeaves(RegionProgram& program);
+
+/// Branch selection for every Cond, keyed by the conditional's region path;
+/// true takes the then-branch.  Dynamic queries (activation traces,
+/// flattening, composed simulation) fail loudly on a missing key.
+using BranchChoices = std::map<std::string, bool>;
+
+/// Region paths of every conditional, in program (pre-)order.
+std::vector<std::string> condRegionPaths(const RegionProgram& program);
+
+/// `partial` with every missing conditional defaulted to the then-branch --
+/// the documented default of the CLI's --branches option.
+BranchChoices completeBranchChoices(const RegionProgram& program,
+                                    const BranchChoices& partial);
+
+/// One structural defect of a region program.  `code` is the verify-rule it
+/// maps to: "DFG009" (malformed tree / name threading) or "DFG010" (bad trip
+/// count); the verify layer re-reports these through its registry.
+struct RegionIssue {
+  std::string code;
+  std::string where;  ///< region path ("" = program level)
+  std::string message;
+};
+
+/// All structural defects, empty when the program is well-formed.
+std::vector<RegionIssue> checkRegionProgram(const RegionProgram& program);
+
+/// Throws tauhls::Error on the first defect checkRegionProgram would report.
+void validateRegionProgram(const RegionProgram& program);
+
+/// The leaf-path sequence executed under `choices`, loops unrolled
+/// (the composed schedule's activation order).  Requires a valid program.
+std::vector<std::string> activationTrace(const RegionProgram& program,
+                                         const BranchChoices& choices);
+
+/// Sum of per-leaf unit-duration critical paths along the activation trace:
+/// the composed dependence-level lower bound on the makespan.
+int composedCriticalPathLength(const RegionProgram& program,
+                               const BranchChoices& choices);
+
+/// Inline-and-unroll reference: one flat Dfg with every activation's leaf
+/// body copied under an "a<k>_" prefix and state-edge barriers from each
+/// activation's terminal operations to the next activation's source
+/// operations -- exactly the ordering the region sequencer's start/done
+/// handshake enforces, so flat analyses of this graph cross-check the
+/// composed path.
+Dfg flattenProgram(const RegionProgram& program, const BranchChoices& choices);
+
+}  // namespace tauhls::dfg

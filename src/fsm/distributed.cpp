@@ -32,12 +32,13 @@ int DistributedControlUnit::completionLatchCount() const {
 
 namespace {
 
-/// CCO_* signals of `op`'s data predecessors bound to a *different* unit
-/// (the paper restricts the predecessor relation to cross-unit pairs, §4.2).
+/// CCO_* signals of `op`'s dependence predecessors (data + state edges) bound
+/// to a *different* unit (the paper restricts the predecessor relation to
+/// cross-unit pairs, §4.2).
 std::vector<std::string> externalPredSignals(const sched::ScheduledDfg& s,
                                              NodeId op, int unitId) {
   std::vector<std::string> out;
-  for (NodeId p : s.graph.dataPredecessors(op)) {
+  for (NodeId p : s.graph.dependencePredecessors(op)) {
     if (!s.graph.isOp(p)) continue;
     const int pu = s.binding.unitOf(p);
     TAUHLS_ASSERT(pu >= 0, "predecessor op is unbound");

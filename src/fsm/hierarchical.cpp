@@ -1,0 +1,201 @@
+#include "fsm/hierarchical.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tauhls::fsm {
+
+using dfg::Region;
+using dfg::RegionKind;
+
+std::string regionStartSignal(const std::string& path) { return "ST_" + path; }
+std::string regionDoneSignal(const std::string& path) { return "DN_" + path; }
+std::string branchSelectSignal(const std::string& condPath) {
+  return "SEL_" + condPath;
+}
+
+namespace {
+
+/// Collect the leaf and conditional paths of the tree (signal declarations).
+void collectPaths(const Region& r, const std::string& path,
+                  std::vector<std::string>& leafPaths,
+                  std::vector<std::string>& condPaths) {
+  switch (r.kind) {
+    case RegionKind::Leaf:
+      leafPaths.push_back(path);
+      break;
+    case RegionKind::Seq:
+      for (std::size_t i = 0; i < r.children.size(); ++i) {
+        collectPaths(r.children[i],
+                     dfg::childRegionPath(path, "s" + std::to_string(i)),
+                     leafPaths, condPaths);
+      }
+      break;
+    case RegionKind::Loop:
+      collectPaths(r.children.front(), dfg::childRegionPath(path, "l"),
+                   leafPaths, condPaths);
+      break;
+    case RegionKind::Cond:
+      condPaths.push_back(path);
+      collectPaths(r.children[0], dfg::childRegionPath(path, "t"), leafPaths,
+                   condPaths);
+      collectPaths(r.children[1], dfg::childRegionPath(path, "e"), leafPaths,
+                   condPaths);
+      break;
+  }
+}
+
+/// A transition waiting for its target state: it leaves `from` under `guard`
+/// and will additionally pulse the target leaf's start signal.
+struct Pending {
+  int from = 0;
+  Guard guard;
+};
+
+class SequencerBuilder {
+ public:
+  explicit SequencerBuilder(const dfg::RegionProgram& program)
+      : program_(program), fsm_(program.name + "_seq") {}
+
+  Fsm build(std::vector<std::string>* activationsOut) {
+    std::vector<std::string> leafPaths, condPaths;
+    collectPaths(program_.root, "", leafPaths, condPaths);
+    TAUHLS_CHECK(!leafPaths.empty(), "region program has no leaves");
+    for (const std::string& p : leafPaths) {
+      fsm_.addInput(regionDoneSignal(p));
+      fsm_.addOutput(regionStartSignal(p));
+    }
+    for (const std::string& p : condPaths) {
+      fsm_.addInput(branchSelectSignal(p));
+    }
+    fsm_.addOutput(kSequencerDoneSignal);
+
+    const int init = fsm_.addState("INIT");
+    fsm_.setInitial(init);
+    std::vector<Pending> entries{{init, Guard::always()}};
+    const std::vector<Pending> exits = lower(program_.root, "", entries);
+    // Wrap around: the composed machine restarts like the flat controllers.
+    for (const Pending& e : exits) {
+      fsm_.addTransition(e.from, init, e.guard, {kSequencerDoneSignal});
+    }
+    validateFsm(fsm_);
+    if (activationsOut != nullptr) *activationsOut = activations_;
+    return std::move(fsm_);
+  }
+
+ private:
+  std::vector<Pending> lower(const Region& r, const std::string& path,
+                             std::vector<Pending> entries) {
+    switch (r.kind) {
+      case RegionKind::Leaf: {
+        const int k = static_cast<int>(activations_.size());
+        activations_.push_back(path);
+        const int wait =
+            fsm_.addState("W" + std::to_string(k) + "_" + path);
+        const std::string start = regionStartSignal(path);
+        const std::string done = regionDoneSignal(path);
+        for (const Pending& e : entries) {
+          fsm_.addTransition(e.from, wait, e.guard, {start});
+        }
+        fsm_.addTransition(wait, wait, Guard::literal(done, false), {});
+        return {{wait, Guard::literal(done, true)}};
+      }
+      case RegionKind::Seq:
+        for (std::size_t i = 0; i < r.children.size(); ++i) {
+          entries = lower(r.children[i],
+                          dfg::childRegionPath(path, "s" + std::to_string(i)),
+                          std::move(entries));
+        }
+        return entries;
+      case RegionKind::Loop:
+        // Static unroll: each iteration re-pulses the same leaf networks
+        // through fresh wait states.
+        for (int k = 0; k < r.tripCount; ++k) {
+          entries = lower(r.children.front(), dfg::childRegionPath(path, "l"),
+                          std::move(entries));
+        }
+        return entries;
+      case RegionKind::Cond: {
+        const Guard sel =
+            Guard::literal(branchSelectSignal(path), true);
+        const Guard notSel =
+            Guard::literal(branchSelectSignal(path), false);
+        std::vector<Pending> thenEntries, elseEntries;
+        for (const Pending& e : entries) {
+          thenEntries.push_back({e.from, e.guard.conjoin(sel)});
+          elseEntries.push_back({e.from, e.guard.conjoin(notSel)});
+        }
+        std::vector<Pending> exits =
+            lower(r.children[0], dfg::childRegionPath(path, "t"),
+                  std::move(thenEntries));
+        std::vector<Pending> elseExits =
+            lower(r.children[1], dfg::childRegionPath(path, "e"),
+                  std::move(elseEntries));
+        exits.insert(exits.end(), elseExits.begin(), elseExits.end());
+        return exits;
+      }
+    }
+    TAUHLS_FAIL("unreachable region kind");
+  }
+
+  const dfg::RegionProgram& program_;
+  Fsm fsm_;
+  std::vector<std::string> activations_;
+};
+
+}  // namespace
+
+Fsm buildRegionSequencer(const dfg::RegionProgram& program) {
+  return SequencerBuilder(program).build(nullptr);
+}
+
+std::vector<std::string> sequencerActivations(
+    const dfg::RegionProgram& program) {
+  std::vector<std::string> activations;
+  SequencerBuilder(program).build(&activations);
+  return activations;
+}
+
+const DistributedControlUnit& HierarchicalControlUnit::leaf(
+    const std::string& path) const {
+  for (const LeafControl& lc : leaves) {
+    if (lc.path == path) return lc.dcu;
+  }
+  TAUHLS_FAIL("no leaf controller network at region path '" + path + "'");
+}
+
+std::size_t HierarchicalControlUnit::totalStates() const {
+  std::size_t n = sequencer.numStates();
+  for (const LeafControl& lc : leaves) n += lc.dcu.totalStates();
+  return n;
+}
+
+int HierarchicalControlUnit::totalFlipFlops() const {
+  int n = sequencer.flipFlopCount();
+  for (const LeafControl& lc : leaves) n += lc.dcu.totalFlipFlops();
+  return n;
+}
+
+int HierarchicalControlUnit::completionLatchCount() const {
+  // Leaf-network latches plus one sticky latch per sequencer DN_* input.
+  int n = 0;
+  for (const LeafControl& lc : leaves) {
+    n += lc.dcu.completionLatchCount() + 1;
+  }
+  return n;
+}
+
+HierarchicalControlUnit buildHierarchicalControl(
+    const sched::RegionSchedule& rs) {
+  HierarchicalControlUnit hcu;
+  std::vector<std::string> activations;
+  hcu.sequencer = SequencerBuilder(rs.program).build(&activations);
+  hcu.activationPaths = std::move(activations);
+  for (const dfg::LeafRef& leaf : dfg::collectLeaves(rs.program)) {
+    hcu.leaves.push_back({leaf.path, buildDistributed(rs.leaf(leaf.path))});
+  }
+  return hcu;
+}
+
+}  // namespace tauhls::fsm

@@ -1,0 +1,74 @@
+// Composed distributed control for region programs.
+//
+// Each leaf region keeps the paper's Algorithm-1 controller network exactly
+// as in the flat flow (one Mealy FSM per arithmetic unit).  A thin *region
+// sequencer* composes them across region boundaries with a start/done
+// handshake in the same latency-insensitive style:
+//
+//   * the sequencer pulses ST_<path> to (re)arm leaf <path>'s network --
+//     a loop iteration is literally a re-pulse of the body's restart path;
+//   * it waits in a per-activation state until the leaf's DN_<path>
+//     completion pulse (the AND of the network's final CCO_* signals,
+//     latched like every completion signal);
+//   * a conditional forks the successor edges on a SEL_<cond-path> input
+//     (guarded activation of exactly one branch);
+//   * loops are statically unrolled into distinct wait states (static trip
+//     counts), so the sequencer stays a counter-free FSM that validateFsm
+//     can prove deterministic and complete.
+//
+// The sequencer asserts DONE when the last activation completes and wraps
+// back to INIT, mirroring the flat controllers' wrap-around restart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/distributed.hpp"
+#include "sched/region_schedule.hpp"
+
+namespace tauhls::fsm {
+
+/// Start pulse arming leaf <path>'s controller network.
+std::string regionStartSignal(const std::string& path);
+/// Completion pulse of leaf <path>'s controller network.
+std::string regionDoneSignal(const std::string& path);
+/// Branch-select input of the conditional at <condPath>; asserted = then.
+std::string branchSelectSignal(const std::string& condPath);
+/// Whole-program completion pulse of the sequencer.
+inline constexpr const char* kSequencerDoneSignal = "DONE";
+
+/// Build the region sequencer for a (validated) program.  Depends only on
+/// the program structure, never on schedules.  The returned machine is
+/// validated deterministic and complete.
+Fsm buildRegionSequencer(const dfg::RegionProgram& program);
+
+/// The static activation list the sequencer's wait states enumerate: leaf
+/// paths in traversal order with loops unrolled and *both* conditional
+/// branches included (activation k <=> state "W<k>_<path>").
+std::vector<std::string> sequencerActivations(const dfg::RegionProgram& program);
+
+/// One leaf's controller network.
+struct LeafControl {
+  std::string path;
+  DistributedControlUnit dcu;
+};
+
+/// The composed control structure: per-leaf Algorithm-1 networks plus the
+/// sequencer that chains their start/done handshakes.
+struct HierarchicalControlUnit {
+  std::vector<LeafControl> leaves;  ///< program order
+  Fsm sequencer;
+  std::vector<std::string> activationPaths;  ///< == sequencerActivations
+
+  const DistributedControlUnit& leaf(const std::string& path) const;
+  std::size_t totalStates() const;  ///< leaf controllers + sequencer
+  int totalFlipFlops() const;
+  int completionLatchCount() const;
+
+  HierarchicalControlUnit() : sequencer("seq") {}
+};
+
+/// Algorithm 1 per leaf + the region sequencer.
+HierarchicalControlUnit buildHierarchicalControl(const sched::RegionSchedule& rs);
+
+}  // namespace tauhls::fsm

@@ -1,0 +1,155 @@
+#include "sched/region_schedule.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tauhls::sched {
+
+using dfg::NodeId;
+
+const ScheduledDfg& RegionSchedule::leaf(const std::string& path) const {
+  const auto it = leaves.find(path);
+  TAUHLS_CHECK(it != leaves.end(), "no scheduled leaf at region path '" + path + "'");
+  return it->second;
+}
+
+double RegionSchedule::clockNs() const {
+  TAUHLS_CHECK(!leaves.empty(), "region schedule has no leaves");
+  return leaves.begin()->second.clockNs;
+}
+
+RegionSchedule scheduleRegions(const dfg::RegionProgram& program,
+                               const Allocation& alloc,
+                               const tau::ResourceLibrary& lib,
+                               BindingStrategy strategy,
+                               PriorityRule priority) {
+  dfg::validateRegionProgram(program);
+  RegionSchedule rs;
+  rs.program = program;
+  rs.strategy = strategy;
+  // The shared hardware must cover every leaf: normalize the request against
+  // each leaf body and keep the per-class maximum.
+  for (const dfg::LeafRef& leaf : dfg::collectLeaves(program)) {
+    for (const auto& [cls, n] : normalizeAllocation(leaf.region->body, alloc)) {
+      rs.allocation[cls] = std::max(rs.allocation[cls], n);
+    }
+  }
+  for (const dfg::LeafRef& leaf : dfg::collectLeaves(program)) {
+    rs.leaves.emplace(leaf.path, scheduleAndBind(leaf.region->body, rs.allocation,
+                                                 lib, strategy, priority));
+  }
+  return rs;
+}
+
+namespace {
+
+/// Operations a fresh activation can start immediately (no operation
+/// predecessor through data edges, state edges or schedule arcs).
+std::vector<NodeId> sourceOps(const dfg::Dfg& g) {
+  std::vector<NodeId> out;
+  for (NodeId v : g.opIds()) {
+    bool hasOpPred = false;
+    for (NodeId p : g.combinedPredecessors(v)) hasOpPred |= g.isOp(p);
+    if (!hasOpPred) out.push_back(v);
+  }
+  return out;
+}
+
+/// Operations whose completion ends the activation (no successor at all);
+/// every op reaches one of these along combined edges.
+std::vector<NodeId> terminalOps(const dfg::Dfg& g) {
+  std::vector<NodeId> out;
+  for (NodeId v : g.opIds()) {
+    if (g.combinedSuccessors(v).empty()) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+ScheduledDfg flattenScheduled(const RegionSchedule& rs,
+                              const dfg::BranchChoices& choices) {
+  TAUHLS_CHECK(!rs.leaves.empty(), "region schedule has no leaves");
+  const std::vector<std::string> trace =
+      dfg::activationTrace(rs.program, choices);
+  TAUHLS_CHECK(!trace.empty(), "empty activation trace");
+
+  ScheduledDfg flat;
+  flat.graph = dfg::Dfg(rs.program.name + "_flat");
+  flat.library = rs.leaves.begin()->second.library;
+  flat.clockNs = rs.leaves.begin()->second.clockNs;
+
+  // Physical units shared across activations, keyed by (class, index).
+  std::map<std::pair<dfg::ResourceClass, int>, int> unitIds;
+  std::vector<NodeId> prevTerminals;
+  std::vector<int> stepOf;  // grows with the flat graph
+  int stepOffset = 0;
+
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    const ScheduledDfg& leaf = rs.leaf(trace[k]);
+    TAUHLS_CHECK(leaf.clockNs == flat.clockNs,
+                 "leaf schedules disagree on the clock period");
+    const std::string prefix = "a" + std::to_string(k) + "_";
+
+    std::vector<NodeId> map(leaf.graph.numNodes(), dfg::kNoNode);
+    for (NodeId id = 0; id < leaf.graph.numNodes(); ++id) {
+      const dfg::Node& n = leaf.graph.node(id);
+      if (n.kind == dfg::OpKind::Input) {
+        map[id] = flat.graph.addInput(prefix + n.name);
+        stepOf.push_back(-1);
+      } else {
+        std::vector<NodeId> operands;
+        operands.reserve(n.operands.size());
+        for (NodeId o : n.operands) operands.push_back(map[o]);
+        map[id] = flat.graph.addOp(n.kind, std::span<const NodeId>(operands),
+                                   prefix + n.name);
+        stepOf.push_back(stepOffset + leaf.steps.stepOf[id]);
+      }
+    }
+    for (const dfg::ScheduleArc& a : leaf.graph.scheduleArcs()) {
+      flat.graph.addScheduleArc(map[a.from], map[a.to]);
+    }
+    for (const dfg::ScheduleArc& a : leaf.graph.stateEdges()) {
+      flat.graph.addStateEdge(map[a.from], map[a.to]);
+    }
+    for (NodeId o : leaf.graph.outputs()) flat.graph.markOutput(map[o]);
+
+    // Concatenate the per-unit execution sequences on the shared units.
+    for (int u = 0; u < static_cast<int>(leaf.binding.numUnits()); ++u) {
+      const UnitInstance& unit = leaf.binding.unit(u);
+      const auto key = std::make_pair(unit.cls, unit.index);
+      auto it = unitIds.find(key);
+      if (it == unitIds.end()) {
+        it = unitIds.emplace(key, flat.binding.addUnit(unit.cls, unit.index))
+                 .first;
+      }
+      for (NodeId op : leaf.binding.sequenceOf(u)) {
+        flat.binding.assign(map[op], it->second);
+      }
+    }
+
+    // Barrier: the sequencer re-pulses the next activation's restart path
+    // only once every op of this activation has completed.
+    if (!prevTerminals.empty()) {
+      for (NodeId s : sourceOps(leaf.graph)) {
+        for (NodeId t : prevTerminals) flat.graph.addStateEdge(t, map[s]);
+      }
+    }
+    std::vector<NodeId> terminals;
+    for (NodeId t : terminalOps(leaf.graph)) terminals.push_back(map[t]);
+    prevTerminals = std::move(terminals);
+    stepOffset += leaf.steps.numSteps;
+  }
+
+  flat.steps.stepOf = std::move(stepOf);
+  flat.steps.numSteps = stepOffset;
+  flat.graph.validate();
+  validateStepSchedule(flat.graph, flat.steps, &rs.allocation);
+  validateBinding(flat.graph, flat.binding);
+  flat.taubm = buildTaubm(flat.graph, flat.steps, flat.library);
+  return flat;
+}
+
+}  // namespace tauhls::sched

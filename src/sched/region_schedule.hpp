@@ -1,0 +1,48 @@
+// Per-region scheduling against one shared TAU allocation.
+//
+// Every leaf of a region program is scheduled and bound independently with
+// the *same* allocation, library and strategy -- the hardware is one set of
+// telescopic units that all regions time-share, and the region sequencer
+// activates one leaf's controller network at a time.  flattenScheduled builds
+// the flat-inlined unrolled reference by replicating the already-scheduled
+// leaf graphs (schedule arcs included) per activation, concatenating the
+// per-unit execution sequences, offsetting the step schedules, and inserting
+// state-edge barriers at activation boundaries -- so the reference is the
+// same schedule the composed controllers realize, expressed as one flat
+// ScheduledDfg that every existing flat analysis accepts.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "dfg/region.hpp"
+#include "sched/scheduled_dfg.hpp"
+
+namespace tauhls::sched {
+
+struct RegionSchedule {
+  dfg::RegionProgram program;
+  std::map<std::string, ScheduledDfg> leaves;  ///< keyed by leaf region path
+  Allocation allocation;                       ///< normalized, shared
+  BindingStrategy strategy = BindingStrategy::LeftEdge;
+
+  const ScheduledDfg& leaf(const std::string& path) const;
+  /// Clock period shared by every leaf (CC_TAU of the common library).
+  double clockNs() const;
+};
+
+/// Schedule and bind every leaf against the shared allocation; validates the
+/// program first.
+RegionSchedule scheduleRegions(const dfg::RegionProgram& program,
+                               const Allocation& alloc,
+                               const tau::ResourceLibrary& lib,
+                               BindingStrategy strategy = BindingStrategy::LeftEdge,
+                               PriorityRule priority = PriorityRule::CriticalPath);
+
+/// The flat-inlined unrolled reference schedule under `choices` (see the
+/// file comment).  Unit instances are shared across activations by
+/// (class, index) -- the same physical units the composed controllers drive.
+ScheduledDfg flattenScheduled(const RegionSchedule& rs,
+                              const dfg::BranchChoices& choices);
+
+}  // namespace tauhls::sched

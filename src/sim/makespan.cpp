@@ -31,7 +31,7 @@ std::vector<int> distributedFinishCycles(const sched::ScheduledDfg& s,
   for (NodeId v : order) {
     if (!s.graph.isOp(v)) continue;
     int start = 0;
-    for (NodeId p : s.graph.dataPredecessors(v)) {
+    for (NodeId p : s.graph.dependencePredecessors(v)) {
       if (s.graph.isOp(p)) start = std::max(start, finish[p] + 1);
     }
     if (prevOnUnit[v] != dfg::kNoNode) {
@@ -85,7 +85,7 @@ MakespanEngine::MakespanEngine(const sched::ScheduledDfg& s) {
     idOfSlot_.push_back(v);
     shortCycles_.push_back(s.opCycles(v, true));
     longCycles_.push_back(s.opCycles(v, false));
-    for (NodeId p : s.graph.dataPredecessors(v)) {
+    for (NodeId p : s.graph.dependencePredecessors(v)) {
       if (s.graph.isOp(p)) preds_.push_back(slotOf[p]);
     }
     if (prevOnUnit[v] != dfg::kNoNode) preds_.push_back(slotOf[prevOnUnit[v]]);

@@ -40,7 +40,7 @@ StreamingResult streamingMakespan(
     for (NodeId v : order) {
       if (!s.graph.isOp(v)) continue;
       int start = 0;
-      for (NodeId p : s.graph.dataPredecessors(v)) {
+      for (NodeId p : s.graph.dependencePredecessors(v)) {
         if (s.graph.isOp(p)) start = std::max(start, finish[p] + 1);
       }
       if (prevOnUnit[v] != dfg::kNoNode) {

@@ -23,7 +23,7 @@ namespace {
 std::vector<std::string> externalPredSignals(const sched::ScheduledDfg& s,
                                              NodeId op, int unitId) {
   std::vector<std::string> out;
-  for (NodeId p : s.graph.dataPredecessors(op)) {
+  for (NodeId p : s.graph.dependencePredecessors(op)) {
     if (!s.graph.isOp(p)) continue;
     if (s.binding.unitOf(p) != unitId) {
       out.push_back(fsm::opCompletionSignal(s.graph.node(p).name));

@@ -84,7 +84,7 @@ int distributedMakespanCycles(const sched::ScheduledDfg& s,
   for (NodeId v : dfg::topologicalOrder(s.graph)) {
     if (!s.graph.isOp(v)) continue;
     int start = 0;
-    for (NodeId p : s.graph.dataPredecessors(v)) {
+    for (NodeId p : s.graph.dependencePredecessors(v)) {
       if (s.graph.isOp(p)) start = std::max(start, finish[p] + 1);
     }
     if (prevOnUnit[v] != dfg::kNoNode) {

@@ -33,6 +33,10 @@ const std::vector<RuleInfo>& allRules() {
       {"DFG007", Severity::Warning, "primary input has no consumers"},
       {"DFG008", Severity::Error,
        "invalid schedule arc (missing endpoint, self-arc, or duplicate)"},
+      {"DFG009", Severity::Error,
+       "region tree is structurally invalid (bad arity, undefined name, or "
+       "outputs not defined on every path)"},
+      {"DFG010", Severity::Error, "loop region has a trip count below one"},
       // --- schedule / binding legality -----------------------------------
       {"SCH001", Severity::Error, "operation is not bound to any unit"},
       {"SCH002", Severity::Error,
@@ -54,6 +58,8 @@ const std::vector<RuleInfo>& allRules() {
       {"SCH010", Severity::Warning,
        "register allocation exceeds the maximum-live lower bound"},
       {"SCH011", Severity::Error, "operation is missing a control step"},
+      {"SCH012", Severity::Error,
+       "leaf schedules disagree on the shared allocation, clock, or library"},
       // --- FSM static checks ---------------------------------------------
       {"FSM001", Severity::Error, "state is unreachable from the initial state"},
       {"FSM002", Severity::Error, "state has no outgoing transitions"},
@@ -86,6 +92,9 @@ const std::vector<RuleInfo>& allRules() {
        "model check incomplete: reachable-state bound exceeded"},
       {"MDL008", Severity::Info,
        "symbolic model check summary (BMC + k-induction verdicts)"},
+      {"MDL009", Severity::Error,
+       "region sequencer handshake defect (start/done protocol violated)"},
+      {"MDL010", Severity::Info, "composed-controller summary"},
       // --- netlist / RTL structural checks -------------------------------
       {"NET001", Severity::Error, "combinational cycle"},
       {"NET002", Severity::Error, "undriven net or signal"},
@@ -140,6 +149,12 @@ void Report::add(const std::string& code, const std::string& artifact,
   const RuleInfo* rule = findRule(code);
   TAUHLS_ASSERT(rule != nullptr, "diagnostic uses unregistered rule " + code);
   diags_.push_back(Diagnostic{code, rule->severity, artifact, where, message});
+}
+
+void Report::addDiagnostic(const Diagnostic& d) {
+  TAUHLS_ASSERT(findRule(d.code) != nullptr,
+                "diagnostic uses unregistered rule " + d.code);
+  diags_.push_back(d);
 }
 
 std::size_t Report::count(Severity severity) const {

@@ -60,6 +60,10 @@ class Report {
   void add(const std::string& code, const std::string& artifact,
            const std::string& where, const std::string& message);
 
+  /// Append a fully-formed diagnostic (e.g. one re-anchored to a different
+  /// artifact); the code must still be registered.
+  void addDiagnostic(const Diagnostic& d);
+
   const std::vector<Diagnostic>& diagnostics() const { return diags_; }
   std::size_t count(Severity severity) const;
   std::size_t errorCount() const { return count(Severity::Error); }

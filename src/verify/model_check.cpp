@@ -31,7 +31,7 @@ OpTable buildOpTable(const sched::ScheduledDfg& s) {
   t.dataPreds.resize(t.names.size());
   t.unitPred.assign(t.names.size(), -1);
   for (NodeId v : s.graph.opIds()) {
-    for (NodeId p : s.graph.dataPredecessors(v)) {
+    for (NodeId p : s.graph.dependencePredecessors(v)) {
       if (s.graph.isOp(p)) t.dataPreds[indexOfNode.at(v)].push_back(indexOfNode.at(p));
     }
   }

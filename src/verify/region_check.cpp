@@ -1,0 +1,193 @@
+#include "verify/region_check.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "verify/dfg_lint.hpp"
+#include "verify/fsm_check.hpp"
+#include "verify/sched_lint.hpp"
+
+namespace tauhls::verify {
+
+namespace {
+
+std::string regionArtifact(const dfg::RegionProgram& program) {
+  return "region " + program.name;
+}
+
+std::string leafArtifact(const std::string& path) {
+  return "region leaf " + (path.empty() ? std::string("<root>") : path);
+}
+
+/// True when the two unit types describe the same physical unit.
+bool sameUnitType(const tau::UnitType& a, const tau::UnitType& b) {
+  return a.name == b.name && a.cls == b.cls && a.telescopic == b.telescopic &&
+         a.shortDelayNs == b.shortDelayNs && a.longDelayNs == b.longDelayNs &&
+         a.sdProbability == b.sdProbability;
+}
+
+}  // namespace
+
+void checkRegionProgram(const dfg::RegionProgram& program, Report& report) {
+  const std::string artifact = regionArtifact(program);
+  for (const dfg::RegionIssue& issue : dfg::checkRegionProgram(program)) {
+    report.add(issue.code, artifact, issue.where, issue.message);
+  }
+  if (report.has("DFG009") || report.has("DFG010")) return;
+  // Structure is sound: run the flat lint family over every leaf body.
+  for (const dfg::LeafRef& leaf : dfg::collectLeaves(program)) {
+    Report leafReport;
+    lintDfg(leaf.region->body, leafReport);
+    for (Diagnostic d : leafReport.diagnostics()) {
+      d.artifact = leafArtifact(leaf.path);
+      report.addDiagnostic(d);
+    }
+  }
+}
+
+void checkRegionSchedule(const sched::RegionSchedule& rs, Report& report) {
+  const std::string artifact = regionArtifact(rs.program);
+  const std::vector<dfg::LeafRef> leaves = dfg::collectLeaves(rs.program);
+  if (leaves.empty()) return;
+
+  const sched::ScheduledDfg& first = rs.leaf(leaves.front().path);
+  for (const dfg::LeafRef& leaf : leaves) {
+    const sched::ScheduledDfg& s = rs.leaf(leaf.path);
+    const std::string where = leaf.path.empty() ? "<root>" : leaf.path;
+
+    // One clock: every leaf controller network runs off the same CC_TAU.
+    if (s.clockNs != first.clockNs) {
+      report.add("SCH012", artifact, where,
+                 "clock period " + std::to_string(s.clockNs) +
+                     " ns differs from the program's " +
+                     std::to_string(first.clockNs) + " ns");
+    }
+
+    // One allocation: no leaf may instantiate more units of a class than the
+    // shared hardware provides.
+    std::set<dfg::ResourceClass> classes;
+    for (const sched::UnitInstance& u : s.binding.units()) classes.insert(u.cls);
+    for (const dfg::ResourceClass cls : classes) {
+      const auto it = rs.allocation.find(cls);
+      const int allowed = it == rs.allocation.end() ? 0 : it->second;
+      const int used =
+          static_cast<int>(s.binding.unitsOfClass(cls).size());
+      if (used > allowed) {
+        report.add("SCH012", artifact, where,
+                   std::string("binding instantiates ") + std::to_string(used) +
+                       " " + dfg::resourceClassName(cls) +
+                       " units but the shared allocation provides " +
+                       std::to_string(allowed));
+      }
+      // One library: the shared units must have identical delay models in
+      // every leaf that drives them.
+      if (!s.library.has(cls) || !first.library.has(cls)) {
+        report.add("SCH012", artifact, where,
+                   std::string("library lacks a unit type for class ") +
+                       dfg::resourceClassName(cls));
+      } else if (!sameUnitType(s.library.typeFor(cls),
+                               first.library.typeFor(cls))) {
+        report.add("SCH012", artifact, where,
+                   std::string("unit type for class ") +
+                       dfg::resourceClassName(cls) +
+                       " differs from the first leaf's library");
+      }
+    }
+
+    // Flat legality family per leaf, re-anchored to the leaf artifact.
+    Report leafReport;
+    lintSchedule(s, &rs.allocation, leafReport);
+    for (Diagnostic d : leafReport.diagnostics()) {
+      d.artifact = leafArtifact(leaf.path);
+      report.addDiagnostic(d);
+    }
+  }
+}
+
+void checkComposedControl(const fsm::HierarchicalControlUnit& hcu,
+                          const dfg::RegionProgram& program, Report& report) {
+  const std::string artifact = "seq " + hcu.sequencer.name();
+  const fsm::Fsm& seq = hcu.sequencer;
+
+  // The sequencer is an ordinary machine first: run the FSM family.
+  checkFsm(seq, report);
+
+  const std::vector<std::string>& activations = hcu.activationPaths;
+  for (std::size_t k = 0; k < activations.size(); ++k) {
+    const std::string& path = activations[k];
+    const std::string waitName = "W" + std::to_string(k) + "_" + path;
+    const int wait = seq.findState(waitName);
+    if (wait < 0) {
+      report.add("MDL009", artifact, waitName,
+                 "activation " + std::to_string(k) + " of leaf '" + path +
+                     "' has no wait state");
+      continue;
+    }
+    const std::string start = fsm::regionStartSignal(path);
+    const std::string done = fsm::regionDoneSignal(path);
+
+    bool hasHold = false;
+    for (std::size_t s = 0; s < seq.numStates(); ++s) {
+      for (const fsm::Transition* t :
+           seq.transitionsFrom(static_cast<int>(s))) {
+        const bool entry = t->to == wait && t->from != wait;
+        const bool hold = t->to == wait && t->from == wait;
+        const bool exit = t->from == wait && t->to != wait;
+        const bool asserts =
+            std::find(t->outputs.begin(), t->outputs.end(), start) !=
+            t->outputs.end();
+        if (entry && !asserts) {
+          report.add("MDL009", artifact, waitName,
+                     "entry from " + seq.stateName(t->from) +
+                         " does not pulse " + start);
+        }
+        // A hold or exit must be decided by the leaf's completion pulse:
+        // every guard term carries the DN_* literal with the right polarity.
+        if (hold || exit) {
+          const bool want = exit;
+          for (const fsm::GuardTerm& term : t->guard.terms()) {
+            const auto it = term.literals.find(done);
+            if (it == term.literals.end() || it->second != want) {
+              report.add("MDL009", artifact, waitName,
+                         std::string(exit ? "exit" : "self-loop") +
+                             " guard '" + t->guard.toString() +
+                             "' is not gated on " + (want ? "" : "!") + done);
+              break;
+            }
+          }
+        }
+        if (hold) hasHold = true;
+      }
+    }
+    if (!hasHold) {
+      report.add("MDL009", artifact, waitName,
+                 "wait state cannot hold: no !" + done + " self-loop");
+    }
+  }
+
+  // The wrap-around edges (back to the initial state) must pulse DONE.
+  const int init = seq.initial();
+  for (std::size_t s = 0; s < seq.numStates(); ++s) {
+    for (const fsm::Transition* t : seq.transitionsFrom(static_cast<int>(s))) {
+      if (t->to != init || t->from == init) continue;
+      if (std::find(t->outputs.begin(), t->outputs.end(),
+                    fsm::kSequencerDoneSignal) == t->outputs.end()) {
+        report.add("MDL009", artifact, seq.stateName(t->from),
+                   std::string("wrap-around to ") + seq.stateName(init) +
+                       " does not pulse " + fsm::kSequencerDoneSignal);
+      }
+    }
+  }
+
+  report.add("MDL010", artifact, "",
+             std::to_string(hcu.leaves.size()) + " leaf networks, " +
+                 std::to_string(activations.size()) + " activations, " +
+                 std::to_string(seq.numStates()) + " sequencer states, " +
+                 std::to_string(hcu.totalFlipFlops()) + " flip-flops, " +
+                 std::to_string(hcu.completionLatchCount()) +
+                 " completion latches (program " + program.name + ")");
+}
+
+}  // namespace tauhls::verify

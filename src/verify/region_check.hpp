@@ -1,0 +1,40 @@
+// Static checks for region programs and composed distributed control.
+//
+// Three rule groups extend the flat families to hierarchy:
+//
+//   * DFG009/DFG010 -- region-tree structure (re-reported from
+//     dfg::checkRegionProgram through the shared diagnostics engine);
+//   * SCH012 -- the leaves of a RegionSchedule must agree on the shared
+//     hardware: one allocation, one clock period, one unit library.  The
+//     sequencer time-shares a single set of telescopic units across regions,
+//     so any disagreement means the composed schedule describes hardware
+//     that cannot exist;
+//   * MDL009/MDL010 -- the sequencer's start/done handshake.  Every
+//     activation's wait state must be armed by transitions asserting its
+//     leaf's ST_* pulse, hold itself under !DN_*, and leave only under
+//     DN_*; the final activations must pulse DONE on wrap-around.  MDL010
+//     is the info summary (leaves, activations, sequencer states).
+#pragma once
+
+#include "dfg/region.hpp"
+#include "fsm/hierarchical.hpp"
+#include "sched/region_schedule.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace tauhls::verify {
+
+/// DFG009/DFG010 over the region tree, plus the flat DFG lint family on
+/// every leaf body (artifact "region leaf <path>").
+void checkRegionProgram(const dfg::RegionProgram& program, Report& report);
+
+/// SCH012 cross-leaf consistency, plus the flat schedule/binding legality
+/// family (SCH001..SCH011) on every leaf schedule.
+void checkRegionSchedule(const sched::RegionSchedule& rs, Report& report);
+
+/// MDL009 handshake structure + FSM001..FSM007 on the sequencer machine, and
+/// the MDL010 composed summary.  Leaf controller networks are expected to be
+/// model-checked individually by the flat passes.
+void checkComposedControl(const fsm::HierarchicalControlUnit& hcu,
+                          const dfg::RegionProgram& program, Report& report);
+
+}  // namespace tauhls::verify

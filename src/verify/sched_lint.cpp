@@ -80,9 +80,9 @@ void lintSchedule(const sched::ScheduledDfg& s, const sched::Allocation* alloc,
     }
   }
 
-  // SCH004: data predecessors strictly earlier.
+  // SCH004: dependence predecessors (data + state edges) strictly earlier.
   for (NodeId v : g.opIds()) {
-    for (NodeId p : g.dataPredecessors(v)) {
+    for (NodeId p : g.dependencePredecessors(v)) {
       if (!g.isOp(p)) continue;
       if (stepAt(v) >= 0 && stepAt(p) >= 0 && stepAt(p) >= stepAt(v)) {
         report.add("SCH004", artifact, g.node(v).name,

@@ -21,6 +21,7 @@ Known schemas and the bench binaries that emit them:
     tauhls-bench-kernels     build/bench/kernel_speed
     tauhls-bench-pipeline    build/bench/pipeline_trajectory
     tauhls-bench-modelcheck  build/bench/model_check_speed
+    tauhls-bench-regions     build/bench/region_flow
 
 Usage: compare_bench.py BASELINE CURRENT [-o REPORT.md]
 """
@@ -33,6 +34,7 @@ KNOWN_SCHEMAS = {
     "tauhls-bench-kernels": "Kernel bench comparison",
     "tauhls-bench-pipeline": "Pipeline bench trajectory",
     "tauhls-bench-modelcheck": "Model-check bench comparison",
+    "tauhls-bench-regions": "Hierarchical-regions bench comparison",
 }
 
 
