@@ -1,0 +1,24 @@
+#include "aig/ternary.hpp"
+
+namespace tauhls::aig {
+
+void TernaryEvaluator::run(const std::vector<XWord>& inputs) {
+  const std::size_t n = g_->numNodes();
+  node_.assign(n, xAllZero());
+  // Node 0 is the constant-false node; its positive literal reads all-0.
+  for (std::uint32_t i = 1; i < n; ++i) {
+    if (g_->isInput(i)) {
+      const std::size_t idx = g_->inputIndexOf(i);
+      node_[i] = idx < inputs.size() ? inputs[idx] : xAllX();
+    } else {
+      const Lit f0 = g_->fanin0(i);
+      const Lit f1 = g_->fanin1(i);
+      const XWord a = isNegated(f0) ? xNot(node_[nodeOf(f0)]) : node_[nodeOf(f0)];
+      const XWord b = isNegated(f1) ? xNot(node_[nodeOf(f1)]) : node_[nodeOf(f1)];
+      node_[i] = xAnd(a, b);
+      ++gateEvals_;
+    }
+  }
+}
+
+}  // namespace tauhls::aig

@@ -1,6 +1,8 @@
 #include "core/cli.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -21,6 +23,7 @@
 #include "verify/equiv_check.hpp"
 #include "verify/symbolic_check.hpp"
 #include "verify/verify.hpp"
+#include "verify/xprop_check.hpp"
 
 namespace tauhls::core {
 
@@ -48,6 +51,8 @@ std::string cliHelp() {
       "                    get full concurrency)\n"
       "  --p LIST          SD-ratio sweep, e.g. 0.9,0.7,0.5\n"
       "  --strategy S      leftedge (default) | clique\n"
+      "  --encoding E      controller state encoding: binary (default) |\n"
+      "                    onehot (area model, equivalence and X checks)\n"
       "  --no-signal-opt   keep unconsumed completion outputs\n"
       "  --model-check E   controller model-check engine (MDL rules):\n"
       "                    explicit (default) = bounded product exploration,\n"
@@ -94,13 +99,22 @@ std::string cliHelp() {
       "                    with a SAT miter per function (rules EQV*)\n"
       "  --timing          also run static timing analysis over every\n"
       "                    controller netlist against CC_TAU (rules TIM*)\n"
+      "  --xprop           also run the X-propagation / reset-robustness\n"
+      "                    analysis (ternary power-on simulation + RTL\n"
+      "                    ternary replay, rules XPR*) and the don't-care\n"
+      "                    soundness proof of the minimized covers (SAT +\n"
+      "                    k-induction, rules DCS*)\n"
+      "  --only RULES      keep only the listed rule codes (comma list,\n"
+      "                    e.g. XPR001,DCS002); filtered-out rules that\n"
+      "                    fired are reported as skipped in the JSON\n"
       "  --lint-json FILE  also write all diagnostics as JSON\n"
-      "                    ({\"schema\":\"tauhls-lint\",\"version\":4} with\n"
-      "                    per-rule counts, SAT cost and per-property\n"
-      "                    symbolic model-check verdicts)\n"
-      "  (--alloc, --strategy, --no-signal-opt, --model-check, --max-states,\n"
-      "  --store and --trace-json apply as above; lint evaluates only the\n"
-      "  verification passes, never the latency or area model)\n"
+      "                    ({\"schema\":\"tauhls-lint\",\"version\":5} with\n"
+      "                    per-rule counts, SAT cost, per-property symbolic\n"
+      "                    and xprop verdicts, and skipped rules)\n"
+      "  (--alloc, --strategy, --encoding, --no-signal-opt, --model-check,\n"
+      "  --max-states, --store and --trace-json apply as above; lint\n"
+      "  evaluates only the verification passes, never the latency or area\n"
+      "  model)\n"
       "\n"
       "subcommand: tauhlsc cache (stat | gc) --store DIR [options]\n"
       "\n"
@@ -222,6 +236,20 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
         return std::nullopt;
       }
       o.lintTiming = true;
+    } else if (a == "--xprop") {
+      if (!o.lint) {
+        error = "--xprop is only valid with the lint subcommand";
+        return std::nullopt;
+      }
+      o.lintXprop = true;
+    } else if (a == "--only") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      if (!o.lint) {
+        error = "--only is only valid with the lint subcommand";
+        return std::nullopt;
+      }
+      o.lintOnly = *v;
     } else if (a == "--lint-json") {
       auto v = needValue(i);
       if (!v) return std::nullopt;
@@ -272,6 +300,15 @@ std::optional<CliOptions> parseCli(const std::vector<std::string>& args,
       else if (*v == "clique") o.strategy = sched::BindingStrategy::CliqueCover;
       else {
         error = "unknown strategy '" + *v + "'";
+        return std::nullopt;
+      }
+    } else if (a == "--encoding") {
+      auto v = needValue(i);
+      if (!v) return std::nullopt;
+      if (*v == "binary") o.encoding = synth::EncodingStyle::Binary;
+      else if (*v == "onehot") o.encoding = synth::EncodingStyle::OneHot;
+      else {
+        error = "unknown encoding '" + *v + "' (expected binary or onehot)";
         return std::nullopt;
       }
     } else if (a == "--model-check" || a.rfind("--model-check=", 0) == 0) {
@@ -443,6 +480,37 @@ std::string readDesign(const std::string& path, std::string& name) {
   return buffer.str();
 }
 
+/// Parse and validate `lint --only RULE[,RULE...]`; unknown codes are a CLI
+/// error (better a hard failure than silently filtering everything out).
+std::vector<std::string> parseOnlyCodes(const std::string& spec) {
+  std::vector<std::string> codes;
+  if (spec.empty()) return codes;
+  for (const std::string& code : split(spec, ',')) {
+    TAUHLS_CHECK(verify::findRule(code) != nullptr,
+                 "--only: unknown rule code '" + code + "'");
+    codes.push_back(code);
+  }
+  return codes;
+}
+
+/// Keep only diagnostics whose rule code is listed (empty list = keep all);
+/// the codes of everything dropped accumulate in `skippedCodes` so the JSON
+/// can report what the filter suppressed.
+verify::Report applyOnlyFilter(const verify::Report& report,
+                               const std::vector<std::string>& codes,
+                               std::set<std::string>& skippedCodes) {
+  if (codes.empty()) return report;
+  verify::Report kept;
+  for (const verify::Diagnostic& d : report.diagnostics()) {
+    if (std::find(codes.begin(), codes.end(), d.code) != codes.end()) {
+      kept.addDiagnostic(d);
+    } else {
+      skippedCodes.insert(d.code);
+    }
+  }
+  return kept;
+}
+
 /// Lint a hierarchical design through the composed flow (diagnostics only:
 /// per-leaf pipelines, cross-region checks, sequencer handshake).
 int runLintHierarchical(const CliOptions& options,
@@ -457,25 +525,48 @@ int runLintHierarchical(const CliOptions& options,
   FlowConfig cfg;
   cfg.allocation = options.allocation;
   cfg.strategy = options.strategy;
+  cfg.encoding = options.encoding;
   cfg.optimizeSignals = options.signalOpt;
   cfg.verifyMaxStates = options.maxStates ? options.maxStates : 200000;
   cfg.modelCheck = options.modelCheck;
+  const std::vector<std::string> onlyCodes = parseOnlyCodes(options.lintOnly);
   HierFlowOptions ho;
   ho.branches = parseBranchesSpec(options.branchesSpec);
   ho.equivalence = options.lintEquiv;
+  ho.xprop = options.lintXprop;
   ho.latency = false;    // diagnostics only
   ho.gateErrors = false; // report, don't throw; the exit code is the gate
   const HierFlowResult r =
       runHierFlow(program, cfg, ho, makeCache(options));
-  out << "== " << name << " ==\n"
-      << verify::renderText(r.diagnostics) << "\n";
+  if (options.lintXprop) {
+    out << "-- " << name << ": x-safety over " << r.xpropStats.controllers
+        << " controllers, reset depth " << r.xpropStats.resetDepth << ", "
+        << r.xpropStats.instances << " power-on instances; "
+        << r.dcsStats.dcFunctions << "/" << r.dcsStats.functionsChecked
+        << " covers exploit don't-cares --\n";
+  }
+  std::set<std::string> skippedCodes;
+  const verify::Report filtered =
+      applyOnlyFilter(r.diagnostics, onlyCodes, skippedCodes);
+  out << "== " << name << " ==\n" << verify::renderText(filtered) << "\n";
   if (!options.lintJsonPath.empty()) {
     std::ofstream j(options.lintJsonPath);
     TAUHLS_CHECK(static_cast<bool>(j), "cannot open " + options.lintJsonPath);
-    j << verify::renderJson(r.diagnostics) << "\n";
+    verify::JsonSections sections;
+    for (const auto& [code, cost] : r.xpropStats.ruleCost()) {
+      sections.satCost[code] += cost;
+    }
+    for (const auto& [code, cost] : r.dcsStats.ruleCost()) {
+      sections.satCost[code] += cost;
+    }
+    sections.xprop = r.xpropStats.properties;
+    sections.xprop.insert(sections.xprop.end(), r.dcsStats.properties.begin(),
+                          r.dcsStats.properties.end());
+    sections.skipped.assign(skippedCodes.begin(), skippedCodes.end());
+    j << verify::renderJson(filtered, sections) << "\n";
     out << "wrote lint JSON to " << options.lintJsonPath << "\n";
   }
-  return r.diagnostics.hasErrors() ? 1 : 0;
+  return filtered.hasErrors() ? 1 : 0;
 }
 
 /// `tauhlsc lint`: run the static checker over one design or the whole
@@ -504,12 +595,16 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
     verify::EquivStats allEquiv;
     std::map<std::string, verify::RuleCost> satCost;
     std::vector<verify::SymbolicPropertyStat> symbolicRows;
+    std::vector<verify::XpropPropertyStat> xpropRows;
+    const std::vector<std::string> onlyCodes = parseOnlyCodes(options.lintOnly);
+    std::set<std::string> skippedCodes;
     std::vector<TracedRun> traces;
     const std::shared_ptr<ArtifactCache> cache = makeCache(options);
     for (const dfg::NamedBenchmark& b : designs) {
       FlowConfig cfg;
       cfg.allocation = b.allocation;
       cfg.strategy = options.strategy;
+      cfg.encoding = options.encoding;
       cfg.optimizeSignals = options.signalOpt;
       // The CLI is a one-shot audit: use the full exploration budget rather
       // than the flow gate's fast default.
@@ -548,6 +643,27 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
       if (options.lintTiming) {
         report.merge(pipeline.get<verify::Report>(Artifact::Timing));
       }
+      if (options.lintXprop) {
+        const auto& xc = pipeline.get<verify::XCheckArtifact>(Artifact::XCheck);
+        report.merge(xc.report);
+        out << "-- " << b.name << ": x-safety over " << xc.xprop.controllers
+            << " controllers, " << (xc.xprop.stateBits + xc.xprop.latchBits)
+            << " registers, reset depth " << xc.xprop.resetDepth << ", "
+            << xc.xprop.instances << " power-on instances; "
+            << xc.dcs.dcFunctions << "/" << xc.dcs.functionsChecked
+            << " covers exploit don't-cares --\n";
+        for (const auto& [code, cost] : xc.xprop.ruleCost()) {
+          satCost[code] += cost;
+        }
+        for (const auto& [code, cost] : xc.dcs.ruleCost()) {
+          satCost[code] += cost;
+        }
+        xpropRows.insert(xpropRows.end(), xc.xprop.properties.begin(),
+                         xc.xprop.properties.end());
+        xpropRows.insert(xpropRows.end(), xc.dcs.properties.begin(),
+                         xc.dcs.properties.end());
+      }
+      report = applyOnlyFilter(report, onlyCodes, skippedCodes);
 
       out << "== " << b.name << " ==\n" << verify::renderText(report) << "\n";
       all.merge(report);
@@ -559,7 +675,12 @@ int runLint(const CliOptions& options, std::ostream& out, std::ostream& err) {
       TAUHLS_CHECK(static_cast<bool>(j),
                    "cannot open " + options.lintJsonPath);
       for (const auto& [code, cost] : allEquiv.ruleCost) satCost[code] += cost;
-      j << verify::renderJson(all, satCost, symbolicRows) << "\n";
+      verify::JsonSections sections;
+      sections.satCost = satCost;
+      sections.symbolic = symbolicRows;
+      sections.xprop = xpropRows;
+      sections.skipped.assign(skippedCodes.begin(), skippedCodes.end());
+      j << verify::renderJson(all, sections) << "\n";
       out << "wrote lint JSON to " << options.lintJsonPath << "\n";
     }
     if (!options.traceJsonPath.empty()) {
@@ -607,6 +728,7 @@ int runFlowHierarchical(const CliOptions& options,
     cfg.allocation = options.allocation;
     cfg.ps = options.ps;
     cfg.strategy = options.strategy;
+    cfg.encoding = options.encoding;
     cfg.optimizeSignals = options.signalOpt;
     cfg.synthesizeArea = false;
     cfg.modelCheck = options.modelCheck;
@@ -663,6 +785,7 @@ int runCli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     cfg.allocation = options.allocation;
     cfg.ps = options.ps;
     cfg.strategy = options.strategy;
+    cfg.encoding = options.encoding;
     cfg.optimizeSignals = options.signalOpt;
     cfg.buildCentFsm = options.centFsm;
     cfg.synthesizeArea = options.table1;

@@ -28,6 +28,11 @@ struct CliOptions {
   bool lintBenchmarks = false;///< lint every built-in paper benchmark
   bool lintEquiv = false;     ///< also run SAT equivalence checking (EQV*)
   bool lintTiming = false;    ///< also run static timing analysis (TIM*)
+  bool lintXprop = false;     ///< also run X-propagation + don't-care
+                              ///< soundness (XPR*/DCS* rules)
+  /// `lint --only RULE[,RULE...]`: keep diagnostics of these rule codes
+  /// only; everything else is reported as skipped in the JSON.  Empty = all.
+  std::string lintOnly;
   std::string lintJsonPath;   ///< empty = text only; else JSON diagnostics
   /// Controller model-check engine: explicit | symbolic | auto (--model-check).
   ModelCheckMode modelCheck = ModelCheckMode::Explicit;
@@ -46,6 +51,7 @@ struct CliOptions {
   sched::Allocation allocation;
   std::vector<double> ps = {0.9, 0.7, 0.5};
   sched::BindingStrategy strategy = sched::BindingStrategy::LeftEdge;
+  synth::EncodingStyle encoding = synth::EncodingStyle::Binary;
   bool signalOpt = true;
   bool centFsm = false;
   bool table1 = false;

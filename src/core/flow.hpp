@@ -80,6 +80,17 @@ struct FlowConfig {
   /// SAT conflict budget per miter for the demand-only `equiv` pass; an
   /// exceeded budget degrades to an EQV005 warning, never a false claim.
   std::uint64_t equivMaxConflicts = 200000;
+  /// Reset-depth search budget of the demand-only `xcheck` pass (XPR rules):
+  /// the largest reset window tried and the post-release watch length.
+  int xpropCycles = 16;
+  /// 64-lane ternary words per X-propagation run (concrete power-on
+  /// instances = words*64 - 1; word 0 lane 0 is the all-X proof lane).
+  int xpropWords = 4;
+  /// BMC depth / induction-k budget of the don't-care-soundness proof
+  /// (DCS002); open proofs degrade to UNKNOWN verdicts.
+  int dcsMaxDepth = 16;
+  /// SAT conflict budget per don't-care-soundness query.
+  std::uint64_t dcsMaxConflicts = 100000;
 };
 
 struct FlowResult {

@@ -75,6 +75,31 @@ HierFlowResult runHierFlow(const dfg::RegionProgram& program,
   out.control = fsm::buildHierarchicalControl(rs);
   verify::checkComposedControl(out.control, program, report);
 
+  // X-safety of the composition: the sequencer + handshake latches (XPR003),
+  // every leaf network re-anchored to its path (XPR001/XPR002), and
+  // don't-care soundness of the sequencer FSM and every leaf controller.
+  // Runs direct (uncached) like the other composed checks -- the flat
+  // per-network results stay cacheable through the xcheck pipeline pass.
+  if (options.xprop) {
+    verify::XprOptions xo;
+    xo.style = config.encoding;
+    xo.maxCycles = config.xpropCycles;
+    xo.words = config.xpropWords;
+    verify::DcsOptions dco;
+    dco.style = config.encoding;
+    dco.maxDepth = config.dcsMaxDepth;
+    dco.maxConflicts = config.dcsMaxConflicts;
+    out.xpropStats = verify::checkXpropHierarchical(
+        out.control, "hier " + out.control.sequencer.name(), report, xo);
+    out.dcsStats = verify::checkDcsFsm(
+        out.control.sequencer, "sequencer " + out.control.sequencer.name(),
+        report, dco);
+    for (const fsm::LeafControl& leaf : out.control.leaves) {
+      out.dcsStats +=
+          verify::checkDcs(leaf.dcu, "leaf " + leaf.path, report, dco);
+    }
+  }
+
   // Composed Table-2 statistics along the activation trace.
   if (options.latency) {
     out.latency = sim::composedLatency(rs, out.branches, config.ps);

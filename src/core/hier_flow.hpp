@@ -22,6 +22,7 @@
 #include "fsm/hierarchical.hpp"
 #include "sched/region_schedule.hpp"
 #include "sim/region_sim.hpp"
+#include "verify/xprop_check.hpp"
 
 namespace tauhls::core {
 
@@ -32,6 +33,11 @@ struct HierFlowOptions {
   /// Also run the demand-only SAT equivalence pass on every leaf's
   /// controller network (spec = cover = netlist = RTL).
   bool equivalence = false;
+  /// Also run the X-propagation / don't-care soundness checks: XPR003 on the
+  /// composed sequencer + handshake latches, XPR001/XPR002 on every leaf
+  /// network re-anchored to its path, and DCS001-003 on the sequencer FSM
+  /// and every leaf controller.
+  bool xprop = false;
   /// Compute the composed latency statistics (full per-leaf enumeration).
   /// Lint-style callers that only want diagnostics turn this off.
   bool latency = true;
@@ -51,6 +57,8 @@ struct HierFlowResult {
   std::vector<std::string> activations;      ///< sequencer activation paths
   dfg::BranchChoices branches;               ///< completed choices used
   int totalTauOps = 0;                       ///< TAU ops along the activation trace
+  verify::XpropStats xpropStats;             ///< filled when options.xprop
+  verify::DcsStats dcsStats;                 ///< filled when options.xprop
 };
 
 /// Run the composed flow.  Validates the region program (DFG009/DFG010

@@ -14,6 +14,7 @@
 #include "verify/symbolic_check.hpp"
 #include "verify/timing_check.hpp"
 #include "verify/verify.hpp"
+#include "verify/xprop_check.hpp"
 
 namespace tauhls::core {
 
@@ -241,6 +242,33 @@ const std::vector<PassDef>& passRegistry() {
              &art.stats);
          io.out(Artifact::Equivalence, std::move(art));
        }},
+      {"xcheck",
+       {Artifact::Distributed},
+       {Artifact::XCheck},
+       [](const FlowConfig& c, common::Hasher& h) {
+         h.u64(static_cast<std::uint64_t>(c.encoding));
+         h.i64(c.xpropCycles);
+         h.i64(c.xpropWords);
+         h.i64(c.dcsMaxDepth);
+         h.u64(c.dcsMaxConflicts);
+       },
+       [](const PassIo& io) {
+         const auto& dcu =
+             io.in<fsm::DistributedControlUnit>(Artifact::Distributed);
+         const std::string artifact = "dcu " + io.graph.name();
+         verify::XprOptions xo;
+         xo.style = io.config.encoding;
+         xo.maxCycles = io.config.xpropCycles;
+         xo.words = io.config.xpropWords;
+         verify::DcsOptions dco;
+         dco.style = io.config.encoding;
+         dco.maxDepth = io.config.dcsMaxDepth;
+         dco.maxConflicts = io.config.dcsMaxConflicts;
+         verify::XCheckArtifact art;
+         art.xprop = verify::checkXprop(dcu, artifact, art.report, xo);
+         art.dcs = verify::checkDcs(dcu, artifact, art.report, dco);
+         io.out(Artifact::XCheck, std::move(art));
+       }},
       {"timing",
        {Artifact::Schedule, Artifact::Distributed},
        {Artifact::Timing},
@@ -342,6 +370,11 @@ std::uint64_t artifactSizeOf(Artifact a, const std::any& slot) {
       return std::any_cast<
                  const std::shared_ptr<const verify::SymbolicArtifact>&>(slot)
           ->stats.properties.size();
+    case Artifact::XCheck: {
+      const auto& art = *std::any_cast<
+          const std::shared_ptr<const verify::XCheckArtifact>&>(slot);
+      return art.xprop.properties.size() + art.dcs.properties.size();
+    }
   }
   return 0;
 }
@@ -376,6 +409,7 @@ const char* artifactName(Artifact a) {
     case Artifact::Equivalence: return "equivalence";
     case Artifact::Timing: return "timing";
     case Artifact::SymbolicCheck: return "symbolic-check";
+    case Artifact::XCheck: return "xcheck";
   }
   return "unknown";
 }
@@ -764,6 +798,21 @@ void FlowPipeline::require(const std::vector<Artifact>& artifacts) {
             ev.extraArgs.emplace_back(p.rule + ".conflicts",
                                       p.cost.conflicts);
             ev.extraArgs.emplace_back(p.rule + ".queries", p.cost.queries);
+          }
+        }
+        if (output == Artifact::XCheck) {
+          const auto& art = *std::any_cast<
+              const std::shared_ptr<const verify::XCheckArtifact>&>(
+              slots_[idx(output)]);
+          ev.extraArgs.emplace_back("xprop.gateEvals", art.xprop.gateEvals);
+          ev.extraArgs.emplace_back("xprop.instances", art.xprop.instances);
+          ev.extraArgs.emplace_back(
+              "xprop.resetDepth",
+              static_cast<std::uint64_t>(
+                  art.xprop.resetDepth < 0 ? 0 : art.xprop.resetDepth));
+          for (const auto& [code, cost] : art.dcs.ruleCost()) {
+            ev.extraArgs.emplace_back(code + ".conflicts", cost.conflicts);
+            ev.extraArgs.emplace_back(code + ".queries", cost.queries);
           }
         }
       }

@@ -73,10 +73,13 @@ class ArtifactStore;  // core/store.hpp -- the optional persistent tier
 ///   Equivalence     verify::EquivalenceArtifact  SAT translation validation
 ///   Timing          verify::Report               STA against CC_TAU
 ///   SymbolicCheck   verify::SymbolicArtifact     BMC + k-induction verdicts
+///   XCheck          verify::XCheckArtifact       X-propagation + don't-care
+///                                                soundness (XPR/DCS rules)
 ///
-/// Equivalence, Timing and SymbolicCheck are demand-only: the standard run()
-/// never requests them directly; `tauhlsc lint --equiv/--timing`, the
-/// `--model-check symbolic|auto` modes (and tests) pull them explicitly.
+/// Equivalence, Timing, SymbolicCheck and XCheck are demand-only: the
+/// standard run() never requests them directly; `tauhlsc lint
+/// --equiv/--timing/--xprop`, the `--model-check symbolic|auto` modes (and
+/// tests) pull them explicitly.
 enum class Artifact : int {
   Schedule = 0,
   RawDistributed,
@@ -93,9 +96,10 @@ enum class Artifact : int {
   Equivalence,
   Timing,
   SymbolicCheck,
+  XCheck,
 };
 
-inline constexpr int kNumArtifacts = 15;
+inline constexpr int kNumArtifacts = 16;
 
 /// Stable display name ("schedule", "latency", ...).
 const char* artifactName(Artifact a);

@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "verify/equiv_check.hpp"
 #include "verify/symbolic_check.hpp"
+#include "verify/xprop_check.hpp"
 
 namespace tauhls::core {
 
@@ -638,6 +639,78 @@ verify::SymbolicArtifact decodeSymbolic(Reader& r) {
   return art;
 }
 
+void encodeXpropRows(Writer& w,
+                     const std::vector<verify::XpropPropertyStat>& rows) {
+  w.u64(rows.size());
+  for (const verify::XpropPropertyStat& p : rows) {
+    w.str(p.artifact);
+    w.str(p.rule);
+    w.str(p.verdict);
+    w.i32(p.depth);
+    w.i32(p.cexCycle);
+    w.u64(p.instances);
+    w.u64(p.gateEvals);
+    encodeRuleCost(w, p.cost);
+  }
+}
+
+std::vector<verify::XpropPropertyStat> decodeXpropRows(Reader& r) {
+  const std::size_t n = r.count();
+  std::vector<verify::XpropPropertyStat> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    verify::XpropPropertyStat p;
+    p.artifact = r.str();
+    p.rule = r.str();
+    p.verdict = r.str();
+    p.depth = r.i32();
+    p.cexCycle = r.i32();
+    p.instances = r.u64();
+    p.gateEvals = r.u64();
+    p.cost = decodeRuleCost(r);
+    rows.push_back(std::move(p));
+  }
+  return rows;
+}
+
+void encodeXCheck(Writer& w, const verify::XCheckArtifact& art) {
+  encodeReport(w, art.report);
+  w.str(art.xprop.artifact);
+  w.u64(art.xprop.controllers);
+  w.u64(art.xprop.stateBits);
+  w.u64(art.xprop.latchBits);
+  w.i32(art.xprop.resetDepth);
+  w.u64(art.xprop.instances);
+  w.u64(art.xprop.gateEvals);
+  w.u64(art.xprop.rtlCycles);
+  encodeXpropRows(w, art.xprop.properties);
+  w.str(art.dcs.artifact);
+  w.u64(art.dcs.controllers);
+  w.u64(art.dcs.functionsChecked);
+  w.u64(art.dcs.dcFunctions);
+  encodeXpropRows(w, art.dcs.properties);
+}
+
+verify::XCheckArtifact decodeXCheck(Reader& r) {
+  verify::XCheckArtifact art;
+  art.report = decodeReport(r);
+  art.xprop.artifact = r.str();
+  art.xprop.controllers = static_cast<std::size_t>(r.u64());
+  art.xprop.stateBits = static_cast<std::size_t>(r.u64());
+  art.xprop.latchBits = static_cast<std::size_t>(r.u64());
+  art.xprop.resetDepth = r.i32();
+  art.xprop.instances = r.u64();
+  art.xprop.gateEvals = r.u64();
+  art.xprop.rtlCycles = r.u64();
+  art.xprop.properties = decodeXpropRows(r);
+  art.dcs.artifact = r.str();
+  art.dcs.controllers = static_cast<std::size_t>(r.u64());
+  art.dcs.functionsChecked = r.u64();
+  art.dcs.dcFunctions = r.u64();
+  art.dcs.properties = decodeXpropRows(r);
+  return art;
+}
+
 void encodeSignalStats(Writer& w, const fsm::SignalOptStats& s) {
   w.i32(s.removedOutputs);
   w.i32(s.keptOutputs);
@@ -706,6 +779,9 @@ std::vector<std::uint8_t> encodeArtifact(Artifact kind,
     case Artifact::SymbolicCheck:
       encodeSymbolic(w, unbox<verify::SymbolicArtifact>(value));
       break;
+    case Artifact::XCheck:
+      encodeXCheck(w, unbox<verify::XCheckArtifact>(value));
+      break;
   }
   return w.take();
 }
@@ -751,6 +827,9 @@ std::any decodeArtifact(Artifact kind, const std::uint8_t* data,
       break;
     case Artifact::SymbolicCheck:
       result = box(decodeSymbolic(r));
+      break;
+    case Artifact::XCheck:
+      result = box(decodeXCheck(r));
       break;
   }
   r.expectEnd();

@@ -25,7 +25,8 @@
 namespace tauhls::core {
 
 /// Byte-layout version of all artifact codecs (store blobs carry it).
-inline constexpr std::uint32_t kArtifactCodecVersion = 4;
+/// v5 added the XCheck artifact (X-propagation / don't-care soundness).
+inline constexpr std::uint32_t kArtifactCodecVersion = 5;
 
 /// Encode the artifact held by `value` (a std::shared_ptr<const T> boxed in
 /// std::any, exactly as the pipeline's slots and the ArtifactCache hold it).

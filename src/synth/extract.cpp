@@ -15,9 +15,6 @@
 
 namespace tauhls::synth {
 
-namespace {
-
-/// States reachable from the initial state through any transition.
 std::vector<bool> reachableStates(const fsm::Fsm& fsm) {
   std::vector<bool> seen(fsm.numStates(), false);
   std::queue<int> q;
@@ -35,8 +32,6 @@ std::vector<bool> reachableStates(const fsm::Fsm& fsm) {
   }
   return seen;
 }
-
-}  // namespace
 
 int SynthesizedFsm::totalLiterals() const {
   int n = 0;

@@ -29,6 +29,12 @@ struct SynthesizedFsm {
   int totalLiterals() const;
 };
 
+/// States reachable from the initial state through any transition.  This is
+/// exactly the care-set predicate of the minimizer's don't-care rows, so the
+/// don't-care-soundness checker (verify/dcs_check.hpp) can re-derive the
+/// care set the covers were minimized against.
+std::vector<bool> reachableStates(const fsm::Fsm& fsm);
+
 /// Synthesize `fsm` (which must be valid: deterministic and complete).
 SynthesizedFsm synthesize(const fsm::Fsm& fsm,
                           EncodingStyle style = EncodingStyle::Binary);

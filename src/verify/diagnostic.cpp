@@ -119,6 +119,24 @@ const std::vector<RuleInfo>& allRules() {
       {"EQV006", Severity::Info,
        "controller proven equivalent end to end (spec = cover = netlist = "
        "RTL)"},
+      // --- X-propagation / reset robustness --------------------------------
+      {"XPR001", Severity::Error,
+       "register can still be X after the reset window (ternary power-on "
+       "analysis of the controller network)"},
+      {"XPR002", Severity::Error,
+       "emitted RTL disagrees with the network model under ternary replay"},
+      {"XPR003", Severity::Error,
+       "region sequencer or ST_/DN_ handshake latch stays X across a region "
+       "boundary"},
+      {"XPR004", Severity::Info,
+       "reset robustness summary (proven reset depth and instance count)"},
+      // --- don't-care soundness of the minimized covers --------------------
+      {"DCS001", Severity::Error,
+       "minimized cover differs from the FSM specification on a care row"},
+      {"DCS002", Severity::Error,
+       "a don't-care row is reachable in the implemented state space"},
+      {"DCS003", Severity::Info,
+       "don't-care soundness summary (covers exploiting unreachable rows)"},
       // --- static timing analysis -----------------------------------------
       {"TIM001", Severity::Error,
        "negative slack: controller logic misses the clock period CC_TAU"},
@@ -230,7 +248,7 @@ std::string jsonQuote(const std::string& s) {
 }  // namespace
 
 std::string renderJson(const Report& report) {
-  return renderJson(report, {});
+  return renderJson(report, JsonSections{});
 }
 
 std::string renderJson(const Report& report,
@@ -241,6 +259,15 @@ std::string renderJson(const Report& report,
 std::string renderJson(const Report& report,
                        const std::map<std::string, RuleCost>& satCost,
                        const std::vector<SymbolicPropertyStat>& symbolic) {
+  JsonSections sections;
+  sections.satCost = satCost;
+  sections.symbolic = symbolic;
+  return renderJson(report, sections);
+}
+
+std::string renderJson(const Report& report, const JsonSections& sections) {
+  const std::map<std::string, RuleCost>& satCost = sections.satCost;
+  const std::vector<SymbolicPropertyStat>& symbolic = sections.symbolic;
   std::ostringstream os;
   os << "{\"schema\":\"tauhls-lint\",\"version\":" << kLintJsonVersion
      << ",\"diagnostics\":[";
@@ -293,6 +320,31 @@ std::string renderJson(const Report& report,
        << ",\"propagations\":" << p.cost.propagations
        << ",\"decisions\":" << p.cost.decisions
        << ",\"queries\":" << p.cost.queries << "}";
+  }
+  // Per-property X-propagation / don't-care-soundness verdicts (schema v5),
+  // in engine order so CI artifacts diff cleanly.
+  os << "],\"xprop\":[";
+  first = true;
+  for (const XpropPropertyStat& p : sections.xprop) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"artifact\":" << jsonQuote(p.artifact)
+       << ",\"rule\":" << jsonQuote(p.rule)
+       << ",\"verdict\":" << jsonQuote(p.verdict) << ",\"depth\":" << p.depth
+       << ",\"cexCycle\":" << p.cexCycle << ",\"instances\":" << p.instances
+       << ",\"gateEvals\":" << p.gateEvals
+       << ",\"conflicts\":" << p.cost.conflicts
+       << ",\"queries\":" << p.cost.queries << "}";
+  }
+  // Rules the user filtered out with `lint --only`, sorted for stable diffs.
+  std::vector<std::string> skipped = sections.skipped;
+  std::sort(skipped.begin(), skipped.end());
+  os << "],\"skipped\":[";
+  first = true;
+  for (const std::string& code : skipped) {
+    if (!first) os << ",";
+    first = false;
+    os << jsonQuote(code);
   }
   os << "],\"errors\":" << report.errorCount()
      << ",\"warnings\":" << report.count(Severity::Warning) << "}";

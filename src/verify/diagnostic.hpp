@@ -94,7 +94,10 @@ std::string renderText(const Report& report);
 /// v3 added the per-rule "satCost" section (SAT/simulation work counters).
 /// v4 added the per-property "symbolic" section (model-check verdicts with
 /// depth reached, induction k and SAT work).
-inline constexpr int kLintJsonVersion = 4;
+/// v5 added the per-property "xprop" section (X-propagation / don't-care
+/// soundness verdicts with reset depth or counterexample cycle) and the
+/// "skipped" rule list emitted by `lint --only`.
+inline constexpr int kLintJsonVersion = 5;
 
 /// Per-rule solver and simulation work counters, keyed by rule code.  The
 /// equivalence checker fills these (EQV001..EQV004) so the cost of each
@@ -134,6 +137,34 @@ struct SymbolicPropertyStat {
   RuleCost cost;
 };
 
+/// One row of the lint JSON "xprop" section (schema v5): the verdict of one
+/// X-propagation (XPR001..XPR004) or don't-care-soundness (DCS001..DCS003)
+/// property, with the proof depth (reset cycles or induction k) on PROVED
+/// and the failing cycle on CEX.
+struct XpropPropertyStat {
+  std::string artifact;  ///< network / controller the property ran on
+  std::string rule;      ///< XPR001..XPR004, DCS001..DCS003
+  std::string verdict;   ///< "PROVED" | "CEX" | "UNKNOWN"
+  int depth = -1;        ///< reset cycles / induction k that closed the proof
+  int cexCycle = -1;     ///< first failing cycle on CEX; -1 otherwise
+  std::uint64_t instances = 0;  ///< ternary power-on instances simulated
+  std::uint64_t gateEvals = 0;  ///< ternary AND-word evaluations
+  RuleCost cost;                ///< SAT work (DCS rules)
+
+  friend bool operator==(const XpropPropertyStat&,
+                         const XpropPropertyStat&) = default;
+};
+
+/// Everything beyond the diagnostics that renderJson can emit; the fields
+/// default empty so call sites fill only the sections their passes ran.
+struct JsonSections {
+  std::map<std::string, RuleCost> satCost;
+  std::vector<SymbolicPropertyStat> symbolic;
+  std::vector<XpropPropertyStat> xprop;
+  /// Rule codes filtered out by `lint --only`, reported as skipped.
+  std::vector<std::string> skipped;
+};
+
 /// Machine rendering: {"schema":"tauhls-lint","version":N,
 /// "diagnostics":[{code,severity,artifact,where,message}],
 /// "byRule":{code:count,...},"satCost":{code:{decisions,...},...},
@@ -147,5 +178,8 @@ std::string renderJson(const Report& report,
 std::string renderJson(const Report& report,
                        const std::map<std::string, RuleCost>& satCost,
                        const std::vector<SymbolicPropertyStat>& symbolic);
+/// Full schema v5 rendering: every section of `sections`, including the
+/// "xprop" property rows and the "skipped" rule list.
+std::string renderJson(const Report& report, const JsonSections& sections);
 
 }  // namespace tauhls::verify

@@ -1,0 +1,892 @@
+#include "verify/xprop_check.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/ternary.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "rtl/verilog.hpp"
+#include "synth/encoding.hpp"
+#include "verify/symbolic_check.hpp"
+#include "vsim/simulate.hpp"
+
+namespace tauhls::verify {
+
+namespace {
+
+using aig::Aig;
+using aig::kLitFalse;
+using aig::kLitTrue;
+using aig::Lit;
+using aig::TernaryEvaluator;
+using aig::XWord;
+
+/// The module name the XPR002 replay drives (and rtlOverride must define).
+constexpr const char* kXpropTopName = "tauhls_xprop_top";
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic per-(input, word, cycle) pattern word, bitsim-style keying.
+std::uint64_t inputWordFor(std::uint64_t seed, std::size_t input,
+                           std::size_t word, int cycle) {
+  return splitmix64(seed ^ splitmix64(input * 0x100000001b3ull + 1) ^
+                    splitmix64(word * 0xc2b2ae3d27d4eb4full + 2) ^
+                    splitmix64(static_cast<std::uint64_t>(cycle) *
+                                   0x9e3779b97f4a7c15ull +
+                               3));
+}
+
+// --- the sequential network model ------------------------------------------
+
+/// One register of the model: an AIG input standing for the current value
+/// plus the cone computing the next one.
+struct ModelReg {
+  std::string artifact;   ///< diagnostic anchor ("fsm <n>" / "latch <sig>")
+  std::string name;       ///< "state<b>" / "held"
+  std::size_t input = 0;  ///< AIG input index of `cur`
+  Lit cur = kLitFalse;
+  Lit next = kLitFalse;
+};
+
+/// A combinational observable (pulse, level, controller output).
+struct ModelProbe {
+  std::string artifact;
+  std::string name;
+  Lit lit = kLitFalse;
+};
+
+/// Per-controller grouping of the encoded state registers (XPR002 packs
+/// them against the RTL's multi-bit state register).
+struct StateGroup {
+  std::string fsmName;
+  std::vector<std::size_t> regIdx;  ///< LSB first
+};
+
+struct NetModel {
+  Aig g;
+  Lit rst = kLitFalse;
+  Lit restart = kLitFalse;
+  std::size_t rstIdx = 0;
+  std::size_t restartIdx = 0;
+  /// Free per-cycle inputs (C_* completions; DN_*_pulse / SEL_* for the
+  /// sequencer model), with their AIG input indices.
+  std::vector<std::pair<std::string, std::size_t>> freeIns;
+  std::vector<ModelReg> regs;
+  std::vector<ModelProbe> probes;
+  std::vector<StateGroup> stateGroups;
+  std::map<std::string, std::size_t> heldRegOf;   ///< signal -> reg index
+  std::map<std::string, std::size_t> probeIdxOf;  ///< probe name -> index
+};
+
+void addFree(NetModel& m, const std::string& name) {
+  const Lit l = m.g.addInput(name);
+  m.freeIns.emplace_back(name, m.g.inputIndexOf(aig::nodeOf(l)));
+}
+
+std::size_t addReg(NetModel& m, const std::string& artifact,
+                   const std::string& name, const std::string& inputName) {
+  ModelReg r;
+  r.artifact = artifact;
+  r.name = name;
+  r.cur = m.g.addInput(inputName);
+  r.input = m.g.inputIndexOf(aig::nodeOf(r.cur));
+  m.regs.push_back(std::move(r));
+  return m.regs.size() - 1;
+}
+
+void addProbe(NetModel& m, const std::string& artifact, const std::string& name,
+              Lit lit) {
+  m.probeIdxOf.emplace(name, m.probes.size());
+  m.probes.push_back({artifact, name, lit});
+}
+
+/// Lowers one FSM's next-state and output cones into the model's graph,
+/// resolving input signals through a caller-supplied cone map.  Mirrors the
+/// emitted RTL exactly: undecodable state codes take the default arm back to
+/// the initial state, outputs default to 0.
+class FsmCones {
+ public:
+  FsmCones(Aig& g, const fsm::Fsm& f, synth::EncodingStyle style,
+           std::vector<Lit> stateCur)
+      : g_(g),
+        fsm_(f),
+        enc_(synth::encodeStates(f, style)),
+        state_(std::move(stateCur)) {}
+
+  const synth::Encoding& enc() const { return enc_; }
+
+  Lit stateMatch(int s) {
+    Lit acc = kLitTrue;
+    for (int b = 0; b < enc_.bits; ++b) {
+      const bool bit = (enc_.codeOf[static_cast<std::size_t>(s)] >> b) & 1u;
+      acc = g_.andLit(acc,
+                      bit ? state_[static_cast<std::size_t>(b)]
+                          : aig::negate(state_[static_cast<std::size_t>(b)]));
+    }
+    return acc;
+  }
+
+  /// Build every next-state bit and output cone; `inputOf` maps the FSM's
+  /// input names to already-built cones.
+  void build(const std::map<std::string, Lit>& inputOf) {
+    Lit valid = kLitFalse;
+    for (std::size_t s = 0; s < fsm_.numStates(); ++s) {
+      valid = g_.orLit(valid, stateMatch(static_cast<int>(s)));
+    }
+    ns_.assign(static_cast<std::size_t>(enc_.bits), kLitFalse);
+    for (const std::string& o : fsm_.outputs()) out_[o] = kLitFalse;
+    for (const fsm::Transition& t : fsm_.transitions()) {
+      Lit guard = kLitFalse;
+      for (const fsm::GuardTerm& term : t.guard.terms()) {
+        Lit g = kLitTrue;
+        for (const auto& [sig, positive] : term.literals) {
+          const Lit in = inputOf.at(sig);
+          g = g_.andLit(g, positive ? in : aig::negate(in));
+        }
+        guard = g_.orLit(guard, g);
+      }
+      const Lit fire = g_.andLit(stateMatch(t.from), guard);
+      const std::uint32_t code = enc_.codeOf[static_cast<std::size_t>(t.to)];
+      for (int b = 0; b < enc_.bits; ++b) {
+        if ((code >> b) & 1u) {
+          ns_[static_cast<std::size_t>(b)] =
+              g_.orLit(ns_[static_cast<std::size_t>(b)], fire);
+        }
+      }
+      for (const std::string& o : t.outputs) out_[o] = g_.orLit(out_[o], fire);
+    }
+    // The RTL's default case arm: an undecodable code steps to the initial
+    // state, so the model tracks the emitted machine on *every* power-on
+    // pattern, not just the encoded ones.
+    const std::uint32_t init =
+        enc_.codeOf[static_cast<std::size_t>(fsm_.initial())];
+    for (int b = 0; b < enc_.bits; ++b) {
+      if ((init >> b) & 1u) {
+        ns_[static_cast<std::size_t>(b)] =
+            g_.orLit(ns_[static_cast<std::size_t>(b)], aig::negate(valid));
+      }
+    }
+  }
+
+  Lit ns(int b) const { return ns_[static_cast<std::size_t>(b)]; }
+  Lit output(const std::string& o) const { return out_.at(o); }
+
+ private:
+  Aig& g_;
+  const fsm::Fsm& fsm_;
+  synth::Encoding enc_;
+  std::vector<Lit> state_;
+  std::vector<Lit> ns_;
+  std::map<std::string, Lit> out_;
+};
+
+/// Flat network model: every controller plus one completion latch per
+/// consumed signal, wired exactly as rtl::emitDistributedTop wires them.
+/// Consumer cones read `held | producer pulse`; the producer pulse cones are
+/// built on demand following the (acyclic) signal dependency order.
+NetModel buildFlatModel(const fsm::DistributedControlUnit& dcu,
+                        synth::EncodingStyle style, const XprOptions& opt) {
+  NetModel m;
+  m.rst = m.g.addInput("rst");
+  m.rstIdx = m.g.inputIndexOf(aig::nodeOf(m.rst));
+  m.restart = m.g.addInput("restart");
+  m.restartIdx = m.g.inputIndexOf(aig::nodeOf(m.restart));
+  std::map<std::string, Lit> freeLit;
+  for (const std::string& in : dcu.externalInputs) {
+    addFree(m, in);
+    freeLit[in] = m.g.findInput(in);
+  }
+
+  // Registers first (they are the template inputs): encoded state bits per
+  // controller, one held bit per consumed signal.
+  std::vector<std::vector<Lit>> stateCur(dcu.controllers.size());
+  for (std::size_t i = 0; i < dcu.controllers.size(); ++i) {
+    const fsm::Fsm& f = dcu.controllers[i].fsm;
+    const synth::Encoding enc = synth::encodeStates(f, style);
+    StateGroup group;
+    group.fsmName = f.name();
+    for (int b = 0; b < enc.bits; ++b) {
+      const std::size_t r =
+          addReg(m, "fsm " + f.name(), "state" + std::to_string(b),
+                 f.name() + ".state" + std::to_string(b));
+      stateCur[i].push_back(m.regs[r].cur);
+      group.regIdx.push_back(r);
+    }
+    m.stateGroups.push_back(std::move(group));
+  }
+  std::vector<std::string> consumed;
+  for (const auto& [sig, users] : dcu.consumersOf) consumed.push_back(sig);
+  for (const std::string& sig : consumed) {
+    m.heldRegOf[sig] = addReg(m, "latch " + sig, "held", sig + ".held");
+  }
+
+  // Completion pulses can cascade within one clock: `<sig>_level = held |
+  // pulse` feeds the next controller's guard combinationally, and the signal
+  // graph may even be structurally cyclic (AR-lattice).  The emitted RTL
+  // settles this net to a monotone fixpoint (vsim settle(); fsm/product.cpp
+  // phase 1, asserted to converge within 2 rounds for generated controllers).
+  // An AIG is a DAG, so unroll that fixpoint: three rounds, each rebuilding
+  // every pulse cone against the previous round's pulses, with round 0
+  // seeing the held latches only.  Hash-consing collapses rounds that have
+  // already stabilized, so acyclic networks cost nothing extra.
+  std::vector<std::unique_ptr<FsmCones>> cones(dcu.controllers.size());
+  std::map<std::string, Lit> pulseOf;
+  for (int round = 0; round < 3; ++round) {
+    std::map<std::string, Lit> nextPulse;
+    for (std::size_t i = 0; i < dcu.controllers.size(); ++i) {
+      const fsm::Fsm& f = dcu.controllers[i].fsm;
+      std::map<std::string, Lit> inputOf;
+      for (const std::string& in : f.inputs()) {
+        if (dcu.producerOf.contains(in)) {
+          const auto prev = pulseOf.find(in);
+          const Lit pulse = prev != pulseOf.end() ? prev->second : kLitFalse;
+          inputOf[in] = m.g.orLit(m.regs[m.heldRegOf.at(in)].cur, pulse);
+        } else {
+          auto it = freeLit.find(in);
+          if (it == freeLit.end()) {
+            addFree(m, in);
+            it = freeLit.emplace(in, m.g.findInput(in)).first;
+          }
+          inputOf[in] = it->second;
+        }
+      }
+      cones[i] = std::make_unique<FsmCones>(m.g, f, style, stateCur[i]);
+      cones[i]->build(inputOf);
+      for (const std::string& o : f.outputs()) {
+        if (dcu.consumersOf.contains(o)) nextPulse[o] = cones[i]->output(o);
+      }
+    }
+    pulseOf = std::move(nextPulse);
+  }
+
+  // Register next-state cones and probes.
+  std::size_t reg = 0;
+  for (std::size_t i = 0; i < dcu.controllers.size(); ++i) {
+    const fsm::Fsm& f = dcu.controllers[i].fsm;
+    const synth::Encoding& enc = cones[i]->enc();
+    const std::uint32_t init =
+        enc.codeOf[static_cast<std::size_t>(f.initial())];
+    const bool noReset = opt.controllersWithoutStateReset.contains(f.name());
+    for (int b = 0; b < enc.bits; ++b, ++reg) {
+      const Lit initBit = (init >> b) & 1u ? kLitTrue : kLitFalse;
+      m.regs[reg].next = noReset ? cones[i]->ns(b)
+                                 : m.g.muxLit(m.rst, initBit, cones[i]->ns(b));
+    }
+    for (const std::string& o : f.outputs()) {
+      addProbe(m, "fsm " + f.name(), o, cones[i]->output(o));
+    }
+  }
+  for (const std::string& sig : consumed) {
+    const std::size_t r = m.heldRegOf.at(sig);
+    const Lit pulse = pulseOf.at(sig);
+    const Lit clear = opt.latchesWithoutReset.contains(sig)
+                          ? m.restart
+                          : m.g.orLit(m.rst, m.restart);
+    m.regs[r].next =
+        m.g.andLit(aig::negate(clear), m.g.orLit(pulse, m.regs[r].cur));
+    addProbe(m, "latch " + sig, sig + "_pulse", pulse);
+    addProbe(m, "latch " + sig, sig + "_level",
+             m.g.orLit(m.regs[r].cur, pulse));
+  }
+  return m;
+}
+
+/// Region-sequencer model: the sequencer FSM plus one handshake latch per
+/// DN_<path> input.  Leaf completion pulses and branch selects are free
+/// inputs (the leaves are proven separately); a DN latch clears on rst and
+/// on its own re-arm pulse ST_<path>.
+NetModel buildSequencerModel(const fsm::HierarchicalControlUnit& hcu,
+                             synth::EncodingStyle style,
+                             const XprOptions& opt) {
+  NetModel m;
+  const fsm::Fsm& seq = hcu.sequencer;
+  m.rst = m.g.addInput("rst");
+  m.rstIdx = m.g.inputIndexOf(aig::nodeOf(m.rst));
+  m.restart = m.g.addInput("restart");
+  m.restartIdx = m.g.inputIndexOf(aig::nodeOf(m.restart));
+
+  const synth::Encoding enc = synth::encodeStates(seq, style);
+  std::vector<Lit> stateCur;
+  StateGroup group;
+  group.fsmName = seq.name();
+  for (int b = 0; b < enc.bits; ++b) {
+    const std::size_t r =
+        addReg(m, "sequencer " + seq.name(), "state" + std::to_string(b),
+               seq.name() + ".state" + std::to_string(b));
+    stateCur.push_back(m.regs[r].cur);
+    group.regIdx.push_back(r);
+  }
+  m.stateGroups.push_back(std::move(group));
+
+  std::vector<std::string> doneInputs;
+  for (const std::string& in : seq.inputs()) {
+    if (in.starts_with("DN_")) {
+      doneInputs.push_back(in);
+      m.heldRegOf[in] = addReg(m, "latch " + in, "held", in + ".held");
+      addFree(m, in + "_pulse");
+    } else {
+      addFree(m, in);
+    }
+  }
+  std::map<std::string, Lit> inputOf;
+  for (const std::string& in : seq.inputs()) {
+    inputOf[in] = in.starts_with("DN_")
+                      ? m.g.orLit(m.regs[m.heldRegOf.at(in)].cur,
+                                  m.g.findInput(in + "_pulse"))
+                      : m.g.findInput(in);
+  }
+
+  FsmCones cones(m.g, seq, style, stateCur);
+  cones.build(inputOf);
+  const std::uint32_t init =
+      enc.codeOf[static_cast<std::size_t>(seq.initial())];
+  for (int b = 0; b < enc.bits; ++b) {
+    const Lit initBit = (init >> b) & 1u ? kLitTrue : kLitFalse;
+    m.regs[static_cast<std::size_t>(b)].next =
+        m.g.muxLit(m.rst, initBit, cones.ns(b));
+  }
+  for (const std::string& o : seq.outputs()) {
+    addProbe(m, "sequencer " + seq.name(), o, cones.output(o));
+  }
+  for (const std::string& in : doneInputs) {
+    const std::size_t r = m.heldRegOf.at(in);
+    const Lit pulse = m.g.findInput(in + "_pulse");
+    // Re-arming a leaf clears its stale completion; the mutation seam drops
+    // the rst arc, so the latch keeps its power-on X until the (X-guarded)
+    // re-arm -- exactly the wait-state init bug XPR003 exists to catch.
+    const std::string st = "ST_" + in.substr(3);
+    const bool hasSt = std::find(seq.outputs().begin(), seq.outputs().end(),
+                                 st) != seq.outputs().end();
+    const Lit rearm = hasSt ? cones.output(st) : kLitFalse;
+    const Lit clear = opt.doneLatchesWithoutInit.contains(in)
+                          ? rearm
+                          : m.g.orLit(m.rst, rearm);
+    m.regs[r].next =
+        m.g.andLit(aig::negate(clear), m.g.orLit(pulse, m.regs[r].cur));
+    addProbe(m, "latch " + in, in + "_level",
+             m.g.orLit(m.regs[r].cur, pulse));
+  }
+  return m;
+}
+
+// --- the bit-parallel ternary run ------------------------------------------
+
+/// Cycle the restart strobe fires after the reset window.
+int restartCycleFor(int r) { return r + 2; }
+
+struct RunFailure {
+  bool isReg = false;
+  std::size_t idx = 0;  ///< reg or probe index
+  int cycle = 0;
+
+  friend bool operator<(const RunFailure& a, const RunFailure& b) {
+    return std::tie(a.cycle, a.isReg, a.idx) <
+           std::tie(b.cycle, b.isReg, b.idx);
+  }
+};
+
+struct RunResult {
+  std::vector<RunFailure> failures;  ///< merged in word order, then sorted
+  std::uint64_t gateEvals = 0;
+  /// Word-0 traces for counterexample rendering, one XWord per cycle.
+  std::vector<std::vector<XWord>> regTrace;    ///< [reg][cycle]
+  std::vector<std::vector<XWord>> probeTrace;  ///< [probe][cycle]
+  std::vector<XWord> rstTrace, restartTrace;
+  std::vector<std::vector<XWord>> freeTrace;  ///< [free input][cycle]
+};
+
+/// Simulate `totalCycles` cycles under the reset protocol with r reset
+/// cycles.  All registers start all-X in every lane; lane 0 of word 0 also
+/// drives every free input X (the subsuming proof lane).  Words run
+/// concurrently and merge in index order, so the result is identical for
+/// every thread count.
+RunResult runTernary(const NetModel& m, int r, int totalCycles,
+                     const XprOptions& opt) {
+  const std::size_t words = static_cast<std::size_t>(std::max(1, opt.words));
+  const int restartAt = restartCycleFor(r);
+  std::vector<std::vector<RunFailure>> perWord(words);
+  std::vector<std::uint64_t> evals(words, 0);
+  RunResult out;
+  out.regTrace.assign(m.regs.size(), {});
+  out.probeTrace.assign(m.probes.size(), {});
+  out.freeTrace.assign(m.freeIns.size(), {});
+
+  common::parallelFor(words, [&](std::size_t w) {
+    TernaryEvaluator eval(m.g);
+    std::vector<XWord> cur(m.regs.size(), aig::xAllX());
+    std::vector<XWord> inputs(m.g.numInputs(), aig::xAllZero());
+    // Lane 0 of word 0 is the all-X proof lane: its inputs stay X and it is
+    // exempt from the obligations that assume concrete inputs.
+    const std::uint64_t concreteLanes =
+        w == 0 ? ~std::uint64_t{1} : ~std::uint64_t{0};
+    for (int c = 0; c < totalCycles; ++c) {
+      inputs[m.rstIdx] = aig::xConcrete(c < r ? ~std::uint64_t{0} : 0);
+      inputs[m.restartIdx] =
+          aig::xConcrete(c == restartAt ? ~std::uint64_t{0} : 0);
+      for (std::size_t f = 0; f < m.freeIns.size(); ++f) {
+        XWord v = aig::xConcrete(inputWordFor(opt.seed, f, w, c));
+        if (w == 0) {
+          v.one &= ~std::uint64_t{1};
+          v.x = 1;
+        }
+        inputs[m.freeIns[f].second] = v;
+      }
+      for (std::size_t i = 0; i < m.regs.size(); ++i) {
+        inputs[m.regs[i].input] = cur[i];
+      }
+      eval.run(inputs);
+
+      if (w == 0) {
+        out.rstTrace.push_back(inputs[m.rstIdx]);
+        out.restartTrace.push_back(inputs[m.restartIdx]);
+        for (std::size_t f = 0; f < m.freeIns.size(); ++f) {
+          out.freeTrace[f].push_back(inputs[m.freeIns[f].second]);
+        }
+        for (std::size_t i = 0; i < m.regs.size(); ++i) {
+          out.regTrace[i].push_back(cur[i]);
+        }
+        for (std::size_t p = 0; p < m.probes.size(); ++p) {
+          out.probeTrace[p].push_back(eval.value(m.probes[p].lit));
+        }
+      }
+
+      if (c == r) {
+        // The reset window has closed: every register must be determinate
+        // in *every* lane, the all-X proof lane included.
+        for (std::size_t i = 0; i < m.regs.size(); ++i) {
+          if (cur[i].x != 0) perWord[w].push_back({true, i, c});
+        }
+      } else if (c > r) {
+        for (std::size_t i = 0; i < m.regs.size(); ++i) {
+          if ((cur[i].x & concreteLanes) != 0) {
+            perWord[w].push_back({true, i, c});
+          }
+        }
+      }
+      if (c >= r) {
+        for (std::size_t p = 0; p < m.probes.size(); ++p) {
+          if ((eval.value(m.probes[p].lit).x & concreteLanes) != 0) {
+            perWord[w].push_back({false, p, c});
+          }
+        }
+      }
+
+      for (std::size_t i = 0; i < m.regs.size(); ++i) {
+        cur[i] = eval.value(m.regs[i].next);
+      }
+    }
+    evals[w] = eval.gateEvals();
+  });
+
+  for (std::size_t w = 0; w < words; ++w) {
+    out.gateEvals += evals[w];
+    out.failures.insert(out.failures.end(), perWord[w].begin(),
+                        perWord[w].end());
+  }
+  std::sort(out.failures.begin(), out.failures.end());
+  return out;
+}
+
+// --- waveform rendering -----------------------------------------------------
+
+char laneChar(XWord v) { return (v.x & 1) ? 'X' : ((v.one & 1) ? '1' : '0'); }
+
+std::string laneString(const std::vector<XWord>& trace) {
+  std::string s;
+  for (const XWord v : trace) s += laneChar(v);
+  return s;
+}
+
+/// "\n  <name padded> 1100XX10" rows under a cycle ruler.
+std::string renderWave(
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+  std::size_t width = 5;  // "cycle"
+  std::size_t cycles = 0;
+  for (const auto& [name, vals] : rows) {
+    width = std::max(width, name.size());
+    cycles = std::max(cycles, vals.size());
+  }
+  std::ostringstream os;
+  os << "\n  " << std::string(width - 5, ' ') << "cycle ";
+  for (std::size_t c = 0; c < cycles; ++c) os << (c % 10);
+  for (const auto& [name, vals] : rows) {
+    os << "\n  " << std::string(width - name.size(), ' ') << name << " "
+       << vals;
+  }
+  return os.str();
+}
+
+/// Waveform of the proof lane around one failing register/probe: the reset
+/// strobes, the free inputs, and every signal of the failing artifact.
+std::string failureWave(const NetModel& m, const RunResult& run,
+                        const std::string& failArtifact) {
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back("rst", laneString(run.rstTrace));
+  rows.emplace_back("restart", laneString(run.restartTrace));
+  for (std::size_t f = 0; f < m.freeIns.size() && f < 6; ++f) {
+    rows.emplace_back(m.freeIns[f].first, laneString(run.freeTrace[f]));
+  }
+  for (std::size_t i = 0; i < m.regs.size(); ++i) {
+    if (m.regs[i].artifact == failArtifact) {
+      rows.emplace_back(m.regs[i].name, laneString(run.regTrace[i]));
+    }
+  }
+  for (std::size_t p = 0; p < m.probes.size(); ++p) {
+    if (m.probes[p].artifact == failArtifact) {
+      rows.emplace_back(m.probes[p].name, laneString(run.probeTrace[p]));
+    }
+  }
+  return renderWave(rows);
+}
+
+/// XPR001/XPR003 over one model: search the reset depth, report per-artifact
+/// counterexamples, append the verdict row.  Returns the proven depth or -1.
+int checkModel(const NetModel& m, const std::string& artifact,
+               const char* rule, Report& report, const XprOptions& opt,
+               XpropStats& stats) {
+  const int budget = std::max(1, opt.maxCycles);
+  const int total = budget + std::max(4, opt.maxCycles);
+  const std::uint64_t lanes =
+      static_cast<std::uint64_t>(std::max(1, opt.words)) * 64 - 1;
+
+  XpropPropertyStat row;
+  row.artifact = artifact;
+  row.rule = rule;
+  row.instances = lanes;
+
+  RunResult firstFail;
+  bool haveFail = false;
+  for (int r = 1; r <= budget; ++r) {
+    RunResult run = runTernary(m, r, total, opt);
+    stats.instances += lanes;
+    stats.gateEvals += run.gateEvals;
+    row.gateEvals += run.gateEvals;
+    if (run.failures.empty()) {
+      stats.resetDepth = std::max(stats.resetDepth, r);
+      row.verdict = propertyVerdictName(PropertyVerdict::Proved);
+      row.depth = r;
+      stats.properties.push_back(std::move(row));
+      return r;
+    }
+    if (!haveFail) {
+      firstFail = std::move(run);
+      haveFail = true;
+    }
+  }
+
+  // No reset depth within the budget drains every X: report the r=1 run's
+  // proof-lane waveform, one diagnostic per offending artifact.
+  row.verdict = propertyVerdictName(PropertyVerdict::Counterexample);
+  row.cexCycle = firstFail.failures.front().cycle;
+  std::set<std::string> reported;
+  for (const RunFailure& f : firstFail.failures) {
+    const std::string& fa =
+        f.isReg ? m.regs[f.idx].artifact : m.probes[f.idx].artifact;
+    const std::string& name =
+        f.isReg ? m.regs[f.idx].name : m.probes[f.idx].name;
+    if (!reported.insert(fa).second) continue;
+    report.add(rule, fa, name,
+               "still X " + std::to_string(f.cycle) +
+                   " cycle(s) after power-on despite the reset window "
+                   "(searched up to " +
+                   std::to_string(budget) +
+                   " reset cycles; lane shown is the all-X power-on under "
+                   "all-X inputs):" +
+                   failureWave(m, firstFail, fa));
+  }
+  stats.properties.push_back(std::move(row));
+  return -1;
+}
+
+// --- XPR002: ternary agreement of the emitted RTL ---------------------------
+
+/// One model<->RTL compare point: a packed group of model register bits (or
+/// one probe) against one vsim signal.
+struct ComparePoint {
+  std::string rtlName;              ///< hierarchical vsim name
+  std::vector<std::size_t> regIdx;  ///< model regs, LSB first (empty: probe)
+  std::size_t probeIdx = 0;         ///< model probe when regIdx is empty
+};
+
+struct PackedVal {
+  std::uint64_t v = 0;
+  std::uint64_t x = 0;
+};
+
+PackedVal packModel(const ComparePoint& p, const std::vector<XWord>& regs,
+                    const TernaryEvaluator& eval, const NetModel& m) {
+  PackedVal out;
+  if (p.regIdx.empty()) {
+    const XWord w = eval.value(m.probes[p.probeIdx].lit);
+    return {w.one & 1, w.x & 1};
+  }
+  for (std::size_t b = 0; b < p.regIdx.size(); ++b) {
+    out.v |= (regs[p.regIdx[b]].one & 1) << b;
+    out.x |= (regs[p.regIdx[b]].x & 1) << b;
+  }
+  return out;
+}
+
+char pointChar(std::uint64_t v, std::uint64_t x, bool multiBit) {
+  if (x != 0) return 'X';
+  if (!multiBit) return v ? '1' : '0';
+  return static_cast<char>('0' + (v % 10));  // state code, mod-10 digits
+}
+
+/// Replay the emitted RTL under ternary vsim against the binary network
+/// model: the all-X proof instance plus rtlInstances concrete power-ons.
+/// Mutually-determinate bits must agree every cycle, and after the reset
+/// window the RTL may not hold X anywhere the model is determinate.
+void checkRtlAgreement(const fsm::DistributedControlUnit& dcu,
+                       const NetModel& m, const std::string& artifact,
+                       Report& report, const XprOptions& opt, int resetDepth,
+                       XpropStats& stats) {
+  const std::string source = opt.rtlOverride.empty()
+                                 ? rtl::emitPackage(dcu, kXpropTopName)
+                                 : opt.rtlOverride;
+  const int r = resetDepth > 0 ? resetDepth : 1;
+  const int total = r + std::max(8, opt.maxCycles);
+  const int restartAt = restartCycleFor(r);
+  const int instances = std::max(0, opt.rtlInstances) + 1;
+
+  XpropPropertyStat row;
+  row.artifact = artifact;
+  row.rule = "XPR002";
+  row.instances = static_cast<std::uint64_t>(instances);
+  row.verdict = propertyVerdictName(PropertyVerdict::Proved);
+  row.depth = r;
+
+  std::vector<ComparePoint> points;
+  for (const StateGroup& gr : m.stateGroups) {
+    points.push_back({"u_" + gr.fsmName + ".state", gr.regIdx, 0});
+  }
+  std::set<std::string> internal;
+  for (const auto& [sig, producer] : dcu.producerOf) internal.insert(sig);
+  for (const auto& [sig, reg] : m.heldRegOf) {
+    points.push_back({"u_latch_" + sig + ".held", {reg}, 0});
+    points.push_back({sig + "_pulse", {}, m.probeIdxOf.at(sig + "_pulse")});
+    points.push_back({sig + "_level", {}, m.probeIdxOf.at(sig + "_level")});
+  }
+  for (const fsm::UnitController& c : dcu.controllers) {
+    for (const std::string& o : c.fsm.outputs()) {
+      if (!internal.contains(o) && !o.starts_with("CCO_")) {
+        points.push_back({o, {}, m.probeIdxOf.at(o)});
+      }
+    }
+  }
+
+  try {
+    for (int inst = 0; inst < instances && row.cexCycle < 0; ++inst) {
+      vsim::Simulator sim(source, kXpropTopName, vsim::ValueMode::Ternary);
+      sim.setAllX();
+      TernaryEvaluator eval(m.g);
+      std::vector<XWord> regs(m.regs.size(), aig::xAllX());
+      std::vector<XWord> inputs(m.g.numInputs(), aig::xAllZero());
+      std::vector<std::string> modelWave(points.size()),
+          rtlWave(points.size());
+      std::string rstWave, restartWave;
+
+      for (int c = 0; c < total && row.cexCycle < 0; ++c) {
+        const bool rstNow = c < r;
+        const bool restartNow = c == restartAt;
+        sim.setInput("rst", rstNow ? 1 : 0);
+        sim.setInput("restart", restartNow ? 1 : 0);
+        inputs[m.rstIdx] = aig::xConcrete(rstNow ? ~std::uint64_t{0} : 0);
+        inputs[m.restartIdx] =
+            aig::xConcrete(restartNow ? ~std::uint64_t{0} : 0);
+        for (std::size_t f = 0; f < m.freeIns.size(); ++f) {
+          if (inst == 0) {
+            sim.setInputX(m.freeIns[f].first);
+            inputs[m.freeIns[f].second] = aig::xAllX();
+          } else {
+            const bool bit = inputWordFor(opt.seed ^ 0x52544cull, f,
+                                          static_cast<std::size_t>(inst), c) &
+                             1;
+            sim.setInput(m.freeIns[f].first, bit ? 1 : 0);
+            inputs[m.freeIns[f].second] =
+                bit ? aig::xAllOne() : aig::xAllZero();
+          }
+        }
+        for (std::size_t i = 0; i < m.regs.size(); ++i) {
+          inputs[m.regs[i].input] = regs[i];
+        }
+        sim.settle();
+        eval.run(inputs);
+        ++stats.rtlCycles;
+        rstWave += rstNow ? '1' : '0';
+        restartWave += restartNow ? '1' : '0';
+
+        for (std::size_t p = 0; p < points.size(); ++p) {
+          const ComparePoint& pt = points[p];
+          const std::uint64_t mask =
+              pt.regIdx.size() > 1
+                  ? (std::uint64_t{1} << pt.regIdx.size()) - 1
+                  : 1;
+          const PackedVal mv = packModel(pt, regs, eval, m);
+          const std::uint64_t rv = sim.signal(pt.rtlName) & mask;
+          const std::uint64_t rx = sim.signalXMask(pt.rtlName) & mask;
+          modelWave[p] += pointChar(mv.v, mv.x, pt.regIdx.size() > 1);
+          rtlWave[p] += pointChar(rv, rx, pt.regIdx.size() > 1);
+
+          // The model is the reference: X it has proven away (XPR001) must
+          // not survive in the RTL, and bits both sides know must agree.
+          std::string why;
+          if (((mv.v ^ rv) & ~mv.x & ~rx) != 0) {
+            why = "determinate bits disagree";
+          } else if (c >= r && inst > 0 && (rx & ~mv.x) != 0) {
+            why = "RTL still X after the reset window";
+          } else if (c == r && inst == 0 && !pt.regIdx.empty() &&
+                     (rx & ~mv.x) != 0) {
+            why = "RTL register still X after the reset window "
+                  "(all-X inputs)";
+          }
+          if (!why.empty()) {
+            row.verdict =
+                propertyVerdictName(PropertyVerdict::Counterexample);
+            row.cexCycle = c;
+            report.add(
+                "XPR002", artifact, pt.rtlName,
+                "RTL ternary replay diverges from the network model at "
+                "cycle " +
+                    std::to_string(c) + " (instance " + std::to_string(inst) +
+                    (inst == 0 ? ", all-X inputs" : ", concrete inputs") +
+                    "): " + why + ":" +
+                    renderWave({{"rst", rstWave},
+                                {"restart", restartWave},
+                                {"model " + pt.rtlName, modelWave[p]},
+                                {"rtl " + pt.rtlName, rtlWave[p]}}));
+            break;
+          }
+        }
+        if (row.cexCycle >= 0) break;
+
+        for (std::size_t i = 0; i < m.regs.size(); ++i) {
+          regs[i] = eval.value(m.regs[i].next);
+        }
+        sim.clockEdge();
+      }
+      row.gateEvals += eval.gateEvals();
+      stats.gateEvals += eval.gateEvals();
+    }
+  } catch (const Error& e) {
+    row.verdict = propertyVerdictName(PropertyVerdict::Counterexample);
+    report.add("XPR002", artifact, "",
+               std::string("ternary RTL replay failed: ") + e.what());
+  }
+  stats.properties.push_back(std::move(row));
+}
+
+}  // namespace
+
+std::map<std::string, RuleCost> XpropStats::ruleCost() const {
+  std::map<std::string, RuleCost> out;
+  for (const XpropPropertyStat& p : properties) {
+    out[p.rule].queries += p.instances;
+    out[p.rule] += p.cost;
+  }
+  return out;
+}
+
+XpropStats& XpropStats::operator+=(const XpropStats& o) {
+  controllers += o.controllers;
+  stateBits += o.stateBits;
+  latchBits += o.latchBits;
+  resetDepth = std::max(resetDepth, o.resetDepth);
+  instances += o.instances;
+  gateEvals += o.gateEvals;
+  rtlCycles += o.rtlCycles;
+  properties.insert(properties.end(), o.properties.begin(),
+                    o.properties.end());
+  return *this;
+}
+
+XpropStats checkXprop(const fsm::DistributedControlUnit& dcu,
+                      const std::string& artifact, Report& report,
+                      const XprOptions& options) {
+  XpropStats stats;
+  stats.artifact = artifact;
+  stats.controllers = dcu.controllers.size();
+
+  const std::size_t errorsBefore = report.errorCount();
+  NetModel model = buildFlatModel(dcu, options.style, options);
+  for (const ModelReg& r : model.regs) {
+    (r.name == "held" ? stats.latchBits : stats.stateBits) += 1;
+  }
+  const int depth =
+      checkModel(model, artifact, "XPR001", report, options, stats);
+
+  // The RTL replay always compares against the *binary* model, because the
+  // emitted controllers always encode binary.
+  if (options.style == synth::EncodingStyle::Binary) {
+    checkRtlAgreement(dcu, model, artifact, report, options, depth, stats);
+  } else {
+    const NetModel binary =
+        buildFlatModel(dcu, synth::EncodingStyle::Binary, options);
+    checkRtlAgreement(dcu, binary, artifact, report, options, depth, stats);
+  }
+
+  if (report.errorCount() == errorsBefore) {
+    XpropPropertyStat row;
+    row.artifact = artifact;
+    row.rule = "XPR004";
+    row.verdict = propertyVerdictName(PropertyVerdict::Proved);
+    row.depth = depth;
+    row.instances = stats.instances;
+    row.gateEvals = stats.gateEvals;
+    report.add("XPR004", artifact, "",
+               "reset robustness proven: every register determinate within " +
+                   std::to_string(depth) +
+                   " reset cycle(s) from any power-on state (" +
+                   std::to_string(stats.instances) + " instances, " +
+                   std::to_string(stats.gateEvals) +
+                   " ternary gate evaluations; RTL ternary replay agrees)");
+    stats.properties.push_back(std::move(row));
+  }
+  return stats;
+}
+
+XpropStats checkXpropHierarchical(const fsm::HierarchicalControlUnit& hcu,
+                                  const std::string& artifact, Report& report,
+                                  const XprOptions& options) {
+  XpropStats stats;
+  stats.artifact = artifact;
+  stats.controllers = 1;  // the sequencer; leaves add their own below
+
+  const std::size_t errorsBefore = report.errorCount();
+  NetModel model = buildSequencerModel(hcu, options.style, options);
+  for (const ModelReg& r : model.regs) {
+    (r.name == "held" ? stats.latchBits : stats.stateBits) += 1;
+  }
+  const int depth =
+      checkModel(model, artifact, "XPR003", report, options, stats);
+  if (report.errorCount() == errorsBefore) {
+    report.add("XPR004", artifact, "",
+               "sequencer and ST_/DN_ handshake latches X-safe within " +
+                   std::to_string(depth) +
+                   " reset cycle(s) under free DN_/SEL inputs");
+  }
+
+  for (const fsm::LeafControl& leaf : hcu.leaves) {
+    stats += checkXprop(leaf.dcu, "leaf " + leaf.path + " of " + artifact,
+                        report, options);
+  }
+  return stats;
+}
+
+}  // namespace tauhls::verify

@@ -266,7 +266,7 @@ TEST_F(CliRun, LintJsonHasSchemaAndRuleCounts) {
   const std::string json = buffer.str();
   std::remove(jsonPath.c_str());
   EXPECT_NE(json.find("\"schema\":\"tauhls-lint\""), std::string::npos);
-  EXPECT_NE(json.find("\"version\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"version\":5"), std::string::npos);
   EXPECT_NE(json.find("\"byRule\":"), std::string::npos);
   EXPECT_NE(json.find("\"EQV006\":"), std::string::npos);
   EXPECT_NE(json.find("\"satCost\":"), std::string::npos);
@@ -324,10 +324,90 @@ TEST_F(CliRun, LintSymbolicEndToEnd) {
   buffer << j.rdbuf();
   const std::string json = buffer.str();
   std::remove(jsonPath.c_str());
-  EXPECT_NE(json.find("\"version\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"version\":5"), std::string::npos);
   EXPECT_NE(json.find("\"symbolic\":[{"), std::string::npos);
   EXPECT_NE(json.find("\"verdict\":\"PROVED\""), std::string::npos);
   EXPECT_NE(json.find("\"MDL008\":{"), std::string::npos);
+}
+
+TEST_F(CliRun, LintXpropEndToEnd) {
+  const std::string jsonPath = ::testing::TempDir() + "cli_lint_xprop.json";
+  CliOptions o;
+  o.lint = true;
+  o.lintXprop = true;
+  o.inputPath = path_;
+  o.allocation = parseAllocationSpec("mult=2,add=1");
+  o.lintJsonPath = jsonPath;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(runCli(o, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("x-safety over"), std::string::npos);
+  EXPECT_NE(out.str().find("XPR004"), std::string::npos);
+  std::ifstream j(jsonPath);
+  std::ostringstream buffer;
+  buffer << j.rdbuf();
+  const std::string json = buffer.str();
+  std::remove(jsonPath.c_str());
+  EXPECT_NE(json.find("\"version\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"xprop\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"XPR001\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"XPR002\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"DCS002\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"PROVED\""), std::string::npos);
+  EXPECT_NE(json.find("\"skipped\":[]"), std::string::npos);
+}
+
+TEST_F(CliRun, LintOnlyFiltersAndReportsSkipped) {
+  const std::string jsonPath = ::testing::TempDir() + "cli_lint_only.json";
+  CliOptions o;
+  o.lint = true;
+  o.lintXprop = true;
+  o.lintOnly = "XPR001";
+  o.inputPath = path_;
+  o.allocation = parseAllocationSpec("mult=2,add=1");
+  o.lintJsonPath = jsonPath;
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(runCli(o, out, err), 0) << err.str();
+  std::ifstream j(jsonPath);
+  std::ostringstream buffer;
+  buffer << j.rdbuf();
+  const std::string json = buffer.str();
+  std::remove(jsonPath.c_str());
+  // The XPR004 summary (and everything else) was filtered, and the filter
+  // says so instead of silently dropping the rows.
+  EXPECT_EQ(json.find("\"code\":\"XPR004\""), std::string::npos);
+  EXPECT_NE(json.find("\"XPR004\""), std::string::npos);  // in "skipped"
+  EXPECT_NE(json.find("\"skipped\":["), std::string::npos);
+
+  // Unknown codes are a hard CLI error, not an empty report.
+  CliOptions bad = o;
+  bad.lintOnly = "XPR999";
+  std::ostringstream out2, err2;
+  EXPECT_EQ(runCli(bad, out2, err2), 1);
+  EXPECT_NE(err2.str().find("unknown rule code"), std::string::npos);
+}
+
+TEST(CliParse, XpropOnlyAndEncodingFlags) {
+  std::string error;
+  auto o = parseCli({"lint", "a.dfg", "--xprop", "--only", "XPR001,DCS001"},
+                    error);
+  ASSERT_TRUE(o.has_value()) << error;
+  EXPECT_TRUE(o->lintXprop);
+  EXPECT_EQ(o->lintOnly, "XPR001,DCS001");
+  o = parseCli({"a.dfg", "--encoding", "onehot"}, error);
+  ASSERT_TRUE(o.has_value()) << error;
+  EXPECT_EQ(o->encoding, synth::EncodingStyle::OneHot);
+  o = parseCli({"a.dfg"}, error);
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(o->encoding, synth::EncodingStyle::Binary);
+  // --xprop and --only are lint-only; bad encodings are rejected.
+  EXPECT_FALSE(parseCli({"a.dfg", "--xprop"}, error).has_value());
+  EXPECT_FALSE(parseCli({"a.dfg", "--only", "XPR001"}, error).has_value());
+  EXPECT_FALSE(parseCli({"a.dfg", "--encoding", "gray"}, error).has_value());
+  EXPECT_NE(cliHelp().find("--xprop"), std::string::npos);
+  EXPECT_NE(cliHelp().find("--only"), std::string::npos);
+  EXPECT_NE(cliHelp().find("--encoding"), std::string::npos);
 }
 
 }  // namespace

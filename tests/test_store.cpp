@@ -21,6 +21,7 @@
 #include "verify/diagnostic.hpp"
 #include "verify/equiv_check.hpp"
 #include "verify/symbolic_check.hpp"
+#include "verify/xprop_check.hpp"
 
 namespace tauhls {
 namespace {
@@ -54,7 +55,7 @@ std::unique_ptr<FlowPipeline> materializeEverything(
   auto pipe = std::make_unique<FlowPipeline>(graph, cfg, std::move(cache));
   pipe->run();
   pipe->require({Artifact::Rtl, Artifact::Equivalence, Artifact::Timing,
-                 Artifact::SymbolicCheck});
+                 Artifact::SymbolicCheck, Artifact::XCheck});
   return pipe;
 }
 
@@ -117,6 +118,10 @@ TEST(Serialize, RoundTripsEveryArtifactKind) {
       case Artifact::SymbolicCheck:
         slotValue = std::make_shared<const verify::SymbolicArtifact>(
             pipe->get<verify::SymbolicArtifact>(a));
+        break;
+      case Artifact::XCheck:
+        slotValue = std::make_shared<const verify::XCheckArtifact>(
+            pipe->get<verify::XCheckArtifact>(a));
         break;
     }
 

@@ -1,0 +1,300 @@
+// Tests for the X-propagation / reset-robustness checker
+// (verify/xprop_check.hpp) and the don't-care soundness checker
+// (verify/dcs_check.hpp).
+//
+// Four families:
+//   - clean sweeps: every paper benchmark under both binding strategies and
+//     both state encodings proves XPR001/XPR002 and DCS001/DCS002, and the
+//     composed fir_iir_loop proves XPR003 on top;
+//   - mutations: each injected fault (model latch without reset, controller
+//     without state reset, RTL latch without a reset arc, sequencer done
+//     latch without init, don't-care-abusing minimizer) is caught by exactly
+//     its rule, with a decodable per-cycle waveform;
+//   - determinism: verdicts and waveforms are bit-identical across thread
+//     counts;
+//   - caching: the XCheck artifact is served from the artifact cache on a
+//     warm re-run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/flow.hpp"
+#include "core/hier_flow.hpp"
+#include "core/pipeline.hpp"
+#include "dfg/benchmarks.hpp"
+#include "fsm/distributed.hpp"
+#include "fsm/hierarchical.hpp"
+#include "fsm/signal_opt.hpp"
+#include "logic/cover.hpp"
+#include "logic/cube.hpp"
+#include "rtl/verilog.hpp"
+#include "sched/scheduled_dfg.hpp"
+#include "synth/extract.hpp"
+#include "tau/library.hpp"
+#include "verify/dcs_check.hpp"
+#include "verify/xprop_check.hpp"
+
+namespace tauhls::verify {
+namespace {
+
+using dfg::ResourceClass;
+using sched::Allocation;
+
+fsm::DistributedControlUnit fig2Dcu() {
+  const sched::ScheduledDfg s = sched::scheduleAndBind(
+      dfg::paperFig2(),
+      Allocation{{ResourceClass::Multiplier, 2}, {ResourceClass::Adder, 1}},
+      tau::paperLibrary());
+  return fsm::optimizeSignals(fsm::buildDistributed(s));
+}
+
+core::FlowConfig regionFlowConfig() {
+  core::FlowConfig cfg;
+  cfg.allocation = dfg::firIirLoopAllocation();
+  cfg.synthesizeArea = false;
+  return cfg;
+}
+
+/// Error/warning codes of a report.
+std::set<std::string> errorCodes(const Report& r) {
+  std::set<std::string> out;
+  for (const Diagnostic& d : r.diagnostics()) {
+    if (d.severity != Severity::Info) out.insert(d.code);
+  }
+  return out;
+}
+
+const XpropPropertyStat* rowOf(const std::vector<XpropPropertyStat>& rows,
+                               const std::string& rule) {
+  for (const XpropPropertyStat& r : rows) {
+    if (r.rule == rule) return &r;
+  }
+  return nullptr;
+}
+
+// ---- clean sweeps ----------------------------------------------------------
+
+TEST(XpropClean, AllPaperBenchmarksBothStrategiesBothEncodings) {
+  for (const dfg::NamedBenchmark& b : dfg::paperTable2Suite()) {
+    for (const sched::BindingStrategy strategy :
+         {sched::BindingStrategy::LeftEdge,
+          sched::BindingStrategy::CliqueCover}) {
+      for (const synth::EncodingStyle style :
+           {synth::EncodingStyle::Binary, synth::EncodingStyle::OneHot}) {
+        const sched::ScheduledDfg s = sched::scheduleAndBind(
+            b.graph, b.allocation, tau::paperLibrary(), strategy);
+        const fsm::DistributedControlUnit dcu =
+            fsm::optimizeSignals(fsm::buildDistributed(s));
+        const std::string label =
+            b.name + " strategy " + std::to_string(static_cast<int>(strategy)) +
+            (style == synth::EncodingStyle::OneHot ? " onehot" : " binary");
+
+        XprOptions xo;
+        xo.style = style;
+        Report report;
+        const XpropStats xs = checkXprop(dcu, "dcu " + s.graph.name(), report, xo);
+        EXPECT_FALSE(report.hasErrors()) << label << ":\n" << renderText(report);
+        EXPECT_EQ(xs.resetDepth, 1) << label;
+        EXPECT_TRUE(report.has("XPR004")) << label;
+        const XpropPropertyStat* xpr1 = rowOf(xs.properties, "XPR001");
+        const XpropPropertyStat* xpr2 = rowOf(xs.properties, "XPR002");
+        ASSERT_NE(xpr1, nullptr) << label;
+        ASSERT_NE(xpr2, nullptr) << label;
+        EXPECT_EQ(xpr1->verdict, "PROVED") << label;
+        EXPECT_EQ(xpr2->verdict, "PROVED") << label;
+        EXPECT_GT(xs.instances, 0u) << label;
+        EXPECT_GT(xs.gateEvals, 0u) << label;
+
+        DcsOptions dco;
+        dco.style = style;
+        Report dcsReport;
+        const DcsStats ds = checkDcs(dcu, "dcu " + s.graph.name(), dcsReport, dco);
+        EXPECT_FALSE(dcsReport.hasErrors())
+            << label << ":\n" << renderText(dcsReport);
+        EXPECT_GT(ds.functionsChecked, 0u) << label;
+        for (const XpropPropertyStat& p : ds.properties) {
+          EXPECT_EQ(p.verdict, "PROVED") << label << " " << p.rule;
+        }
+      }
+    }
+  }
+}
+
+TEST(XpropClean, ComposedFirIirLoopProvesXpr003) {
+  const core::HierFlowResult r =
+      core::runHierFlow(dfg::firIirLoop(), regionFlowConfig());
+  Report report;
+  const XpropStats xs = checkXpropHierarchical(
+      r.control, "hier " + r.control.sequencer.name(), report, {});
+  EXPECT_FALSE(report.hasErrors()) << renderText(report);
+  const XpropPropertyStat* xpr3 = rowOf(xs.properties, "XPR003");
+  ASSERT_NE(xpr3, nullptr);
+  EXPECT_EQ(xpr3->verdict, "PROVED");
+  // Every leaf was re-checked under its path anchor.
+  EXPECT_TRUE(report.has("XPR004"));
+
+  Report dcsReport;
+  DcsStats ds = checkDcsFsm(r.control.sequencer,
+                            "sequencer " + r.control.sequencer.name(),
+                            dcsReport, {});
+  for (const fsm::LeafControl& leaf : r.control.leaves) {
+    ds += checkDcs(leaf.dcu, "leaf " + leaf.path, dcsReport, {});
+  }
+  EXPECT_FALSE(dcsReport.hasErrors()) << renderText(dcsReport);
+}
+
+// ---- mutations -------------------------------------------------------------
+
+TEST(XpropMutation, LatchWithoutResetTripsXpr001) {
+  const fsm::DistributedControlUnit dcu = fig2Dcu();
+  ASSERT_FALSE(dcu.producerOf.empty());
+  XprOptions xo;
+  xo.latchesWithoutReset.insert(dcu.producerOf.begin()->first);
+  Report report;
+  checkXprop(dcu, "dcu fig2", report, xo);
+  EXPECT_EQ(errorCodes(report), std::set<std::string>{"XPR001"})
+      << renderText(report);
+  // The diagnostic carries a decodable per-cycle waveform of the stuck latch.
+  const std::string msg = report.withCode("XPR001").front().message;
+  EXPECT_NE(msg.find('X'), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rst"), std::string::npos) << msg;
+}
+
+TEST(XpropMutation, ControllerWithoutStateResetTripsXpr001) {
+  const fsm::DistributedControlUnit dcu = fig2Dcu();
+  XprOptions xo;
+  xo.controllersWithoutStateReset.insert(dcu.controllers.front().fsm.name());
+  Report report;
+  checkXprop(dcu, "dcu fig2", report, xo);
+  EXPECT_TRUE(report.has("XPR001")) << renderText(report);
+  EXPECT_FALSE(errorCodes(report).contains("XPR002")) << renderText(report);
+}
+
+TEST(XpropMutation, RtlLatchWithoutResetArcTripsXpr002) {
+  const fsm::DistributedControlUnit dcu = fig2Dcu();
+  // Drop the reset arc from the emitted completion latch: its held register
+  // never drains the power-on X, so the RTL diverges from the (correct)
+  // network model the moment the model proves determinacy.
+  std::string source = rtl::emitPackage(dcu, "tauhls_xprop_top");
+  const std::string from = "if (rst || restart)";
+  const std::string to = "if (restart)";
+  const std::size_t at = source.find(from);
+  ASSERT_NE(at, std::string::npos);
+  source.replace(at, from.size(), to);
+  XprOptions xo;
+  xo.rtlOverride = source;
+  Report report;
+  checkXprop(dcu, "dcu fig2", report, xo);
+  EXPECT_EQ(errorCodes(report), std::set<std::string>{"XPR002"})
+      << renderText(report);
+  const std::string msg = report.withCode("XPR002").front().message;
+  EXPECT_NE(msg.find('X'), std::string::npos) << msg;
+}
+
+TEST(XpropMutation, SequencerDoneLatchWithoutInitTripsXpr003) {
+  const core::HierFlowResult r =
+      core::runHierFlow(dfg::firIirLoop(), regionFlowConfig());
+  // The *last* region's done latch: its rearm pulse (the sequencer entering
+  // that region's activation state) cannot fire while reset pins the
+  // sequencer to its initial state, so dropping the rst arc leaves the
+  // power-on X in place past every candidate reset window.  (The first
+  // region's latch would be masked -- the initial state re-arms it.)
+  std::string dn;
+  for (const std::string& in : r.control.sequencer.inputs()) {
+    if (in.rfind("DN_", 0) == 0) dn = in;
+  }
+  ASSERT_FALSE(dn.empty());
+  XprOptions xo;
+  xo.doneLatchesWithoutInit.insert(dn);
+  Report report;
+  checkXpropHierarchical(r.control, "hier seq", report, xo);
+  EXPECT_TRUE(errorCodes(report).contains("XPR003")) << renderText(report);
+  const std::string msg = report.withCode("XPR003").front().message;
+  EXPECT_NE(msg.find('X'), std::string::npos) << msg;
+}
+
+TEST(DcsMutation, DontCareAbusingMinimizerTripsDcs) {
+  const fsm::DistributedControlUnit dcu = fig2Dcu();
+  // Pick a controller whose binary encoding leaves undecodable codes (state
+  // count below 2^bits) -- those codes are exactly the minimizer's
+  // don't-care rows.  A "minimizer" that collapses every next-state function
+  // to constant 1 steers the machine straight onto the all-ones don't-care
+  // code, which is legal only if that row were unreachable.
+  const fsm::Fsm* victim = nullptr;
+  synth::SynthesizedFsm syn;
+  for (const fsm::UnitController& c : dcu.controllers) {
+    syn = synth::synthesize(c.fsm, synth::EncodingStyle::Binary);
+    if ((std::size_t{1} << syn.flipFlops) > c.fsm.numStates()) {
+      victim = &c.fsm;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr) << "no controller with don't-care rows";
+  for (logic::Cover& cover : syn.nextStateLogic) {
+    logic::Cover constantOne(cover.numVars());
+    constantOne.add(logic::Cube::full(constantOne.numVars()));
+    cover = constantOne;
+  }
+  DcsOptions dco;
+  dco.coverOverrides.emplace(victim->name(), syn);
+  Report report;
+  checkDcs(dcu, "dcu fig2", report, dco);
+  EXPECT_TRUE(report.has("DCS001")) << renderText(report);
+  // The mutated covers also steer the implemented machine onto a don't-care
+  // row, and the BMC counterexample decodes to named states.
+  ASSERT_TRUE(report.has("DCS002")) << renderText(report);
+  const std::string msg = report.withCode("DCS002").front().message;
+  EXPECT_NE(msg.find("cycle 0: state="), std::string::npos) << msg;
+}
+
+// ---- determinism -----------------------------------------------------------
+
+TEST(XpropDeterminism, BitIdenticalAcrossThreadCounts) {
+  const fsm::DistributedControlUnit dcu = fig2Dcu();
+  std::vector<XpropStats> stats;
+  std::vector<Report> reports;
+  for (const int threads : {1, 2, 8}) {
+    common::setGlobalThreadCount(threads);
+    Report report;
+    stats.push_back(checkXprop(dcu, "dcu fig2", report, {}));
+    reports.push_back(report);
+  }
+  common::setGlobalThreadCount(common::configuredThreadCount());
+  EXPECT_EQ(stats[0], stats[1]);
+  EXPECT_EQ(stats[0], stats[2]);
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_EQ(reports[0], reports[2]);
+}
+
+// ---- caching ---------------------------------------------------------------
+
+TEST(XpropCache, XCheckArtifactServedFromCacheOnRerun) {
+  const dfg::Dfg graph = dfg::paperFig2();
+  core::FlowConfig cfg;
+  cfg.allocation = Allocation{{ResourceClass::Multiplier, 2},
+                              {ResourceClass::Adder, 1}};
+  const auto cache = std::make_shared<core::ArtifactCache>();
+
+  core::FlowPipeline cold(graph, cfg, cache);
+  const XCheckArtifact first =
+      cold.get<XCheckArtifact>(core::Artifact::XCheck);
+  EXPECT_FALSE(first.report.hasErrors()) << renderText(first.report);
+  const core::CacheStats coldStats = cache->stats();
+  EXPECT_GT(coldStats.misses, 0u);
+
+  core::FlowPipeline warm(graph, cfg, cache);
+  const XCheckArtifact second =
+      warm.get<XCheckArtifact>(core::Artifact::XCheck);
+  const core::CacheStats warmStats = cache->stats();
+  EXPECT_EQ(warmStats.misses, coldStats.misses) << "warm run recomputed a pass";
+  EXPECT_GT(warmStats.hits, coldStats.hits);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace tauhls::verify

@@ -35,6 +35,7 @@ KNOWN_SCHEMAS = {
     "tauhls-bench-pipeline": "Pipeline bench trajectory",
     "tauhls-bench-modelcheck": "Model-check bench comparison",
     "tauhls-bench-regions": "Hierarchical-regions bench comparison",
+    "tauhls-bench-xcheck": "X-safety bench comparison",
 }
 
 
